@@ -1,0 +1,108 @@
+"""FIG6 — Figure 6 / Section 4.2.2: one-buffer semijoins.
+
+Claims reproduced:
+
+* Contain-semijoin(X,Y) on TS^/TE^ and Contained-semijoin(X,Y) on
+  TE^/TS^ run with *zero state tuples* — just the two input buffers —
+  in a single pass of each stream;
+* outputs equal the nested-loop semijoin;
+* the semijoin output preserves the X stream's order
+  (order-preserving, Section 4.2.3's remark).
+"""
+
+from repro.model import TE_ASC, TS_ASC
+from repro.streams import (
+    ContainedSemijoinTeTs,
+    ContainSemijoinTsTe,
+    NestedLoopSemijoin,
+    contain_predicate,
+    contained_predicate,
+)
+
+from common import make_stream, print_table
+
+
+def figure6_contain(x, y):
+    semi = ContainSemijoinTsTe(
+        make_stream(x.tuples, TS_ASC, "X"), make_stream(y.tuples, TE_ASC, "Y")
+    )
+    return semi.run(), semi.metrics
+
+
+def figure6_contained(x, y):
+    semi = ContainedSemijoinTeTs(
+        make_stream(x.tuples, TE_ASC, "X"), make_stream(y.tuples, TS_ASC, "Y")
+    )
+    return semi.run(), semi.metrics
+
+
+def nested_semijoin(x, y, predicate):
+    semi = NestedLoopSemijoin(
+        make_stream(x.tuples, TS_ASC, "X"),
+        make_stream(y.tuples, TS_ASC, "Y"),
+        predicate,
+    )
+    return semi.run(), semi.metrics
+
+
+def test_fig6_contain_semijoin(benchmark, poisson_pair):
+    x, y = poisson_pair
+    out, metrics = benchmark(figure6_contain, x, y)
+    assert metrics.workspace_high_water == 0
+    assert metrics.total_footprint == 2
+    assert metrics.passes_x == 1 and metrics.passes_y == 1
+    assert TS_ASC.is_sorted(out)  # order-preserving
+    benchmark.extra_info["output"] = len(out)
+
+
+def test_fig6_contained_semijoin(benchmark, poisson_pair):
+    x, y = poisson_pair
+    out, metrics = benchmark(figure6_contained, x, y)
+    assert metrics.workspace_high_water == 0
+    assert TE_ASC.is_sorted(out)
+    benchmark.extra_info["output"] = len(out)
+
+
+def test_fig6_nested_baseline(benchmark, poisson_pair):
+    x, y = poisson_pair
+    _out, metrics = benchmark.pedantic(
+        nested_semijoin, args=(x, y, contain_predicate), rounds=3,
+        iterations=1,
+    )
+    assert metrics.passes_y == len(x)
+
+
+def test_fig6_shape(poisson_pair):
+    x, y = poisson_pair
+
+    def values(tuples):
+        return sorted(t.value for t in tuples)
+
+    contain_out, contain_metrics = figure6_contain(x, y)
+    contain_ref, ref_metrics = nested_semijoin(x, y, contain_predicate)
+    assert values(contain_out) == values(contain_ref)
+
+    contained_out, contained_metrics = figure6_contained(x, y)
+    contained_ref, _ = nested_semijoin(x, y, contained_predicate)
+    assert values(contained_out) == values(contained_ref)
+
+    print_table(
+        "Figure 6 reproduced: one-buffer semijoins vs nested loop",
+        f"{'algorithm':30s} {'comparisons':>12s} {'peak state':>10s} "
+        f"{'footprint':>9s}",
+        [
+            f"{'contain-sj TS^/TE^ (d)':30s} "
+            f"{contain_metrics.comparisons:12d} "
+            f"{contain_metrics.workspace_high_water:10d} "
+            f"{contain_metrics.total_footprint:9d}",
+            f"{'contained-sj TE^/TS^ (d)':30s} "
+            f"{contained_metrics.comparisons:12d} "
+            f"{contained_metrics.workspace_high_water:10d} "
+            f"{contained_metrics.total_footprint:9d}",
+            f"{'nested-loop semijoin':30s} "
+            f"{ref_metrics.comparisons:12d} "
+            f"{ref_metrics.workspace_high_water:10d} "
+            f"{'n/a':>9s}",
+        ],
+    )
+    assert contain_metrics.comparisons * 5 < ref_metrics.comparisons

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness (imported by the bench
+modules; fixtures live in conftest.py)."""
+
+from repro.model import sort_tuples
+from repro.streams import TupleStream
+
+
+def make_stream(tuples, order, name="stream"):
+    return TupleStream.from_tuples(
+        sort_tuples(tuples, order), order=order, name=name
+    )
+
+
+def print_table(title, header, rows):
+    """Uniform table rendering for benchmark output."""
+    print()
+    print(title)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(row)

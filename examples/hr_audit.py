@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Bitemporal HR records with rollback, plus multi-attribute histories.
+
+Exercises the two future-work extensions the paper sketches:
+
+* transaction time (TQuel's TransactionStart/TransactionStop): an HR
+  database records facts, later *corrects* them, and an auditor rolls
+  back to see exactly what was believed at any past transaction time;
+* multiple time-varying attributes (Rank and Salary): the combined
+  history decomposes into per-attribute relations — each directly
+  consumable by the stream operators — and recomposes losslessly.
+"""
+
+from repro.bitemporal import BitemporalRelation
+from repro.model import TS_ASC, TemporalSchema
+from repro.multiattr import MultiAttributeRelation, MultiAttributeSchema, recompose
+from repro.streams import OverlapJoin, TupleStream
+
+
+def bitemporal_audit() -> None:
+    print("=== transaction-time rollback ===\n")
+    hr = BitemporalRelation(TemporalSchema("Faculty", "Name", "Rank"))
+
+    # tx 101: Smith's assistant period is recorded as [2000, 2006).
+    hr.insert("Smith", "Assistant", 2000, 2006, tx_time=101)
+    # tx 102: the promotion to associate is recorded.
+    hr.insert("Smith", "Associate", 2006, 2012, tx_time=102)
+    # tx 103: an audit discovers the promotion actually happened in
+    # 2005 — correct both periods.
+    hr.logical_delete(103, lambda t: t.surrogate == "Smith")
+    hr.insert("Smith", "Assistant", 2000, 2005, tx_time=104)
+    hr.insert("Smith", "Associate", 2005, 2012, tx_time=105)
+
+    for tx_time in (101, 102, 103, 105):
+        believed = hr.as_of(tx_time)
+        rendered = ", ".join(
+            f"{t.value}[{t.valid_from},{t.valid_to})"
+            for t in sorted(believed, key=lambda t: t.valid_from)
+        ) or "(nothing)"
+        print(f"as of tx {tx_time}: {rendered}")
+    print(f"\ntransaction log holds {len(hr)} versions; belief changed "
+          f"at {hr.belief_changes()}")
+    print("the rollback states above were reconstructed without ever "
+          "deleting a log entry\n")
+
+
+def multi_attribute_history() -> None:
+    print("=== multiple time-varying attributes ===\n")
+    schema = MultiAttributeSchema("Faculty", "Name", ("Rank", "Salary"))
+    history = MultiAttributeRelation.from_rows(
+        schema,
+        [
+            # Smith: rank changes at 2005, salary raises at 2003, 2008.
+            ("Smith", "Assistant", 60, 2000, 2003),
+            ("Smith", "Assistant", 66, 2003, 2005),
+            ("Smith", "Associate", 66, 2005, 2008),
+            ("Smith", "Associate", 74, 2008, 2012),
+        ],
+    )
+
+    parts = history.decompose()
+    for name, relation in parts.items():
+        rendered = ", ".join(
+            f"{t.value}[{t.valid_from},{t.valid_to})"
+            for t in sorted(relation, key=lambda t: t.valid_from)
+        )
+        print(f"{name:8s}: {rendered}")
+    print(
+        "\nnote the coalescing: Rank ignores salary raises, Salary "
+        "ignores the promotion."
+    )
+
+    # The decomposed relations feed the stream machinery directly:
+    # which salary levels coincided with which ranks?
+    join = OverlapJoin(
+        TupleStream.from_relation(parts["Rank"].sorted_by(TS_ASC)),
+        TupleStream.from_relation(parts["Salary"].sorted_by(TS_ASC)),
+    )
+    pairs = sorted(
+        {(rank.value, salary.value) for rank, salary in join.run()}
+    )
+    print(f"rank/salary co-occurrences (stream overlap-join): {pairs}")
+    print(f"join workspace high-water: "
+          f"{join.metrics.workspace_high_water} tuple(s)")
+
+    rebuilt = recompose(schema, parts)
+    assert rebuilt == history
+    print("decompose -> recompose round-trips exactly\n")
+
+
+if __name__ == "__main__":
+    bitemporal_audit()
+    multi_attribute_history()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel``
+package, so PEP 517 editable installs (which build an editable wheel)
+fail.  Keeping a classic ``setup.py`` lets ``pip install -e .`` fall
+back to setuptools' develop mode, which works offline.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

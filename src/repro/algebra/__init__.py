@@ -1,0 +1,40 @@
+"""Logical algebra, rewrite rules, and physical compilation."""
+
+from .logical import (
+    LDistinct,
+    LJoin,
+    LogicalPlan,
+    LProduct,
+    LProject,
+    LSelect,
+    LSemijoin,
+    Rel,
+    project_attrs,
+)
+from .physical import Catalog, compile_plan
+from .rewrite import (
+    fuse_products,
+    optimize,
+    push_projections,
+    push_selections,
+    split_selections,
+)
+
+__all__ = [
+    "Catalog",
+    "LDistinct",
+    "LJoin",
+    "LProduct",
+    "LProject",
+    "LSelect",
+    "LSemijoin",
+    "LogicalPlan",
+    "Rel",
+    "compile_plan",
+    "fuse_products",
+    "optimize",
+    "project_attrs",
+    "push_projections",
+    "push_selections",
+    "split_selections",
+]

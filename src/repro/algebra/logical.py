@@ -1,0 +1,244 @@
+"""Logical relational algebra — the parse trees of Figure 3.
+
+A logical plan is an immutable tree of :class:`LogicalPlan` nodes over
+range variables bound to temporal relations.  The Superstar expression
+``project(select(Faculty_f1 x Faculty_f2 x Faculty_f3))`` is the
+canonical example (Figure 3(a)); the rewriter in
+:mod:`repro.algebra.rewrite` turns it into Figure 3(b).
+
+Schemas are qualified with range-variable names (``f1.Name``), so plan
+nodes can compute their output schema without a catalog — only leaf
+nodes need to know their relation's attribute names.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..model.tuples import TemporalSchema
+from ..relational.expressions import Attr, Expression, Predicate
+from ..relational.schema import RowSchema
+
+
+class LogicalPlan(abc.ABC):
+    """Base class for logical plan nodes."""
+
+    @abc.abstractmethod
+    def schema(self) -> RowSchema:
+        """The node's output schema."""
+
+    @abc.abstractmethod
+    def children(self) -> tuple["LogicalPlan", ...]:
+        """Immediate child nodes."""
+
+    @abc.abstractmethod
+    def with_children(
+        self, children: Sequence["LogicalPlan"]
+    ) -> "LogicalPlan":
+        """A copy with the children replaced (for rewriting)."""
+
+    def walk(self) -> Iterator["LogicalPlan"]:
+        """Pre-order traversal."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def variables(self) -> frozenset[str]:
+        """Range variables contributing to this subtree."""
+        out: set[str] = set()
+        for node in self.walk():
+            if isinstance(node, Rel):
+                out.add(node.variable)
+        return frozenset(out)
+
+    def explain(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """One-line node description for explain()."""
+
+
+@dataclass(frozen=True)
+class Rel(LogicalPlan):
+    """A range variable over a base relation (``range of f1 is
+    Faculty``)."""
+
+    relation_name: str
+    variable: str
+    relation_schema: TemporalSchema
+
+    def schema(self) -> RowSchema:
+        return RowSchema.for_variable(
+            self.variable, self.relation_schema.attribute_names
+        )
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return ()
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Rel":
+        if children:
+            raise ValueError("Rel is a leaf")
+        return self
+
+    def describe(self) -> str:
+        return f"Rel({self.relation_name} AS {self.variable})"
+
+
+@dataclass(frozen=True)
+class LSelect(LogicalPlan):
+    """Selection."""
+
+    child: LogicalPlan
+    predicate: Predicate
+
+    def schema(self) -> RowSchema:
+        return self.child.schema()
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "LSelect":
+        (child,) = children
+        return LSelect(child, self.predicate)
+
+    def with_predicate(self, predicate: Predicate) -> "LSelect":
+        return LSelect(self.child, predicate)
+
+    def describe(self) -> str:
+        return f"Select[{self.predicate}]"
+
+
+@dataclass(frozen=True)
+class LProject(LogicalPlan):
+    """Projection with renaming: items are (output name, expression)."""
+
+    child: LogicalPlan
+    items: tuple[tuple[str, Expression], ...]
+
+    def schema(self) -> RowSchema:
+        return RowSchema(tuple(name for name, _expr in self.items))
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "LProject":
+        (child,) = children
+        return LProject(child, self.items)
+
+    def required_attributes(self) -> frozenset[str]:
+        out: set[str] = set()
+        for _name, expression in self.items:
+            out |= expression.attributes()
+        return frozenset(out)
+
+    def describe(self) -> str:
+        rendered = ", ".join(
+            f"{name}={expr}" for name, expr in self.items
+        )
+        return f"Project[{rendered}]"
+
+
+@dataclass(frozen=True)
+class LProduct(LogicalPlan):
+    """Cartesian product."""
+
+    left: LogicalPlan
+    right: LogicalPlan
+
+    def schema(self) -> RowSchema:
+        return self.left.schema().concat(self.right.schema())
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "LProduct":
+        left, right = children
+        return LProduct(left, right)
+
+    def describe(self) -> str:
+        return "Product"
+
+
+@dataclass(frozen=True)
+class LJoin(LogicalPlan):
+    """Theta join (a product whose selection has been absorbed)."""
+
+    left: LogicalPlan
+    right: LogicalPlan
+    predicate: Predicate
+
+    def schema(self) -> RowSchema:
+        return self.left.schema().concat(self.right.schema())
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "LJoin":
+        left, right = children
+        return LJoin(left, right, self.predicate)
+
+    def with_predicate(self, predicate: Predicate) -> "LJoin":
+        return LJoin(self.left, self.right, predicate)
+
+    def describe(self) -> str:
+        return f"Join[{self.predicate}]"
+
+
+@dataclass(frozen=True)
+class LSemijoin(LogicalPlan):
+    """Semijoin: left rows with a right witness.  The node the semantic
+    optimizer introduces when it recognises a Contained-semijoin inside
+    a less-than join (Section 5)."""
+
+    left: LogicalPlan
+    right: LogicalPlan
+    predicate: Predicate
+
+    def schema(self) -> RowSchema:
+        return self.left.schema()
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "LSemijoin":
+        left, right = children
+        return LSemijoin(left, right, self.predicate)
+
+    def with_predicate(self, predicate: Predicate) -> "LSemijoin":
+        return LSemijoin(self.left, self.right, predicate)
+
+    def describe(self) -> str:
+        return f"Semijoin[{self.predicate}]"
+
+
+@dataclass(frozen=True)
+class LDistinct(LogicalPlan):
+    """Duplicate elimination (``retrieve unique``)."""
+
+    child: LogicalPlan
+
+    def schema(self) -> RowSchema:
+        return self.child.schema()
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "LDistinct":
+        (child,) = children
+        return LDistinct(child)
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+def project_attrs(
+    child: LogicalPlan, names: Sequence[str]
+) -> LProject:
+    """Projection that keeps attributes under their existing names."""
+    return LProject(child, tuple((name, Attr(name)) for name in names))

@@ -1,0 +1,122 @@
+"""Compile logical plans to conventional physical operators.
+
+This is the "conventional relational query processor" of Section 3:
+joins with an equality conjunct become hash joins, other joins fall
+back to nested loops (the paper: "traditionally, the best strategy for
+processing less-than joins appears to be the conventional nested-loop
+join method").  Stream-algorithm selection is the *optimizer's* job
+(:mod:`repro.optimizer`); this module is deliberately conventional.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..errors import PlanningError
+from ..model.relation import TemporalRelation
+from ..relational.expressions import And, Attr, Compare
+from ..relational.operators import (
+    CrossProduct,
+    Distinct,
+    EngineStats,
+    HashEquiJoin,
+    Operator,
+    Project,
+    RowSemijoin,
+    Select,
+    ThetaNestedLoopJoin,
+    temporal_scan,
+)
+from .logical import (
+    LDistinct,
+    LJoin,
+    LogicalPlan,
+    LProduct,
+    LProject,
+    LSelect,
+    LSemijoin,
+    Rel,
+)
+
+Catalog = Mapping[str, TemporalRelation]
+"""Relation name -> temporal relation instance."""
+
+
+def compile_plan(
+    plan: LogicalPlan,
+    catalog: Catalog,
+    stats: Optional[EngineStats] = None,
+) -> Operator:
+    """Build the physical operator tree for ``plan``."""
+    shared = stats if stats is not None else EngineStats()
+    return _compile(plan, catalog, shared)
+
+
+def _compile(
+    plan: LogicalPlan, catalog: Catalog, stats: EngineStats
+) -> Operator:
+    if isinstance(plan, Rel):
+        try:
+            relation = catalog[plan.relation_name]
+        except KeyError:
+            raise PlanningError(
+                f"catalog has no relation named {plan.relation_name!r}"
+            ) from None
+        return temporal_scan(relation, plan.variable, stats=stats)
+    if isinstance(plan, LDistinct):
+        return Distinct(_compile(plan.child, catalog, stats))
+    if isinstance(plan, LSelect):
+        return Select(_compile(plan.child, catalog, stats), plan.predicate)
+    if isinstance(plan, LProject):
+        return Project(
+            _compile(plan.child, catalog, stats), list(plan.items)
+        )
+    if isinstance(plan, LProduct):
+        return CrossProduct(
+            _compile(plan.left, catalog, stats),
+            _compile(plan.right, catalog, stats),
+        )
+    if isinstance(plan, LJoin):
+        left = _compile(plan.left, catalog, stats)
+        right = _compile(plan.right, catalog, stats)
+        equality = _splittable_equality(plan)
+        if equality is not None:
+            left_attr, right_attr, residual = equality
+            return HashEquiJoin(
+                left, right, left_attr, right_attr, residual=residual
+            )
+        return ThetaNestedLoopJoin(left, right, plan.predicate)
+    if isinstance(plan, LSemijoin):
+        return RowSemijoin(
+            _compile(plan.left, catalog, stats),
+            _compile(plan.right, catalog, stats),
+            plan.predicate,
+        )
+    raise PlanningError(f"cannot compile logical node {plan!r}")
+
+
+def _splittable_equality(plan: LJoin):
+    """Find an attr = attr conjunct spanning both sides; return
+    ``(left_attr, right_attr, residual_predicate_or_None)``."""
+    left_attrs = frozenset(plan.left.schema().attributes)
+    right_attrs = frozenset(plan.right.schema().attributes)
+    conjuncts = list(plan.predicate.conjuncts())
+    for index, conjunct in enumerate(conjuncts):
+        if not isinstance(conjunct, Compare) or not conjunct.is_equality:
+            continue
+        if not (
+            isinstance(conjunct.left, Attr)
+            and isinstance(conjunct.right, Attr)
+        ):
+            continue
+        a, b = conjunct.left.name, conjunct.right.name
+        if a in left_attrs and b in right_attrs:
+            left_attr, right_attr = a, b
+        elif b in left_attrs and a in right_attrs:
+            left_attr, right_attr = b, a
+        else:
+            continue
+        rest = conjuncts[:index] + conjuncts[index + 1 :]
+        residual = And.of(*rest) if rest else None
+        return left_attr, right_attr, residual
+    return None

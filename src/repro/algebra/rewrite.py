@@ -1,0 +1,171 @@
+"""Classical algebraic rewrites — Figure 3(a) to Figure 3(b).
+
+The paper's conventional pipeline "ameliorates" the parse tree by
+pushing selections and projections as far down as possible and
+absorbing selections over products into joins.  The rules here do
+exactly that, in the textbook order:
+
+1. :func:`split_selections` — break conjunctive selections into
+   individual conjuncts;
+2. :func:`push_selections` — sink each conjunct to the lowest subtree
+   that covers its attributes;
+3. :func:`fuse_products` — turn ``select(product)`` into a theta join;
+4. :func:`push_projections` — prune attributes that nothing upstream
+   needs (inserting projections above the leaves).
+
+:func:`optimize` runs the pipeline.  All rules are pure: they return
+new plans.
+"""
+
+from __future__ import annotations
+
+from ..relational.expressions import And, Predicate
+from .logical import (
+    LDistinct,
+    LJoin,
+    LogicalPlan,
+    LProduct,
+    LProject,
+    LSelect,
+    LSemijoin,
+    Rel,
+    project_attrs,
+)
+
+
+def optimize(plan: LogicalPlan) -> LogicalPlan:
+    """The conventional optimization pipeline of Section 3."""
+    plan = split_selections(plan)
+    plan = push_selections(plan)
+    plan = fuse_products(plan)
+    plan = push_projections(plan)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# rule 1: selection splitting
+# ----------------------------------------------------------------------
+def split_selections(plan: LogicalPlan) -> LogicalPlan:
+    """Replace ``select[p1 AND p2]`` with ``select[p1](select[p2])``."""
+    plan = plan.with_children(
+        [split_selections(child) for child in plan.children()]
+    )
+    if isinstance(plan, LSelect):
+        conjuncts = list(plan.predicate.conjuncts())
+        if len(conjuncts) > 1:
+            rebuilt = plan.child
+            for conjunct in reversed(conjuncts):
+                rebuilt = LSelect(rebuilt, conjunct)
+            return rebuilt
+        if not conjuncts:  # TruePredicate
+            return plan.child
+    return plan
+
+
+# ----------------------------------------------------------------------
+# rule 2: selection pushdown
+# ----------------------------------------------------------------------
+def push_selections(plan: LogicalPlan) -> LogicalPlan:
+    """Sink every selection to the lowest subtree covering its
+    attributes."""
+    if isinstance(plan, LSelect):
+        pushed = push_selections(plan.child)
+        return _sink(pushed, plan.predicate)
+    return plan.with_children(
+        [push_selections(child) for child in plan.children()]
+    )
+
+
+def _sink(plan: LogicalPlan, predicate: Predicate) -> LogicalPlan:
+    needed = predicate.attributes()
+    if isinstance(plan, (LProduct, LJoin, LSemijoin)):
+        left, right = plan.children()
+        if needed <= frozenset(left.schema().attributes):
+            return plan.with_children([_sink(left, predicate), right])
+        if isinstance(plan, (LProduct, LJoin)) and needed <= frozenset(
+            right.schema().attributes
+        ):
+            return plan.with_children([left, _sink(right, predicate)])
+    if isinstance(plan, LSelect):
+        # Commute: try to push below the existing selection.
+        return LSelect(_sink(plan.child, predicate), plan.predicate)
+    return LSelect(plan, predicate)
+
+
+# ----------------------------------------------------------------------
+# rule 3: product + selection -> join
+# ----------------------------------------------------------------------
+def fuse_products(plan: LogicalPlan) -> LogicalPlan:
+    """Absorb selections sitting directly above a product into a theta
+    join (collecting a whole stack of selections at once)."""
+    plan = plan.with_children(
+        [fuse_products(child) for child in plan.children()]
+    )
+    if isinstance(plan, LSelect):
+        predicates = [plan.predicate]
+        inner = plan.child
+        while isinstance(inner, LSelect):
+            predicates.append(inner.predicate)
+            inner = inner.child
+        if isinstance(inner, LProduct):
+            return LJoin(
+                inner.left, inner.right, And.of(*reversed(predicates))
+            )
+        if isinstance(inner, LJoin):
+            # Selections left above an already-formed join (their
+            # attributes span both sides) belong in its predicate.
+            return LJoin(
+                inner.left,
+                inner.right,
+                And.of(inner.predicate, *reversed(predicates)),
+            )
+    return plan
+
+
+# ----------------------------------------------------------------------
+# rule 4: projection pushdown
+# ----------------------------------------------------------------------
+def push_projections(plan: LogicalPlan) -> LogicalPlan:
+    """Insert pruning projections above the leaves, keeping only the
+    attributes some ancestor actually reads."""
+    if isinstance(plan, LDistinct):
+        return LDistinct(push_projections(plan.child))
+    if isinstance(plan, LProject):
+        needed = plan.required_attributes()
+        return LProject(
+            _prune(plan.child, frozenset(needed)), plan.items
+        )
+    # Without a root projection everything is needed.
+    return plan
+
+
+def _prune(plan: LogicalPlan, needed: frozenset[str]) -> LogicalPlan:
+    if isinstance(plan, Rel):
+        available = tuple(plan.schema().attributes)
+        keep = tuple(a for a in available if a in needed)
+        if keep and len(keep) < len(available):
+            return project_attrs(plan, keep)
+        return plan
+    if isinstance(plan, LSelect):
+        child_needed = needed | plan.predicate.attributes()
+        return LSelect(_prune(plan.child, child_needed), plan.predicate)
+    if isinstance(plan, (LJoin, LSemijoin)):
+        child_needed = needed | plan.predicate.attributes()
+        left, right = plan.children()
+        left_needed = child_needed & frozenset(left.schema().attributes)
+        right_needed = child_needed & frozenset(right.schema().attributes)
+        return plan.with_children(
+            [_prune(left, left_needed), _prune(right, right_needed)]
+        )
+    if isinstance(plan, LProduct):
+        left, right = plan.children()
+        left_needed = needed & frozenset(left.schema().attributes)
+        right_needed = needed & frozenset(right.schema().attributes)
+        return plan.with_children(
+            [_prune(left, left_needed), _prune(right, right_needed)]
+        )
+    if isinstance(plan, LProject):
+        return push_projections(plan)
+    return plan.with_children(
+        [_prune(child, needed) for child in plan.children()]
+    )

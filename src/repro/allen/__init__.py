@@ -1,0 +1,43 @@
+"""Allen interval algebra (Figure 2 of the paper).
+
+The thirteen elementary temporal relationships, their explicit
+inequality constraints, and the derived composition table.
+"""
+
+from .composition import compose, compose_sets, is_consistent_triple
+from .relations import (
+    ALL_RELATIONS,
+    GENERAL_OVERLAP,
+    AllenRelation,
+    classify,
+)
+from .symbolic import (
+    Comparison,
+    CompOp,
+    Conjunction,
+    Endpoint,
+    EndpointKind,
+    Term,
+    constraint_for,
+    general_overlap_constraint,
+    intra_tuple_constraint,
+)
+
+__all__ = [
+    "ALL_RELATIONS",
+    "AllenRelation",
+    "CompOp",
+    "Comparison",
+    "Conjunction",
+    "Endpoint",
+    "EndpointKind",
+    "GENERAL_OVERLAP",
+    "Term",
+    "classify",
+    "compose",
+    "compose_sets",
+    "constraint_for",
+    "general_overlap_constraint",
+    "intra_tuple_constraint",
+    "is_consistent_triple",
+]

@@ -1,0 +1,166 @@
+"""The thirteen elementary temporal relationships (Allen 1983, paper
+Figure 2).
+
+Each pair of valid intervals stands in exactly one of these relations —
+they partition the space of interval pairs.  The seven relations the
+paper lists explicitly are rows (1)-(7) of Figure 2; the other six are
+their inverses.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..model.interval import Interval
+
+
+class AllenRelation(enum.Enum):
+    """The 13 elementary interval relationships."""
+
+    EQUAL = "equal"
+    MEETS = "meets"
+    MET_BY = "met-by"
+    STARTS = "starts"
+    STARTED_BY = "started-by"
+    FINISHES = "finishes"
+    FINISHED_BY = "finished-by"
+    DURING = "during"
+    CONTAINS = "contains"
+    OVERLAPS = "overlaps"
+    OVERLAPPED_BY = "overlapped-by"
+    BEFORE = "before"
+    AFTER = "after"
+
+    def inverse(self) -> "AllenRelation":
+        """The relation of ``(Y, X)`` when ``(X, Y)`` is this relation."""
+        return _INVERSES[self]
+
+    def holds(self, x: Interval, y: Interval) -> bool:
+        """Evaluate this relation on a concrete interval pair."""
+        return _PREDICATES[self](x, y)
+
+    @property
+    def is_inequality_only(self) -> bool:
+        """True for the "inequality-temporal" operators of Section 4.2 —
+        relations whose explicit constraints contain only strict
+        inequalities (no equalities): during/contains, overlaps/
+        overlapped-by, before/after."""
+        return self in _INEQUALITY_ONLY
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_INVERSES = {
+    AllenRelation.EQUAL: AllenRelation.EQUAL,
+    AllenRelation.MEETS: AllenRelation.MET_BY,
+    AllenRelation.MET_BY: AllenRelation.MEETS,
+    AllenRelation.STARTS: AllenRelation.STARTED_BY,
+    AllenRelation.STARTED_BY: AllenRelation.STARTS,
+    AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+    AllenRelation.FINISHED_BY: AllenRelation.FINISHES,
+    AllenRelation.DURING: AllenRelation.CONTAINS,
+    AllenRelation.CONTAINS: AllenRelation.DURING,
+    AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+    AllenRelation.OVERLAPPED_BY: AllenRelation.OVERLAPS,
+    AllenRelation.BEFORE: AllenRelation.AFTER,
+    AllenRelation.AFTER: AllenRelation.BEFORE,
+}
+
+_PREDICATES = {
+    AllenRelation.EQUAL: Interval.equal,
+    AllenRelation.MEETS: Interval.meets,
+    AllenRelation.MET_BY: Interval.met_by,
+    AllenRelation.STARTS: Interval.starts,
+    AllenRelation.STARTED_BY: Interval.started_by,
+    AllenRelation.FINISHES: Interval.finishes,
+    AllenRelation.FINISHED_BY: Interval.finished_by,
+    AllenRelation.DURING: Interval.during,
+    AllenRelation.CONTAINS: Interval.contains,
+    AllenRelation.OVERLAPS: Interval.overlaps,
+    AllenRelation.OVERLAPPED_BY: Interval.overlapped_by,
+    AllenRelation.BEFORE: Interval.before,
+    AllenRelation.AFTER: Interval.after,
+}
+
+_INEQUALITY_ONLY = frozenset(
+    {
+        AllenRelation.DURING,
+        AllenRelation.CONTAINS,
+        AllenRelation.OVERLAPS,
+        AllenRelation.OVERLAPPED_BY,
+        AllenRelation.BEFORE,
+        AllenRelation.AFTER,
+    }
+)
+
+#: All 13 relations in Figure-2 order (rows 1-7, inverses appended).
+ALL_RELATIONS: tuple[AllenRelation, ...] = (
+    AllenRelation.EQUAL,
+    AllenRelation.MEETS,
+    AllenRelation.STARTS,
+    AllenRelation.FINISHES,
+    AllenRelation.DURING,
+    AllenRelation.OVERLAPS,
+    AllenRelation.BEFORE,
+    AllenRelation.MET_BY,
+    AllenRelation.STARTED_BY,
+    AllenRelation.FINISHED_BY,
+    AllenRelation.CONTAINS,
+    AllenRelation.OVERLAPPED_BY,
+    AllenRelation.AFTER,
+)
+
+
+def classify(x: Interval, y: Interval) -> AllenRelation:
+    """The unique Allen relation holding between ``x`` and ``y``.
+
+    Decides by comparing the four endpoints; total over valid intervals.
+    """
+    if x.end < y.start:
+        return AllenRelation.BEFORE
+    if y.end < x.start:
+        return AllenRelation.AFTER
+    if x.end == y.start:
+        return AllenRelation.MEETS
+    if y.end == x.start:
+        return AllenRelation.MET_BY
+    # The intervals now share at least one timepoint.
+    if x.start == y.start:
+        if x.end == y.end:
+            return AllenRelation.EQUAL
+        return (
+            AllenRelation.STARTS if x.end < y.end else AllenRelation.STARTED_BY
+        )
+    if x.end == y.end:
+        return (
+            AllenRelation.FINISHES
+            if x.start > y.start
+            else AllenRelation.FINISHED_BY
+        )
+    if x.start < y.start:
+        return (
+            AllenRelation.CONTAINS
+            if x.end > y.end
+            else AllenRelation.OVERLAPS
+        )
+    return (
+        AllenRelation.DURING if x.end < y.end else AllenRelation.OVERLAPPED_BY
+    )
+
+
+#: The relations that make up the TQuel-style general ``overlap`` used in
+#: the Superstar query (intervals sharing at least one timepoint).
+GENERAL_OVERLAP: frozenset[AllenRelation] = frozenset(
+    {
+        AllenRelation.EQUAL,
+        AllenRelation.STARTS,
+        AllenRelation.STARTED_BY,
+        AllenRelation.FINISHES,
+        AllenRelation.FINISHED_BY,
+        AllenRelation.DURING,
+        AllenRelation.CONTAINS,
+        AllenRelation.OVERLAPS,
+        AllenRelation.OVERLAPPED_BY,
+    }
+)

@@ -1,0 +1,7 @@
+"""Bitemporal extension: valid time + transaction time with rollback
+(the paper's TQuel-inspired future work)."""
+
+from .relation import BitemporalRelation
+from .tuples import UNTIL_CHANGED, BitemporalTuple
+
+__all__ = ["BitemporalRelation", "BitemporalTuple", "UNTIL_CHANGED"]

@@ -1,0 +1,160 @@
+"""Append-only bitemporal relation with rollback.
+
+The store is a transaction-time log: inserts open tuples at the current
+transaction time, logical deletes close them (``TxStop``), and
+:meth:`BitemporalRelation.as_of` reconstructs the valid-time relation
+the database believed at any past transaction time — the TQuel
+"rollback" capability.  The reconstructed relation is an ordinary
+:class:`~repro.model.relation.TemporalRelation`, so every stream
+operator, optimizer, and benchmark in this library runs unchanged on
+historical belief states.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterator, Optional
+
+from ..errors import TemporalModelError
+from ..model.constraints import ConstraintSet
+from ..model.relation import TemporalRelation
+from ..model.tuples import TemporalSchema
+from .tuples import UNTIL_CHANGED, BitemporalTuple
+
+
+class BitemporalRelation:
+    """A mutable, append-only bitemporal store.
+
+    Transaction times are supplied by the caller and must be strictly
+    increasing across mutating operations — the append-only discipline
+    that makes rollback sound.
+    """
+
+    def __init__(
+        self,
+        schema: TemporalSchema,
+        constraints: Optional[ConstraintSet] = None,
+    ) -> None:
+        self.schema = schema
+        self.constraints = constraints or ConstraintSet()
+        self._log: list[BitemporalTuple] = []
+        self._last_tx: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # mutation (the transaction log)
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        surrogate: Hashable,
+        value: Any,
+        valid_from: int,
+        valid_to: int,
+        tx_time: int,
+    ) -> BitemporalTuple:
+        """Record a new fact believed from ``tx_time`` on."""
+        self._advance_clock(tx_time)
+        tup = BitemporalTuple(
+            surrogate, value, valid_from, valid_to, tx_time
+        )
+        self._log.append(tup)
+        return tup
+
+    def logical_delete(
+        self,
+        tx_time: int,
+        condition: Callable[[BitemporalTuple], bool],
+    ) -> int:
+        """Stop believing every current fact satisfying ``condition``;
+        returns how many tuples were closed.  The closed versions stay
+        in the log (rollback can still see them)."""
+        self._advance_clock(tx_time)
+        closed = 0
+        for index, tup in enumerate(self._log):
+            if tup.is_current and condition(tup):
+                self._log[index] = tup.closed(tx_time)
+                closed += 1
+        return closed
+
+    def update(
+        self,
+        tx_time: int,
+        condition: Callable[[BitemporalTuple], bool],
+        new_value: Any,
+    ) -> int:
+        """Replace the value of matching current facts: close the old
+        versions and insert corrected ones at the same valid time."""
+        self._advance_clock(tx_time)
+        # Snapshot the matching positions first: the corrected versions
+        # appended below are current and may match the condition too,
+        # and must not be revisited within the same transaction.
+        matches = [
+            index
+            for index, tup in enumerate(self._log)
+            if tup.is_current and condition(tup)
+        ]
+        for index in matches:
+            tup = self._log[index]
+            self._log[index] = tup.closed(tx_time)
+            self._log.append(
+                BitemporalTuple(
+                    tup.surrogate,
+                    new_value,
+                    tup.valid_from,
+                    tup.valid_to,
+                    tx_time,
+                )
+            )
+        return len(matches)
+
+    def _advance_clock(self, tx_time: int) -> None:
+        if tx_time >= UNTIL_CHANGED:
+            raise TemporalModelError(
+                "transaction time collides with the until-changed sentinel"
+            )
+        if self._last_tx is not None and tx_time <= self._last_tx:
+            raise TemporalModelError(
+                f"transaction times must increase: {tx_time} after "
+                f"{self._last_tx}"
+            )
+        self._last_tx = tx_time
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[BitemporalTuple]:
+        return iter(self._log)
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+    @property
+    def last_transaction(self) -> Optional[int]:
+        return self._last_tx
+
+    def as_of(self, tx_time: int) -> TemporalRelation:
+        """Rollback: the valid-time relation believed at ``tx_time``."""
+        return TemporalRelation(
+            self.schema,
+            (
+                tup.to_valid_time()
+                for tup in self._log
+                if tup.believed_at(tx_time)
+            ),
+            constraints=self.constraints,
+        )
+
+    def current(self) -> TemporalRelation:
+        """The presently believed valid-time relation."""
+        return TemporalRelation(
+            self.schema,
+            (tup.to_valid_time() for tup in self._log if tup.is_current),
+            constraints=self.constraints,
+        )
+
+    def belief_changes(self) -> list[int]:
+        """The sorted transaction times at which the belief set
+        changed (useful for auditing / iterating all rollback states)."""
+        times = {tup.tx_start for tup in self._log}
+        times |= {
+            tup.tx_stop for tup in self._log if not tup.is_current
+        }
+        return sorted(times)

@@ -1,0 +1,86 @@
+"""Bitemporal data values — valid time plus transaction time.
+
+The paper's future-work section: "In the TQuel data model, two other
+temporal attributes (TransactionStart and TransactionStop) can be
+augmented to relational tables to capture the 'rollback' capability."
+A :class:`BitemporalTuple` carries both dimensions: the valid-time
+lifespan ``[ValidFrom, ValidTo)`` of Section 2, and the transaction-
+time period ``[TxStart, TxStop)`` during which the database *believed*
+the fact.  ``TxStop`` is :data:`UNTIL_CHANGED` for facts still
+believed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from ..errors import TemporalModelError
+from ..model.interval import Interval
+from ..model.tuples import TemporalTuple
+
+#: Transaction-stop sentinel for facts the database still believes.
+UNTIL_CHANGED: int = 2**62
+
+
+@dataclass(frozen=True, slots=True)
+class BitemporalTuple:
+    """A fact with valid-time and transaction-time dimensions."""
+
+    surrogate: Hashable
+    value: Any
+    valid_from: int
+    valid_to: int
+    tx_start: int
+    tx_stop: int = UNTIL_CHANGED
+
+    def __post_init__(self) -> None:
+        Interval(self.valid_from, self.valid_to)  # ValidFrom < ValidTo
+        if not self.tx_start < self.tx_stop:
+            raise TemporalModelError(
+                f"transaction period requires TxStart < TxStop, got "
+                f"[{self.tx_start}, {self.tx_stop})"
+            )
+
+    @property
+    def valid_interval(self) -> Interval:
+        return Interval(self.valid_from, self.valid_to)
+
+    @property
+    def is_current(self) -> bool:
+        """Still believed (TxStop is the until-changed sentinel)."""
+        return self.tx_stop == UNTIL_CHANGED
+
+    def believed_at(self, tx_time: int) -> bool:
+        """Was this fact in the database's belief set at ``tx_time``?"""
+        return self.tx_start <= tx_time < self.tx_stop
+
+    def closed(self, tx_time: int) -> "BitemporalTuple":
+        """A copy logically deleted at ``tx_time``."""
+        if tx_time <= self.tx_start:
+            raise TemporalModelError(
+                "cannot close a tuple at or before its TxStart"
+            )
+        if not self.is_current:
+            raise TemporalModelError("tuple is already closed")
+        return BitemporalTuple(
+            self.surrogate,
+            self.value,
+            self.valid_from,
+            self.valid_to,
+            self.tx_start,
+            tx_time,
+        )
+
+    def to_valid_time(self) -> TemporalTuple:
+        """Project away the transaction dimension."""
+        return TemporalTuple(
+            self.surrogate, self.value, self.valid_from, self.valid_to
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        stop = "UC" if self.is_current else str(self.tx_stop)
+        return (
+            f"<{self.surrogate!r}, {self.value!r}, "
+            f"[{self.valid_from},{self.valid_to}) tx=[{self.tx_start},{stop})>"
+        )

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the temporal query processing library.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch a single base class.  Subclasses are grouped by the
+layer that raises them (model, query language, planning, execution).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class TemporalModelError(ReproError):
+    """Base class for errors in the temporal data model layer."""
+
+
+class InvalidIntervalError(TemporalModelError):
+    """Raised when an interval violates ``ValidFrom < ValidTo``."""
+
+
+class IntegrityViolationError(TemporalModelError):
+    """Raised when a relation violates a declared integrity constraint."""
+
+
+class SchemaError(ReproError):
+    """Raised for unknown attributes or mismatched schemas."""
+
+
+class QueryLanguageError(ReproError):
+    """Base class for errors in the Quel-like query language frontend."""
+
+
+class LexerError(QueryLanguageError):
+    """Raised when the lexer encounters an unrecognised character."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(QueryLanguageError):
+    """Raised when the parser encounters an unexpected token."""
+
+
+class TranslationError(QueryLanguageError):
+    """Raised when a parsed query cannot be translated to algebra."""
+
+
+class PlanningError(ReproError):
+    """Raised when the optimizer cannot produce a physical plan."""
+
+
+class UnsupportedSortOrderError(PlanningError):
+    """Raised when a stream operator is asked to run on sort orders for
+    which no bounded-workspace algorithm exists (the '-' entries in the
+    paper's Tables 1-3)."""
+
+
+class ExecutionError(ReproError):
+    """Raised during plan or stream-processor execution."""
+
+
+class StreamOrderError(ExecutionError):
+    """Raised when a stream's tuples are observed to violate the sort
+    order the stream declared."""
+
+
+class WorkspaceOverflowError(ExecutionError):
+    """Raised when a stream processor's state exceeds the configured
+    workspace budget — the signal that this sort-order/algorithm
+    combination needs either more memory or multiple passes (the
+    Section-4.1 trade-off triangle)."""
+
+
+class StorageError(ReproError):
+    """Base class for errors in the simulated storage layer."""
+
+
+class BufferPoolError(StorageError):
+    """Raised when the buffer pool cannot satisfy a pin request."""

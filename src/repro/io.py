@@ -1,0 +1,132 @@
+"""CSV import/export for temporal relations.
+
+The on-disk format is a header row naming the four attributes (the
+surrogate and value columns use the schema's names; the timestamps are
+always ``ValidFrom,ValidTo``), followed by one row per temporal tuple.
+Values are kept as strings unless they parse as integers, which covers
+the identifiers/ranks/quantities the examples use.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+from .errors import SchemaError
+from .model.constraints import ConstraintSet
+from .model.relation import TemporalRelation
+from .model.tuples import TemporalSchema
+
+Source = Union[str, Path, TextIO]
+
+
+def load_temporal_csv(
+    source: Source,
+    relation_name: str | None = None,
+    constraints: ConstraintSet | None = None,
+) -> TemporalRelation:
+    """Read a temporal relation from CSV.
+
+    The header must have exactly four columns ending in
+    ``ValidFrom, ValidTo``; the first two name the surrogate and value
+    attributes.  ``relation_name`` defaults to the file stem (or
+    ``"Relation"`` for streams).
+    """
+    close = False
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        handle: TextIO = path.open(newline="")
+        close = True
+        if relation_name is None:
+            relation_name = path.stem
+    else:
+        handle = source
+        if relation_name is None:
+            relation_name = "Relation"
+    try:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError("CSV is empty: missing header row") from None
+        if len(header) != 4 or header[2:] != ["ValidFrom", "ValidTo"]:
+            raise SchemaError(
+                "temporal CSV header must be "
+                "'<surrogate>,<value>,ValidFrom,ValidTo'; got "
+                f"{header!r}"
+            )
+        schema = TemporalSchema(relation_name, header[0], header[1])
+        rows = []
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 4:
+                raise SchemaError(
+                    f"line {line_number}: expected 4 fields, got {len(row)}"
+                )
+            surrogate, value, valid_from, valid_to = row
+            rows.append(
+                (
+                    _parse_value(surrogate),
+                    _parse_value(value),
+                    int(valid_from),
+                    int(valid_to),
+                )
+            )
+        return TemporalRelation.from_rows(
+            schema, rows, constraints=constraints
+        )
+    finally:
+        if close:
+            handle.close()
+
+
+def dump_temporal_csv(
+    relation: TemporalRelation, target: Source
+) -> None:
+    """Write a temporal relation as CSV (inverse of
+    :func:`load_temporal_csv`)."""
+    close = False
+    if isinstance(target, (str, Path)):
+        handle: TextIO = Path(target).open("w", newline="")
+        close = True
+    else:
+        handle = target
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                relation.schema.surrogate_name,
+                relation.schema.value_name,
+                "ValidFrom",
+                "ValidTo",
+            ]
+        )
+        for tup in relation:
+            writer.writerow(
+                [tup.surrogate, tup.value, tup.valid_from, tup.valid_to]
+            )
+    finally:
+        if close:
+            handle.close()
+
+
+def loads_temporal_csv(
+    text: str,
+    relation_name: str = "Relation",
+    constraints: ConstraintSet | None = None,
+) -> TemporalRelation:
+    """Parse a temporal relation from a CSV string."""
+    return load_temporal_csv(
+        io.StringIO(text), relation_name=relation_name, constraints=constraints
+    )
+
+
+def _parse_value(text: str):
+    """Integers stay integers; everything else stays a string."""
+    try:
+        return int(text)
+    except ValueError:
+        return text

@@ -1,0 +1,110 @@
+"""Coalescing and timeslicing utilities for temporal relations.
+
+Two classic temporal-algebra operations over the Section-2 data model:
+
+* :func:`coalesce` — merge value-equivalent tuples of the same object
+  whose lifespans meet or overlap into maximal periods.  The data
+  model's stepwise-constant interpolation makes the merged relation
+  semantically identical; coalescing matters operationally because the
+  stream operators' outputs (and workspace) depend on tuple counts.
+* :func:`timeslice` — restrict a relation to a window, clipping
+  lifespans to it (the generalisation of the snapshot operation).
+* :func:`history_intervals` — an object's covered timepoints as
+  maximal intervals, regardless of attribute values.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional
+
+from .interval import Interval
+from .relation import TemporalRelation
+from .tuples import TemporalTuple
+
+
+def coalesce(relation: TemporalRelation) -> TemporalRelation:
+    """Merge same-surrogate, same-value tuples whose lifespans meet or
+    overlap into maximal tuples.
+
+    The result is unordered (sort explicitly); constraints carry over
+    since coalescing cannot introduce violations the input lacked for
+    the constraint kinds this library defines.
+    """
+    merged: list[TemporalTuple] = []
+    groups: dict[tuple, list[TemporalTuple]] = {}
+    for tup in relation:
+        groups.setdefault((tup.surrogate, tup.value), []).append(tup)
+    for (surrogate, value), tuples in groups.items():
+        tuples.sort(key=lambda t: (t.valid_from, t.valid_to))
+        current: Optional[Interval] = None
+        for tup in tuples:
+            span = tup.interval
+            if current is None:
+                current = span
+                continue
+            joined = current.union(span)
+            if joined is None:
+                merged.append(
+                    TemporalTuple.from_interval(surrogate, value, current)
+                )
+                current = span
+            else:
+                current = joined
+        if current is not None:
+            merged.append(
+                TemporalTuple.from_interval(surrogate, value, current)
+            )
+    return relation.replace_tuples(merged)
+
+
+def is_coalesced(relation: TemporalRelation) -> bool:
+    """True when no two same-surrogate, same-value tuples meet or
+    overlap."""
+    groups: dict[tuple, list[TemporalTuple]] = {}
+    for tup in relation:
+        groups.setdefault((tup.surrogate, tup.value), []).append(tup)
+    for tuples in groups.values():
+        tuples.sort(key=lambda t: (t.valid_from, t.valid_to))
+        for prev, cur in zip(tuples, tuples[1:]):
+            if prev.interval.union(cur.interval) is not None:
+                return False
+    return True
+
+
+def timeslice(
+    relation: TemporalRelation, window: Interval
+) -> TemporalRelation:
+    """The portion of the relation visible within ``window``:
+    tuples intersecting the window, with lifespans clipped to it."""
+    clipped = []
+    for tup in relation:
+        shared = tup.interval.intersection(window)
+        if shared is not None:
+            clipped.append(
+                TemporalTuple.from_interval(tup.surrogate, tup.value, shared)
+            )
+    return relation.replace_tuples(clipped)
+
+
+def history_intervals(
+    relation: TemporalRelation, surrogate: Hashable
+) -> list[Interval]:
+    """The maximal intervals during which ``surrogate`` exists in the
+    relation (any value)."""
+    spans = sorted(
+        t.interval for t in relation if t.surrogate == surrogate
+    )
+    out: list[Interval] = []
+    for span in spans:
+        if out:
+            joined = out[-1].union(span)
+            if joined is not None:
+                out[-1] = joined
+                continue
+        out.append(span)
+    return out
+
+
+def total_duration(intervals: Iterable[Interval]) -> int:
+    """Sum of durations of pairwise-disjoint intervals."""
+    return sum(interval.duration for interval in intervals)

@@ -1,0 +1,307 @@
+"""Temporal integrity constraints (Sections 2 and 5).
+
+The paper's semantic query optimizer relies on declared integrity
+constraints over temporal relations:
+
+* the *intra-tuple* constraint ``ValidFrom < ValidTo``,
+* *chronological ordering* of the values a time-varying attribute can
+  assume ('Assistant' before 'Associate' before 'Full'),
+* *continuous employment* — consecutive tuples of the same object meet
+  exactly (``ValidTo_i = ValidFrom_{i+1}``, no re-hiring),
+* *snapshot uniqueness* — an object holds exactly one value at a time
+  (lifespans of the same surrogate never overlap),
+* a *first value* assumption — every object enters at the first value of
+  the chronological ordering (all faculty are hired as assistants).
+
+Each constraint both *validates* relation instances (so workload
+generators and tests can prove their data honest) and *declares itself*
+to the semantic optimizer, which converts constraints into inequality
+edges (see :mod:`repro.semantic`).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Hashable, Iterable
+
+from ..errors import IntegrityViolationError
+from .tuples import TemporalTuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .relation import TemporalRelation
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """A single integrity-constraint violation found during validation."""
+
+    constraint: str
+    message: str
+    tuples: tuple[TemporalTuple, ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.constraint}] {self.message}"
+
+
+def _tuples_by_surrogate(
+    tuples: Iterable[TemporalTuple],
+) -> dict[Hashable, list[TemporalTuple]]:
+    grouped: dict[Hashable, list[TemporalTuple]] = defaultdict(list)
+    for tup in tuples:
+        grouped[tup.surrogate].append(tup)
+    for history in grouped.values():
+        history.sort(key=lambda t: (t.valid_from, t.valid_to))
+    return grouped
+
+
+class Constraint(abc.ABC):
+    """Base class for declarative temporal integrity constraints."""
+
+    #: Short name used in violation reports and optimizer traces.
+    name: str = "constraint"
+
+    @abc.abstractmethod
+    def validate(self, relation: "TemporalRelation") -> list[Violation]:
+        """Return every violation of this constraint in ``relation``."""
+
+    def holds(self, relation: "TemporalRelation") -> bool:
+        """True when the relation satisfies the constraint."""
+        return not self.validate(relation)
+
+    def enforce(self, relation: "TemporalRelation") -> None:
+        """Raise :class:`IntegrityViolationError` on the first violation."""
+        violations = self.validate(relation)
+        if violations:
+            raise IntegrityViolationError(str(violations[0]))
+
+
+class IntraTupleConstraint(Constraint):
+    """``ValidFrom < ValidTo`` within every tuple.
+
+    :class:`~repro.model.tuples.TemporalTuple` already enforces this at
+    construction; the constraint exists so that the rule participates in
+    semantic optimization (it contributes the ``X.TS < X.TE`` edges of
+    Figure 2's integrity-constraint row) and so relations built from
+    foreign data can be audited uniformly.
+    """
+
+    name = "intra-tuple"
+
+    def validate(self, relation: "TemporalRelation") -> list[Violation]:
+        return [
+            Violation(
+                self.name,
+                f"tuple {tup} has ValidFrom >= ValidTo",
+                (tup,),
+            )
+            for tup in relation
+            if not tup.valid_from < tup.valid_to
+        ]
+
+
+@dataclass(frozen=True)
+class SnapshotUniqueness(Constraint):
+    """An object holds exactly one value at any timepoint: lifespans of
+    tuples sharing a surrogate are pairwise disjoint."""
+
+    name: str = field(default="snapshot-uniqueness", init=False)
+
+    def validate(self, relation: "TemporalRelation") -> list[Violation]:
+        violations: list[Violation] = []
+        for surrogate, history in _tuples_by_surrogate(relation).items():
+            for prev, cur in zip(history, history[1:]):
+                if cur.valid_from < prev.valid_to:
+                    violations.append(
+                        Violation(
+                            self.name,
+                            f"lifespans of {surrogate!r} overlap: "
+                            f"{prev} and {cur}",
+                            (prev, cur),
+                        )
+                    )
+        return violations
+
+
+@dataclass(frozen=True)
+class ChronologicalOrdering(Constraint):
+    """The values of the time-varying attribute follow a fixed career
+    order within each object (Section 5).
+
+    For the Faculty example: ``ChronologicalOrdering(('Assistant',
+    'Associate', 'Full'))``.  Implies that for the same surrogate, a
+    tuple with an earlier value ends no later than a tuple with a later
+    value starts (``ValidTo_i <= ValidFrom_j``), and that each value is
+    held during at most one period.
+    """
+
+    ordered_values: tuple[Any, ...]
+
+    name: str = field(default="chronological-ordering", init=False)
+
+    def __post_init__(self) -> None:
+        if len(set(self.ordered_values)) != len(self.ordered_values):
+            raise ValueError("ordered_values must be distinct")
+        if len(self.ordered_values) < 2:
+            raise ValueError("a chronological ordering needs >= 2 values")
+
+    def rank_of(self, value: Any) -> int:
+        """Position of ``value`` in the career order."""
+        return self.ordered_values.index(value)
+
+    def precedes(self, earlier: Any, later: Any) -> bool:
+        """True when ``earlier`` comes strictly before ``later`` in the
+        declared ordering (both must be known values)."""
+        return self.rank_of(earlier) < self.rank_of(later)
+
+    def validate(self, relation: "TemporalRelation") -> list[Violation]:
+        known = set(self.ordered_values)
+        violations: list[Violation] = []
+        for surrogate, history in _tuples_by_surrogate(relation).items():
+            seen: dict[Any, TemporalTuple] = {}
+            for tup in history:
+                if tup.value not in known:
+                    violations.append(
+                        Violation(
+                            self.name,
+                            f"value {tup.value!r} of {surrogate!r} is not in "
+                            f"the declared ordering {self.ordered_values!r}",
+                            (tup,),
+                        )
+                    )
+                    continue
+                if tup.value in seen:
+                    violations.append(
+                        Violation(
+                            self.name,
+                            f"{surrogate!r} holds value {tup.value!r} during "
+                            "two distinct periods",
+                            (seen[tup.value], tup),
+                        )
+                    )
+                seen[tup.value] = tup
+            ordered = [t for t in history if t.value in known]
+            for prev, cur in zip(ordered, ordered[1:]):
+                if prev.value in seen and cur.value in seen:
+                    if self.rank_of(prev.value) >= self.rank_of(cur.value):
+                        violations.append(
+                            Violation(
+                                self.name,
+                                f"{surrogate!r} moves from {prev.value!r} to "
+                                f"{cur.value!r}, against the declared order",
+                                (prev, cur),
+                            )
+                        )
+                    elif prev.valid_to > cur.valid_from:
+                        violations.append(
+                            Violation(
+                                self.name,
+                                f"periods of {surrogate!r} at {prev.value!r} "
+                                f"and {cur.value!r} overlap",
+                                (prev, cur),
+                            )
+                        )
+        return violations
+
+
+@dataclass(frozen=True)
+class ContinuousLifespan(Constraint):
+    """No gaps in an object's history: consecutive tuples of the same
+    surrogate *meet* exactly (``ValidTo_i = ValidFrom_{i+1}``).  This is
+    the 'no re-hiring / continuous employment' assumption of Section 5
+    that turns the Superstar query into a self Contained-semijoin."""
+
+    name: str = field(default="continuous-lifespan", init=False)
+
+    def validate(self, relation: "TemporalRelation") -> list[Violation]:
+        violations: list[Violation] = []
+        for surrogate, history in _tuples_by_surrogate(relation).items():
+            for prev, cur in zip(history, history[1:]):
+                if prev.valid_to != cur.valid_from:
+                    violations.append(
+                        Violation(
+                            self.name,
+                            f"history of {surrogate!r} has a gap or overlap "
+                            f"between {prev} and {cur}",
+                            (prev, cur),
+                        )
+                    )
+        return violations
+
+
+@dataclass(frozen=True)
+class FirstValue(Constraint):
+    """Every object's earliest tuple carries a designated value — 'all
+    faculty members are hired as assistant professors' (Section 5)."""
+
+    value: Any
+
+    name: str = field(default="first-value", init=False)
+
+    def validate(self, relation: "TemporalRelation") -> list[Violation]:
+        violations: list[Violation] = []
+        for surrogate, history in _tuples_by_surrogate(relation).items():
+            first = history[0]
+            if first.value != self.value:
+                violations.append(
+                    Violation(
+                        self.name,
+                        f"{surrogate!r} enters with {first.value!r}, "
+                        f"expected {self.value!r}",
+                        (first,),
+                    )
+                )
+        return violations
+
+
+@dataclass(frozen=True)
+class ConstraintSet:
+    """An immutable bundle of constraints attached to a relation."""
+
+    constraints: tuple[Constraint, ...] = ()
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def with_constraint(self, constraint: Constraint) -> "ConstraintSet":
+        return ConstraintSet(self.constraints + (constraint,))
+
+    def validate(self, relation: "TemporalRelation") -> list[Violation]:
+        """All violations across every member constraint."""
+        violations: list[Violation] = []
+        for constraint in self.constraints:
+            violations.extend(constraint.validate(relation))
+        return violations
+
+    def enforce(self, relation: "TemporalRelation") -> None:
+        violations = self.validate(relation)
+        if violations:
+            raise IntegrityViolationError(
+                "; ".join(str(v) for v in violations[:5])
+            )
+
+    def find(self, kind: type) -> list[Constraint]:
+        """All member constraints of a given class (used by the semantic
+        optimizer to discover e.g. chronological orderings)."""
+        return [c for c in self.constraints if isinstance(c, kind)]
+
+
+def faculty_constraints(continuous: bool = False) -> ConstraintSet:
+    """The constraint set of the paper's Faculty example.
+
+    With ``continuous=True`` the Section-5 strengthening (continuous
+    employment, everyone hired as assistant) is added.
+    """
+    constraints: list[Constraint] = [
+        IntraTupleConstraint(),
+        SnapshotUniqueness(),
+        ChronologicalOrdering(("Assistant", "Associate", "Full")),
+    ]
+    if continuous:
+        constraints.append(ContinuousLifespan())
+        constraints.append(FirstValue("Assistant"))
+    return ConstraintSet(tuple(constraints))

@@ -1,0 +1,179 @@
+"""Half-open time intervals ``[start, end)``.
+
+An :class:`Interval` is the lifespan ``[ValidFrom, ValidTo)`` of a
+temporal tuple (Section 2).  ``start < end`` is the paper's intra-tuple
+integrity constraint and is enforced at construction.
+
+The thirteen Allen relationships of Figure 2 are exposed both here as
+pairwise predicate methods (``equal``, ``meets``, ``starts``,
+``finishes``, ``during``, ``overlaps``, ``before`` and their inverses)
+and, in symbolic/classified form, in :mod:`repro.allen`.
+
+Note the two distinct notions of "overlap" used by the paper:
+
+* :meth:`overlaps` — Allen's *overlaps* (Figure 2, row 6): strict
+  partial overlap where ``X`` starts first and ends inside ``Y``.
+* :meth:`intersects` — the TQuel/Snodgrass *overlap* used in the
+  Superstar query: the intervals share at least one timepoint
+  (``X.TS < Y.TE and Y.TS < X.TE``).  This is the union of Allen's
+  equal/starts/finishes/during/overlaps and their inverses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..errors import InvalidIntervalError
+from .time_domain import Timepoint, validate_timepoint
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Interval:
+    """A half-open interval ``[start, end)`` over discrete time.
+
+    Ordering (``<`` etc.) is lexicographic on ``(start, end)``, which is
+    the paper's "primary sort on ValidFrom, secondary on ValidTo"
+    ordering used by the self-semijoin algorithm of Section 4.2.3.
+    """
+
+    start: Timepoint
+    end: Timepoint
+
+    def __post_init__(self) -> None:
+        validate_timepoint(self.start, "start")
+        validate_timepoint(self.end, "end")
+        if not self.start < self.end:
+            raise InvalidIntervalError(
+                f"interval requires start < end, got [{self.start}, {self.end})"
+            )
+
+    # ------------------------------------------------------------------
+    # basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> int:
+        """Number of timepoints in the interval (``end - start``)."""
+        return self.end - self.start
+
+    def __contains__(self, point: object) -> bool:
+        """``t in interval`` — membership of a timepoint."""
+        return isinstance(point, int) and self.start <= point < self.end
+
+    def points(self) -> Iterator[Timepoint]:
+        """Iterate the timepoints in the interval."""
+        return iter(range(self.start, self.end))
+
+    def shift(self, delta: int) -> "Interval":
+        """Return the interval translated by ``delta`` timepoints."""
+        return Interval(self.start + delta, self.end + delta)
+
+    # ------------------------------------------------------------------
+    # the 13 Allen relationships (Figure 2) as pairwise predicates
+    # ------------------------------------------------------------------
+    def equal(self, other: "Interval") -> bool:
+        """(1) ``X equal Y``: same start and end."""
+        return self.start == other.start and self.end == other.end
+
+    def meets(self, other: "Interval") -> bool:
+        """(2) ``X meets Y``: ``X.TE = Y.TS``."""
+        return self.end == other.start
+
+    def met_by(self, other: "Interval") -> bool:
+        """Inverse of :meth:`meets`."""
+        return other.meets(self)
+
+    def starts(self, other: "Interval") -> bool:
+        """(3) ``X starts Y``: same start, X ends strictly earlier."""
+        return self.start == other.start and self.end < other.end
+
+    def started_by(self, other: "Interval") -> bool:
+        """Inverse of :meth:`starts`."""
+        return other.starts(self)
+
+    def finishes(self, other: "Interval") -> bool:
+        """(4) ``X finishes Y``: same end, X starts strictly later."""
+        return self.end == other.end and self.start > other.start
+
+    def finished_by(self, other: "Interval") -> bool:
+        """Inverse of :meth:`finishes`."""
+        return other.finishes(self)
+
+    def during(self, other: "Interval") -> bool:
+        """(5) ``X during Y``: X strictly inside Y on both ends."""
+        return self.start > other.start and self.end < other.end
+
+    def contains(self, other: "Interval") -> bool:
+        """Inverse of :meth:`during` — the Contain-join condition:
+        ``X.TS < Y.TS < Y.TE < X.TE`` (Section 4.2.1)."""
+        return other.during(self)
+
+    def overlaps(self, other: "Interval") -> bool:
+        """(6) Allen's ``X overlaps Y``: X starts first and ends inside
+        Y: ``X.TS < Y.TS and X.TE > Y.TS and X.TE < Y.TE``."""
+        return self.start < other.start < self.end < other.end
+
+    def overlapped_by(self, other: "Interval") -> bool:
+        """Inverse of :meth:`overlaps`."""
+        return other.overlaps(self)
+
+    def before(self, other: "Interval") -> bool:
+        """(7) ``X before Y``: ``X.TE < Y.TS`` (a gap separates them)."""
+        return self.end < other.start
+
+    def after(self, other: "Interval") -> bool:
+        """Inverse of :meth:`before`."""
+        return other.before(self)
+
+    # ------------------------------------------------------------------
+    # the TQuel-style general overlap used by the Superstar query
+    # ------------------------------------------------------------------
+    def intersects(self, other: "Interval") -> bool:
+        """TQuel/Snodgrass ``overlap``: the intervals share a timepoint,
+        ``X.TS < Y.TE and Y.TS < X.TE``.  This is the disjunction of
+        equal, starts, finishes, during, overlaps and their inverses."""
+        return self.start < other.end and other.start < self.end
+
+    def is_disjoint(self, other: "Interval") -> bool:
+        """True when the intervals share no timepoint."""
+        return not self.intersects(other)
+
+    def is_adjacent(self, other: "Interval") -> bool:
+        """True when one interval meets the other (no gap, no overlap)."""
+        return self.meets(other) or other.meets(self)
+
+    # ------------------------------------------------------------------
+    # set-like constructions
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        """The shared sub-interval, or ``None`` when disjoint."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if lo < hi:
+            return Interval(lo, hi)
+        return None
+
+    def span(self, other: "Interval") -> "Interval":
+        """The smallest interval covering both operands."""
+        return Interval(min(self.start, other.start), max(self.end, other.end))
+
+    def union(self, other: "Interval") -> Optional["Interval"]:
+        """The merged interval when the operands intersect or are
+        adjacent; ``None`` when a gap separates them."""
+        if self.intersects(other) or self.is_adjacent(other):
+            return self.span(other)
+        return None
+
+    def gap(self, other: "Interval") -> Optional["Interval"]:
+        """The interval strictly between the two operands, or ``None``
+        when they touch or overlap.  For the Superstar query this is the
+        associate-rank period ``[f1.TE, f2.TS)`` between an assistant
+        tuple and a full-professor tuple (Figure 8)."""
+        if self.before(other):
+            return Interval(self.end, other.start)
+        if other.before(self):
+            return Interval(other.end, self.start)
+        return None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.start}, {self.end})"

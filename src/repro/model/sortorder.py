@@ -1,0 +1,235 @@
+"""Sort orderings over temporal relations.
+
+Section 4 of the paper analyses temporal operators as functions of the
+*sort order* of their input streams — primarily ascending/descending
+orderings on ``ValidFrom`` (TS) or ``ValidTo`` (TE).  This module makes
+sort orders first-class values so that:
+
+* streams can declare (and verify) the order of their tuples,
+* the algorithm registry in :mod:`repro.streams.registry` can encode the
+  paper's Tables 1-3 as a mapping from sort-order pairs to algorithms,
+* relations can be sorted by an order object directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from .tuples import TemporalTuple
+
+
+class SortAttribute(enum.Enum):
+    """Attributes a temporal stream can be ordered on."""
+
+    VALID_FROM = "ValidFrom"
+    VALID_TO = "ValidTo"
+    SURROGATE = "S"
+    VALUE = "V"
+
+    def extract(self, tup: TemporalTuple) -> Any:
+        """Read this attribute from a tuple."""
+        if self is SortAttribute.VALID_FROM:
+            return tup.valid_from
+        if self is SortAttribute.VALID_TO:
+            return tup.valid_to
+        if self is SortAttribute.SURROGATE:
+            return tup.surrogate
+        return tup.value
+
+
+class Direction(enum.Enum):
+    """Ascending (the paper's ``^``) or descending (``v``)."""
+
+    ASC = "asc"
+    DESC = "desc"
+
+    def flipped(self) -> "Direction":
+        return Direction.DESC if self is Direction.ASC else Direction.ASC
+
+
+@dataclass(frozen=True, slots=True)
+class SortKey:
+    """One component of a sort order: an attribute plus a direction."""
+
+    attribute: SortAttribute
+    direction: Direction = Direction.ASC
+
+    def compare_value(self, tup: TemporalTuple) -> Any:
+        """The raw attribute value for this key."""
+        return self.attribute.extract(tup)
+
+    def mirrored(self) -> "SortKey":
+        """The time-reversal mirror of this key (Section 4.2.1: sorting
+        on ValidTo descending has the same effect as ValidFrom ascending,
+        with the two attributes exchanging roles)."""
+        mirror_attr = {
+            SortAttribute.VALID_FROM: SortAttribute.VALID_TO,
+            SortAttribute.VALID_TO: SortAttribute.VALID_FROM,
+        }.get(self.attribute, self.attribute)
+        return SortKey(mirror_attr, self.direction.flipped())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        arrow = "^" if self.direction is Direction.ASC else "v"
+        return f"{self.attribute.value}{arrow}"
+
+
+@dataclass(frozen=True, slots=True)
+class SortOrder:
+    """A (primary, secondary, ...) sequence of sort keys.
+
+    The paper's self-semijoin algorithm (Section 4.2.3), for example,
+    requires primary ``ValidFrom`` ascending with secondary ``ValidTo``
+    ascending: ``SortOrder.by_ts(secondary_te=True)``.
+    """
+
+    keys: tuple[SortKey, ...]
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise ValueError("a sort order needs at least one key")
+
+    # ------------------------------------------------------------------
+    # constructors for the orders the paper discusses
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, *keys: SortKey) -> "SortOrder":
+        return cls(tuple(keys))
+
+    @classmethod
+    def by_ts(
+        cls,
+        direction: Direction = Direction.ASC,
+        secondary_te: bool = False,
+    ) -> "SortOrder":
+        """Primary sort on ValidFrom; optional secondary on ValidTo with
+        the same direction."""
+        keys = [SortKey(SortAttribute.VALID_FROM, direction)]
+        if secondary_te:
+            keys.append(SortKey(SortAttribute.VALID_TO, direction))
+        return cls(tuple(keys))
+
+    @classmethod
+    def by_te(
+        cls,
+        direction: Direction = Direction.ASC,
+        secondary_ts: bool = False,
+    ) -> "SortOrder":
+        """Primary sort on ValidTo; optional secondary on ValidFrom."""
+        keys = [SortKey(SortAttribute.VALID_TO, direction)]
+        if secondary_ts:
+            keys.append(SortKey(SortAttribute.VALID_FROM, direction))
+        return cls(tuple(keys))
+
+    @classmethod
+    def by_surrogate(cls) -> "SortOrder":
+        """Group tuples by surrogate, then by lifespan."""
+        return cls(
+            (
+                SortKey(SortAttribute.SURROGATE),
+                SortKey(SortAttribute.VALID_FROM),
+                SortKey(SortAttribute.VALID_TO),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # derived properties
+    # ------------------------------------------------------------------
+    @property
+    def primary(self) -> SortKey:
+        return self.keys[0]
+
+    def mirrored(self) -> "SortOrder":
+        """Time-reversal mirror (see :meth:`SortKey.mirrored`).  Used to
+        derive the lower half of Table 1 from the upper half."""
+        return SortOrder(tuple(key.mirrored() for key in self.keys))
+
+    def key_function(self) -> Callable[[TemporalTuple], tuple]:
+        """A ``sorted(..., key=...)`` function implementing this order.
+
+        Descending components are realised by negating numeric values;
+        non-numeric descending keys fall back to a two-pass sort in
+        :func:`sort_tuples`.
+        """
+
+        keys = self.keys
+
+        def key(tup: TemporalTuple) -> tuple:
+            out = []
+            for sk in keys:
+                value = sk.compare_value(tup)
+                if sk.direction is Direction.DESC:
+                    if isinstance(value, bool) or not isinstance(
+                        value, (int, float)
+                    ):
+                        raise TypeError(
+                            "descending sort on non-numeric attribute "
+                            f"{sk.attribute.value!r} requires sort_tuples()"
+                        )
+                    value = -value
+                out.append(value)
+            return tuple(out)
+
+        return key
+
+    def check(self, previous: TemporalTuple, current: TemporalTuple) -> bool:
+        """True when ``previous`` may legally precede ``current``."""
+        for sk in self.keys:
+            a = sk.compare_value(previous)
+            b = sk.compare_value(current)
+            if a == b:
+                continue
+            ordered = a < b
+            if sk.direction is Direction.DESC:
+                ordered = not ordered
+            return ordered
+        return True
+
+    def is_sorted(self, tuples: Sequence[TemporalTuple]) -> bool:
+        """True when the sequence obeys this order."""
+        return all(
+            self.check(tuples[i - 1], tuples[i]) for i in range(1, len(tuples))
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return ", ".join(str(key) for key in self.keys)
+
+
+def sort_tuples(
+    tuples: Iterable[TemporalTuple], order: SortOrder
+) -> list[TemporalTuple]:
+    """Return ``tuples`` sorted by ``order``.
+
+    Handles non-numeric descending components via Python's stable sort:
+    keys are applied from least- to most-significant.
+    """
+    result = list(tuples)
+    for sk in reversed(order.keys):
+        result.sort(
+            key=sk.compare_value, reverse=(sk.direction is Direction.DESC)
+        )
+    return result
+
+
+def order_satisfies(
+    actual: SortOrder | None, required: SortOrder
+) -> bool:
+    """True when data sorted by ``actual`` is also sorted by
+    ``required`` — i.e. ``required``'s keys are a prefix of
+    ``actual``'s.  Stream operators use this to accept, for example, a
+    (ValidFrom^, ValidTo^) stream where only ValidFrom^ is required."""
+    if actual is None:
+        return False
+    if len(required.keys) > len(actual.keys):
+        return False
+    return actual.keys[: len(required.keys)] == required.keys
+
+
+# Canonical single-key orders, used heavily by the registry and tests.
+TS_ASC = SortOrder.by_ts(Direction.ASC)
+TS_DESC = SortOrder.by_ts(Direction.DESC)
+TE_ASC = SortOrder.by_te(Direction.ASC)
+TE_DESC = SortOrder.by_te(Direction.DESC)
+TS_TE_ASC = SortOrder.by_ts(Direction.ASC, secondary_te=True)
+TS_TE_DESC = SortOrder.by_ts(Direction.DESC, secondary_te=True)

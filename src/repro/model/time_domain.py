@@ -1,0 +1,75 @@
+"""Discrete time domain (Section 2 of the paper).
+
+The paper models time as ``Time = {t0, t1, ..., now}`` — a sequence of
+discrete, consecutive, equally-distanced, totally ordered points,
+isomorphic to the natural numbers.  We therefore represent timepoints as
+plain Python ``int`` values and provide a :class:`TimeDomain` helper that
+carries the domain bounds (origin and ``now``) used by data generators
+and validators.
+
+The time unit is deliberately unspecified, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+Timepoint = int
+"""Type alias for a point on the discrete time axis."""
+
+ORIGIN: Timepoint = 0
+"""The conventional first timepoint ``t0``."""
+
+
+@dataclass(frozen=True, slots=True)
+class TimeDomain:
+    """A bounded, discrete, totally ordered time axis ``[origin, now]``.
+
+    Parameters
+    ----------
+    origin:
+        The first representable timepoint (``t0``).
+    now:
+        The current timepoint.  Intervals generated against this domain
+        end at or before ``now``.
+    """
+
+    origin: Timepoint = ORIGIN
+    now: Timepoint = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.origin > self.now:
+            raise ValueError(
+                f"time domain origin {self.origin} is after now {self.now}"
+            )
+
+    def __contains__(self, point: object) -> bool:
+        return (
+            isinstance(point, int)
+            and not isinstance(point, bool)
+            and self.origin <= point <= self.now
+        )
+
+    def __len__(self) -> int:
+        return self.now - self.origin + 1
+
+    def clamp(self, point: Timepoint) -> Timepoint:
+        """Clamp ``point`` into the domain bounds."""
+        return max(self.origin, min(self.now, point))
+
+    def points(self) -> range:
+        """Iterate every timepoint in the domain (use only for small
+        domains, e.g. in exhaustive tests)."""
+        return range(self.origin, self.now + 1)
+
+
+def validate_timepoint(value: object, name: str = "timepoint") -> Timepoint:
+    """Check that ``value`` is a usable discrete timepoint.
+
+    Returns the value unchanged so the function can be used inline in
+    constructors.  ``bool`` is rejected explicitly because it is an
+    ``int`` subclass and almost always indicates a caller bug.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int timepoint, got {value!r}")
+    return value

@@ -1,0 +1,16 @@
+"""Multiple time-varying attributes: temporal normalization
+(decompose) and temporal natural join (recompose)."""
+
+from .relation import (
+    MultiAttributeRelation,
+    MultiAttributeSchema,
+    MultiTuple,
+    recompose,
+)
+
+__all__ = [
+    "MultiAttributeRelation",
+    "MultiAttributeSchema",
+    "MultiTuple",
+    "recompose",
+]

@@ -1,0 +1,277 @@
+"""Multiple time-varying attributes (the paper's future work:
+"a temporal relation may naturally have multiple time-varying
+attributes such as Rank and Salary").
+
+A :class:`MultiAttributeRelation` stores tuples
+``<S, (v1, ..., vk), ValidFrom, ValidTo)`` over a
+:class:`MultiAttributeSchema`.  Two operations connect it to the
+single-attribute world of the paper's algorithms:
+
+* :meth:`MultiAttributeRelation.decompose` — *temporal normalization*:
+  one coalesced single-attribute
+  :class:`~repro.model.relation.TemporalRelation` per attribute, each
+  directly usable by the stream operators;
+* :func:`recompose` — the inverse *temporal natural join*: per
+  surrogate, sweep the per-attribute timelines and emit one tuple per
+  maximal interval on which every attribute is defined and constant.
+
+Decomposition coalesces, so round-tripping returns the input with
+value-identical adjacent segments merged — the canonical form
+(verified by property tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Iterator, Mapping, Optional
+
+from ..errors import SchemaError, TemporalModelError
+from ..model.coalesce import coalesce
+from ..model.interval import Interval
+from ..model.relation import TemporalRelation
+from ..model.tuples import TIMESTAMP_ALIASES, TemporalSchema, TemporalTuple
+
+
+@dataclass(frozen=True)
+class MultiAttributeSchema:
+    """Naming for a relation with several time-varying attributes."""
+
+    relation_name: str
+    surrogate_name: str
+    attribute_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        names = (self.surrogate_name,) + self.attribute_names
+        if len(set(names)) != len(names):
+            raise SchemaError("attribute names must be distinct")
+        for name in names:
+            if name in TIMESTAMP_ALIASES:
+                raise SchemaError(
+                    f"{name!r} collides with a reserved timestamp name"
+                )
+        if not self.attribute_names:
+            raise SchemaError("need at least one time-varying attribute")
+
+    def attribute_index(self, name: str) -> int:
+        try:
+            return self.attribute_names.index(name)
+        except ValueError:
+            raise SchemaError(
+                f"{self.relation_name!r} has no attribute {name!r}"
+            ) from None
+
+    def single_attribute_schema(self, name: str) -> TemporalSchema:
+        """The schema of one attribute's decomposed relation."""
+        self.attribute_index(name)
+        return TemporalSchema(
+            f"{self.relation_name}.{name}", self.surrogate_name, name
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class MultiTuple:
+    """``<S, (v1, ..., vk), ValidFrom, ValidTo)``."""
+
+    surrogate: Hashable
+    values: tuple
+    valid_from: int
+    valid_to: int
+
+    def __post_init__(self) -> None:
+        Interval(self.valid_from, self.valid_to)
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.valid_from, self.valid_to)
+
+
+class MultiAttributeRelation:
+    """A set of multi-attribute temporal tuples."""
+
+    def __init__(
+        self,
+        schema: MultiAttributeSchema,
+        tuples: Iterable[MultiTuple] = (),
+    ) -> None:
+        self.schema = schema
+        self.tuples: tuple[MultiTuple, ...] = tuple(tuples)
+        width = len(schema.attribute_names)
+        for tup in self.tuples:
+            if len(tup.values) != width:
+                raise SchemaError(
+                    f"tuple carries {len(tup.values)} values; schema "
+                    f"defines {width} attributes"
+                )
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: MultiAttributeSchema,
+        rows: Iterable[tuple],
+    ) -> "MultiAttributeRelation":
+        """Rows are ``(surrogate, v1, ..., vk, valid_from, valid_to)``."""
+        width = len(schema.attribute_names)
+        tuples = []
+        for row in rows:
+            if len(row) != width + 3:
+                raise SchemaError(
+                    f"row arity {len(row)} does not match schema "
+                    f"(expected {width + 3})"
+                )
+            surrogate, *values_and_span = row
+            values = tuple(values_and_span[:width])
+            valid_from, valid_to = values_and_span[width:]
+            tuples.append(
+                MultiTuple(surrogate, values, valid_from, valid_to)
+            )
+        return cls(schema, tuples)
+
+    def __iter__(self) -> Iterator[MultiTuple]:
+        return iter(self.tuples)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MultiAttributeRelation):
+            return NotImplemented
+        key = lambda t: (repr(t.surrogate), t.valid_from, t.valid_to)
+        return self.schema == other.schema and sorted(
+            self.tuples, key=key
+        ) == sorted(other.tuples, key=key)
+
+    def __hash__(self):  # pragma: no cover - mutable-ish container
+        raise TypeError("MultiAttributeRelation is unhashable")
+
+    # ------------------------------------------------------------------
+    # temporal normalization
+    # ------------------------------------------------------------------
+    def decompose(self) -> dict[str, TemporalRelation]:
+        """One coalesced single-attribute relation per attribute."""
+        out: dict[str, TemporalRelation] = {}
+        for index, name in enumerate(self.schema.attribute_names):
+            single = TemporalRelation(
+                self.schema.single_attribute_schema(name),
+                (
+                    TemporalTuple(
+                        tup.surrogate,
+                        tup.values[index],
+                        tup.valid_from,
+                        tup.valid_to,
+                    )
+                    for tup in self.tuples
+                ),
+            )
+            out[name] = coalesce(single)
+        return out
+
+    def attribute(self, name: str) -> TemporalRelation:
+        """Decompose a single attribute."""
+        return self.decompose()[name]
+
+    def snapshot(self, point: int) -> dict[Hashable, tuple]:
+        """Surrogate -> value vector at one timepoint."""
+        return {
+            tup.surrogate: tup.values
+            for tup in self.tuples
+            if tup.valid_from <= point < tup.valid_to
+        }
+
+
+def recompose(
+    schema: MultiAttributeSchema,
+    parts: Mapping[str, TemporalRelation],
+) -> MultiAttributeRelation:
+    """Temporal natural join of per-attribute relations.
+
+    For each surrogate, the per-attribute timelines are swept together;
+    a multi-attribute tuple is emitted for every maximal interval on
+    which *every* attribute has a (single) value.  Raises
+    :class:`~repro.errors.TemporalModelError` if any attribute has
+    overlapping same-surrogate tuples (the value at a point would be
+    ambiguous).
+    """
+    missing = set(schema.attribute_names) - set(parts)
+    if missing:
+        raise SchemaError(f"missing attribute relations: {sorted(missing)}")
+
+    per_surrogate: dict[Hashable, dict[str, list[TemporalTuple]]] = {}
+    for name in schema.attribute_names:
+        for tup in parts[name]:
+            per_surrogate.setdefault(tup.surrogate, {}).setdefault(
+                name, []
+            ).append(tup)
+
+    tuples: list[MultiTuple] = []
+    for surrogate, by_attribute in per_surrogate.items():
+        if len(by_attribute) != len(schema.attribute_names):
+            continue  # some attribute never defined for this object
+        timelines = []
+        for name in schema.attribute_names:
+            history = sorted(
+                by_attribute[name], key=lambda t: (t.valid_from, t.valid_to)
+            )
+            for prev, cur in zip(history, history[1:]):
+                if cur.valid_from < prev.valid_to:
+                    raise TemporalModelError(
+                        f"attribute {name!r} of {surrogate!r} has "
+                        "overlapping periods; recomposition is ambiguous"
+                    )
+            timelines.append(history)
+        tuples.extend(_sweep_surrogate(surrogate, timelines))
+    return MultiAttributeRelation(schema, tuples)
+
+
+def _sweep_surrogate(
+    surrogate: Hashable, timelines: list[list[TemporalTuple]]
+) -> Iterator[MultiTuple]:
+    """Emit the maximal intervals on which every timeline is defined,
+    splitting at every boundary of any attribute."""
+    boundaries: set[int] = set()
+    for history in timelines:
+        for tup in history:
+            boundaries.add(tup.valid_from)
+            boundaries.add(tup.valid_to)
+    points = sorted(boundaries)
+    pending: Optional[MultiTuple] = None
+    for start, end in zip(points, points[1:]):
+        values = []
+        for history in timelines:
+            value = _value_at(history, start)
+            if value is _UNDEFINED:
+                break
+            values.append(value)
+        else:
+            segment = MultiTuple(surrogate, tuple(values), start, end)
+            if (
+                pending is not None
+                and pending.valid_to == segment.valid_from
+                and pending.values == segment.values
+            ):
+                pending = MultiTuple(
+                    surrogate, pending.values, pending.valid_from, end
+                )
+            else:
+                if pending is not None:
+                    yield pending
+                pending = segment
+            continue
+        if pending is not None:
+            yield pending
+            pending = None
+    if pending is not None:
+        yield pending
+
+
+class _Undefined:
+    __slots__ = ()
+
+
+_UNDEFINED = _Undefined()
+
+
+def _value_at(history: list[TemporalTuple], point: int) -> Any:
+    for tup in history:
+        if tup.valid_from <= point < tup.valid_to:
+            return tup.value
+    return _UNDEFINED

@@ -1,0 +1,22 @@
+"""Cost-based physical planning for temporal operators."""
+
+from .cost import CostModel, expected_workspace_for
+from .integration import (
+    HybridExecution,
+    StreamJoinInfo,
+    execute_hybrid,
+    recognize_stream_join,
+)
+from .planner import Alternative, ExecutionProfile, TemporalJoinPlanner
+
+__all__ = [
+    "Alternative",
+    "CostModel",
+    "ExecutionProfile",
+    "HybridExecution",
+    "StreamJoinInfo",
+    "TemporalJoinPlanner",
+    "execute_hybrid",
+    "recognize_stream_join",
+    "expected_workspace_for",
+]

@@ -1,0 +1,331 @@
+"""Stream algorithms inside declarative query plans.
+
+The paper positions its stream processors as "additional strategies
+that a query optimizer should consider".  This module is that
+consideration, end to end: given a logical plan from the query
+frontend, it recognises joins whose predicate *is* a temporal operator
+over two range variables, evaluates those joins with the registry's
+stream algorithms via the cost-based
+:class:`~repro.optimizer.planner.TemporalJoinPlanner`, and evaluates
+everything else conventionally.
+
+Recognition reuses the semantic layer: the join predicate's temporal
+conjuncts are matched against the thirteen Figure-2 constraints and the
+TQuel general overlap under the intra-tuple background
+(:func:`repro.semantic.recognize.recognize_allen`), so rephrased or
+padded conditions are still recognised.
+
+Row/tuple bridging: each input row becomes a
+:class:`~repro.model.tuples.TemporalTuple` whose *surrogate is the row
+index*, so the stream operators (which only inspect endpoints for the
+inequality operators) run unchanged and every output pair maps back to
+its original rows losslessly — duplicates included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..algebra.logical import LJoin, LogicalPlan
+from ..algebra.physical import Catalog, _compile  # shared leaf compiler
+from ..allen.relations import AllenRelation
+from ..allen.symbolic import Comparison, Endpoint, EndpointKind
+from ..errors import PlanningError
+from ..model.relation import TemporalRelation
+from ..model.tuples import TemporalSchema, TemporalTuple
+from ..relational.expressions import Compare
+from ..relational.operators import EngineStats, Operator
+from ..relational.schema import Row, RowSchema
+from ..semantic.bridge import to_symbolic
+from ..semantic.inequality_graph import ImplicationGraph
+from ..semantic.recognize import GENERAL_OVERLAP, recognize_allen
+from ..streams.registry import TemporalOperator
+from .planner import TemporalJoinPlanner
+
+#: Allen relation -> (registry operator, operands swapped?).  The
+#: registry names operators from the containing/overlapping side.
+_OPERATOR_FOR_RELATION = {
+    AllenRelation.CONTAINS: (TemporalOperator.CONTAIN_JOIN, False),
+    AllenRelation.DURING: (TemporalOperator.CONTAIN_JOIN, True),
+    GENERAL_OVERLAP: (TemporalOperator.OVERLAP_JOIN, False),
+    AllenRelation.BEFORE: (TemporalOperator.BEFORE_JOIN, False),
+    AllenRelation.AFTER: (TemporalOperator.BEFORE_JOIN, True),
+}
+
+
+@dataclass
+class StreamJoinInfo:
+    """One join the hybrid executor ran through the stream engine."""
+
+    operator: TemporalOperator
+    swapped: bool
+    chosen: str  # the planner alternative's description
+    workspace_high_water: int
+    output_rows: int
+
+
+@dataclass
+class HybridExecution:
+    """Result of :func:`execute_hybrid`."""
+
+    rows: list[Row]
+    schema: RowSchema
+    stats: EngineStats
+    stream_joins: list[StreamJoinInfo] = field(default_factory=list)
+
+
+def recognize_stream_join(
+    join: LJoin,
+) -> Optional[tuple[TemporalOperator, bool]]:
+    """Does this join's predicate denote a registry temporal operator
+    between its two sides?  Returns (operator, operands_swapped) or
+    ``None``.
+
+    Requirements: every conjunct converts to a timestamp comparison,
+    the condition mentions exactly the two sides' variables (one
+    each), and — under the intra-tuple background — it is equivalent
+    to a supported Figure-2 operator.
+    """
+    comparisons: list[Comparison] = []
+    for conjunct in join.predicate.conjuncts():
+        if not isinstance(conjunct, Compare):
+            return None
+        symbolic = to_symbolic(conjunct)
+        if symbolic is None:
+            return None
+        comparisons.append(symbolic)
+    if not comparisons:
+        return None
+    variables: set[str] = set()
+    for comparison in comparisons:
+        variables |= comparison.variables()
+    left_vars = join.left.variables()
+    right_vars = join.right.variables()
+    if len(variables) != 2:
+        return None
+    left_used = variables & left_vars
+    right_used = variables & right_vars
+    if len(left_used) != 1 or len(right_used) != 1:
+        return None
+    x_var = next(iter(left_used))
+    y_var = next(iter(right_used))
+
+    background = ImplicationGraph()
+    for variable in (x_var, y_var):
+        background.add_fact(
+            Comparison.lt(
+                Endpoint(variable, EndpointKind.TS),
+                Endpoint(variable, EndpointKind.TE),
+            )
+        )
+    from ..allen.symbolic import Conjunction
+
+    label = recognize_allen(
+        Conjunction(tuple(comparisons)), x_var, y_var, background
+    )
+    if label not in _OPERATOR_FOR_RELATION:
+        return None
+    return _OPERATOR_FOR_RELATION[label]
+
+
+def execute_hybrid(
+    plan: LogicalPlan,
+    catalog: Catalog,
+    planner: Optional[TemporalJoinPlanner] = None,
+) -> HybridExecution:
+    """Execute ``plan``, sending recognised temporal joins through the
+    stream planner and everything else through the conventional
+    engine."""
+    stats = EngineStats()
+    execution = HybridExecution(
+        rows=[], schema=plan.schema(), stats=stats
+    )
+    chooser = planner or TemporalJoinPlanner()
+    operator = _build(plan, catalog, stats, chooser, execution)
+    execution.rows = operator.run()
+    return execution
+
+
+class _MaterializedRows(Operator):
+    """Adapter: a precomputed row list as a physical operator."""
+
+    def __init__(self, schema: RowSchema, rows: list[Row], stats) -> None:
+        super().__init__(schema, stats)
+        self._rows = rows
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    def describe(self) -> str:
+        return f"Materialized({len(self._rows)} rows)"
+
+
+def _build(
+    plan: LogicalPlan,
+    catalog: Catalog,
+    stats: EngineStats,
+    planner: TemporalJoinPlanner,
+    execution: HybridExecution,
+) -> Operator:
+    if isinstance(plan, LJoin):
+        left = _build(plan.left, catalog, stats, planner, execution)
+        right = _build(plan.right, catalog, stats, planner, execution)
+        recognised = recognize_stream_join(plan)
+        if recognised is not None:
+            operator_kind, swapped = recognised
+            rows = _stream_join(
+                left, right, operator_kind, swapped, planner, execution
+            )
+            return _MaterializedRows(plan.schema(), rows, stats)
+        return _conventional_join(plan, left, right)
+    if not plan.children():
+        return _compile(plan, catalog, stats)
+    built_children = [
+        _build(child, catalog, stats, planner, execution)
+        for child in plan.children()
+    ]
+    return _rebuild_node(plan, built_children)
+
+
+def _conventional_join(plan: LJoin, left: Operator, right: Operator):
+    """The conventional compiler's join selection, over already-built
+    (possibly hybrid) children."""
+    from ..algebra.physical import _splittable_equality
+    from ..relational.operators import HashEquiJoin, ThetaNestedLoopJoin
+
+    equality = _splittable_equality(plan)
+    if equality is not None:
+        left_attr, right_attr, residual = equality
+        return HashEquiJoin(
+            left, right, left_attr, right_attr, residual=residual
+        )
+    return ThetaNestedLoopJoin(left, right, plan.predicate)
+
+
+def _rebuild_node(plan, built_children) -> Operator:
+    from ..algebra.logical import (
+        LDistinct,
+        LProduct,
+        LProject,
+        LSelect,
+        LSemijoin,
+    )
+    from ..relational.operators import (
+        CrossProduct,
+        Distinct,
+        Project,
+        RowSemijoin,
+        Select,
+    )
+
+    if isinstance(plan, LSelect):
+        return Select(built_children[0], plan.predicate)
+    if isinstance(plan, LProject):
+        return Project(built_children[0], list(plan.items))
+    if isinstance(plan, LDistinct):
+        return Distinct(built_children[0])
+    if isinstance(plan, LProduct):
+        return CrossProduct(built_children[0], built_children[1])
+    if isinstance(plan, LSemijoin):
+        return RowSemijoin(
+            built_children[0], built_children[1], plan.predicate
+        )
+    raise PlanningError(f"hybrid executor cannot rebuild {plan!r}")
+
+
+_BRIDGE_SCHEMA = TemporalSchema("bridge", "RowIndex", "Payload")
+
+
+def _rows_to_relation(
+    rows: list[Row], schema: RowSchema, variable: str
+) -> TemporalRelation:
+    """Rows -> temporal tuples with row-index surrogates.
+
+    Projection pushdown may have pruned an endpoint the recognised
+    operator never reads (Before/After mention only one endpoint per
+    side); the missing one is synthesised one timepoint away so the
+    tuple is well-formed, without affecting the operator's predicate.
+    """
+    from_name = f"{variable}.ValidFrom"
+    to_name = f"{variable}.ValidTo"
+    has_from = from_name in schema
+    has_to = to_name in schema
+    if not has_from and not has_to:
+        raise PlanningError(
+            f"neither endpoint of {variable!r} survives in the schema"
+        )
+    read_from = schema.reader(from_name) if has_from else None
+    read_to = schema.reader(to_name) if has_to else None
+    tuples = []
+    for index, row in enumerate(rows):
+        start = read_from(row) if read_from else read_to(row) - 1
+        end = read_to(row) if read_to else read_from(row) + 1
+        tuples.append(TemporalTuple(index, None, start, end))
+    return TemporalRelation(_BRIDGE_SCHEMA, tuples)
+
+
+def _single_variable(plan: LogicalPlan) -> str:
+    variables = plan.variables()
+    if len(variables) != 1:
+        raise PlanningError(
+            "stream join sides must each bind exactly one range variable"
+        )
+    return next(iter(variables))
+
+
+def _stream_join(
+    left: Operator,
+    right: Operator,
+    operator_kind: TemporalOperator,
+    swapped: bool,
+    planner: TemporalJoinPlanner,
+    execution: HybridExecution,
+) -> list[Row]:
+    left_rows = left.run()
+    right_rows = right.run()
+    left_var = _variable_of_schema(left.schema)
+    right_var = _variable_of_schema(right.schema)
+    left_relation = _rows_to_relation(left_rows, left.schema, left_var)
+    right_relation = _rows_to_relation(right_rows, right.schema, right_var)
+    if swapped:
+        results, profile = planner.execute(
+            operator_kind, right_relation, left_relation
+        )
+        pairs = [(b.surrogate, a.surrogate) for a, b in results]
+    else:
+        results, profile = planner.execute(
+            operator_kind, left_relation, right_relation
+        )
+        pairs = [(a.surrogate, b.surrogate) for a, b in results]
+    execution.stream_joins.append(
+        StreamJoinInfo(
+            operator=operator_kind,
+            swapped=swapped,
+            chosen=profile.chosen.describe(),
+            workspace_high_water=(
+                profile.metrics.workspace_high_water
+                if profile.metrics
+                else 0
+            ),
+            output_rows=len(pairs),
+        )
+    )
+    return [
+        left_rows[left_index] + right_rows[right_index]
+        for left_index, right_index in pairs
+    ]
+
+
+def _variable_of_schema(schema: RowSchema) -> str:
+    variables = {
+        attribute.partition(".")[0]
+        for attribute in schema.attributes
+        if "." in attribute
+    }
+    if len(variables) != 1:
+        raise PlanningError(
+            "stream join sides must carry exactly one range variable; "
+            f"schema has {sorted(variables)}"
+        )
+    return next(iter(variables))

@@ -1,0 +1,294 @@
+"""Physical planning for temporal joins and semijoins.
+
+Given an operator (a Table-1/2/3 column), two temporal relations, and
+their (possibly absent) sort orders, the planner enumerates:
+
+* every supported registry entry (sort-order combination with a
+  bounded-workspace stream algorithm), charging external sorts for
+  orders the inputs do not already have and the expected workspace for
+  the entry's state class;
+* the nested-loop fallback, which needs no sort but re-scans the inner
+  input per outer tuple.
+
+It picks the cheapest alternative and can execute it, returning both
+the results and an execution profile (chosen entry, estimated cost,
+measured workspace/IO) — the machinery behind the paper's claim that
+"the optimal sort ordering for a query may depend on the statistics of
+data instances".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import WorkspaceOverflowError
+from ..model.relation import TemporalRelation
+from ..model.sortorder import order_satisfies
+from ..stats.estimators import collect_statistics
+from ..streams.metrics import ProcessorMetrics
+from ..streams.processors.baseline import (
+    NestedLoopJoin,
+    NestedLoopSemijoin,
+    before_predicate,
+    contain_predicate,
+    contained_predicate,
+    overlap_predicate,
+)
+from ..streams.registry import (
+    RegistryEntry,
+    TemporalOperator,
+    supported_entries,
+)
+from ..streams.stream import TupleStream
+from .cost import CostModel, expected_workspace_for
+
+#: Nested-loop predicate per operator (the correctness semantics).
+_PREDICATES: dict[TemporalOperator, Callable] = {
+    TemporalOperator.CONTAIN_JOIN: contain_predicate,
+    TemporalOperator.CONTAIN_SEMIJOIN: contain_predicate,
+    TemporalOperator.CONTAINED_SEMIJOIN: contained_predicate,
+    TemporalOperator.OVERLAP_JOIN: overlap_predicate,
+    TemporalOperator.OVERLAP_SEMIJOIN: overlap_predicate,
+    TemporalOperator.BEFORE_JOIN: before_predicate,
+    TemporalOperator.BEFORE_SEMIJOIN: before_predicate,
+}
+
+_SEMIJOINS = {
+    TemporalOperator.CONTAIN_SEMIJOIN,
+    TemporalOperator.CONTAINED_SEMIJOIN,
+    TemporalOperator.OVERLAP_SEMIJOIN,
+    TemporalOperator.BEFORE_SEMIJOIN,
+}
+
+
+@dataclass(frozen=True)
+class Alternative:
+    """One costed way to evaluate the operator."""
+
+    kind: str  # "stream" or "nested-loop"
+    entry: Optional[RegistryEntry]
+    sort_x: bool
+    sort_y: bool
+    estimated_cost: float
+    cost_breakdown: dict
+
+    def describe(self) -> str:
+        if self.kind == "nested-loop":
+            return f"nested-loop (cost {self.estimated_cost:.1f})"
+        assert self.entry is not None
+        sorts = []
+        if self.sort_x:
+            sorts.append(f"sort X by [{self.entry.x_order}]")
+        if self.sort_y and self.entry.y_order is not None:
+            sorts.append(f"sort Y by [{self.entry.y_order}]")
+        prefix = (", ".join(sorts) + "; ") if sorts else ""
+        return (
+            f"stream[{self.entry.x_order} / {self.entry.y_order}] "
+            f"state ({self.entry.state_class}) — {prefix}"
+            f"cost {self.estimated_cost:.1f}"
+        )
+
+
+@dataclass
+class ExecutionProfile:
+    """What actually happened when the chosen alternative ran."""
+
+    chosen: Alternative
+    alternatives: list[Alternative]
+    metrics: Optional[ProcessorMetrics] = None
+    details: dict = field(default_factory=dict)
+
+
+class TemporalJoinPlanner:
+    """Cost-based chooser between stream algorithms and nested loops.
+
+    With ``use_histograms=True`` the workspace component of stream
+    costs comes from equi-width histograms
+    (:func:`repro.stats.histograms.estimate_peak_workspace`) instead of
+    the stationary ``lambda * E[duration]`` model — markedly better on
+    bursty, non-stationary data (Section 6's "suitable form for the
+    optimizer").
+    """
+
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        use_histograms: bool = False,
+        histogram_buckets: int = 32,
+    ) -> None:
+        self.cost_model = cost_model or CostModel()
+        self.use_histograms = use_histograms
+        self.histogram_buckets = histogram_buckets
+
+    # ------------------------------------------------------------------
+    # enumeration
+    # ------------------------------------------------------------------
+    def alternatives(
+        self,
+        operator: TemporalOperator,
+        x_relation: TemporalRelation,
+        y_relation: TemporalRelation,
+    ) -> list[Alternative]:
+        model = self.cost_model
+        x_stats = collect_statistics(x_relation)
+        y_stats = collect_statistics(y_relation)
+        histogram_peak: Optional[float] = None
+        if self.use_histograms:
+            from ..stats.histograms import (
+                build_histogram,
+                estimate_peak_workspace,
+            )
+
+            histogram_peak = estimate_peak_workspace(
+                build_histogram(x_relation, self.histogram_buckets),
+                build_histogram(y_relation, self.histogram_buckets),
+            )
+        out: list[Alternative] = []
+        seen_order_free = False
+        for entry in supported_entries(operator):
+            if entry.order_free:
+                # One alternative suffices: the algorithm ignores sort
+                # orders entirely.
+                if seen_order_free:
+                    continue
+                seen_order_free = True
+                sort_x = sort_y = False
+            else:
+                sort_x = not order_satisfies(x_relation.order, entry.x_order)
+                sort_y = entry.y_order is not None and not order_satisfies(
+                    y_relation.order, entry.y_order
+                )
+            sort_cost = 0.0
+            if sort_x:
+                sort_cost += model.sort_cost(x_stats.cardinality)
+            if sort_y:
+                sort_cost += model.sort_cost(y_stats.cardinality)
+            workspace = expected_workspace_for(
+                entry.state_class, x_stats, y_stats
+            )
+            if histogram_peak is not None and entry.state_class in (
+                "a",
+                "b",
+                "c",
+            ):
+                workspace = histogram_peak
+                if entry.state_class == "c":
+                    workspace /= 2.0
+            pass_cost = model.stream_pass_cost(
+                x_stats.cardinality, y_stats.cardinality, workspace
+            )
+            out.append(
+                Alternative(
+                    kind="stream",
+                    entry=entry,
+                    sort_x=sort_x,
+                    sort_y=sort_y,
+                    estimated_cost=sort_cost + pass_cost,
+                    cost_breakdown={
+                        "sort": sort_cost,
+                        "pass": pass_cost,
+                        "expected_workspace": workspace,
+                    },
+                )
+            )
+        nested = model.nested_loop_cost(
+            x_stats.cardinality, y_stats.cardinality
+        )
+        out.append(
+            Alternative(
+                kind="nested-loop",
+                entry=None,
+                sort_x=False,
+                sort_y=False,
+                estimated_cost=nested,
+                cost_breakdown={"nested_loop": nested},
+            )
+        )
+        out.sort(key=lambda alt: alt.estimated_cost)
+        return out
+
+    def choose(
+        self,
+        operator: TemporalOperator,
+        x_relation: TemporalRelation,
+        y_relation: TemporalRelation,
+    ) -> Alternative:
+        return self.alternatives(operator, x_relation, y_relation)[0]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        operator: TemporalOperator,
+        x_relation: TemporalRelation,
+        y_relation: TemporalRelation,
+        workspace_budget: Optional[int] = None,
+    ) -> tuple[list, ExecutionProfile]:
+        """Plan, run the winner, and report the profile.
+
+        ``workspace_budget`` caps the stream algorithm's state tuples
+        (the paper's finite local workspace).  If the chosen stream
+        plan overflows it — the estimate was wrong, e.g. bursty data —
+        execution falls back to the nested loop, which needs no state,
+        and the profile records the fallback.
+        """
+        ranked = self.alternatives(operator, x_relation, y_relation)
+        chosen = ranked[0]
+        profile = ExecutionProfile(chosen=chosen, alternatives=ranked)
+        if chosen.kind == "nested-loop":
+            results, metrics = self._run_nested_loop(
+                operator, x_relation, y_relation
+            )
+        else:
+            try:
+                results, metrics = self._run_stream(
+                    chosen, x_relation, y_relation, workspace_budget
+                )
+            except WorkspaceOverflowError:
+                profile.details["workspace_overflow"] = True
+                profile.details["fallback"] = "nested-loop"
+                results, metrics = self._run_nested_loop(
+                    operator, x_relation, y_relation
+                )
+        profile.metrics = metrics
+        return results, profile
+
+    def _run_stream(
+        self,
+        alternative: Alternative,
+        x_relation: TemporalRelation,
+        y_relation: TemporalRelation,
+        workspace_budget: Optional[int] = None,
+    ):
+        entry = alternative.entry
+        assert entry is not None
+        if alternative.sort_x:
+            x_relation = x_relation.sorted_by(entry.x_order)
+        if alternative.sort_y and entry.y_order is not None:
+            y_relation = y_relation.sorted_by(entry.y_order)
+        processor = entry.build(
+            TupleStream.from_relation(x_relation, name="X"),
+            TupleStream.from_relation(y_relation, name="Y"),
+        )
+        if workspace_budget is not None and hasattr(processor, "meter"):
+            processor.meter.limit = workspace_budget
+        results = processor.run()
+        return results, processor.metrics
+
+    def _run_nested_loop(
+        self,
+        operator: TemporalOperator,
+        x_relation: TemporalRelation,
+        y_relation: TemporalRelation,
+    ):
+        predicate = _PREDICATES[operator]
+        x_stream = TupleStream.from_relation(x_relation, name="X")
+        y_stream = TupleStream.from_relation(y_relation, name="Y")
+        if operator in _SEMIJOINS:
+            processor = NestedLoopSemijoin(x_stream, y_stream, predicate)
+        else:
+            processor = NestedLoopJoin(x_stream, y_stream, predicate)
+        results = processor.run()
+        return results, processor.metrics

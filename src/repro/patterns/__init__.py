@@ -1,0 +1,19 @@
+"""Single-scan temporal pattern matching (Section 3, observation 3)."""
+
+from .matcher import (
+    FORWARD_RELATIONS,
+    PatternMatch,
+    PatternScan,
+    PatternStep,
+    SequencePattern,
+    find_pattern,
+)
+
+__all__ = [
+    "FORWARD_RELATIONS",
+    "PatternMatch",
+    "PatternScan",
+    "PatternStep",
+    "SequencePattern",
+    "find_pattern",
+]

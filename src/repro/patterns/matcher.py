@@ -1,0 +1,227 @@
+"""Single-scan temporal pattern matching (Section 3, observation 3).
+
+"If we view the query as a 'Superstar' pattern matching in the Faculty
+relation, one might wonder if we are able to answer this query with
+only a single scan of the relation ... instead of performing multiple
+joins, a single scan might be possible by recognizing this query
+qualification as describing a pattern in the data."
+
+This module generalises that idea: a :class:`SequencePattern` is a list
+of steps, each with a value predicate and an Allen relationship that
+must hold against the *previous* matched tuple ("an Assistant period
+that *meets* an Associate period that *meets* a Full period").  The
+:class:`PatternScan` processor finds all matches with **one pass** over
+a surrogate-grouped stream, holding only the current object's history
+plus the partial-match frontier — never the whole relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator, Optional, Sequence
+
+from ..allen.relations import AllenRelation
+from ..errors import StreamOrderError, TemporalModelError
+from ..model.sortorder import SortOrder
+from ..model.tuples import TemporalTuple
+
+ValuePredicate = Callable[[Any], bool]
+
+#: Step relations the single-scan matcher supports: those where the
+#: matched tuple cannot precede its predecessor in (ValidFrom, ValidTo)
+#: lexicographic order, so a forward scan meets predecessors first.
+#: For a backward-pointing condition ("X before the previous match"),
+#: reorder the steps and use the inverse relation.
+FORWARD_RELATIONS = frozenset(
+    {
+        AllenRelation.AFTER,
+        AllenRelation.MET_BY,
+        AllenRelation.OVERLAPPED_BY,
+        AllenRelation.DURING,
+        AllenRelation.STARTED_BY,
+        AllenRelation.FINISHES,
+    }
+)
+
+
+@dataclass(frozen=True)
+class PatternStep:
+    """One step of a sequential pattern.
+
+    Parameters
+    ----------
+    value:
+        Predicate over the tuple's time-varying attribute value, or a
+        constant to compare equal against.
+    relation:
+        The Allen relationship the matched tuple must bear to the
+        previously matched tuple (``matched_tuple relation previous``)
+        — ``None`` for the first step, or to accept any relationship.
+    """
+
+    value: Any
+    relation: Optional[AllenRelation] = None
+
+    def accepts_value(self, candidate: Any) -> bool:
+        if callable(self.value):
+            return bool(self.value(candidate))
+        return candidate == self.value
+
+    def accepts_transition(
+        self, previous: TemporalTuple, current: TemporalTuple
+    ) -> bool:
+        if self.relation is None:
+            return True
+        return self.relation.holds(current.interval, previous.interval)
+
+
+@dataclass(frozen=True)
+class SequencePattern:
+    """An ordered sequence of :class:`PatternStep`."""
+
+    steps: tuple[PatternStep, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise TemporalModelError("a pattern needs at least one step")
+        if self.steps[0].relation is not None:
+            raise TemporalModelError(
+                "the first step has no previous tuple; its relation "
+                "must be None"
+            )
+        for step in self.steps[1:]:
+            if (
+                step.relation is not None
+                and step.relation not in FORWARD_RELATIONS
+            ):
+                raise TemporalModelError(
+                    f"step relation {step.relation.value!r} points "
+                    "backward in time; the single-scan matcher only "
+                    "supports forward relations "
+                    f"({sorted(r.value for r in FORWARD_RELATIONS)}) — "
+                    "reorder the steps and use the inverse relation"
+                )
+
+    @classmethod
+    def of(cls, *steps: PatternStep) -> "SequencePattern":
+        return cls(tuple(steps))
+
+    @classmethod
+    def career(
+        cls,
+        values: Sequence[Any],
+        relation: AllenRelation = AllenRelation.MET_BY,
+    ) -> "SequencePattern":
+        """A value chain where each period bears ``relation`` to its
+        predecessor.  The default MET_BY encodes 'starts exactly when
+        the previous ends' — continuous promotion chains."""
+        steps = [PatternStep(values[0])]
+        steps.extend(PatternStep(v, relation) for v in values[1:])
+        return cls(tuple(steps))
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+@dataclass(frozen=True)
+class PatternMatch:
+    """One complete match: the object and its matched tuples, in step
+    order."""
+
+    surrogate: Hashable
+    tuples: tuple[TemporalTuple, ...]
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """First matched ValidFrom to last matched ValidTo."""
+        return (self.tuples[0].valid_from, self.tuples[-1].valid_to)
+
+
+class PatternScan:
+    """Single-pass pattern matcher over a surrogate-grouped stream.
+
+    The input must be grouped by surrogate (e.g. sorted by
+    ``SortOrder.by_surrogate()``); each group is processed with a
+    frontier of partial matches, then discarded — the workspace is one
+    object's history, never the relation.
+    """
+
+    def __init__(
+        self,
+        tuples: Sequence[TemporalTuple],
+        pattern: SequencePattern,
+        verify_grouping: bool = True,
+    ) -> None:
+        self.tuples = tuples
+        self.pattern = pattern
+        self.verify_grouping = verify_grouping
+        self.groups_scanned = 0
+        self.tuples_read = 0
+        self.max_group_size = 0
+        self.max_frontier = 0
+
+    def __iter__(self) -> Iterator[PatternMatch]:
+        seen: set = set()
+        current: Optional[Hashable] = None
+        history: list[TemporalTuple] = []
+        for tup in self.tuples:
+            self.tuples_read += 1
+            if current is None or tup.surrogate != current:
+                if current is not None:
+                    yield from self._match_group(current, history)
+                if self.verify_grouping and tup.surrogate in seen:
+                    raise StreamOrderError(
+                        f"input is not grouped: surrogate "
+                        f"{tup.surrogate!r} reappeared"
+                    )
+                seen.add(tup.surrogate)
+                current = tup.surrogate
+                history = []
+            history.append(tup)
+        if current is not None:
+            yield from self._match_group(current, history)
+
+    def run(self) -> list[PatternMatch]:
+        return list(self)
+
+    def _match_group(
+        self, surrogate: Hashable, history: list[TemporalTuple]
+    ) -> Iterator[PatternMatch]:
+        self.groups_scanned += 1
+        self.max_group_size = max(self.max_group_size, len(history))
+        ordered = sorted(history, key=lambda t: (t.valid_from, t.valid_to))
+        steps = self.pattern.steps
+        # Frontier of partial matches: tuples matched so far per branch.
+        frontier: list[tuple[TemporalTuple, ...]] = [()]
+        for tup in ordered:
+            additions: list[tuple[TemporalTuple, ...]] = []
+            for partial in frontier:
+                step = steps[len(partial)]
+                if not step.accepts_value(tup.value):
+                    continue
+                if partial and not step.accepts_transition(
+                    partial[-1], tup
+                ):
+                    continue
+                if not partial and step.relation is not None:
+                    continue
+                extended = partial + (tup,)
+                if len(extended) == len(steps):
+                    yield PatternMatch(surrogate, extended)
+                else:
+                    additions.append(extended)
+            frontier.extend(additions)
+            self.max_frontier = max(self.max_frontier, len(frontier))
+
+
+def find_pattern(
+    relation,
+    pattern: SequencePattern,
+) -> list[PatternMatch]:
+    """Convenience: group a temporal relation by surrogate and scan.
+
+    Sorting by surrogate counts as the usual pre-processing (like the
+    sort orders of Section 4); the scan itself is a single pass.
+    """
+    ordered = relation.sorted_by(SortOrder.by_surrogate())
+    return PatternScan(ordered.tuples, pattern).run()

@@ -1,0 +1,49 @@
+"""Quel-like temporal query language frontend (Section 3)."""
+
+from .ast import (
+    AndCond,
+    AttributeRef,
+    ComparisonCond,
+    Condition,
+    Constant,
+    NotCond,
+    Operand,
+    OrCond,
+    Query,
+    TemporalCond,
+    ValidClause,
+)
+from .lexer import TEMPORAL_OPERATORS, Token, TokenKind, tokenize
+from .parser import parse_query
+from .runner import QueryResult, run_query
+from .translator import (
+    symbolic_to_predicate,
+    temporal_predicate,
+    translate,
+    translate_condition,
+)
+
+__all__ = [
+    "AndCond",
+    "AttributeRef",
+    "ComparisonCond",
+    "Condition",
+    "Constant",
+    "NotCond",
+    "Operand",
+    "OrCond",
+    "Query",
+    "TEMPORAL_OPERATORS",
+    "TemporalCond",
+    "ValidClause",
+    "Token",
+    "TokenKind",
+    "QueryResult",
+    "parse_query",
+    "run_query",
+    "symbolic_to_predicate",
+    "temporal_predicate",
+    "tokenize",
+    "translate",
+    "translate_condition",
+]

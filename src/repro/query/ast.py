@@ -1,0 +1,113 @@
+"""Abstract syntax of the Quel-like temporal query language.
+
+A query is a set of ``range of`` declarations, a ``retrieve`` target
+list, and a ``where`` condition over comparisons, boolean connectives,
+and the Figure-2 temporal operators applied to range variables
+(``f1 overlap f3``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+
+class Operand(abc.ABC):
+    """A comparison operand: attribute reference or literal."""
+
+
+@dataclass(frozen=True)
+class AttributeRef(Operand):
+    """``f1.ValidFrom`` — a qualified attribute reference."""
+
+    variable: str
+    attribute: str
+
+    def qualified(self) -> str:
+        return f"{self.variable}.{self.attribute}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.qualified()
+
+
+@dataclass(frozen=True)
+class Constant(Operand):
+    """A string or integer literal."""
+
+    value: Any
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self.value)
+
+
+class Condition(abc.ABC):
+    """A boolean condition in the WHERE clause."""
+
+
+@dataclass(frozen=True)
+class ComparisonCond(Condition):
+    """``operand op operand`` with ``op`` in ``= != < <= > >=``."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+
+@dataclass(frozen=True)
+class TemporalCond(Condition):
+    """``(f1 overlap f3)`` — a temporal operator between two range
+    variables; pure syntactic sugar for endpoint inequalities."""
+
+    left_variable: str
+    operator: str
+    right_variable: str
+
+
+@dataclass(frozen=True)
+class AndCond(Condition):
+    parts: tuple[Condition, ...]
+
+
+@dataclass(frozen=True)
+class OrCond(Condition):
+    parts: tuple[Condition, ...]
+
+
+@dataclass(frozen=True)
+class NotCond(Condition):
+    part: Condition
+
+
+@dataclass(frozen=True)
+class ValidClause:
+    """TQuel-style result validity: ``valid from <endpoint> to
+    <endpoint>`` (footnote 5's original Superstar uses ``valid from
+    begin of f1 to begin of f2``).  The endpoints are attribute
+    references; the clause adds computed ``ValidFrom``/``ValidTo``
+    columns to the result."""
+
+    valid_from: AttributeRef
+    valid_to: AttributeRef
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed ``range of ... retrieve [unique] [into T] (...)
+    [valid from ... to ...] where ...``."""
+
+    #: Range variable -> relation name, in declaration order.
+    ranges: Mapping[str, str]
+    #: Result relation name from ``into`` (None for anonymous results).
+    target: str | None
+    #: Target list: (output attribute name, source attribute ref).
+    projections: Sequence[tuple[str, AttributeRef]]
+    #: WHERE condition; None when absent.
+    where: Condition | None
+    #: True for ``retrieve unique`` — duplicate result rows eliminated.
+    unique: bool = False
+    #: Result validity clause, or None.
+    valid: "ValidClause | None" = None
+
+    def range_variables(self) -> tuple[str, ...]:
+        return tuple(self.ranges)

@@ -1,0 +1,149 @@
+"""Lexer for the Quel-like temporal query language (Section 3).
+
+Token kinds: keywords (``range of is retrieve into where and or not``),
+the temporal operators of Figure 2 (``overlap``, ``before``,
+``during`` …) as keywords, identifiers, qualified attributes
+(``f1.ValidTo``), string and integer literals, comparison operators and
+punctuation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import LexerError
+
+KEYWORDS = frozenset(
+    {
+        "range",
+        "of",
+        "is",
+        "retrieve",
+        "unique",
+        "into",
+        "where",
+        "and",
+        "or",
+        "not",
+    }
+)
+
+#: Temporal operator keywords — Allen's names plus TQuel's general
+#: ``overlap`` (footnote 6 distinguishes the two).
+TEMPORAL_OPERATORS = frozenset(
+    {
+        "overlap",
+        "equal",
+        "meets",
+        "starts",
+        "finishes",
+        "during",
+        "contains",
+        "overlaps",
+        "before",
+        "after",
+        "metby",
+        "startedby",
+        "finishedby",
+        "overlappedby",
+    }
+)
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    TEMPORAL = "temporal-operator"
+    IDENT = "identifier"
+    QUALIFIED = "qualified-attribute"
+    STRING = "string"
+    NUMBER = "number"
+    COMPARE = "comparison"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value}:{self.text!r}@{self.position}"
+
+
+_COMPARE_OPS = ("<=", ">=", "!=", "=", "<", ">")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``, appending an EOF token."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    i = 0
+    length = len(source)
+    while i < length:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "(":
+            yield Token(TokenKind.LPAREN, ch, i)
+            i += 1
+            continue
+        if ch == ")":
+            yield Token(TokenKind.RPAREN, ch, i)
+            i += 1
+            continue
+        if ch == ",":
+            yield Token(TokenKind.COMMA, ch, i)
+            i += 1
+            continue
+        if ch == '"' or ch == "'":
+            end = source.find(ch, i + 1)
+            if end < 0:
+                raise LexerError("unterminated string literal", i)
+            yield Token(TokenKind.STRING, source[i + 1 : end], i)
+            i = end + 1
+            continue
+        matched_op = next(
+            (op for op in _COMPARE_OPS if source.startswith(op, i)), None
+        )
+        if matched_op is not None:
+            yield Token(TokenKind.COMPARE, matched_op, i)
+            i += len(matched_op)
+            continue
+        if ch.isdigit() or (
+            ch == "-" and i + 1 < length and source[i + 1].isdigit()
+        ):
+            j = i + 1
+            while j < length and source[j].isdigit():
+                j += 1
+            yield Token(TokenKind.NUMBER, source[i:j], i)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (source[j].isalnum() or source[j] in "_."):
+                j += 1
+            word = source[i:j]
+            if word.endswith("."):
+                raise LexerError(f"dangling qualifier in {word!r}", i)
+            lowered = word.lower()
+            if "." in word:
+                yield Token(TokenKind.QUALIFIED, word, i)
+            elif lowered in KEYWORDS:
+                yield Token(TokenKind.KEYWORD, lowered, i)
+            elif lowered in TEMPORAL_OPERATORS:
+                yield Token(TokenKind.TEMPORAL, lowered, i)
+            else:
+                yield Token(TokenKind.IDENT, word, i)
+            i = j
+            continue
+        raise LexerError(f"unexpected character {ch!r}", i)
+    yield Token(TokenKind.EOF, "", length)

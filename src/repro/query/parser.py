@@ -1,0 +1,222 @@
+"""Recursive-descent parser for the Quel-like query language.
+
+Grammar (informal)::
+
+    query       := range_decl+ retrieve where?
+    range_decl  := 'range' 'of' IDENT 'is' IDENT
+    retrieve    := 'retrieve' ('into' IDENT)? '(' targets ')'
+    targets     := target (',' target)*
+    target      := IDENT '=' QUALIFIED
+    where       := 'where' or_cond
+    or_cond     := and_cond ('or' and_cond)*
+    and_cond    := unary_cond ('and' unary_cond)*
+    unary_cond  := 'not' unary_cond | '(' or_cond ')' | atom
+    atom        := operand COMPARE operand | IDENT TEMPORAL IDENT
+    operand     := QUALIFIED | STRING | NUMBER
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ParseError
+from .ast import (
+    AndCond,
+    ValidClause,
+    AttributeRef,
+    ComparisonCond,
+    Condition,
+    Constant,
+    NotCond,
+    Operand,
+    OrCond,
+    Query,
+    TemporalCond,
+)
+from .lexer import Token, TokenKind, tokenize
+
+
+def parse_query(source: str) -> Query:
+    """Parse a complete query, raising
+    :class:`~repro.errors.ParseError` with position info on bad input."""
+    return _Parser(tokenize(source)).parse()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _expect(self, kind: TokenKind, text: Optional[str] = None) -> Token:
+        token = self._current
+        if token.kind is not kind or (text is not None and token.text != text):
+            wanted = text or kind.value
+            raise ParseError(
+                f"expected {wanted!r} but found {token.text!r} at offset "
+                f"{token.position}"
+            )
+        return self._advance()
+
+    def _accept(self, kind: TokenKind, text: Optional[str] = None) -> bool:
+        token = self._current
+        if token.kind is kind and (text is None or token.text == text):
+            self._advance()
+            return True
+        return False
+
+    def _accept_word(self, word: str) -> bool:
+        """Accept a contextual (non-reserved) word, case-insensitively."""
+        token = self._current
+        if token.kind is TokenKind.IDENT and token.text.lower() == word:
+            self._advance()
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> Token:
+        token = self._current
+        if (
+            token.kind is not TokenKind.IDENT
+            or token.text.lower() != word
+        ):
+            raise ParseError(
+                f"expected {word!r} but found {token.text!r} at offset "
+                f"{token.position}"
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def parse(self) -> Query:
+        ranges: dict[str, str] = {}
+        while self._accept(TokenKind.KEYWORD, "range"):
+            self._expect(TokenKind.KEYWORD, "of")
+            variable = self._expect(TokenKind.IDENT).text
+            self._expect(TokenKind.KEYWORD, "is")
+            relation = self._expect(TokenKind.IDENT).text
+            if variable in ranges:
+                raise ParseError(
+                    f"range variable {variable!r} declared twice"
+                )
+            ranges[variable] = relation
+        if not ranges:
+            raise ParseError("a query needs at least one range declaration")
+
+        self._expect(TokenKind.KEYWORD, "retrieve")
+        unique = self._accept(TokenKind.KEYWORD, "unique")
+        target = None
+        if self._accept(TokenKind.KEYWORD, "into"):
+            target = self._expect(TokenKind.IDENT).text
+        projections = self._target_list(ranges)
+
+        # 'valid', 'from' and 'to' are contextual words (not reserved
+        # keywords), so projections may still use them as identifiers.
+        valid: ValidClause | None = None
+        if self._accept_word("valid"):
+            self._expect_word("from")
+            start = self._attribute_ref(ranges)
+            self._expect_word("to")
+            stop = self._attribute_ref(ranges)
+            valid = ValidClause(start, stop)
+
+        where: Condition | None = None
+        if self._accept(TokenKind.KEYWORD, "where"):
+            where = self._or_cond(ranges)
+        self._expect(TokenKind.EOF)
+        return Query(
+            ranges, target, tuple(projections), where, unique, valid
+        )
+
+    def _target_list(self, ranges) -> list[tuple[str, AttributeRef]]:
+        self._expect(TokenKind.LPAREN)
+        items: list[tuple[str, AttributeRef]] = []
+        while True:
+            name = self._expect(TokenKind.IDENT).text
+            self._expect(TokenKind.COMPARE, "=")
+            ref = self._attribute_ref(ranges)
+            items.append((name, ref))
+            if not self._accept(TokenKind.COMMA):
+                break
+        self._expect(TokenKind.RPAREN)
+        return items
+
+    def _attribute_ref(self, ranges) -> AttributeRef:
+        token = self._expect(TokenKind.QUALIFIED)
+        variable, _dot, attribute = token.text.partition(".")
+        if variable not in ranges:
+            raise ParseError(
+                f"unknown range variable {variable!r} at offset "
+                f"{token.position}"
+            )
+        return AttributeRef(variable, attribute)
+
+    def _or_cond(self, ranges) -> Condition:
+        parts = [self._and_cond(ranges)]
+        while self._accept(TokenKind.KEYWORD, "or"):
+            parts.append(self._and_cond(ranges))
+        if len(parts) == 1:
+            return parts[0]
+        return OrCond(tuple(parts))
+
+    def _and_cond(self, ranges) -> Condition:
+        parts = [self._unary_cond(ranges)]
+        while self._accept(TokenKind.KEYWORD, "and"):
+            parts.append(self._unary_cond(ranges))
+        if len(parts) == 1:
+            return parts[0]
+        return AndCond(tuple(parts))
+
+    def _unary_cond(self, ranges) -> Condition:
+        if self._accept(TokenKind.KEYWORD, "not"):
+            return NotCond(self._unary_cond(ranges))
+        if self._accept(TokenKind.LPAREN):
+            inner = self._or_cond(ranges)
+            self._expect(TokenKind.RPAREN)
+            return inner
+        return self._atom(ranges)
+
+    def _atom(self, ranges) -> Condition:
+        # Temporal condition: IDENT TEMPORAL IDENT.
+        if self._current.kind is TokenKind.IDENT:
+            left = self._advance().text
+            if left not in ranges:
+                raise ParseError(f"unknown range variable {left!r}")
+            operator = self._expect(TokenKind.TEMPORAL).text
+            right_token = self._expect(TokenKind.IDENT)
+            if right_token.text not in ranges:
+                raise ParseError(
+                    f"unknown range variable {right_token.text!r}"
+                )
+            return TemporalCond(left, operator, right_token.text)
+        left = self._operand(ranges)
+        op = self._expect(TokenKind.COMPARE).text
+        right = self._operand(ranges)
+        return ComparisonCond(left, op, right)
+
+    def _operand(self, ranges) -> Operand:
+        token = self._current
+        if token.kind is TokenKind.QUALIFIED:
+            return self._attribute_ref(ranges)
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return Constant(token.text)
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return Constant(int(token.text))
+        raise ParseError(
+            f"expected an operand but found {token.text!r} at offset "
+            f"{token.position}"
+        )

@@ -1,0 +1,99 @@
+"""One-call query execution: text in, rows out.
+
+Convenience façade over the full Section-3 pipeline (parse ->
+translate -> rewrite -> optionally semantically optimize -> compile ->
+execute), for examples, tests, and interactive use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..algebra.logical import LogicalPlan
+from ..algebra.physical import compile_plan
+from ..algebra.rewrite import optimize
+from ..model.relation import TemporalRelation
+from ..relational.operators import EngineStats
+from ..relational.schema import Row, RowSchema
+from .parser import parse_query
+from .translator import translate
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the plan and execution profile that produced them."""
+
+    rows: list[Row]
+    schema: RowSchema
+    plan: LogicalPlan
+    stats: EngineStats
+    #: Set when semantic optimization ran.
+    semantic_report: Optional[object] = None
+    #: Temporal joins executed by the stream engine (hybrid mode).
+    stream_joins: list = None
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def run_query(
+    source: str,
+    catalog: Mapping[str, TemporalRelation],
+    rewrite: bool = True,
+    semantic: bool = False,
+    streams: bool = False,
+) -> QueryResult:
+    """Execute a Quel-like query against ``catalog``.
+
+    Parameters
+    ----------
+    source:
+        The query text (``range of ... retrieve ... where ...``).
+    catalog:
+        Relation name -> temporal relation.
+    rewrite:
+        Apply the conventional Figure-3 rewrites (on by default; turn
+        off to execute the raw parse tree).
+    semantic:
+        Additionally run the Section-5 semantic optimizer; the
+        resulting report is attached to the result.
+    streams:
+        Execute recognised temporal joins with the stream engine via
+        the cost-based planner (hybrid execution); the stream joins
+        taken are listed on the result.
+    """
+    plan = translate(parse_query(source), catalog)
+    if rewrite:
+        plan = optimize(plan)
+    report = None
+    if semantic:
+        from ..semantic.optimizer import semantically_optimize
+
+        plan, report = semantically_optimize(plan, catalog)
+    if streams:
+        from ..optimizer.integration import execute_hybrid
+
+        execution = execute_hybrid(plan, catalog)
+        return QueryResult(
+            rows=execution.rows,
+            schema=execution.schema,
+            plan=plan,
+            stats=execution.stats,
+            semantic_report=report,
+            stream_joins=execution.stream_joins,
+        )
+    stats = EngineStats()
+    operator = compile_plan(plan, catalog, stats)
+    rows = operator.run()
+    return QueryResult(
+        rows=rows,
+        schema=operator.schema,
+        plan=plan,
+        stats=stats,
+        semantic_report=report,
+        stream_joins=[],
+    )

@@ -1,0 +1,178 @@
+"""Translate parsed queries to logical algebra — the 'syntactic
+sugaring' pipeline of Section 3.
+
+Temporal operators are desugared into their explicit Figure-2 endpoint
+constraints (``(f1 overlap f3)`` becomes ``f1.ValidFrom < f3.ValidTo
+AND f3.ValidFrom < f1.ValidTo``), range declarations become a left-deep
+product, and the WHERE clause becomes a selection — producing exactly
+the Figure-3(a) parse tree, ready for the conventional rewriter.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..allen import (
+    AllenRelation,
+    Comparison as SymbolicComparison,
+    CompOp,
+    Conjunction,
+    Endpoint,
+    constraint_for,
+    general_overlap_constraint,
+)
+from ..errors import TranslationError
+from ..model.relation import TemporalRelation
+from ..relational.expressions import (
+    And,
+    Attr,
+    Compare,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from .ast import (
+    AndCond,
+    AttributeRef,
+    ComparisonCond,
+    Condition,
+    Constant,
+    NotCond,
+    Operand,
+    OrCond,
+    Query,
+    TemporalCond,
+)
+from ..algebra.logical import (
+    LDistinct,
+    LogicalPlan,
+    LProduct,
+    LProject,
+    LSelect,
+    Rel,
+)
+
+_ALLEN_BY_NAME = {
+    "equal": AllenRelation.EQUAL,
+    "meets": AllenRelation.MEETS,
+    "starts": AllenRelation.STARTS,
+    "finishes": AllenRelation.FINISHES,
+    "during": AllenRelation.DURING,
+    "contains": AllenRelation.CONTAINS,
+    "overlaps": AllenRelation.OVERLAPS,
+    "before": AllenRelation.BEFORE,
+    "after": AllenRelation.AFTER,
+    "metby": AllenRelation.MET_BY,
+    "startedby": AllenRelation.STARTED_BY,
+    "finishedby": AllenRelation.FINISHED_BY,
+    "overlappedby": AllenRelation.OVERLAPPED_BY,
+}
+
+_OP_BY_SYMBOLIC = {CompOp.LT: "<", CompOp.LE: "<=", CompOp.EQ: "="}
+
+
+def translate(
+    query: Query, catalog: Mapping[str, TemporalRelation]
+) -> LogicalPlan:
+    """Build the Figure-3(a)-style logical plan for ``query``."""
+    plan: LogicalPlan | None = None
+    for variable, relation_name in query.ranges.items():
+        if relation_name not in catalog:
+            raise TranslationError(
+                f"relation {relation_name!r} is not in the catalog"
+            )
+        leaf = Rel(
+            relation_name, variable, catalog[relation_name].schema
+        )
+        plan = leaf if plan is None else LProduct(plan, leaf)
+    assert plan is not None  # the parser guarantees >= 1 range
+
+    predicate = (
+        translate_condition(query.where)
+        if query.where is not None
+        else TruePredicate()
+    )
+    if not isinstance(predicate, TruePredicate):
+        plan = LSelect(plan, predicate)
+
+    items = list(
+        (name, Attr(ref.qualified())) for name, ref in query.projections
+    )
+    if query.valid is not None:
+        items.append(("ValidFrom", Attr(query.valid.valid_from.qualified())))
+        items.append(("ValidTo", Attr(query.valid.valid_to.qualified())))
+    projected: LogicalPlan = LProject(plan, tuple(items))
+    if query.unique:
+        projected = LDistinct(projected)
+    return projected
+
+
+def translate_condition(condition: Condition) -> Predicate:
+    """Desugar a WHERE condition into the engine's predicate language."""
+    if isinstance(condition, ComparisonCond):
+        return Compare(
+            _operand(condition.left), condition.op, _operand(condition.right)
+        )
+    if isinstance(condition, TemporalCond):
+        return temporal_predicate(
+            condition.operator,
+            condition.left_variable,
+            condition.right_variable,
+        )
+    if isinstance(condition, AndCond):
+        return And.of(*(translate_condition(p) for p in condition.parts))
+    if isinstance(condition, OrCond):
+        return Or.of(*(translate_condition(p) for p in condition.parts))
+    if isinstance(condition, NotCond):
+        return Not(translate_condition(condition.part))
+    raise TranslationError(f"unknown condition node {condition!r}")
+
+
+def temporal_predicate(operator: str, left: str, right: str) -> Predicate:
+    """The explicit constraint of one temporal operator, as a
+    conventional predicate (Figure 2's right-hand column)."""
+    if operator == "overlap":
+        symbolic = general_overlap_constraint(left, right)
+    else:
+        try:
+            relation = _ALLEN_BY_NAME[operator]
+        except KeyError:
+            raise TranslationError(
+                f"unknown temporal operator {operator!r}"
+            ) from None
+        symbolic = constraint_for(relation, left, right)
+    return symbolic_to_predicate(symbolic)
+
+
+def symbolic_to_predicate(conjunction: Conjunction) -> Predicate:
+    """Convert an Allen-layer symbolic conjunction to engine predicates.
+    Endpoints become qualified attribute references
+    (``Endpoint('f1', TS)`` -> ``Attr('f1.ValidFrom')``)."""
+    return And.of(
+        *(_symbolic_comparison(c) for c in conjunction.comparisons)
+    )
+
+
+def _symbolic_comparison(comparison: SymbolicComparison) -> Compare:
+    return Compare(
+        _symbolic_term(comparison.left),
+        _OP_BY_SYMBOLIC[comparison.op],
+        _symbolic_term(comparison.right),
+    )
+
+
+def _symbolic_term(term):
+    if isinstance(term, Endpoint):
+        attribute = "ValidFrom" if term.kind.value == "TS" else "ValidTo"
+        return Attr(f"{term.variable}.{attribute}")
+    return Literal(term)
+
+
+def _operand(operand: Operand):
+    if isinstance(operand, AttributeRef):
+        return Attr(operand.qualified())
+    if isinstance(operand, Constant):
+        return Literal(operand.value)
+    raise TranslationError(f"unknown operand {operand!r}")

@@ -1,0 +1,236 @@
+"""Predicate and scalar expressions over relational rows.
+
+This is the expression language of the conventional engine and of the
+logical algebra: attribute references, literals, comparisons, and
+boolean connectives.  Expressions are immutable; ``compile_against``
+resolves attribute positions once per schema so row evaluation is a
+fast closure — important because the nested-loop baselines evaluate
+predicates O(n^2) times in benchmarks.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from .schema import Row, RowSchema
+
+RowPredicate = Callable[[Row], bool]
+RowReader = Callable[[Row], Any]
+
+
+class Expression(abc.ABC):
+    """Base class for scalar expressions."""
+
+    @abc.abstractmethod
+    def compile_against(self, schema: RowSchema) -> RowReader:
+        """Resolve to a fast row-reading closure."""
+
+    @abc.abstractmethod
+    def attributes(self) -> frozenset[str]:
+        """Attribute names the expression references."""
+
+
+@dataclass(frozen=True)
+class Attr(Expression):
+    """A (qualified) attribute reference, e.g. ``Attr('f1.ValidTo')``."""
+
+    name: str
+
+    def compile_against(self, schema: RowSchema) -> RowReader:
+        return schema.reader(self.name)
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def compile_against(self, schema: RowSchema) -> RowReader:
+        value = self.value
+        return lambda _row: value
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self.value)
+
+
+class Predicate(abc.ABC):
+    """Base class for boolean row predicates."""
+
+    @abc.abstractmethod
+    def compile_against(self, schema: RowSchema) -> RowPredicate:
+        """Resolve to a fast boolean closure."""
+
+    @abc.abstractmethod
+    def attributes(self) -> frozenset[str]:
+        """Attribute names the predicate references."""
+
+    def conjuncts(self) -> Iterator["Predicate"]:
+        """Flatten nested ANDs into individual conjuncts."""
+        yield self
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Compare(Predicate):
+    """``left op right`` with ``op`` in ``= != < <= > >=``."""
+
+    left: Expression
+    op: str
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def compile_against(self, schema: RowSchema) -> RowPredicate:
+        read_left = self.left.compile_against(schema)
+        read_right = self.right.compile_against(schema)
+        compare = _COMPARATORS[self.op]
+        return lambda row: compare(read_left(row), read_right(row))
+
+    def attributes(self) -> frozenset[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    @property
+    def is_equality(self) -> bool:
+        return self.op == "="
+
+    @property
+    def is_inequality(self) -> bool:
+        return self.op in ("<", "<=", ">", ">=")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    parts: tuple[Predicate, ...]
+
+    @classmethod
+    def of(cls, *parts: Predicate) -> "Predicate":
+        flattened: list[Predicate] = []
+        for part in parts:
+            flattened.extend(part.conjuncts())
+        if len(flattened) == 1:
+            return flattened[0]
+        return cls(tuple(flattened))
+
+    def compile_against(self, schema: RowSchema) -> RowPredicate:
+        compiled = [part.compile_against(schema) for part in self.parts]
+        return lambda row: all(check(row) for check in compiled)
+
+    def attributes(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for part in self.parts:
+            out |= part.attributes()
+        return out
+
+    def conjuncts(self) -> Iterator[Predicate]:
+        for part in self.parts:
+            yield from part.conjuncts()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return " AND ".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    parts: tuple[Predicate, ...]
+
+    @classmethod
+    def of(cls, *parts: Predicate) -> "Predicate":
+        if len(parts) == 1:
+            return parts[0]
+        return cls(tuple(parts))
+
+    def compile_against(self, schema: RowSchema) -> RowPredicate:
+        compiled = [part.compile_against(schema) for part in self.parts]
+        return lambda row: any(check(row) for check in compiled)
+
+    def attributes(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for part in self.parts:
+            out |= part.attributes()
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return " OR ".join(f"({p})" for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation."""
+
+    part: Predicate
+
+    def compile_against(self, schema: RowSchema) -> RowPredicate:
+        compiled = self.part.compile_against(schema)
+        return lambda row: not compiled(row)
+
+    def attributes(self) -> frozenset[str]:
+        return self.part.attributes()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NOT ({self.part})"
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """The always-true predicate (an empty WHERE clause)."""
+
+    def compile_against(self, schema: RowSchema) -> RowPredicate:
+        return lambda _row: True
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset()
+
+    def conjuncts(self) -> Iterator[Predicate]:
+        return iter(())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "TRUE"
+
+
+def eq(left: str, right: Any) -> Compare:
+    """``Attr = literal`` or ``Attr = Attr`` shorthand: the right side
+    is treated as an attribute when it is a string naming one with a
+    dot qualifier, else as a literal."""
+    return Compare(Attr(left), "=", _operand(right))
+
+
+def lt(left: str, right: Any) -> Compare:
+    return Compare(Attr(left), "<", _operand(right))
+
+
+def _operand(value: Any) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, str) and "." in value:
+        return Attr(value)
+    return Literal(value)

@@ -1,0 +1,99 @@
+"""Iterator-model (Volcano-style) operator base for the conventional
+engine.
+
+Every operator exposes an output :class:`RowSchema` and iterates rows.
+Operators in one plan share an :class:`EngineStats` so benchmarks can
+read total scans, rows and predicate evaluations off the executed plan
+— the conventional-side counterpart of the stream engine's
+:class:`~repro.streams.metrics.ProcessorMetrics`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..schema import Row, RowSchema
+
+
+@dataclass
+class EngineStats:
+    """Shared execution counters for one conventional plan."""
+
+    scans_started: int = 0
+    rows_scanned: int = 0
+    comparisons: int = 0
+    rows_materialized: int = 0
+
+    def merge(self, other: "EngineStats") -> None:
+        self.scans_started += other.scans_started
+        self.rows_scanned += other.rows_scanned
+        self.comparisons += other.comparisons
+        self.rows_materialized += other.rows_materialized
+
+
+class Operator(abc.ABC):
+    """A node in a physical plan tree."""
+
+    def __init__(self, schema: RowSchema, stats: EngineStats) -> None:
+        self.schema = schema
+        self.stats = stats
+
+    @abc.abstractmethod
+    def __iter__(self) -> Iterator[Row]:
+        """Produce the operator's output rows."""
+
+    def run(self) -> list[Row]:
+        """Execute to completion."""
+        return list(self)
+
+    def explain(self, indent: int = 0) -> str:
+        """A one-line-per-node plan rendering (overridden by composite
+        operators to include children)."""
+        return "  " * indent + self.describe()
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class UnaryOperator(Operator):
+    """Operator with one child; children share the plan's stats."""
+
+    def __init__(self, child: Operator, schema: RowSchema) -> None:
+        super().__init__(schema, child.stats)
+        self.child = child
+
+    def explain(self, indent: int = 0) -> str:
+        return (
+            "  " * indent
+            + self.describe()
+            + "\n"
+            + self.child.explain(indent + 1)
+        )
+
+
+class BinaryOperator(Operator):
+    """Operator with two children sharing one stats object."""
+
+    def __init__(
+        self, left: Operator, right: Operator, schema: RowSchema
+    ) -> None:
+        if left.stats is not right.stats:
+            raise ValueError(
+                "both plan subtrees must share one EngineStats; pass the "
+                "same stats object to every scan in the plan"
+            )
+        super().__init__(schema, left.stats)
+        self.left = left
+        self.right = right
+
+    def explain(self, indent: int = 0) -> str:
+        return (
+            "  " * indent
+            + self.describe()
+            + "\n"
+            + self.left.explain(indent + 1)
+            + "\n"
+            + self.right.explain(indent + 1)
+        )

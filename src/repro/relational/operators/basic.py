@@ -1,0 +1,184 @@
+"""Selection, projection, sorting, distinct — the unary operators."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Union
+
+from ..expressions import Predicate
+from ..schema import Row, RowSchema
+from .base import Operator, UnaryOperator
+
+ProjectionItem = Union[str, tuple]
+"""Either an attribute name (kept as-is) or ``(output_name,
+Expression)``."""
+
+
+class Select(UnaryOperator):
+    """Filter rows by a predicate."""
+
+    def __init__(self, child: Operator, predicate: Predicate) -> None:
+        super().__init__(child, child.schema)
+        self.predicate = predicate
+        self._compiled = predicate.compile_against(child.schema)
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.child:
+            self.stats.comparisons += 1
+            if self._compiled(row):
+                yield row
+
+    def describe(self) -> str:
+        return f"Select({self.predicate})"
+
+
+class Project(UnaryOperator):
+    """Project (and optionally rename/compute) columns.
+
+    Items are attribute names, or ``(output_name, expression)`` pairs —
+    the Superstar target list is
+    ``[('Name', Attr('f1.Name')), ('ValidFrom', Attr('f1.ValidFrom')),
+    ('ValidTo', Attr('f2.ValidTo'))]``.
+    """
+
+    def __init__(
+        self, child: Operator, items: Sequence[ProjectionItem]
+    ) -> None:
+        names: list[str] = []
+        readers = []
+        for item in items:
+            if isinstance(item, str):
+                names.append(item)
+                readers.append(child.schema.reader(item))
+            else:
+                name, expression = item
+                names.append(name)
+                readers.append(expression.compile_against(child.schema))
+        super().__init__(child, RowSchema(tuple(names)))
+        self.items = tuple(items)
+        self._readers = readers
+
+    def __iter__(self) -> Iterator[Row]:
+        readers = self._readers
+        for row in self.child:
+            yield tuple(read(row) for read in readers)
+
+    def describe(self) -> str:
+        return f"Project({', '.join(self.schema.attributes)})"
+
+
+class Sort(UnaryOperator):
+    """Materialising sort on one or more attributes."""
+
+    def __init__(
+        self,
+        child: Operator,
+        attributes: Sequence[str],
+        descending: bool = False,
+    ) -> None:
+        super().__init__(child, child.schema)
+        self.attributes = tuple(attributes)
+        self.descending = descending
+        self._readers = [child.schema.reader(a) for a in self.attributes]
+
+    def __iter__(self) -> Iterator[Row]:
+        rows = list(self.child)
+        self.stats.rows_materialized += len(rows)
+        rows.sort(
+            key=lambda row: tuple(read(row) for read in self._readers),
+            reverse=self.descending,
+        )
+        return iter(rows)
+
+    def describe(self) -> str:
+        direction = "desc" if self.descending else "asc"
+        return f"Sort({', '.join(self.attributes)} {direction})"
+
+
+class HashAggregate(UnaryOperator):
+    """Hash-based grouped aggregation over rows.
+
+    The conventional-engine counterpart of the Figure-4 stream
+    processor: requires no input order, but materialises one
+    accumulator per group (workspace proportional to the number of
+    groups, where the grouped stream processor needs exactly one).
+
+    ``aggregates`` maps output attribute names to ``(initial, fold,
+    input_attribute)`` triples; ``fold(accumulator, value)`` returns
+    the new accumulator.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_by: Sequence[str],
+        aggregates: dict,
+    ) -> None:
+        names = tuple(group_by) + tuple(aggregates)
+        super().__init__(child, RowSchema(names))
+        self.group_by = tuple(group_by)
+        self.aggregates = dict(aggregates)
+        self._key_readers = [child.schema.reader(a) for a in self.group_by]
+        self._folds = []
+        for initial, fold, attribute in self.aggregates.values():
+            self._folds.append(
+                (initial, fold, child.schema.reader(attribute))
+            )
+
+    def __iter__(self) -> Iterator[Row]:
+        groups: dict[tuple, list] = {}
+        for row in self.child:
+            key = tuple(read(row) for read in self._key_readers)
+            state = groups.get(key)
+            if state is None:
+                state = [initial for initial, _f, _r in self._folds]
+                groups[key] = state
+                self.stats.rows_materialized += 1
+            for index, (_initial, fold, read) in enumerate(self._folds):
+                state[index] = fold(state[index], read(row))
+        for key, state in groups.items():
+            yield key + tuple(state)
+
+    def describe(self) -> str:
+        return (
+            f"HashAggregate(by {', '.join(self.group_by)}; "
+            f"{', '.join(self.aggregates)})"
+        )
+
+
+def sum_of(attribute: str, initial=0):
+    """Aggregate spec: sum of ``attribute``."""
+    return (initial, lambda acc, v: acc + v, attribute)
+
+
+def count_of(attribute: str):
+    """Aggregate spec: row count (reads ``attribute`` only to have a
+    column to traverse)."""
+    return (0, lambda acc, _v: acc + 1, attribute)
+
+
+def max_of(attribute: str):
+    """Aggregate spec: maximum of ``attribute``."""
+    return (None, lambda acc, v: v if acc is None else max(acc, v), attribute)
+
+
+def min_of(attribute: str):
+    """Aggregate spec: minimum of ``attribute``."""
+    return (None, lambda acc, v: v if acc is None else min(acc, v), attribute)
+
+
+class Distinct(UnaryOperator):
+    """Duplicate elimination (hash-based, order-preserving)."""
+
+    def __init__(self, child: Operator) -> None:
+        super().__init__(child, child.schema)
+
+    def __iter__(self) -> Iterator[Row]:
+        seen: set = set()
+        for row in self.child:
+            if row not in seen:
+                seen.add(row)
+                self.stats.rows_materialized += 1
+                yield row
+
+    def describe(self) -> str:
+        return "Distinct"

@@ -1,0 +1,67 @@
+"""In-memory tables and conversion from temporal relations.
+
+The conventional engine operates over :class:`Table` values — a
+:class:`~repro.relational.schema.RowSchema` plus a list of rows.
+:func:`table_from_temporal` flattens a
+:class:`~repro.model.relation.TemporalRelation` into the row form the
+Section-3 pipeline expects, qualifying attributes with a range-variable
+name.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from ..model.relation import TemporalRelation
+from .schema import Row, RowSchema
+
+
+class Table:
+    """A named bag of rows with a schema."""
+
+    def __init__(
+        self, name: str, schema: RowSchema, rows: Iterable[Row] = ()
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.rows: list[Row] = [tuple(row) for row in rows]
+        for row in self.rows:
+            if len(row) != len(schema):
+                raise ValueError(
+                    f"row arity {len(row)} does not match schema arity "
+                    f"{len(schema)} in table {name!r}"
+                )
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, attribute: str) -> list:
+        read = self.schema.reader(attribute)
+        return [read(row) for row in self.rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.name!r}, {len(self.rows)} rows x {len(self.schema)})"
+
+
+def table_from_temporal(
+    relation: TemporalRelation, variable: Optional[str] = None
+) -> Table:
+    """Flatten a temporal relation into rows.
+
+    With ``variable`` given, attributes are qualified (``f1.Name``);
+    otherwise the schema's bare attribute names are used.
+    """
+    names = relation.schema.attribute_names
+    if variable is not None:
+        schema = RowSchema.for_variable(variable, names)
+    else:
+        schema = RowSchema(tuple(names))
+    rows = [
+        (t.surrogate, t.value, t.valid_from, t.valid_to)
+        for t in relation.tuples
+    ]
+    label = variable or relation.schema.relation_name
+    return Table(label, schema, rows)

@@ -1,0 +1,89 @@
+"""Conversions between engine predicates and symbolic endpoint terms.
+
+The engine's predicates reference qualified attributes
+(``Attr('f1.ValidFrom')``); the semantic layer reasons over symbolic
+endpoints (``Endpoint('f1', TS)``).  This module translates timestamp
+comparisons between the two forms, and classifies which predicate
+conjuncts are *temporal* (endpoint inequalities the optimizer can
+reason about) versus *scalar* (rank selections, name equalities) that
+feed the constraint knowledge instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..allen.symbolic import Comparison, CompOp, Endpoint, EndpointKind
+from ..relational.expressions import Attr, Compare, Literal
+
+_KIND_BY_ATTRIBUTE = {
+    "ValidFrom": EndpointKind.TS,
+    "TS": EndpointKind.TS,
+    "ValidTo": EndpointKind.TE,
+    "TE": EndpointKind.TE,
+}
+
+_SYMBOLIC_OP = {"<": CompOp.LT, "<=": CompOp.LE, "=": CompOp.EQ}
+_FLIPPED_OP = {">": CompOp.LT, ">=": CompOp.LE}
+_ENGINE_OP = {CompOp.LT: "<", CompOp.LE: "<=", CompOp.EQ: "="}
+
+
+def endpoint_of(attr: Attr) -> Optional[Endpoint]:
+    """``Attr('f1.ValidTo')`` -> ``Endpoint('f1', TE)``; ``None`` for
+    non-timestamp attributes."""
+    variable, dot, attribute = attr.name.partition(".")
+    if not dot:
+        return None
+    kind = _KIND_BY_ATTRIBUTE.get(attribute)
+    if kind is None:
+        return None
+    return Endpoint(variable, kind)
+
+
+def to_symbolic(compare: Compare) -> Optional[Comparison]:
+    """Convert a timestamp comparison to symbolic form, normalising
+    ``>``/``>=`` by swapping operands.  Returns ``None`` when either
+    side is not a timestamp endpoint or integer literal."""
+
+    def term(expression):
+        if isinstance(expression, Attr):
+            return endpoint_of(expression)
+        if isinstance(expression, Literal) and isinstance(
+            expression.value, int
+        ):
+            return expression.value
+        return None
+
+    left = term(compare.left)
+    right = term(compare.right)
+    if left is None or right is None:
+        return None
+    if compare.op in _SYMBOLIC_OP:
+        return Comparison(left, _SYMBOLIC_OP[compare.op], right)
+    if compare.op in _FLIPPED_OP:
+        return Comparison(right, _FLIPPED_OP[compare.op], left)
+    return None  # != carries no order information
+
+
+def to_engine(comparison: Comparison) -> Compare:
+    """Convert a symbolic comparison back to an engine predicate."""
+
+    def expression(term):
+        if isinstance(term, Endpoint):
+            attribute = (
+                "ValidFrom" if term.kind is EndpointKind.TS else "ValidTo"
+            )
+            return Attr(f"{term.variable}.{attribute}")
+        return Literal(term)
+
+    return Compare(
+        expression(comparison.left),
+        _ENGINE_OP[comparison.op],
+        expression(comparison.right),
+    )
+
+
+def is_temporal_comparison(compare: Compare) -> bool:
+    """True when the conjunct is an endpoint comparison the semantic
+    layer can reason about."""
+    return to_symbolic(compare) is not None

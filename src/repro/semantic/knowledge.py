@@ -1,0 +1,194 @@
+"""Constraint knowledge: from declared integrity constraints and query
+context to endpoint order facts.
+
+Section 5's example: knowing (a) every tuple satisfies ``TS < TE``,
+(b) the Rank attribute's values are chronologically ordered, (c) the
+query equates ``f1.Name = f2.Name``, and (d) the query binds
+``f1.Rank = 'Assistant'`` and ``f2.Rank = 'Full'``, the optimizer may
+conclude ``f1.TE <= f2.TS`` — and, under the continuous-employment
+assumption with an intermediate rank, the strict ``f1.TE < f2.TS``.
+
+:class:`QueryContext` extracts (c) and (d) from a logical plan;
+:func:`background_graph` assembles the
+:class:`~repro.semantic.inequality_graph.ImplicationGraph` of
+everything the system knows before looking at the join's own
+inequalities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..algebra.logical import LJoin, LogicalPlan, LSelect, LSemijoin, Rel
+from ..allen.symbolic import Comparison, Endpoint, EndpointKind
+from ..model.constraints import ChronologicalOrdering, ContinuousLifespan
+from ..model.relation import TemporalRelation
+from ..relational.expressions import Attr, Compare, Literal
+from .inequality_graph import ImplicationGraph
+
+Catalog = Mapping[str, TemporalRelation]
+
+
+@dataclass
+class QueryContext:
+    """Facts about range variables harvested from a logical plan."""
+
+    #: variable -> relation name.
+    variable_relations: dict[str, str] = field(default_factory=dict)
+    #: variable -> bound value of the time-varying attribute (from
+    #: selections like ``f1.Rank = 'Assistant'``).
+    value_bindings: dict[str, Any] = field(default_factory=dict)
+    #: pairs of variables equated on their surrogate attribute.
+    surrogate_equalities: set[frozenset[str]] = field(default_factory=set)
+
+    def same_object(self, a: str, b: str) -> bool:
+        """Are variables ``a`` and ``b`` known to denote the same
+        object?  (Direct equality or a chain of equalities.)"""
+        if a == b:
+            return True
+        # Union-find-free closure over the few query variables.
+        reachable = {a}
+        changed = True
+        while changed:
+            changed = False
+            for pair in self.surrogate_equalities:
+                left, right = tuple(pair) if len(pair) == 2 else (a, a)
+                if left in reachable and right not in reachable:
+                    reachable.add(right)
+                    changed = True
+                elif right in reachable and left not in reachable:
+                    reachable.add(left)
+                    changed = True
+        return b in reachable
+
+
+def extract_context(plan: LogicalPlan, catalog: Catalog) -> QueryContext:
+    """Walk a plan collecting variable bindings, value selections, and
+    surrogate equalities."""
+    context = QueryContext()
+    for node in plan.walk():
+        if isinstance(node, Rel):
+            context.variable_relations[node.variable] = node.relation_name
+    for node in plan.walk():
+        if isinstance(node, LSelect):
+            for conjunct in node.predicate.conjuncts():
+                _harvest(conjunct, context, catalog)
+        elif isinstance(node, (LJoin, LSemijoin)):
+            for conjunct in node.predicate.conjuncts():
+                _harvest(conjunct, context, catalog)
+    return context
+
+
+def _harvest(conjunct, context: QueryContext, catalog: Catalog) -> None:
+    if not isinstance(conjunct, Compare) or not conjunct.is_equality:
+        return
+    left, right = conjunct.left, conjunct.right
+    # value binding: var.Value = literal (either side).
+    if isinstance(left, Literal) and isinstance(right, Attr):
+        left, right = right, left
+    if isinstance(left, Attr) and isinstance(right, Literal):
+        variable, attribute = _split(left)
+        if variable is None:
+            return
+        relation = _relation_of(variable, context, catalog)
+        if relation is not None and attribute == relation.schema.value_name:
+            context.value_bindings[variable] = right.value
+        return
+    # surrogate equality: var1.S = var2.S over the same relation.
+    if isinstance(left, Attr) and isinstance(right, Attr):
+        v1, a1 = _split(left)
+        v2, a2 = _split(right)
+        if v1 is None or v2 is None or v1 == v2:
+            return
+        r1 = _relation_of(v1, context, catalog)
+        r2 = _relation_of(v2, context, catalog)
+        if (
+            r1 is not None
+            and r2 is not None
+            and a1 == r1.schema.surrogate_name
+            and a2 == r2.schema.surrogate_name
+        ):
+            context.surrogate_equalities.add(frozenset((v1, v2)))
+
+
+def _split(attr: Attr):
+    variable, dot, attribute = attr.name.partition(".")
+    if not dot:
+        return None, None
+    return variable, attribute
+
+
+def _relation_of(variable, context: QueryContext, catalog: Catalog):
+    name = context.variable_relations.get(variable)
+    if name is None:
+        return None
+    return catalog.get(name)
+
+
+def background_graph(
+    context: QueryContext, catalog: Catalog
+) -> ImplicationGraph:
+    """Everything known before examining a join's own condition:
+    intra-tuple constraints plus chronological-ordering consequences."""
+    graph = ImplicationGraph()
+    for variable in context.variable_relations:
+        graph.add_fact(
+            Comparison.lt(
+                Endpoint(variable, EndpointKind.TS),
+                Endpoint(variable, EndpointKind.TE),
+            )
+        )
+    for facts in chronological_facts(context, catalog):
+        graph.add_fact(facts)
+    return graph
+
+
+def chronological_facts(
+    context: QueryContext, catalog: Catalog
+) -> list[Comparison]:
+    """The ``v1.TE (<|<=) v2.TS`` facts implied by chronological
+    ordering for same-object, value-bound variable pairs.
+
+    The inequality is strict when an intermediate value must be held
+    between the two bound values (no rank skipping) *and* the relation
+    declares continuous lifespans — then the intermediate period's
+    positive duration forces a gap between ``v1.TE`` and ``v2.TS``.
+    """
+    facts: list[Comparison] = []
+    variables = [
+        v for v in context.variable_relations if v in context.value_bindings
+    ]
+    for i, v1 in enumerate(variables):
+        for v2 in variables:
+            if v1 == v2 or not context.same_object(v1, v2):
+                continue
+            relation = _relation_of(v1, context, catalog)
+            if relation is None:
+                continue
+            orderings = relation.constraints.find(ChronologicalOrdering)
+            if not orderings:
+                continue
+            ordering = orderings[0]
+            value1 = context.value_bindings[v1]
+            value2 = context.value_bindings[v2]
+            if (
+                value1 not in ordering.ordered_values
+                or value2 not in ordering.ordered_values
+            ):
+                continue
+            rank1 = ordering.rank_of(value1)
+            rank2 = ordering.rank_of(value2)
+            if rank1 >= rank2:
+                continue
+            continuous = bool(
+                relation.constraints.find(ContinuousLifespan)
+            )
+            has_intermediate = rank2 - rank1 > 1
+            end1 = Endpoint(v1, EndpointKind.TE)
+            start2 = Endpoint(v2, EndpointKind.TS)
+            if continuous and has_intermediate:
+                facts.append(Comparison.lt(end1, start2))
+            else:
+                facts.append(Comparison.le(end1, start2))
+    return facts

@@ -1,0 +1,165 @@
+"""Qualitative interval constraint networks (Allen's algorithm).
+
+The paper closes by announcing work on "formalizing semantic query
+optimization".  The classical formal tool for temporal knowledge is
+Allen's constraint network: every pair of interval variables carries a
+*set* of possible Figure-2 relationships, and path consistency
+propagates compositions (``R(i,k) ⊆ R(i,j) ; R(j,k)``) until a fixed
+point — detecting inconsistency and tightening what is known about
+every pair.
+
+Two bridges connect the network to this library's machinery:
+
+* :func:`possible_relations` — project an endpoint implication graph
+  (the Section-5 knowledge representation) onto a variable pair: the
+  set of Allen relations consistent with the recorded inequalities;
+* :func:`network_from_graph` — build a whole network that way, ready
+  for propagation.
+
+The composition table is the derived one in
+:mod:`repro.allen.composition`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Mapping, Optional
+
+from ..allen.composition import compose_sets
+from ..allen.relations import ALL_RELATIONS, AllenRelation
+from ..allen.symbolic import constraint_for
+from ..errors import TemporalModelError
+from .inequality_graph import ImplicationGraph
+
+ALL: frozenset[AllenRelation] = frozenset(ALL_RELATIONS)
+
+
+def _inverse_set(relations: frozenset[AllenRelation]) -> frozenset:
+    return frozenset(r.inverse() for r in relations)
+
+
+class QualitativeNetwork:
+    """A complete graph of relation sets over interval variables."""
+
+    def __init__(self, variables: Iterable[str]) -> None:
+        self.variables: tuple[str, ...] = tuple(dict.fromkeys(variables))
+        if len(self.variables) < 2:
+            raise TemporalModelError(
+                "a constraint network needs at least two variables"
+            )
+        self._edges: dict[tuple[str, str], frozenset[AllenRelation]] = {}
+        for x, y in combinations(self.variables, 2):
+            self._edges[(x, y)] = ALL
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def _key(self, x: str, y: str) -> tuple[tuple[str, str], bool]:
+        if (x, y) in self._edges:
+            return (x, y), False
+        if (y, x) in self._edges:
+            return (y, x), True
+        raise TemporalModelError(f"unknown variable pair ({x!r}, {y!r})")
+
+    def relation(self, x: str, y: str) -> frozenset[AllenRelation]:
+        """The current possible relations between ``x`` and ``y``."""
+        if x == y:
+            return frozenset({AllenRelation.EQUAL})
+        key, flipped = self._key(x, y)
+        relations = self._edges[key]
+        return _inverse_set(relations) if flipped else relations
+
+    def constrain(
+        self, x: str, y: str, relations: Iterable[AllenRelation]
+    ) -> None:
+        """Intersect the (x, y) edge with ``relations``."""
+        wanted = frozenset(relations)
+        key, flipped = self._key(x, y)
+        if flipped:
+            wanted = _inverse_set(wanted)
+        self._edges[key] = self._edges[key] & wanted
+
+    @property
+    def is_consistent(self) -> bool:
+        """False once any pair's relation set is empty."""
+        return all(self._edges.values())
+
+    # ------------------------------------------------------------------
+    # propagation (path consistency)
+    # ------------------------------------------------------------------
+    def propagate(self) -> bool:
+        """Run path consistency to a fixed point: sweep every pair,
+        intersecting ``R(a, b)`` with ``R(a, m) ; R(m, b)`` for every
+        third variable ``m``, until nothing changes.
+
+        Returns False (leaving the offending empty edge in place) when
+        the network is inconsistent.
+        """
+        changed = True
+        while changed:
+            changed = False
+            for x, y in list(self._edges):
+                if self._tighten_through(x, y):
+                    changed = True
+                    if not self._edges[(x, y)]:
+                        return False
+        return self.is_consistent
+
+    def _tighten_through(self, a: str, b: str) -> bool:
+        current = self.relation(a, b)
+        tightened = current
+        for mid in self.variables:
+            if mid == a or mid == b:
+                continue
+            bound = compose_sets(self.relation(a, mid), self.relation(mid, b))
+            tightened = tightened & bound
+        if tightened != current:
+            key, flipped = self._key(a, b)
+            self._edges[key] = (
+                _inverse_set(tightened) if flipped else tightened
+            )
+            return True
+        return False
+
+    def entails(
+        self, x: str, y: str, relations: Iterable[AllenRelation]
+    ) -> bool:
+        """After propagation: is (x, y) known to lie within
+        ``relations``?"""
+        return self.relation(x, y) <= frozenset(relations)
+
+
+def possible_relations(
+    x: str, y: str, graph: ImplicationGraph
+) -> frozenset[AllenRelation]:
+    """The Allen relations between ``x`` and ``y`` consistent with the
+    endpoint inequalities recorded in ``graph``.
+
+    A relation survives when adding its Figure-2 constraints to a copy
+    of the graph introduces no strict cycle.
+    """
+    out = set()
+    for relation in ALL_RELATIONS:
+        probe = graph.copy()
+        probe.add_conjunction(constraint_for(relation, x, y))
+        if probe.is_consistent():
+            out.add(relation)
+    return frozenset(out)
+
+
+def network_from_graph(
+    variables: Iterable[str],
+    graph: ImplicationGraph,
+    extra: Optional[
+        Mapping[tuple[str, str], Iterable[AllenRelation]]
+    ] = None,
+) -> QualitativeNetwork:
+    """Build a network whose edges reflect an endpoint implication
+    graph, optionally intersected with explicit pairwise knowledge."""
+    network = QualitativeNetwork(variables)
+    for x, y in combinations(network.variables, 2):
+        network.constrain(x, y, possible_relations(x, y, graph))
+    if extra:
+        for (x, y), relations in extra.items():
+            network.constrain(x, y, relations)
+    return network

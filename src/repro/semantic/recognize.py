@@ -1,0 +1,139 @@
+"""Recognition of temporal operators inside inequality conjunctions.
+
+After redundancy elimination, the semantic optimizer asks whether the
+surviving conjuncts *are* one of the stream-processable temporal
+operators:
+
+* :func:`recognize_allen` — is the condition over two interval
+  variables equivalent (under the background knowledge) to one of the
+  thirteen Figure-2 relationships, or to the TQuel general overlap?
+
+* :func:`recognize_derived_containment` — the Superstar pattern: the
+  condition states that a *derived* interval (here ``[f1.TE, f2.TS)``,
+  the period at the associate rank) lies strictly inside a third
+  variable's lifespan — i.e. a Contained-semijoin against a derived
+  interval (Figure 8(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..allen.relations import ALL_RELATIONS
+from ..allen.symbolic import (
+    Comparison,
+    CompOp,
+    Conjunction,
+    Endpoint,
+    EndpointKind,
+    constraint_for,
+    general_overlap_constraint,
+)
+from .inequality_graph import ImplicationGraph
+from .simplify import equivalent_under
+
+#: Marker returned by :func:`recognize_allen` for the TQuel overlap.
+GENERAL_OVERLAP = "general-overlap"
+
+
+def recognize_allen(
+    conjunction: Conjunction,
+    x: str,
+    y: str,
+    background: ImplicationGraph,
+) -> Optional[object]:
+    """The Allen relation (or :data:`GENERAL_OVERLAP`) equivalent to
+    ``conjunction`` under ``background``, else ``None``.
+
+    Equivalence is checked both ways via the implication graph, so a
+    condition written with redundant or rephrased inequalities is still
+    recognised.
+    """
+    candidates: list[tuple[object, Conjunction]] = [
+        (relation, constraint_for(relation, x, y))
+        for relation in ALL_RELATIONS
+    ]
+    candidates.append((GENERAL_OVERLAP, general_overlap_constraint(x, y)))
+    for label, pattern in candidates:
+        if equivalent_under(conjunction, pattern, background):
+            return label
+    return None
+
+
+@dataclass(frozen=True)
+class DerivedContainment:
+    """The Figure-8(b) pattern: ``container.TS < start`` and
+    ``end < container.TE`` — the derived interval ``[start, end)`` lies
+    strictly inside ``container``'s lifespan."""
+
+    start: Endpoint
+    end: Endpoint
+    container: str
+    #: True when the background proves the derived interval non-empty
+    #: (``start < end``) — the precondition for evaluating the
+    #: containment with the single-scan self-semijoin over materialised
+    #: derived intervals.
+    strict: bool = True
+
+    def as_conjunction(self) -> Conjunction:
+        return Conjunction.of(
+            Comparison.lt(
+                Endpoint(self.container, EndpointKind.TS), self.start
+            ),
+            Comparison.lt(
+                self.end, Endpoint(self.container, EndpointKind.TE)
+            ),
+        )
+
+
+def recognize_derived_containment(
+    conjunction: Conjunction,
+    container: str,
+    background: ImplicationGraph,
+) -> Optional[DerivedContainment]:
+    """Match ``conjunction`` against the derived-interval containment
+    pattern with ``container`` as the containing variable.
+
+    Requirements:
+
+    * exactly two strict conjuncts: ``container.TS < e_start`` and
+      ``e_end < container.TE`` with ``e_start``/``e_end`` endpoints of
+      *other* variables;
+    * the derived interval is well-formed: the background implies
+      ``e_start < e_end`` (it has positive duration), so the pair of
+      inequalities really is a *during* relationship against
+      ``[e_start, e_end)``.
+    """
+    if len(conjunction) != 2:
+        return None
+    lower = None  # container.TS < e_start
+    upper = None  # e_end < container.TE
+    for comparison in conjunction:
+        if comparison.op is not CompOp.LT:
+            return None
+        left, right = comparison.left, comparison.right
+        if (
+            isinstance(left, Endpoint)
+            and left.variable == container
+            and left.kind is EndpointKind.TS
+            and isinstance(right, Endpoint)
+            and right.variable != container
+        ):
+            lower = right
+        elif (
+            isinstance(right, Endpoint)
+            and right.variable == container
+            and right.kind is EndpointKind.TE
+            and isinstance(left, Endpoint)
+            and left.variable != container
+        ):
+            upper = left
+    if lower is None or upper is None:
+        return None
+    if not background.implies(Comparison.le(lower, upper)):
+        return None
+    strict = background.implies(Comparison.lt(lower, upper))
+    return DerivedContainment(
+        start=lower, end=upper, container=container, strict=strict
+    )

@@ -1,0 +1,80 @@
+"""Redundant-inequality elimination (Section 5).
+
+"Eliminating redundant qualifications is indeed a by-product of
+semantic query optimization": given background knowledge (integrity
+constraints, chronological ordering), a conjunct is redundant when the
+background plus the *other* conjuncts already imply it.  Removing
+redundant conjuncts both saves per-tuple predicate evaluations and —
+crucially — exposes the Contained-semijoin pattern hiding inside the
+Superstar less-than join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..allen.symbolic import Comparison, Conjunction
+from .inequality_graph import ImplicationGraph
+
+
+@dataclass(frozen=True)
+class SimplificationResult:
+    """Outcome of minimising one conjunction."""
+
+    kept: Conjunction
+    removed: tuple[Comparison, ...]
+
+    @property
+    def any_removed(self) -> bool:
+        return bool(self.removed)
+
+
+def is_redundant(
+    candidate: Comparison,
+    others: Conjunction,
+    background: ImplicationGraph,
+) -> bool:
+    """Does ``background`` + ``others`` imply ``candidate``?"""
+    graph = background.copy()
+    graph.add_conjunction(others)
+    return graph.implies(candidate)
+
+
+def eliminate_redundant(
+    conjunction: Conjunction, background: ImplicationGraph
+) -> SimplificationResult:
+    """Greedy minimisation: repeatedly drop a conjunct implied by the
+    background plus the remaining conjuncts.
+
+    Greedy one-at-a-time removal is sound — after each removal the
+    remaining set still implies the removed one, so implication of the
+    original conjunction is preserved — and, processing in a stable
+    order, deterministic.
+    """
+    kept = list(conjunction.comparisons)
+    removed: list[Comparison] = []
+    changed = True
+    while changed:
+        changed = False
+        for candidate in list(kept):
+            rest = Conjunction(
+                tuple(c for c in kept if c is not candidate)
+            )
+            if is_redundant(candidate, rest, background):
+                kept.remove(candidate)
+                removed.append(candidate)
+                changed = True
+                break
+    return SimplificationResult(Conjunction(tuple(kept)), tuple(removed))
+
+
+def equivalent_under(
+    a: Conjunction, b: Conjunction, background: ImplicationGraph
+) -> bool:
+    """Are two conjunctions equivalent given the background knowledge?
+    (Each implies the other.)"""
+    graph_a = background.copy()
+    graph_a.add_conjunction(a)
+    graph_b = background.copy()
+    graph_b.add_conjunction(b)
+    return graph_a.implies_all(b) and graph_b.implies_all(a)

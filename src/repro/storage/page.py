@@ -1,0 +1,54 @@
+"""Simulated disk pages.
+
+A :class:`Page` is a fixed-capacity container of records.  There is no
+byte-level serialization — the simulation cares about *counts* (how many
+pages a scan touches), not encodings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from ..errors import StorageError
+
+#: Default number of records per simulated page.  Small enough that
+#: modest relations span many pages, which keeps page-count differences
+#: between plans visible in benchmarks.
+DEFAULT_PAGE_CAPACITY = 32
+
+
+class Page:
+    """A fixed-capacity slotted page of records."""
+
+    __slots__ = ("page_id", "capacity", "_records")
+
+    def __init__(self, page_id: int, capacity: int = DEFAULT_PAGE_CAPACITY):
+        if capacity < 1:
+            raise StorageError("page capacity must be positive")
+        self.page_id = page_id
+        self.capacity = capacity
+        self._records: list[Any] = []
+
+    @property
+    def records(self) -> Sequence[Any]:
+        return tuple(self._records)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._records) >= self.capacity
+
+    def append(self, record: Any) -> None:
+        if self.is_full:
+            raise StorageError(
+                f"page {self.page_id} is full ({self.capacity} records)"
+            )
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Page(id={self.page_id}, {len(self)}/{self.capacity})"

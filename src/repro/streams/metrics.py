@@ -1,0 +1,65 @@
+"""Execution metrics reported by every stream processor.
+
+These are the quantities the paper's Tables 1-3 are about: workspace
+high-water marks, buffers, tuples read, and passes over each input
+stream.  Benchmarks read them off the processor after a run instead of
+inferring costs from timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .workspace import WorkspaceReport
+
+
+@dataclass
+class ProcessorMetrics:
+    """Counters gathered during one stream-processor execution."""
+
+    #: Tuples pulled from the X (left / outer) stream.
+    tuples_read_x: int = 0
+    #: Tuples pulled from the Y (right / inner) stream; 0 for unary ops.
+    tuples_read_y: int = 0
+    #: Passes over each stream (1 == the single-scan claim).
+    passes_x: int = 0
+    passes_y: int = 0
+    #: Input buffers the algorithm uses (the paper counts these
+    #: separately from state tuples: <Buffer-x, Buffer-y>).
+    buffers: int = 2
+    #: Number of output tuples / pairs emitted.
+    output_count: int = 0
+    #: Join-condition (or state-maintenance) comparisons performed — a
+    #: CPU-side cost proxy for comparing against nested-loop baselines.
+    comparisons: int = 0
+    #: Joint workspace accounting across the operator's state spaces.
+    workspace: WorkspaceReport = field(
+        default_factory=lambda: WorkspaceReport(0, 0, 0, 0)
+    )
+    #: Per-state-space high-water marks, keyed by workspace name.
+    state_high_water: dict = field(default_factory=dict)
+
+    @property
+    def total_tuples_read(self) -> int:
+        return self.tuples_read_x + self.tuples_read_y
+
+    @property
+    def workspace_high_water(self) -> int:
+        """Peak number of state tuples held at once (buffers excluded)."""
+        return self.workspace.high_water
+
+    @property
+    def total_footprint(self) -> int:
+        """Peak state tuples plus input buffers — the paper's complete
+        'local workspace'."""
+        return self.workspace.high_water + self.buffers
+
+    def summary(self) -> str:
+        """One-line human-readable report (used by example scripts)."""
+        return (
+            f"read x={self.tuples_read_x} (passes={self.passes_x}) "
+            f"y={self.tuples_read_y} (passes={self.passes_y}) | "
+            f"state high-water={self.workspace.high_water} "
+            f"buffers={self.buffers} | out={self.output_count} "
+            f"comparisons={self.comparisons}"
+        )

@@ -1,0 +1,124 @@
+"""Read-phase advancement policies (Section 4.2.1, step 2).
+
+Binary stream operators repeatedly choose which input stream to advance.
+Any choice is *correct* — the garbage-collection criteria only discard
+state tuples that can never match again — but the choice affects how
+large the workspace grows.  The paper proposes advancing the stream
+whose advancement is expected to make more state tuples disposable,
+estimated from the mean inter-arrival gaps ``1/lambda_x`` and
+``1/lambda_y``.
+
+Two policies are provided:
+
+* :class:`MinKeyPolicy` — advance the stream whose buffered tuple has
+  the smaller sweep key (the classic plane-sweep discipline);
+* :class:`LambdaPolicy` — the paper's heuristic: estimate the number of
+  disposable state tuples for each option using ``1/lambda`` and pick
+  the larger.
+
+The workspace-vs-policy benchmark (ABL1 in DESIGN.md) compares them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+from ..model.tuples import TemporalTuple
+from .workspace import Workspace
+
+#: The stream identifiers a policy can return.
+X, Y = "x", "y"
+
+
+class AdvancePolicy(abc.ABC):
+    """Strategy deciding which input stream a binary operator consumes
+    from next, given both buffers and both state spaces."""
+
+    @abc.abstractmethod
+    def choose(
+        self,
+        x_buffer: TemporalTuple,
+        y_buffer: TemporalTuple,
+        x_state: Workspace,
+        y_state: Workspace,
+    ) -> str:
+        """Return ``'x'`` or ``'y'``.  Called only when both buffers are
+        occupied; exhaustion is handled by the operator."""
+
+
+class MinKeyPolicy(AdvancePolicy):
+    """Advance the stream whose buffer has the smaller sweep key.
+
+    The sweep key of a tuple is its position in the stream's sort order
+    (ValidFrom for TS-sorted streams, ValidTo for TE-sorted ones), so
+    the operator consumes tuples in global sweep order.  Ties go to X.
+    """
+
+    def __init__(
+        self,
+        x_key: Callable[[TemporalTuple], int],
+        y_key: Callable[[TemporalTuple], int],
+    ) -> None:
+        self._x_key = x_key
+        self._y_key = y_key
+
+    def choose(self, x_buffer, y_buffer, x_state, y_state) -> str:
+        return X if self._x_key(x_buffer) <= self._y_key(y_buffer) else Y
+
+
+class LambdaPolicy(AdvancePolicy):
+    """The paper's ``1/lambda`` heuristic.
+
+    If the next X tuple is read, the disposable Y state tuples are those
+    whose retention condition fails once the X buffer reaches its
+    expected next key (current key + ``1/lambda_x``); symmetrically for
+    advancing Y.  The policy counts both estimates against the live
+    state and advances the side with more expected disposals, breaking
+    ties with the sweep order.
+
+    Parameters
+    ----------
+    inter_arrival_x, inter_arrival_y:
+        Mean key gaps ``1/lambda_x`` and ``1/lambda_y`` (estimated by
+        :func:`repro.stats.estimators.mean_inter_arrival`).
+    x_key, y_key:
+        Sweep-key extractors, as for :class:`MinKeyPolicy`.
+    y_disposable_if_x_advances:
+        Predicate ``(y_state_tuple, expected_next_x_key) -> bool``.
+    x_disposable_if_y_advances:
+        Predicate ``(x_state_tuple, expected_next_y_key) -> bool``.
+    """
+
+    def __init__(
+        self,
+        inter_arrival_x: float,
+        inter_arrival_y: float,
+        x_key: Callable[[TemporalTuple], int],
+        y_key: Callable[[TemporalTuple], int],
+        y_disposable_if_x_advances: Callable[[TemporalTuple, float], bool],
+        x_disposable_if_y_advances: Callable[[TemporalTuple, float], bool],
+    ) -> None:
+        self.inter_arrival_x = inter_arrival_x
+        self.inter_arrival_y = inter_arrival_y
+        self._x_key = x_key
+        self._y_key = y_key
+        self._y_disposable = y_disposable_if_x_advances
+        self._x_disposable = x_disposable_if_y_advances
+        self._fallback: Optional[MinKeyPolicy] = MinKeyPolicy(x_key, y_key)
+
+    def choose(self, x_buffer, y_buffer, x_state, y_state) -> str:
+        expected_next_x = self._x_key(x_buffer) + self.inter_arrival_x
+        expected_next_y = self._y_key(y_buffer) + self.inter_arrival_y
+        gain_if_x = sum(
+            1 for item in y_state if self._y_disposable(item, expected_next_x)
+        )
+        gain_if_y = sum(
+            1 for item in x_state if self._x_disposable(item, expected_next_y)
+        )
+        if gain_if_x > gain_if_y:
+            return X
+        if gain_if_y > gain_if_x:
+            return Y
+        assert self._fallback is not None
+        return self._fallback.choose(x_buffer, y_buffer, x_state, y_state)

@@ -1,0 +1,155 @@
+"""Contain-join stream processors (Section 4.2.1, Figure 5, Table 1).
+
+``Contain-join(X, Y)`` outputs the pair ``(x, y)`` whenever the lifespan
+of ``x`` strictly contains that of ``y``:
+``X.TS < Y.TS`` and ``Y.TE < X.TE`` — the *during* relationship of
+Figure 2 read from the containing side.
+
+Two sort-order combinations admit a bounded-workspace single-pass
+algorithm (the (a) and (b) rows of Table 1):
+
+* :class:`ContainJoinTsTs` — both streams on ValidFrom ascending; the
+  state is {X tuples whose lifespan spans the Y buffer's ValidFrom}
+  union {Y tuples whose ValidFrom lies within a buffered X lifespan}.
+* :class:`ContainJoinTsTe` — X on ValidFrom ascending, Y on ValidTo
+  ascending; the state is {X tuples whose lifespan spans the Y buffer's
+  ValidTo} union {Y tuples contained in a buffered X lifespan}.
+
+Their time-reversal mirrors (both ValidTo descending; ValidTo
+descending with ValidFrom descending) are obtained through the
+same classes by mirroring the streams — see
+:func:`repro.streams.registry.lookup`.
+
+For any other combination no garbage-collection criterion exists; the
+registry reports those as inappropriate, and
+:class:`UnboundedStateJoin` (in :mod:`.unbounded`) demonstrates the
+linear state growth empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...model import sortorder as so
+from ...model.tuples import TemporalTuple
+from ..policies import AdvancePolicy, LambdaPolicy
+from ..stream import TupleStream
+from .base import te_key, ts_key
+from .baseline import contain_predicate
+from .sweep import SymmetricSweepJoin
+
+
+class ContainJoinTsTs(SymmetricSweepJoin):
+    """Contain-join with both inputs sorted on ValidFrom ascending.
+
+    Garbage collection (Section 4.2.1, step 3):
+
+    * an X state tuple is disposable once ``X.TE <= y_b.TS`` — every
+      future Y starts at or after ``y_b.TS``, so its lifespan cannot end
+      strictly inside X's;
+    * a Y state tuple is disposable once ``Y.TS <= x_b.TS`` — every
+      future X starts at or after ``x_b.TS`` and therefore cannot start
+      strictly before Y does.
+    """
+
+    operator = "contain-join[TS^,TS^]"
+
+    def __init__(
+        self,
+        x: TupleStream,
+        y: TupleStream,
+        policy: Optional[AdvancePolicy] = None,
+    ) -> None:
+        super().__init__(x, y, policy=policy)
+        self._require_order(x, (so.TS_ASC,), "X")
+        self._require_order(y, (so.TS_ASC,), "Y")
+
+    def match(self, x_tuple: TemporalTuple, y_tuple: TemporalTuple) -> bool:
+        return contain_predicate(x_tuple, y_tuple)
+
+    x_sweep_key = staticmethod(ts_key)
+    y_sweep_key = staticmethod(ts_key)
+
+    def x_disposable(self, state_tuple, y_buffer) -> bool:
+        return state_tuple.valid_to <= y_buffer.valid_from
+
+    def y_disposable(self, state_tuple, x_buffer) -> bool:
+        return state_tuple.valid_from <= x_buffer.valid_from
+
+    @classmethod
+    def lambda_policy(
+        cls, inter_arrival_x: float, inter_arrival_y: float
+    ) -> LambdaPolicy:
+        """The paper's 1/lambda advancement heuristic instantiated for
+        this operator's disposal criteria."""
+        return LambdaPolicy(
+            inter_arrival_x,
+            inter_arrival_y,
+            ts_key,
+            ts_key,
+            # Advancing X moves x_b.TS forward; Y state tuples with
+            # ValidFrom at or below the expected next X start become
+            # disposable.
+            y_disposable_if_x_advances=(
+                lambda y_tup, next_x: y_tup.valid_from <= next_x
+            ),
+            # Advancing Y moves y_b.TS forward; X state tuples ending at
+            # or before the expected next Y start become disposable.
+            x_disposable_if_y_advances=(
+                lambda x_tup, next_y: x_tup.valid_to <= next_y
+            ),
+        )
+
+
+class ContainJoinTsTe(SymmetricSweepJoin):
+    """Contain-join with X sorted on ValidFrom ascending and Y sorted on
+    ValidTo ascending (state class (b) of Table 1).
+
+    Garbage collection:
+
+    * an X state tuple is disposable once ``X.TE <= y_b.TE`` — future Y
+      tuples end at or after ``y_b.TE``, never strictly inside X;
+    * a Y state tuple is disposable once ``Y.TS <= x_b.TS`` — future X
+      tuples cannot start strictly before it.
+    """
+
+    operator = "contain-join[TS^,TE^]"
+
+    def __init__(
+        self,
+        x: TupleStream,
+        y: TupleStream,
+        policy: Optional[AdvancePolicy] = None,
+    ) -> None:
+        super().__init__(x, y, policy=policy)
+        self._require_order(x, (so.TS_ASC,), "X")
+        self._require_order(y, (so.TE_ASC,), "Y")
+
+    def match(self, x_tuple: TemporalTuple, y_tuple: TemporalTuple) -> bool:
+        return contain_predicate(x_tuple, y_tuple)
+
+    x_sweep_key = staticmethod(ts_key)
+    y_sweep_key = staticmethod(te_key)
+
+    def x_disposable(self, state_tuple, y_buffer) -> bool:
+        return state_tuple.valid_to <= y_buffer.valid_to
+
+    def y_disposable(self, state_tuple, x_buffer) -> bool:
+        return state_tuple.valid_from <= x_buffer.valid_from
+
+    @classmethod
+    def lambda_policy(
+        cls, inter_arrival_x: float, inter_arrival_y: float
+    ) -> LambdaPolicy:
+        return LambdaPolicy(
+            inter_arrival_x,
+            inter_arrival_y,
+            ts_key,
+            te_key,
+            y_disposable_if_x_advances=(
+                lambda y_tup, next_x: y_tup.valid_from <= next_x
+            ),
+            x_disposable_if_y_advances=(
+                lambda x_tup, next_y: x_tup.valid_to <= next_y
+            ),
+        )

@@ -1,0 +1,94 @@
+"""Merge equi-join on the surrogate attribute.
+
+Footnote 8 of the paper: for temporal operators whose constraints
+include equalities, "an obvious stream processing method appears to be
+sorting both relations on attributes that are involved in the
+equalities followed by a conventional merge-join (and perhaps combined
+with filtering using inequality constraints)".
+
+:class:`SurrogateMergeJoin` is that operator — the first (equi-join)
+stage of the Superstar plan, joining ``f1.Name = f2.Name`` and
+optionally filtering pairs with a temporal residual predicate.  Its
+workspace is the current same-key group of each input, the classic
+merge-join state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from ...model import sortorder as so
+from ...model.tuples import TemporalTuple
+from ..stream import TupleStream
+from .base import StreamProcessor
+
+Residual = Callable[[TemporalTuple, TemporalTuple], bool]
+
+
+class SurrogateMergeJoin(StreamProcessor):
+    """Merge join on equal surrogates over surrogate-sorted streams."""
+
+    operator = "surrogate-merge-join"
+
+    def __init__(
+        self,
+        x: TupleStream,
+        y: TupleStream,
+        residual: Optional[Residual] = None,
+    ) -> None:
+        super().__init__(x, y)
+        surrogate_order = so.SortOrder.of(
+            so.SortKey(so.SortAttribute.SURROGATE)
+        )
+        self._require_order(x, (surrogate_order,), "X")
+        self._require_order(y, (surrogate_order,), "Y")
+        self.residual = residual
+        self.x_group = self.new_workspace("x-group")
+        self.y_group = self.new_workspace("y-group")
+
+    def _execute(self) -> Iterator[tuple[TemporalTuple, TemporalTuple]]:
+        assert self.y is not None
+        self.x.advance()
+        self.y.advance()
+        while self.x.buffer is not None and self.y.buffer is not None:
+            x_key = _surrogate_key(self.x.buffer)
+            y_key = _surrogate_key(self.y.buffer)
+            self.note_comparison()
+            if x_key < y_key:
+                self.x.advance()
+            elif y_key < x_key:
+                self.y.advance()
+            else:
+                yield from self._join_group(x_key)
+
+    def _join_group(
+        self, key
+    ) -> Iterator[tuple[TemporalTuple, TemporalTuple]]:
+        """Buffer both same-key groups and emit their cross product
+        (filtered by the residual predicate)."""
+        assert self.y is not None
+        while (
+            self.x.buffer is not None
+            and _surrogate_key(self.x.buffer) == key
+        ):
+            self.x_group.insert(self.x.buffer)
+            self.x.advance()
+        while (
+            self.y.buffer is not None
+            and _surrogate_key(self.y.buffer) == key
+        ):
+            self.y_group.insert(self.y.buffer)
+            self.y.advance()
+        for x_tuple in self.x_group:
+            for y_tuple in self.y_group:
+                self.note_comparison()
+                if self.residual is None or self.residual(x_tuple, y_tuple):
+                    yield (x_tuple, y_tuple)
+        self.x_group.clear()
+        self.y_group.clear()
+
+
+def _surrogate_key(tup: TemporalTuple):
+    """The raw surrogate — the same comparison the surrogate sort order
+    uses, so the merge sees keys in stream order."""
+    return tup.surrogate

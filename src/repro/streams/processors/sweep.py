@@ -1,0 +1,161 @@
+"""The symmetric sweep skeleton shared by the binary stream joins.
+
+The Contain-join and Overlap-join algorithms of Sections 4.2.1 and
+4.2.4 share one shape:
+
+1. *Read phase* — choose an input stream (via an
+   :class:`~repro.streams.policies.AdvancePolicy`) and consume its
+   buffered tuple;
+2. *Join phase* — probe the consumed tuple against the opposite state
+   space, emitting every pair that satisfies the join condition;
+3. copy the consumed tuple into its own state space (it may join with
+   tuples not yet read from the opposite stream);
+4. *Garbage-collection phase* — evict state tuples that the
+   operator-specific safety criteria prove can never match a future
+   tuple of the opposite stream.
+
+Correctness is independent of the advancement policy: only tuples that
+provably cannot participate in further results are evicted, and a pair
+is emitted exactly once — when the second of its two tuples is
+consumed.  The policy (and the sort orders) determine how large the
+state spaces grow, which is exactly the trade-off Table 1 describes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Optional
+
+from ...model.tuples import TemporalTuple
+from ..policies import AdvancePolicy, MinKeyPolicy, X, Y
+from ..stream import TupleStream
+from .base import StreamProcessor
+
+
+class SymmetricSweepJoin(StreamProcessor):
+    """Base class for two-stream sweep joins with per-side GC rules.
+
+    Subclasses configure:
+
+    * :meth:`match` — the join condition;
+    * :meth:`x_sweep_key` / :meth:`y_sweep_key` — each stream's
+      monotone sweep key (TS for ValidFrom-sorted streams, TE for
+      ValidTo-sorted ones);
+    * :meth:`x_disposable` — when an X state tuple cannot match the
+      current Y buffer nor anything after it;
+    * :meth:`y_disposable` — symmetric, against the X buffer.
+    """
+
+    def __init__(
+        self,
+        x: TupleStream,
+        y: TupleStream,
+        policy: Optional[AdvancePolicy] = None,
+    ) -> None:
+        super().__init__(x, y)
+        self.policy = policy or MinKeyPolicy(
+            self.x_sweep_key, self.y_sweep_key
+        )
+        self.x_state = self.new_workspace("x-state")
+        self.y_state = self.new_workspace("y-state")
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def match(self, x_tuple: TemporalTuple, y_tuple: TemporalTuple) -> bool:
+        """The join condition."""
+
+    @staticmethod
+    @abc.abstractmethod
+    def x_sweep_key(tup: TemporalTuple) -> int:
+        """Monotone key of the X stream."""
+
+    @staticmethod
+    @abc.abstractmethod
+    def y_sweep_key(tup: TemporalTuple) -> int:
+        """Monotone key of the Y stream."""
+
+    @abc.abstractmethod
+    def x_disposable(
+        self, state_tuple: TemporalTuple, y_buffer: TemporalTuple
+    ) -> bool:
+        """True when ``state_tuple`` (from X) can match neither
+        ``y_buffer`` nor any Y tuple after it."""
+
+    @abc.abstractmethod
+    def y_disposable(
+        self, state_tuple: TemporalTuple, x_buffer: TemporalTuple
+    ) -> bool:
+        """Symmetric criterion for Y state tuples."""
+
+    # ------------------------------------------------------------------
+    # the sweep
+    # ------------------------------------------------------------------
+    def _execute(self) -> Iterator[tuple[TemporalTuple, TemporalTuple]]:
+        assert self.y is not None
+        self.x.advance()
+        self.y.advance()
+        while True:
+            x_buf = self.x.buffer
+            y_buf = self.y.buffer
+            # Early termination (Section 4.2.1 step 5): once a stream is
+            # exhausted and its state is empty, nothing the other stream
+            # still holds can produce output.
+            if x_buf is None and not self.x_state:
+                return
+            if y_buf is None and not self.y_state:
+                return
+            if x_buf is None and y_buf is None:
+                return
+            if x_buf is None:
+                side = Y
+            elif y_buf is None:
+                side = X
+            else:
+                side = self.policy.choose(
+                    x_buf, y_buf, self.x_state, self.y_state
+                )
+
+            if side == X:
+                consumed = x_buf
+                assert consumed is not None
+                for candidate in self.y_state:
+                    self.note_comparison()
+                    if self.match(consumed, candidate):
+                        yield (consumed, candidate)
+                # A consumed tuple joins future opposite tuples only if
+                # the opposite stream can still produce any.
+                if not self.y.exhausted:
+                    self.x_state.insert(consumed)
+                self.x.advance()
+            else:
+                consumed = y_buf
+                assert consumed is not None
+                for candidate in self.x_state:
+                    self.note_comparison()
+                    if self.match(candidate, consumed):
+                        yield (candidate, consumed)
+                if not self.x.exhausted:
+                    self.y_state.insert(consumed)
+                self.y.advance()
+
+            self._garbage_collect()
+
+    def _garbage_collect(self) -> None:
+        """Step 3 of the Section-4.2.1 algorithm."""
+        assert self.y is not None
+        y_buf = self.y.buffer
+        if y_buf is not None:
+            self.x_state.evict_where(
+                lambda t: self.x_disposable(t, y_buf)
+            )
+        elif self.y.exhausted:
+            self.x_state.clear()
+        x_buf = self.x.buffer
+        if x_buf is not None:
+            self.y_state.evict_where(
+                lambda t: self.y_disposable(t, x_buf)
+            )
+        elif self.x.exhausted:
+            self.y_state.clear()

@@ -1,0 +1,346 @@
+"""Tables 1, 2 and 3 of the paper, as executable data.
+
+The paper's central artifacts are tables mapping (operator, sort order
+of X, sort order of Y) to a *state class* — how much local workspace a
+single-pass stream algorithm needs, or '-' when no garbage-collection
+criterion exists.  This module encodes every row as a
+:class:`RegistryEntry` carrying the state-class label, the paper's
+textual state characterisation, and a factory building the actual
+processor (``None`` for inappropriate rows).
+
+The lower halves of the tables are generated from the upper halves by
+time-reversal mirroring, exactly as the paper argues
+("the lower half of Table 1 is the mirror image of the upper half").
+
+State classes (Table 1's legend):
+
+* ``a`` — {X tuples whose lifespan spans the Y buffer's key point}
+  union {Y tuples whose ValidFrom lies in the buffered X lifespan};
+* ``b`` — {X tuples whose lifespan spans y_b.ValidTo} union {Y tuples
+  contained in the buffered X lifespan};
+* ``c`` — a *subset* of class (a) (semijoins retire matched tuples
+  early);
+* ``d`` — no state at all: the two input buffers suffice;
+* ``-`` — inappropriate: no garbage-collection criterion, state grows
+  with the input.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import UnsupportedSortOrderError
+from ..model.sortorder import (
+    TE_ASC,
+    TE_DESC,
+    TS_ASC,
+    TS_DESC,
+    Direction,
+    SortOrder,
+)
+from .processors.before import BeforeSemijoin
+from .processors.contain_join import ContainJoinTsTe, ContainJoinTsTs
+from .processors.contain_semijoin import (
+    ContainedSemijoinTeTs,
+    ContainedSemijoinTsTs,
+    ContainSemijoinTsTe,
+    ContainSemijoinTsTs,
+)
+from .processors.mirror import MirroredProcessor
+from .processors.overlap import OverlapJoin, OverlapSemijoin
+from .processors.self_semijoin import (
+    SelfContainedSemijoin,
+    SelfContainSemijoin,
+    SelfContainSemijoinDesc,
+)
+
+
+class TemporalOperator(enum.Enum):
+    """The inequality-temporal operators of Section 4.2."""
+
+    CONTAIN_JOIN = "contain-join"
+    CONTAIN_SEMIJOIN = "contain-semijoin"
+    CONTAINED_SEMIJOIN = "contained-semijoin"
+    OVERLAP_JOIN = "overlap-join"
+    OVERLAP_SEMIJOIN = "overlap-semijoin"
+    BEFORE_JOIN = "before-join"
+    BEFORE_SEMIJOIN = "before-semijoin"
+    SELF_CONTAINED_SEMIJOIN = "contained-semijoin(X,X)"
+    SELF_CONTAIN_SEMIJOIN = "contain-semijoin(X,X)"
+
+
+#: Paper wording for each state class.
+STATE_CLASS_DESCRIPTIONS = {
+    "a": (
+        "state = {X tuples whose lifespan span the Y buffer's sweep "
+        "point} U {Y tuples whose ValidFrom lie in the buffered X "
+        "lifespan}"
+    ),
+    "b": (
+        "state = {X tuples whose lifespan span y_b.ValidTo} U {Y "
+        "tuples whose lifespans are contained within the buffered X "
+        "lifespan}"
+    ),
+    "c": (
+        "state is a subset of class (a): matched tuples are emitted "
+        "and retired immediately"
+    ),
+    "d": "local workspace = <Buffer-x, Buffer-y> (no state tuples)",
+    "-": "inappropriate for stream processing: no garbage-collection criteria",
+    "a1": "state = one tuple {x_s} plus the input buffer",
+    "b1": (
+        "state(x_i) is a subset of {x_j | j > i and x_j overlaps x_i}: "
+        "open, not-yet-output candidates"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One table cell: operator x sort orders -> algorithm + state class."""
+
+    operator: TemporalOperator
+    x_order: SortOrder
+    y_order: Optional[SortOrder]
+    state_class: str
+    factory: Optional[Callable]
+    mirrored: bool = False
+    #: True when the algorithm works regardless of input sort orders
+    #: (Before-semijoin); the planner then charges no sorts.
+    order_free: bool = False
+
+    @property
+    def supported(self) -> bool:
+        return self.factory is not None
+
+    @property
+    def state_description(self) -> str:
+        return STATE_CLASS_DESCRIPTIONS[self.state_class]
+
+    def build(self, x_stream, y_stream=None):
+        """Instantiate the processor on concrete streams."""
+        if self.factory is None:
+            raise UnsupportedSortOrderError(
+                f"{self.operator.value} has no bounded-workspace stream "
+                f"algorithm for orders ([{self.x_order}], "
+                f"[{self.y_order}])"
+            )
+        if self.y_order is None:
+            return self.factory(x_stream)
+        return self.factory(x_stream, y_stream)
+
+
+def _mirror_factory(factory: Callable, unary: bool = False) -> Callable:
+    """Lift an upper-half factory to its time-reversal mirror."""
+    if unary:
+        return lambda x: MirroredProcessor(factory, x)
+    return lambda x, y: MirroredProcessor(factory, x, y)
+
+
+def _upper_half_binary() -> list[RegistryEntry]:
+    """Upper halves of Tables 1 and 2 (ascending sort orders)."""
+    T = TemporalOperator
+    rows: list[RegistryEntry] = []
+
+    def add(op, xo, yo, cls, factory):
+        rows.append(RegistryEntry(op, xo, yo, cls, factory))
+
+    # --- Table 1, Contain-join -------------------------------------
+    add(T.CONTAIN_JOIN, TS_ASC, TS_ASC, "a", ContainJoinTsTs)
+    add(T.CONTAIN_JOIN, TS_ASC, TE_ASC, "b", ContainJoinTsTe)
+    add(T.CONTAIN_JOIN, TE_ASC, TS_ASC, "-", None)
+    add(T.CONTAIN_JOIN, TE_ASC, TE_ASC, "-", None)
+    # --- Table 1, Contain-semijoin ----------------------------------
+    add(T.CONTAIN_SEMIJOIN, TS_ASC, TS_ASC, "c", ContainSemijoinTsTs)
+    add(T.CONTAIN_SEMIJOIN, TS_ASC, TE_ASC, "d", ContainSemijoinTsTe)
+    add(T.CONTAIN_SEMIJOIN, TE_ASC, TS_ASC, "-", None)
+    add(T.CONTAIN_SEMIJOIN, TE_ASC, TE_ASC, "-", None)
+    # --- Table 1, Contained-semijoin --------------------------------
+    add(T.CONTAINED_SEMIJOIN, TS_ASC, TS_ASC, "c", ContainedSemijoinTsTs)
+    add(T.CONTAINED_SEMIJOIN, TS_ASC, TE_ASC, "-", None)
+    add(T.CONTAINED_SEMIJOIN, TE_ASC, TS_ASC, "d", ContainedSemijoinTeTs)
+    add(T.CONTAINED_SEMIJOIN, TE_ASC, TE_ASC, "-", None)
+    # --- Table 2, Overlap -------------------------------------------
+    add(T.OVERLAP_JOIN, TS_ASC, TS_ASC, "a", OverlapJoin)
+    add(T.OVERLAP_JOIN, TS_ASC, TE_ASC, "-", None)
+    add(T.OVERLAP_JOIN, TE_ASC, TS_ASC, "-", None)
+    add(T.OVERLAP_JOIN, TE_ASC, TE_ASC, "-", None)
+    add(T.OVERLAP_SEMIJOIN, TS_ASC, TS_ASC, "b", OverlapSemijoin)
+    add(T.OVERLAP_SEMIJOIN, TS_ASC, TE_ASC, "-", None)
+    add(T.OVERLAP_SEMIJOIN, TE_ASC, TS_ASC, "-", None)
+    add(T.OVERLAP_SEMIJOIN, TE_ASC, TE_ASC, "-", None)
+    # --- Section 4.2.4: Before --------------------------------------
+    # No sort ordering bounds the join state; the sweep implementation
+    # exists but is Theta(|X|) in workspace, which we classify '-'.
+    add(T.BEFORE_JOIN, TS_ASC, TS_ASC, "-", None)
+    add(T.BEFORE_JOIN, TS_ASC, TE_ASC, "-", None)
+    add(T.BEFORE_JOIN, TE_ASC, TS_ASC, "-", None)
+    add(T.BEFORE_JOIN, TE_ASC, TE_ASC, "-", None)
+    # The semijoin is single-pass and order-independent.
+    for xo in (TS_ASC, TE_ASC):
+        for yo in (TS_ASC, TE_ASC):
+            rows.append(
+                RegistryEntry(
+                    T.BEFORE_SEMIJOIN, xo, yo, "d", BeforeSemijoin,
+                    order_free=True,
+                )
+            )
+    return rows
+
+
+def _build_registry() -> dict:
+    registry: dict = {}
+
+    def key(entry: RegistryEntry):
+        return (
+            entry.operator,
+            entry.x_order.primary,
+            entry.y_order.primary if entry.y_order else None,
+        )
+
+    upper = _upper_half_binary()
+    for entry in upper:
+        registry[key(entry)] = entry
+        if entry.order_free:
+            # Order-independent algorithms need no mirror: the plain
+            # factory is registered for every combination below.
+            # (Mirroring Before would also transpose its operands.)
+            continue
+        mirrored = RegistryEntry(
+            entry.operator,
+            entry.x_order.mirrored(),
+            entry.y_order.mirrored() if entry.y_order else None,
+            entry.state_class,
+            _mirror_factory(entry.factory) if entry.factory else None,
+            mirrored=True,
+        )
+        registry.setdefault(key(mirrored), mirrored)
+
+    # Mixed ascending/descending combinations: "it is generally
+    # inappropriate to have one relation sorted in ascending order and
+    # the other in descending order."
+    binary_ops = [
+        e.operator for e in upper
+    ]
+    all_keys = [so.primary for so in (TS_ASC, TS_DESC, TE_ASC, TE_DESC)]
+    for op in dict.fromkeys(binary_ops):
+        if op is TemporalOperator.BEFORE_SEMIJOIN:
+            continue  # genuinely order-independent, filled below
+        for xk in all_keys:
+            for yk in all_keys:
+                registry.setdefault(
+                    (op, xk, yk),
+                    RegistryEntry(
+                        op,
+                        SortOrder.of(xk),
+                        SortOrder.of(yk),
+                        "-",
+                        None,
+                    ),
+                )
+    for xk in all_keys:
+        for yk in all_keys:
+            registry.setdefault(
+                (TemporalOperator.BEFORE_SEMIJOIN, xk, yk),
+                RegistryEntry(
+                    TemporalOperator.BEFORE_SEMIJOIN,
+                    SortOrder.of(xk),
+                    SortOrder.of(yk),
+                    "d",
+                    BeforeSemijoin,
+                    order_free=True,
+                ),
+            )
+
+    # --- Table 3: self semijoins ------------------------------------
+    T = TemporalOperator
+    self_rows = [
+        RegistryEntry(
+            T.SELF_CONTAINED_SEMIJOIN,
+            SortOrder.by_ts(secondary_te=True),
+            None,
+            "a1",
+            SelfContainedSemijoin,
+        ),
+        RegistryEntry(
+            T.SELF_CONTAIN_SEMIJOIN,
+            TS_ASC,
+            None,
+            "b1",
+            SelfContainSemijoin,
+        ),
+        RegistryEntry(
+            T.SELF_CONTAINED_SEMIJOIN,
+            TS_DESC,
+            None,
+            "-",
+            None,
+        ),
+        RegistryEntry(
+            T.SELF_CONTAIN_SEMIJOIN,
+            SortOrder.by_ts(Direction.DESC, secondary_te=True),
+            None,
+            "a1",
+            SelfContainSemijoinDesc,
+        ),
+    ]
+    for entry in self_rows:
+        registry[(entry.operator, entry.x_order.primary, None)] = entry
+        if entry.factory is not None:
+            mirrored = RegistryEntry(
+                entry.operator,
+                entry.x_order.mirrored(),
+                None,
+                entry.state_class,
+                _mirror_factory(entry.factory, unary=True),
+                mirrored=True,
+            )
+            registry.setdefault(
+                (entry.operator, mirrored.x_order.primary, None), mirrored
+            )
+    for op in (T.SELF_CONTAINED_SEMIJOIN, T.SELF_CONTAIN_SEMIJOIN):
+        for xk in all_keys:
+            registry.setdefault(
+                (op, xk, None),
+                RegistryEntry(op, SortOrder.of(xk), None, "-", None),
+            )
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def lookup(
+    operator: TemporalOperator,
+    x_order: SortOrder,
+    y_order: Optional[SortOrder] = None,
+) -> RegistryEntry:
+    """The table cell for an operator and sort-order combination.
+
+    Orders are matched on their primary key (a finer secondary order
+    never hurts; factories enforce any secondary requirement).
+    """
+    return _REGISTRY[
+        (
+            operator,
+            x_order.primary,
+            y_order.primary if y_order is not None else None,
+        )
+    ]
+
+
+def entries_for(operator: TemporalOperator) -> list[RegistryEntry]:
+    """All registered cells of one operator (one table column)."""
+    return [e for k, e in sorted(_REGISTRY.items(), key=_key_repr) if e.operator is operator]
+
+
+def supported_entries(operator: TemporalOperator) -> list[RegistryEntry]:
+    """The cells with an actual algorithm (non '-' rows)."""
+    return [e for e in entries_for(operator) if e.supported]
+
+
+def _key_repr(item):
+    (operator, x_key, y_key), _entry = item
+    return (operator.value, str(x_key), str(y_key))

@@ -1,0 +1,179 @@
+"""Instrumented tuple streams (Section 4.1).
+
+A stream is "an ordered sequence of data objects".  A
+:class:`TupleStream` wraps any tuple source with:
+
+* a declared :class:`~repro.model.sortorder.SortOrder` (optionally
+  verified on the fly — a violated declaration raises
+  :class:`~repro.errors.StreamOrderError` instead of silently producing
+  wrong join results),
+* a single input buffer (the paper's ``x_b``), reflecting the
+  stream-processing rule that a computation "has access only to one
+  element at a time and only in the specified ordering",
+* counters for tuples read and passes over the stream, so benchmarks
+  can verify single-pass claims.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from ..errors import ExecutionError, StreamOrderError
+from ..model.relation import TemporalRelation
+from ..model.sortorder import SortOrder
+from ..model.tuples import TemporalTuple
+from ..storage.heap_file import HeapFile
+from ..storage.iostats import IOStats
+
+
+class TupleStream:
+    """A one-buffer, forward-only cursor over sorted temporal tuples."""
+
+    def __init__(
+        self,
+        source_factory: Callable[[], Iterator[TemporalTuple]],
+        order: Optional[SortOrder] = None,
+        name: str = "stream",
+        verify_order: bool = True,
+    ) -> None:
+        self._source_factory = source_factory
+        self.order = order
+        self.name = name
+        self.verify_order = verify_order and order is not None
+        self.tuples_read = 0
+        self.passes = 0
+        self._iterator: Optional[Iterator[TemporalTuple]] = None
+        self._buffer: Optional[TemporalTuple] = None
+        self._previous: Optional[TemporalTuple] = None
+        self._exhausted = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_relation(
+        cls,
+        relation: TemporalRelation,
+        name: Optional[str] = None,
+        verify_order: bool = True,
+    ) -> "TupleStream":
+        """A stream over a relation, inheriting its declared order."""
+        return cls(
+            lambda: iter(relation.tuples),
+            order=relation.order,
+            name=name or relation.schema.relation_name,
+            verify_order=verify_order,
+        )
+
+    @classmethod
+    def from_tuples(
+        cls,
+        tuples: Iterable[TemporalTuple],
+        order: Optional[SortOrder] = None,
+        name: str = "stream",
+        verify_order: bool = True,
+    ) -> "TupleStream":
+        """A stream over an in-memory (restartable) tuple sequence."""
+        materialised = tuple(tuples)
+        return cls(
+            lambda: iter(materialised),
+            order=order,
+            name=name,
+            verify_order=verify_order,
+        )
+
+    @classmethod
+    def from_heap_file(
+        cls,
+        heap_file: HeapFile,
+        order: Optional[SortOrder] = None,
+        name: Optional[str] = None,
+        stats: Optional[IOStats] = None,
+        verify_order: bool = True,
+    ) -> "TupleStream":
+        """A stream backed by a simulated disk file; every restart is a
+        fresh scan charged to the file's I/O stats."""
+        return cls(
+            lambda: heap_file.scan(stats=stats),
+            order=order,
+            name=name or heap_file.name,
+            verify_order=verify_order,
+        )
+
+    # ------------------------------------------------------------------
+    # cursor protocol
+    # ------------------------------------------------------------------
+    @property
+    def buffer(self) -> Optional[TemporalTuple]:
+        """The tuple currently in the input buffer (the paper's
+        ``x_b``), or ``None`` before the first :meth:`advance` or after
+        exhaustion."""
+        return self._buffer
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the buffer is empty and the source is drained."""
+        return self._exhausted and self._buffer is None
+
+    def advance(self) -> Optional[TemporalTuple]:
+        """Load the next tuple into the buffer, returning it (or
+        ``None`` at end of stream)."""
+        if self._iterator is None:
+            if self._exhausted:
+                return None
+            self._open()
+        assert self._iterator is not None
+        self._previous = self._buffer
+        nxt = next(self._iterator, None)
+        if nxt is None:
+            self._buffer = None
+            self._exhausted = True
+            self._iterator = None
+            return None
+        self.tuples_read += 1
+        if (
+            self.verify_order
+            and self._previous is not None
+            and self.order is not None
+            and not self.order.check(self._previous, nxt)
+        ):
+            raise StreamOrderError(
+                f"stream {self.name!r} declared order [{self.order}] but "
+                f"produced {self._previous} before {nxt}"
+            )
+        self._buffer = nxt
+        return nxt
+
+    def restart(self) -> None:
+        """Rewind to the beginning for another pass.  The pass counter
+        lets tests prove single-pass claims (``stream.passes == 1``)."""
+        self._iterator = None
+        self._buffer = None
+        self._previous = None
+        self._exhausted = False
+        self._started = False
+
+    def drain(self) -> Iterator[TemporalTuple]:
+        """Consume the remainder of the stream tuple by tuple."""
+        if self._buffer is None:
+            self.advance()
+        while self._buffer is not None:
+            current = self._buffer
+            self.advance()
+            yield current
+
+    def _open(self) -> None:
+        if self._started and self._iterator is None and not self._exhausted:
+            raise ExecutionError(
+                f"stream {self.name!r} is in an inconsistent state"
+            )
+        self._iterator = self._source_factory()
+        self._started = True
+        self.passes += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TupleStream({self.name!r}, order={self.order}, "
+            f"read={self.tuples_read}, passes={self.passes})"
+        )

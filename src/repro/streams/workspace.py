@@ -1,0 +1,162 @@
+"""Local workspace with garbage-collection accounting (Section 4.1).
+
+The paper's central performance quantity is the size of the *local
+workspace* — the state tuples a stream processor must retain.  A
+:class:`Workspace` is a small tuple store that records every insertion
+and eviction and tracks its high-water mark; a shared
+:class:`WorkspaceMeter` additionally tracks the *joint* high-water mark
+when an operator keeps several state spaces (e.g. X-state and Y-state
+of the Contain-join), since the paper's state characterisations are
+about the union.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterator, List, Optional, TypeVar
+
+from ..errors import WorkspaceOverflowError
+
+T = TypeVar("T")
+
+
+@dataclass
+class WorkspaceMeter:
+    """Joint accounting shared by one operator's workspaces."""
+
+    current: int = 0
+    high_water: int = 0
+    total_inserted: int = 0
+    total_discarded: int = 0
+    #: When enabled, the state size after every insertion/eviction —
+    #: the Figure-5 view of the algorithm's workspace over the sweep.
+    trace: Optional[List[int]] = None
+    #: Optional hard budget on concurrent state tuples.  Exceeding it
+    #: raises :class:`~repro.errors.WorkspaceOverflowError` — modelling
+    #: the paper's finite "local workspace" and forcing the trade-off
+    #: towards sorting or multiple passes.
+    limit: Optional[int] = None
+
+    def enable_trace(self) -> None:
+        """Start recording the state-size trajectory."""
+        if self.trace is None:
+            self.trace = [self.current]
+
+    def on_insert(self, count: int = 1) -> None:
+        self.current += count
+        self.total_inserted += count
+        if self.current > self.high_water:
+            self.high_water = self.current
+        if self.trace is not None:
+            self.trace.append(self.current)
+        if self.limit is not None and self.current > self.limit:
+            raise WorkspaceOverflowError(
+                f"workspace exceeded its budget of {self.limit} state "
+                f"tuples"
+            )
+
+    def on_discard(self, count: int = 1) -> None:
+        self.current -= count
+        self.total_discarded += count
+        if self.trace is not None:
+            self.trace.append(self.current)
+
+
+class Workspace(Generic[T]):
+    """One state space of a stream processor.
+
+    Iteration yields the live state tuples; :meth:`evict_where` is the
+    garbage-collection primitive of the paper's algorithms.
+    """
+
+    def __init__(
+        self, name: str = "state", meter: Optional[WorkspaceMeter] = None
+    ) -> None:
+        self.name = name
+        self.meter = meter if meter is not None else WorkspaceMeter()
+        self.high_water = 0
+        self.total_inserted = 0
+        self.total_discarded = 0
+        self._items: List[T] = []
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, item: T) -> None:
+        self._items.append(item)
+        self.total_inserted += 1
+        if len(self._items) > self.high_water:
+            self.high_water = len(self._items)
+        self.meter.on_insert()
+
+    def remove(self, item: T) -> None:
+        """Remove one specific state tuple (e.g. a semijoin match that
+        has been output and is no longer needed)."""
+        self._items.remove(item)
+        self.total_discarded += 1
+        self.meter.on_discard()
+
+    def evict_where(self, condition: Callable[[T], bool]) -> int:
+        """Garbage-collect every state tuple satisfying ``condition``,
+        returning how many were discarded."""
+        keep = [item for item in self._items if not condition(item)]
+        discarded = len(self._items) - len(keep)
+        if discarded:
+            self._items = keep
+            self.total_discarded += discarded
+            self.meter.on_discard(discarded)
+        return discarded
+
+    def clear(self) -> int:
+        """Discard everything (used when the opposite stream is
+        exhausted and the state can no longer produce matches)."""
+        return self.evict_where(lambda _item: True)
+
+    def replace(self, item: T) -> None:
+        """Swap the single state tuple — the operation of the
+        one-state-tuple self-semijoin algorithm (Section 4.2.3)."""
+        if self._items:
+            self.evict_where(lambda _item: True)
+        self.insert(item)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[T]:
+        return iter(list(self._items))
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def peek(self) -> Optional[T]:
+        """The single state tuple, when at most one is kept."""
+        return self._items[0] if self._items else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Workspace({self.name!r}, size={len(self._items)}, "
+            f"high_water={self.high_water})"
+        )
+
+
+@dataclass(frozen=True)
+class WorkspaceReport:
+    """Immutable summary of an operator's workspace behaviour, exposed
+    through :class:`~repro.streams.metrics.ProcessorMetrics`."""
+
+    high_water: int
+    total_inserted: int
+    total_discarded: int
+    residual: int
+
+    @classmethod
+    def from_meter(cls, meter: WorkspaceMeter) -> "WorkspaceReport":
+        return cls(
+            high_water=meter.high_water,
+            total_inserted=meter.total_inserted,
+            total_discarded=meter.total_discarded,
+            residual=meter.current,
+        )

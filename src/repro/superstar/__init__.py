@@ -1,0 +1,27 @@
+"""The paper's running example — the Superstar query — end to end."""
+
+from .queries import (
+    SUPERSTAR_QUEL,
+    StarRow,
+    StrategyResult,
+    all_strategies,
+    conventional_superstar,
+    planned_superstar,
+    semantic_assumptions_hold,
+    semantic_superstar,
+    semantic_transformation_applies,
+    stream_superstar,
+)
+
+__all__ = [
+    "SUPERSTAR_QUEL",
+    "StarRow",
+    "StrategyResult",
+    "all_strategies",
+    "conventional_superstar",
+    "planned_superstar",
+    "semantic_assumptions_hold",
+    "semantic_superstar",
+    "semantic_transformation_applies",
+    "stream_superstar",
+]

@@ -1,0 +1,36 @@
+"""Deterministic synthetic workload generators for tests, examples,
+and the benchmark harness."""
+
+from .faculty import (
+    FACULTY_SCHEMA,
+    RANKS,
+    FacultyWorkload,
+    figure1_relation,
+)
+from .generators import (
+    DurationSampler,
+    PoissonWorkload,
+    fixed_duration,
+    geometric_duration,
+    nested_relation,
+    staircase_relation,
+    uniform_duration,
+)
+from .payroll import PayrollRecord, PayrollWorkload, expected_sums
+
+__all__ = [
+    "DurationSampler",
+    "FACULTY_SCHEMA",
+    "FacultyWorkload",
+    "PayrollRecord",
+    "PayrollWorkload",
+    "PoissonWorkload",
+    "RANKS",
+    "expected_sums",
+    "figure1_relation",
+    "fixed_duration",
+    "geometric_duration",
+    "nested_relation",
+    "staircase_relation",
+    "uniform_duration",
+]

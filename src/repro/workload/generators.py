@@ -1,0 +1,134 @@
+"""Synthetic temporal workload generators.
+
+The paper evaluates its algorithms analytically in terms of arrival
+rates (``lambda``) and lifespans; our benchmarks need data with
+controllable versions of those statistics.  The central generator
+produces relations whose ValidFrom values form a (discretised) Poisson
+arrival process with rate ``lambda`` and whose durations follow a
+pluggable distribution — so benchmark sweeps can vary exactly the
+quantities the paper's Table-1 analysis depends on.
+
+All generators take an explicit seed and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..model.constraints import ConstraintSet
+from ..model.relation import TemporalRelation
+from ..model.tuples import TemporalSchema, TemporalTuple
+
+DurationSampler = Callable[[random.Random], int]
+
+
+def fixed_duration(duration: int) -> DurationSampler:
+    """Every lifespan lasts exactly ``duration`` timepoints."""
+    if duration < 1:
+        raise ValueError("durations must be at least one timepoint")
+    return lambda _rng: duration
+
+
+def uniform_duration(low: int, high: int) -> DurationSampler:
+    """Durations drawn uniformly from ``[low, high]``."""
+    if low < 1 or high < low:
+        raise ValueError("need 1 <= low <= high")
+    return lambda rng: rng.randint(low, high)
+
+
+def geometric_duration(mean: float) -> DurationSampler:
+    """Geometric (discrete memoryless) durations with the given mean —
+    the discrete analogue of the exponential lifespans common in
+    queueing-style analyses."""
+    if mean < 1:
+        raise ValueError("mean duration must be at least 1")
+    success = 1.0 / mean
+
+    def sample(rng: random.Random) -> int:
+        count = 1
+        while rng.random() > success:
+            count += 1
+        return count
+
+    return sample
+
+
+@dataclass(frozen=True)
+class PoissonWorkload:
+    """Specification of a synthetic temporal relation.
+
+    Parameters
+    ----------
+    cardinality:
+        Number of tuples to generate.
+    arrival_rate:
+        Tuples entering per unit time (``lambda``); ValidFrom gaps are
+        geometric with mean ``1/lambda``, the discrete Poisson process.
+    duration:
+        Lifespan sampler (see :func:`fixed_duration` and friends).
+    name:
+        Relation name for the schema.
+    """
+
+    cardinality: int
+    arrival_rate: float
+    duration: DurationSampler
+    name: str = "Synthetic"
+
+    def generate(
+        self, seed: int, constraints: Optional[ConstraintSet] = None
+    ) -> TemporalRelation:
+        """Materialise the relation (unordered; sort explicitly)."""
+        if self.cardinality < 0:
+            raise ValueError("cardinality must be non-negative")
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        rng = random.Random(seed)
+        # Geometric inter-arrival gaps with mean exactly 1/lambda: a
+        # run of failures with success probability lambda/(1+lambda)
+        # has expectation (1-p)/p = 1/lambda.
+        success = self.arrival_rate / (1.0 + self.arrival_rate)
+        tuples = []
+        clock = 0
+        for i in range(self.cardinality):
+            gap = 0
+            while rng.random() > success:
+                gap += 1
+            clock += gap
+            start = clock
+            tuples.append(
+                TemporalTuple(
+                    f"{self.name.lower()}-{i}",
+                    i,
+                    start,
+                    start + self.duration(rng),
+                )
+            )
+        schema = TemporalSchema(self.name, "Id", "Seq")
+        return TemporalRelation(schema, tuples, constraints=constraints)
+
+
+def staircase_relation(
+    n: int, step: int = 10, duration: int = 8, name: str = "Stairs"
+) -> TemporalRelation:
+    """Evenly spaced, bounded-overlap intervals — the workload whose
+    stream-processing state stays constant regardless of ``n``."""
+    schema = TemporalSchema(name, "Id", "Seq")
+    tuples = [
+        TemporalTuple(f"{name.lower()}-{i}", i, step * i, step * i + duration)
+        for i in range(n)
+    ]
+    return TemporalRelation(schema, tuples)
+
+
+def nested_relation(n: int, name: str = "Nest") -> TemporalRelation:
+    """Fully nested intervals (each contains all later ones) — the
+    adversarial workload maximising containment output and state."""
+    schema = TemporalSchema(name, "Id", "Seq")
+    tuples = [
+        TemporalTuple(f"{name.lower()}-{i}", i, i, 4 * n - i)
+        for i in range(n)
+    ]
+    return TemporalRelation(schema, tuples)

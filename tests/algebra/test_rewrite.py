@@ -1,0 +1,173 @@
+"""Tests for the Figure-3 rewrite pipeline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    LJoin,
+    LProduct,
+    LProject,
+    LSelect,
+    Rel,
+    compile_plan,
+    fuse_products,
+    optimize,
+    push_selections,
+    split_selections,
+)
+from repro.model import TemporalRelation, TemporalSchema
+from repro.query import parse_query, translate
+from repro.relational import And, Attr, Compare, EngineStats, Literal
+from repro.workload import FacultyWorkload, figure1_relation
+
+CATALOG = {"Faculty": figure1_relation()}
+
+SUPERSTAR = """
+range of f1 is Faculty
+range of f2 is Faculty
+range of f3 is Faculty
+retrieve into Stars (Name = f1.Name, ValidFrom = f1.ValidFrom, ValidTo = f2.ValidTo)
+where f3.Rank = "Associate" and f1.Name = f2.Name and f1.Rank = "Assistant"
+  and f2.Rank = "Full" and (f1 overlap f3) and (f2 overlap f3)
+"""
+
+
+def superstar_plan():
+    return translate(parse_query(SUPERSTAR), CATALOG)
+
+
+class TestSplitSelections:
+    def test_conjunction_becomes_stack(self):
+        plan = split_selections(superstar_plan())
+        depth = 0
+        node = plan.child
+        while isinstance(node, LSelect):
+            depth += 1
+            node = node.child
+        assert depth == 8  # 4 scalar + 2x2 desugared overlap conjuncts
+
+
+class TestPushSelections:
+    def test_rank_selections_reach_leaves(self):
+        plan = push_selections(split_selections(superstar_plan()))
+        # Each Rel should now sit directly under a Select on its rank,
+        # i.e. some Select has a Rel child.
+        rel_parents = [
+            node
+            for node in plan.walk()
+            if isinstance(node, LSelect) and isinstance(node.child, Rel)
+        ]
+        assert len(rel_parents) == 3
+
+
+class TestFuseProducts:
+    def test_no_products_remain(self):
+        plan = fuse_products(
+            push_selections(split_selections(superstar_plan()))
+        )
+        assert not any(
+            isinstance(node, LProduct) for node in plan.walk()
+        )
+        joins = [node for node in plan.walk() if isinstance(node, LJoin)]
+        assert len(joins) == 2
+
+    def test_join_predicates_partitioned(self):
+        plan = optimize(superstar_plan())
+        joins = [node for node in plan.walk() if isinstance(node, LJoin)]
+        upper, lower = joins
+        # The lower join carries the name equality; the upper carries
+        # the four-inequality theta' of Figure 3(b).
+        assert "f1.Name = f2.Name" in str(lower.predicate)
+        inequality_count = sum(
+            1
+            for conjunct in upper.predicate.conjuncts()
+            if isinstance(conjunct, Compare) and conjunct.is_inequality
+        )
+        assert inequality_count == 4
+
+
+class TestProjectionPushdown:
+    def test_unneeded_attribute_pruned(self):
+        plan = optimize(superstar_plan())
+        pruned = [
+            node
+            for node in plan.walk()
+            if isinstance(node, LProject) and node is not plan
+        ]
+        assert pruned, "expected a pruning projection above a leaf"
+        # f3.Name is never used upstream.
+        for node in pruned:
+            assert "f3.Name" not in node.schema().attributes
+
+
+class TestSemanticsPreserved:
+    def test_superstar_results_identical(self):
+        raw = superstar_plan()
+        rewritten = optimize(raw)
+        raw_rows = sorted(compile_plan(raw, CATALOG).run())
+        opt_rows = sorted(compile_plan(rewritten, CATALOG).run())
+        assert raw_rows == opt_rows == [("Smith", 0, 30)]
+
+    def test_optimization_reduces_comparisons(self):
+        catalog = {"Faculty": FacultyWorkload(faculty_count=30).generate(5)}
+        plan = translate(parse_query(SUPERSTAR), catalog)
+        raw_stats = EngineStats()
+        opt_stats = EngineStats()
+        raw_rows = sorted(compile_plan(plan, catalog, raw_stats).run())
+        opt_rows = sorted(
+            compile_plan(optimize(plan), catalog, opt_stats).run()
+        )
+        assert raw_rows == opt_rows
+        assert opt_stats.comparisons < raw_stats.comparisons / 10
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_equivalence_on_random_faculty(self, seed):
+        catalog = {
+            "Faculty": FacultyWorkload(faculty_count=12).generate(seed)
+        }
+        plan = translate(parse_query(SUPERSTAR), catalog)
+        assert sorted(compile_plan(plan, catalog).run()) == sorted(
+            compile_plan(optimize(plan), catalog).run()
+        )
+
+
+class TestRewriteEdgeCases:
+    def test_plan_without_where(self):
+        plan = translate(
+            parse_query("range of f is Faculty retrieve (N = f.Name)"),
+            CATALOG,
+        )
+        assert sorted(compile_plan(optimize(plan), CATALOG).run()) == sorted(
+            compile_plan(plan, CATALOG).run()
+        )
+
+    def test_selection_on_single_relation(self):
+        schema = TemporalSchema("R", "Id", "Val")
+        catalog = {
+            "R": TemporalRelation.from_rows(
+                schema, [("a", 1, 0, 5), ("b", 2, 3, 9)]
+            )
+        }
+        plan = translate(
+            parse_query(
+                "range of r is R retrieve (I = r.Id) where r.ValidFrom < 3"
+            ),
+            catalog,
+        )
+        assert compile_plan(optimize(plan), catalog).run() == [("a",)]
+
+    def test_fused_predicate_with_literal_side(self):
+        # A predicate mixing literal and cross-side attributes must end
+        # up somewhere valid.
+        leaf = Rel("Faculty", "f", CATALOG["Faculty"].schema)
+        plan = LSelect(
+            leaf,
+            And.of(
+                Compare(Attr("f.ValidFrom"), "<", Literal(10)),
+                Compare(Attr("f.Rank"), "=", Literal("Assistant")),
+            ),
+        )
+        rows = compile_plan(optimize(plan), CATALOG).run()
+        assert len(rows) == 2  # Smith and Jones as assistants

@@ -1,0 +1,104 @@
+"""Tests for the derived Allen composition table."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.allen import (
+    ALL_RELATIONS,
+    AllenRelation,
+    compose,
+    compose_sets,
+    is_consistent_triple,
+)
+from repro.model import Interval
+
+intervals = st.tuples(
+    st.integers(min_value=0, max_value=40),
+    st.integers(min_value=1, max_value=20),
+).map(lambda t: Interval(t[0], t[0] + t[1]))
+
+relations = st.sampled_from(list(ALL_RELATIONS))
+
+
+class TestKnownEntries:
+    def test_equal_is_identity(self):
+        for rel in ALL_RELATIONS:
+            assert compose(AllenRelation.EQUAL, rel) == {rel}
+            assert compose(rel, AllenRelation.EQUAL) == {rel}
+
+    def test_before_is_transitive(self):
+        assert compose(AllenRelation.BEFORE, AllenRelation.BEFORE) == {
+            AllenRelation.BEFORE
+        }
+        assert compose(AllenRelation.AFTER, AllenRelation.AFTER) == {
+            AllenRelation.AFTER
+        }
+
+    def test_during_before_gives_before(self):
+        assert compose(AllenRelation.DURING, AllenRelation.BEFORE) == {
+            AllenRelation.BEFORE
+        }
+
+    def test_contains_during_is_wide_open(self):
+        # X contains Y, Y during Z constrains X vs Z only weakly.
+        result = compose(AllenRelation.CONTAINS, AllenRelation.DURING)
+        assert AllenRelation.EQUAL in result
+        assert AllenRelation.CONTAINS in result
+        assert AllenRelation.DURING in result
+        assert len(result) == 9
+
+    def test_before_after_is_universal(self):
+        assert compose(AllenRelation.BEFORE, AllenRelation.AFTER) == set(
+            ALL_RELATIONS
+        )
+
+    def test_meets_meets_gives_before(self):
+        assert compose(AllenRelation.MEETS, AllenRelation.MEETS) == {
+            AllenRelation.BEFORE
+        }
+
+    def test_during_transitive(self):
+        assert compose(AllenRelation.DURING, AllenRelation.DURING) == {
+            AllenRelation.DURING
+        }
+
+
+class TestAlgebraicProperties:
+    def test_every_entry_nonempty(self):
+        for r1 in ALL_RELATIONS:
+            for r2 in ALL_RELATIONS:
+                assert compose(r1, r2)
+
+    def test_inverse_law(self):
+        """(r1 ; r2)^-1 == r2^-1 ; r1^-1."""
+        for r1 in ALL_RELATIONS:
+            for r2 in ALL_RELATIONS:
+                lhs = {r.inverse() for r in compose(r1, r2)}
+                rhs = compose(r2.inverse(), r1.inverse())
+                assert lhs == rhs
+
+    @given(intervals, intervals, intervals)
+    def test_soundness_on_concrete_triples(self, x, y, z):
+        from repro.allen import classify
+
+        r1 = classify(x, y)
+        r2 = classify(y, z)
+        r3 = classify(x, z)
+        assert r3 in compose(r1, r2)
+        assert is_consistent_triple(r1, r2, r3)
+
+    def test_compose_sets_unions_pointwise(self):
+        s1 = frozenset({AllenRelation.BEFORE, AllenRelation.MEETS})
+        s2 = frozenset({AllenRelation.BEFORE})
+        expected = compose(AllenRelation.BEFORE, AllenRelation.BEFORE) | (
+            compose(AllenRelation.MEETS, AllenRelation.BEFORE)
+        )
+        assert compose_sets(s1, s2) == expected
+
+    def test_inconsistent_triple_rejected(self):
+        # X before Y and Y before Z cannot give X after Z.
+        assert not is_consistent_triple(
+            AllenRelation.BEFORE,
+            AllenRelation.BEFORE,
+            AllenRelation.AFTER,
+        )

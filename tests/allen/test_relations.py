@@ -1,0 +1,108 @@
+"""Tests for the 13 Allen relations (Figure 2), exhaustively
+cross-validated over a small interval space."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.allen import ALL_RELATIONS, GENERAL_OVERLAP, AllenRelation, classify
+from repro.model import Interval
+
+SMALL_INTERVALS = [Interval(a, b) for a, b in combinations(range(6), 2)]
+
+intervals = st.tuples(
+    st.integers(min_value=-100, max_value=100),
+    st.integers(min_value=1, max_value=60),
+).map(lambda t: Interval(t[0], t[0] + t[1]))
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "x, y, expected",
+        [
+            ((1, 5), (1, 5), AllenRelation.EQUAL),
+            ((1, 5), (5, 9), AllenRelation.MEETS),
+            ((5, 9), (1, 5), AllenRelation.MET_BY),
+            ((1, 3), (1, 9), AllenRelation.STARTS),
+            ((1, 9), (1, 3), AllenRelation.STARTED_BY),
+            ((7, 9), (1, 9), AllenRelation.FINISHES),
+            ((1, 9), (7, 9), AllenRelation.FINISHED_BY),
+            ((3, 5), (1, 9), AllenRelation.DURING),
+            ((1, 9), (3, 5), AllenRelation.CONTAINS),
+            ((1, 5), (3, 9), AllenRelation.OVERLAPS),
+            ((3, 9), (1, 5), AllenRelation.OVERLAPPED_BY),
+            ((1, 3), (5, 9), AllenRelation.BEFORE),
+            ((5, 9), (1, 3), AllenRelation.AFTER),
+        ],
+    )
+    def test_figure2_rows(self, x, y, expected):
+        assert classify(Interval(*x), Interval(*y)) is expected
+
+    def test_partition_property_exhaustive(self):
+        """Exactly one of the 13 relations holds per pair (Figure 2:
+        'the 13 possible temporal relationships' partition the space)."""
+        for x in SMALL_INTERVALS:
+            for y in SMALL_INTERVALS:
+                holding = [r for r in ALL_RELATIONS if r.holds(x, y)]
+                assert holding == [classify(x, y)]
+
+    @given(intervals, intervals)
+    def test_classify_agrees_with_predicate(self, x, y):
+        assert classify(x, y).holds(x, y)
+
+    @given(intervals, intervals)
+    def test_classify_inverse_symmetry(self, x, y):
+        assert classify(y, x) is classify(x, y).inverse()
+
+
+class TestInverse:
+    def test_involution(self):
+        for rel in ALL_RELATIONS:
+            assert rel.inverse().inverse() is rel
+
+    def test_self_inverse_is_only_equal(self):
+        self_inverse = [r for r in ALL_RELATIONS if r.inverse() is r]
+        assert self_inverse == [AllenRelation.EQUAL]
+
+    def test_there_are_thirteen(self):
+        assert len(ALL_RELATIONS) == 13
+        assert len(set(ALL_RELATIONS)) == 13
+
+
+class TestInequalityOnly:
+    def test_members(self):
+        """Section 4.2 names during/contains, overlaps and before (and
+        inverses) as the operators whose explicit constraints are pure
+        inequalities."""
+        expected = {
+            AllenRelation.DURING,
+            AllenRelation.CONTAINS,
+            AllenRelation.OVERLAPS,
+            AllenRelation.OVERLAPPED_BY,
+            AllenRelation.BEFORE,
+            AllenRelation.AFTER,
+        }
+        assert {
+            r for r in ALL_RELATIONS if r.is_inequality_only
+        } == expected
+
+
+class TestGeneralOverlap:
+    def test_matches_intersects_exhaustively(self):
+        """The TQuel 'overlap' is exactly the union of the nine
+        point-sharing Allen relations (footnote 6 of the paper)."""
+        for x in SMALL_INTERVALS:
+            for y in SMALL_INTERVALS:
+                assert (classify(x, y) in GENERAL_OVERLAP) == x.intersects(y)
+
+    def test_excludes_before_meets(self):
+        for rel in (
+            AllenRelation.BEFORE,
+            AllenRelation.AFTER,
+            AllenRelation.MEETS,
+            AllenRelation.MET_BY,
+        ):
+            assert rel not in GENERAL_OVERLAP
+        assert len(GENERAL_OVERLAP) == 9

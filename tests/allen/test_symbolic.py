@@ -1,0 +1,151 @@
+"""Tests for symbolic endpoint constraints — Figure 2's right column.
+
+The key property: for every Allen relation, the explicit constraint
+conjunction evaluates to true exactly when the relation holds.  The
+paper calls the operators "syntactic sugar" for these constraints; we
+verify the desugaring is faithful.
+"""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.allen import (
+    ALL_RELATIONS,
+    AllenRelation,
+    Comparison,
+    CompOp,
+    Conjunction,
+    Endpoint,
+    EndpointKind,
+    constraint_for,
+    general_overlap_constraint,
+    intra_tuple_constraint,
+)
+from repro.model import Interval
+
+SMALL_INTERVALS = [Interval(a, b) for a, b in combinations(range(6), 2)]
+
+intervals = st.tuples(
+    st.integers(min_value=-50, max_value=50),
+    st.integers(min_value=1, max_value=40),
+).map(lambda t: Interval(t[0], t[0] + t[1]))
+
+
+class TestEndpoint:
+    def test_evaluate(self):
+        binding = {"f1": Interval(3, 9)}
+        assert Endpoint("f1", EndpointKind.TS).evaluate(binding) == 3
+        assert Endpoint("f1", EndpointKind.TE).evaluate(binding) == 9
+
+    def test_str(self):
+        assert str(Endpoint("f1", EndpointKind.TS)) == "f1.TS"
+
+
+class TestComparison:
+    def test_gt_normalises_to_lt(self):
+        a = Endpoint("X", EndpointKind.TS)
+        b = Endpoint("Y", EndpointKind.TS)
+        c = Comparison.gt(a, b)
+        assert c.op is CompOp.LT
+        assert c.left == b and c.right == a
+
+    def test_ge_normalises_to_le(self):
+        a = Endpoint("X", EndpointKind.TS)
+        c = Comparison.ge(a, 5)
+        assert c.op is CompOp.LE
+        assert c.left == 5 and c.right == a
+
+    def test_constant_operands(self):
+        c = Comparison.lt(Endpoint("X", EndpointKind.TS), 10)
+        assert c.evaluate({"X": Interval(3, 9)})
+        assert not c.evaluate({"X": Interval(10, 19)})
+
+    def test_variables(self):
+        c = Comparison.lt(
+            Endpoint("X", EndpointKind.TS), Endpoint("Y", EndpointKind.TE)
+        )
+        assert c.variables() == {"X", "Y"}
+        assert Comparison.lt(5, 6).variables() == frozenset()
+
+    def test_rename(self):
+        c = Comparison.lt(
+            Endpoint("X", EndpointKind.TS), Endpoint("Y", EndpointKind.TE)
+        )
+        renamed = c.rename({"X": "f1", "Y": "f3"})
+        assert renamed.variables() == {"f1", "f3"}
+
+
+class TestConjunction:
+    def test_evaluate_is_conjunctive(self):
+        conj = constraint_for(AllenRelation.DURING)
+        assert conj.evaluate({"X": Interval(3, 5), "Y": Interval(1, 9)})
+        assert not conj.evaluate({"X": Interval(1, 5), "Y": Interval(1, 9)})
+
+    def test_without_removes_one(self):
+        conj = constraint_for(AllenRelation.DURING)
+        first = conj.comparisons[0]
+        smaller = conj.without(first)
+        assert len(smaller) == len(conj) - 1
+        assert first not in smaller.comparisons
+
+    def test_conjoin(self):
+        a = constraint_for(AllenRelation.BEFORE, "f1", "f2")
+        b = intra_tuple_constraint("f1")
+        combined = a.conjoin(b)
+        assert len(combined) == len(a) + len(b)
+
+    def test_rename(self):
+        conj = constraint_for(AllenRelation.OVERLAPS).rename(
+            {"X": "f1", "Y": "f3"}
+        )
+        assert conj.variables() == {"f1", "f3"}
+
+
+class TestFigure2Faithfulness:
+    @pytest.mark.parametrize("relation", ALL_RELATIONS)
+    def test_constraint_matches_relation_exhaustively(self, relation):
+        conj = constraint_for(relation)
+        for x in SMALL_INTERVALS:
+            for y in SMALL_INTERVALS:
+                assert conj.evaluate({"X": x, "Y": y}) == relation.holds(
+                    x, y
+                ), f"{relation} vs {conj} on {x}, {y}"
+
+    @given(intervals, intervals)
+    def test_constraint_matches_relation_random(self, x, y):
+        for relation in ALL_RELATIONS:
+            conj = constraint_for(relation)
+            assert conj.evaluate({"X": x, "Y": y}) == relation.holds(x, y)
+
+    def test_overlaps_has_three_inequalities(self):
+        """Figure 2 row 6 lists three strict inequalities."""
+        conj = constraint_for(AllenRelation.OVERLAPS)
+        assert len(conj) == 3
+        assert all(c.op is CompOp.LT for c in conj)
+
+    def test_inverse_relations_swap_operands(self):
+        during = constraint_for(AllenRelation.DURING, "a", "b")
+        contains = constraint_for(AllenRelation.CONTAINS, "b", "a")
+        assert set(during.comparisons) == set(contains.comparisons)
+
+
+class TestGeneralOverlapConstraint:
+    @given(intervals, intervals)
+    def test_matches_intersects(self, x, y):
+        conj = general_overlap_constraint()
+        assert conj.evaluate({"X": x, "Y": y}) == x.intersects(y)
+
+    def test_superstar_translation(self):
+        """The paper's Section-3 desugaring: (f1 overlap f3) becomes
+        f1.TS < f3.TE AND f3.TS < f1.TE."""
+        conj = general_overlap_constraint("f1", "f3")
+        assert str(conj) == "f1.TS < f3.TE AND f3.TS < f1.TE"
+
+
+class TestIntraTupleConstraint:
+    @given(intervals)
+    def test_always_holds_on_valid_intervals(self, x):
+        assert intra_tuple_constraint("X").evaluate({"X": x})

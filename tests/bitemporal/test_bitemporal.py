@@ -1,0 +1,169 @@
+"""Tests for the bitemporal (rollback) extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TemporalModelError
+from repro.bitemporal import UNTIL_CHANGED, BitemporalRelation, BitemporalTuple
+from repro.model import (
+    TS_ASC,
+    TemporalSchema,
+    TemporalTuple,
+    faculty_constraints,
+)
+
+FACULTY = TemporalSchema("Faculty", "Name", "Rank")
+
+
+@pytest.fixture
+def store():
+    """A faculty history with corrections:
+
+    tx=1: Smith recorded Assistant [0, 6)
+    tx=2: Smith recorded Associate [6, 12)
+    tx=3: the Assistant period is corrected to [0, 5) (the original
+          record was wrong), and Associate is re-dated accordingly.
+    """
+    relation = BitemporalRelation(FACULTY)
+    relation.insert("Smith", "Assistant", 0, 6, tx_time=1)
+    relation.insert("Smith", "Associate", 6, 12, tx_time=2)
+    relation.logical_delete(
+        3, lambda t: t.surrogate == "Smith"
+    )
+    relation.insert("Smith", "Assistant", 0, 5, tx_time=4)
+    relation.insert("Smith", "Associate", 5, 12, tx_time=5)
+    return relation
+
+
+class TestBitemporalTuple:
+    def test_defaults_to_current(self):
+        tup = BitemporalTuple("a", 1, 0, 5, tx_start=10)
+        assert tup.is_current
+        assert tup.tx_stop == UNTIL_CHANGED
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            BitemporalTuple("a", 1, 5, 5, tx_start=1)
+        with pytest.raises(TemporalModelError):
+            BitemporalTuple("a", 1, 0, 5, tx_start=9, tx_stop=9)
+
+    def test_believed_at(self):
+        tup = BitemporalTuple("a", 1, 0, 5, tx_start=10, tx_stop=20)
+        assert tup.believed_at(10)
+        assert tup.believed_at(19)
+        assert not tup.believed_at(20)
+        assert not tup.believed_at(9)
+
+    def test_closed(self):
+        tup = BitemporalTuple("a", 1, 0, 5, tx_start=10)
+        done = tup.closed(15)
+        assert done.tx_stop == 15
+        assert not done.is_current
+        with pytest.raises(TemporalModelError):
+            done.closed(20)
+        with pytest.raises(TemporalModelError):
+            tup.closed(10)
+
+    def test_projection(self):
+        tup = BitemporalTuple("a", 1, 0, 5, tx_start=10)
+        assert tup.to_valid_time() == TemporalTuple("a", 1, 0, 5)
+
+
+class TestRollback:
+    def test_as_of_before_anything(self, store):
+        assert len(store.as_of(0)) == 0
+
+    def test_as_of_sees_the_original_record(self, store):
+        at_tx2 = store.as_of(2)
+        assert TemporalTuple("Smith", "Assistant", 0, 6) in at_tx2
+        assert TemporalTuple("Smith", "Associate", 6, 12) in at_tx2
+
+    def test_as_of_mid_correction(self, store):
+        # At tx=3 the delete has happened but the corrections not yet.
+        assert len(store.as_of(3)) == 0
+
+    def test_current_reflects_corrections(self, store):
+        now = store.current()
+        assert TemporalTuple("Smith", "Assistant", 0, 5) in now
+        assert TemporalTuple("Smith", "Associate", 5, 12) in now
+        assert len(now) == 2
+
+    def test_belief_changes(self, store):
+        assert store.belief_changes() == [1, 2, 3, 4, 5]
+
+    def test_log_preserves_history(self, store):
+        # 4 inserts; 2 of them closed.
+        assert len(store) == 4
+        closed = [t for t in store if not t.is_current]
+        assert len(closed) == 2
+
+
+class TestTransactionDiscipline:
+    def test_clock_must_increase(self):
+        relation = BitemporalRelation(FACULTY)
+        relation.insert("a", "Assistant", 0, 5, tx_time=5)
+        with pytest.raises(TemporalModelError):
+            relation.insert("b", "Assistant", 0, 5, tx_time=5)
+        with pytest.raises(TemporalModelError):
+            relation.logical_delete(4, lambda t: True)
+
+    def test_sentinel_collision_rejected(self):
+        relation = BitemporalRelation(FACULTY)
+        with pytest.raises(TemporalModelError):
+            relation.insert("a", 1, 0, 5, tx_time=UNTIL_CHANGED)
+
+    def test_update_closes_and_reopens(self):
+        relation = BitemporalRelation(FACULTY)
+        relation.insert("a", "Assistant", 0, 5, tx_time=1)
+        corrected = relation.update(
+            2, lambda t: t.surrogate == "a", "Associate"
+        )
+        assert corrected == 1
+        assert [t.value for t in relation.current()] == ["Associate"]
+        assert [t.value for t in relation.as_of(1)] == ["Assistant"]
+
+
+class TestInteroperability:
+    def test_stream_operators_run_on_rollback_states(self, store):
+        """as_of() yields an ordinary TemporalRelation — sortable and
+        usable by the stream engine."""
+        from repro.streams import SelfContainSemijoin, TupleStream
+
+        snapshot = store.as_of(2).sorted_by(TS_ASC)
+        semi = SelfContainSemijoin(TupleStream.from_relation(snapshot))
+        assert semi.run() == []  # no containment in this history
+
+    def test_constraints_carry_over(self):
+        relation = BitemporalRelation(
+            FACULTY, constraints=faculty_constraints()
+        )
+        relation.insert("a", "Full", 0, 5, tx_time=1)
+        relation.insert("a", "Assistant", 5, 9, tx_time=2)
+        violations = relation.current().validate()
+        assert violations  # demotion detected on the belief state
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=30),
+                st.integers(min_value=1, max_value=10),
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_property_asof_monotone_log(self, rows):
+        """With inserts only, as_of() is monotone: later transaction
+        times see supersets."""
+        relation = BitemporalRelation(FACULTY)
+        for tx, (s, a, d) in enumerate(rows, start=1):
+            relation.insert(f"s{s}", tx, a, a + d, tx_time=tx)
+        previous: set = set()
+        for tx in range(1, len(rows) + 1):
+            seen = set(relation.as_of(tx).tuples)
+            assert previous <= seen
+            previous = seen
+        assert len(relation.current()) == len(rows)

@@ -1,0 +1,138 @@
+"""Tests for coalescing and timeslicing."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    Interval,
+    TemporalRelation,
+    TemporalSchema,
+    TemporalTuple,
+    coalesce,
+    history_intervals,
+    is_coalesced,
+    timeslice,
+    total_duration,
+)
+
+SCHEMA = TemporalSchema("R", "Id", "Val")
+
+
+def rel(*rows):
+    return TemporalRelation.from_rows(SCHEMA, rows)
+
+
+class TestCoalesce:
+    def test_adjacent_merged(self):
+        out = coalesce(rel(("a", 1, 0, 5), ("a", 1, 5, 9)))
+        assert list(out) == [TemporalTuple("a", 1, 0, 9)]
+
+    def test_overlapping_merged(self):
+        out = coalesce(rel(("a", 1, 0, 6), ("a", 1, 4, 9)))
+        assert list(out) == [TemporalTuple("a", 1, 0, 9)]
+
+    def test_gap_not_merged(self):
+        out = coalesce(rel(("a", 1, 0, 4), ("a", 1, 6, 9)))
+        assert len(out) == 2
+
+    def test_different_values_not_merged(self):
+        out = coalesce(rel(("a", 1, 0, 5), ("a", 2, 5, 9)))
+        assert len(out) == 2
+
+    def test_different_surrogates_not_merged(self):
+        out = coalesce(rel(("a", 1, 0, 5), ("b", 1, 5, 9)))
+        assert len(out) == 2
+
+    def test_chain_of_three(self):
+        out = coalesce(
+            rel(("a", 1, 0, 4), ("a", 1, 3, 8), ("a", 1, 8, 12))
+        )
+        assert list(out) == [TemporalTuple("a", 1, 0, 12)]
+
+    def test_idempotent(self):
+        original = rel(("a", 1, 0, 5), ("a", 1, 5, 9), ("b", 2, 0, 3))
+        once = coalesce(original)
+        twice = coalesce(once)
+        assert once == twice
+        assert is_coalesced(once)
+
+    def test_is_coalesced_detects_mergeable(self):
+        assert not is_coalesced(rel(("a", 1, 0, 5), ("a", 1, 5, 9)))
+        assert is_coalesced(rel(("a", 1, 0, 5), ("a", 1, 6, 9)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),  # surrogate id
+                st.integers(min_value=0, max_value=1),  # value
+                st.integers(min_value=0, max_value=40),
+                st.integers(min_value=1, max_value=15),
+            ),
+            max_size=25,
+        )
+    )
+    def test_property_semantics_preserved(self, rows):
+        """Coalescing never changes which (surrogate, value) holds at
+        which timepoint."""
+        relation = rel(
+            *[(f"s{s}", v, a, a + d) for s, v, a, d in rows]
+        )
+        merged = coalesce(relation)
+        assert is_coalesced(merged)
+
+        def facts(r):
+            out = set()
+            for tup in r:
+                for point in tup.interval.points():
+                    out.add((tup.surrogate, tup.value, point))
+            return out
+
+        assert facts(relation) == facts(merged)
+        assert len(merged) <= len(relation)
+
+
+class TestTimeslice:
+    def test_clipping(self):
+        out = timeslice(rel(("a", 1, 0, 10)), Interval(4, 6))
+        assert list(out) == [TemporalTuple("a", 1, 4, 6)]
+
+    def test_disjoint_dropped(self):
+        out = timeslice(rel(("a", 1, 0, 3)), Interval(5, 9))
+        assert len(out) == 0
+
+    def test_window_containing_tuple(self):
+        out = timeslice(rel(("a", 1, 4, 6)), Interval(0, 10))
+        assert list(out) == [TemporalTuple("a", 1, 4, 6)]
+
+    def test_matches_pointwise_snapshots(self):
+        relation = rel(
+            ("a", 1, 0, 10), ("b", 2, 3, 5), ("c", 3, 8, 20)
+        )
+        window = Interval(4, 9)
+        sliced = timeslice(relation, window)
+        for point in window.points():
+            assert {
+                (t.surrogate, t.value) for t in sliced.snapshot(point)
+            } == {
+                (t.surrogate, t.value) for t in relation.snapshot(point)
+            }
+
+
+class TestHistoryIntervals:
+    def test_merges_across_values(self):
+        relation = rel(
+            ("a", 1, 0, 5), ("a", 2, 5, 9), ("a", 3, 12, 15)
+        )
+        assert history_intervals(relation, "a") == [
+            Interval(0, 9),
+            Interval(12, 15),
+        ]
+
+    def test_unknown_surrogate(self):
+        assert history_intervals(rel(("a", 1, 0, 5)), "zzz") == []
+
+    def test_total_duration(self):
+        assert (
+            total_duration([Interval(0, 9), Interval(12, 15)]) == 12
+        )

@@ -1,0 +1,173 @@
+"""Unit tests for temporal integrity constraints (Sections 2 and 5)."""
+
+import pytest
+
+from repro.errors import IntegrityViolationError
+from repro.model import (
+    ChronologicalOrdering,
+    ConstraintSet,
+    ContinuousLifespan,
+    FirstValue,
+    IntraTupleConstraint,
+    SnapshotUniqueness,
+    TemporalRelation,
+    TemporalSchema,
+    faculty_constraints,
+)
+
+FACULTY = TemporalSchema("Faculty", "Name", "Rank")
+
+
+def faculty(*rows):
+    return TemporalRelation.from_rows(FACULTY, rows)
+
+
+@pytest.fixture
+def smith_career():
+    """The Figure-1 example: Smith rises through all three ranks with
+    continuous employment."""
+    return faculty(
+        ("Smith", "Assistant", 0, 6),
+        ("Smith", "Associate", 6, 12),
+        ("Smith", "Full", 12, 20),
+    )
+
+
+class TestIntraTuple:
+    def test_valid_relation_passes(self, smith_career):
+        assert IntraTupleConstraint().holds(smith_career)
+
+    def test_enforce_passes_silently(self, smith_career):
+        IntraTupleConstraint().enforce(smith_career)
+
+
+class TestSnapshotUniqueness:
+    def test_disjoint_histories_pass(self, smith_career):
+        assert SnapshotUniqueness().holds(smith_career)
+
+    def test_overlapping_history_fails(self):
+        rel = faculty(
+            ("Smith", "Assistant", 0, 8),
+            ("Smith", "Associate", 6, 12),
+        )
+        violations = SnapshotUniqueness().validate(rel)
+        assert len(violations) == 1
+        assert "overlap" in violations[0].message
+
+    def test_different_surrogates_may_overlap(self):
+        rel = faculty(
+            ("Smith", "Assistant", 0, 8),
+            ("Jones", "Assistant", 2, 6),
+        )
+        assert SnapshotUniqueness().holds(rel)
+
+
+class TestChronologicalOrdering:
+    RANKS = ("Assistant", "Associate", "Full")
+
+    def test_career_in_order_passes(self, smith_career):
+        assert ChronologicalOrdering(self.RANKS).holds(smith_career)
+
+    def test_gap_between_ranks_allowed(self):
+        # Re-hiring with a gap does not violate chronological ordering
+        # (only ContinuousLifespan forbids it).
+        rel = faculty(
+            ("Smith", "Assistant", 0, 6),
+            ("Smith", "Full", 15, 20),
+        )
+        assert ChronologicalOrdering(self.RANKS).holds(rel)
+
+    def test_demotion_fails(self):
+        rel = faculty(
+            ("Smith", "Associate", 0, 6),
+            ("Smith", "Assistant", 6, 12),
+        )
+        violations = ChronologicalOrdering(self.RANKS).validate(rel)
+        assert any("against the declared order" in v.message for v in violations)
+
+    def test_rank_held_twice_fails(self):
+        rel = faculty(
+            ("Smith", "Assistant", 0, 6),
+            ("Smith", "Assistant", 8, 12),
+        )
+        violations = ChronologicalOrdering(self.RANKS).validate(rel)
+        assert any("two distinct periods" in v.message for v in violations)
+
+    def test_unknown_value_fails(self):
+        rel = faculty(("Smith", "Emeritus", 0, 6))
+        violations = ChronologicalOrdering(self.RANKS).validate(rel)
+        assert any("not in" in v.message for v in violations)
+
+    def test_overlapping_ordered_ranks_fail(self):
+        rel = faculty(
+            ("Smith", "Assistant", 0, 8),
+            ("Smith", "Associate", 6, 12),
+        )
+        assert not ChronologicalOrdering(self.RANKS).holds(rel)
+
+    def test_precedes(self):
+        ordering = ChronologicalOrdering(self.RANKS)
+        assert ordering.precedes("Assistant", "Full")
+        assert not ordering.precedes("Full", "Assistant")
+        assert not ordering.precedes("Full", "Full")
+
+    def test_degenerate_orderings_rejected(self):
+        with pytest.raises(ValueError):
+            ChronologicalOrdering(("OnlyOne",))
+        with pytest.raises(ValueError):
+            ChronologicalOrdering(("A", "A"))
+
+
+class TestContinuousLifespan:
+    def test_meeting_periods_pass(self, smith_career):
+        assert ContinuousLifespan().holds(smith_career)
+
+    def test_gap_fails(self):
+        rel = faculty(
+            ("Smith", "Assistant", 0, 6),
+            ("Smith", "Associate", 8, 12),
+        )
+        assert not ContinuousLifespan().holds(rel)
+
+
+class TestFirstValue:
+    def test_hired_as_assistant_passes(self, smith_career):
+        assert FirstValue("Assistant").holds(smith_career)
+
+    def test_hired_at_higher_rank_fails(self):
+        rel = faculty(("Jones", "Full", 0, 6))
+        violations = FirstValue("Assistant").validate(rel)
+        assert len(violations) == 1
+
+
+class TestConstraintSet:
+    def test_validate_aggregates_all(self):
+        rel = faculty(
+            ("Smith", "Associate", 0, 8),
+            ("Smith", "Assistant", 6, 12),
+        )
+        cs = faculty_constraints()
+        violations = cs.validate(rel)
+        assert len(violations) >= 2  # overlap + demotion
+
+    def test_enforce_raises(self):
+        rel = faculty(("Smith", "Emeritus", 0, 6))
+        with pytest.raises(IntegrityViolationError):
+            faculty_constraints().enforce(rel)
+
+    def test_find_by_type(self):
+        cs = faculty_constraints(continuous=True)
+        assert len(cs.find(ChronologicalOrdering)) == 1
+        assert len(cs.find(ContinuousLifespan)) == 1
+        assert len(cs.find(FirstValue)) == 1
+
+    def test_with_constraint_is_pure(self):
+        base = ConstraintSet()
+        extended = base.with_constraint(IntraTupleConstraint())
+        assert len(base) == 0
+        assert len(extended) == 1
+
+    def test_faculty_constraints_accept_figure1(self, smith_career):
+        assert not faculty_constraints(continuous=True).validate(
+            smith_career
+        )

@@ -1,0 +1,123 @@
+"""Unit tests for TemporalRelation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model import (
+    TE_ASC,
+    TS_ASC,
+    Interval,
+    TemporalRelation,
+    TemporalSchema,
+    TemporalTuple,
+    faculty_constraints,
+)
+
+FACULTY = TemporalSchema("Faculty", "Name", "Rank")
+
+
+@pytest.fixture
+def rel():
+    return TemporalRelation.from_rows(
+        FACULTY,
+        [
+            ("Smith", "Assistant", 0, 6),
+            ("Smith", "Associate", 6, 12),
+            ("Jones", "Assistant", 4, 9),
+            ("Jones", "Associate", 9, 15),
+        ],
+        constraints=faculty_constraints(),
+    )
+
+
+class TestBasics:
+    def test_len_and_iter(self, rel):
+        assert len(rel) == 4
+        assert all(isinstance(t, TemporalTuple) for t in rel)
+
+    def test_contains(self, rel):
+        assert TemporalTuple("Smith", "Assistant", 0, 6) in rel
+        assert TemporalTuple("Smith", "Full", 0, 6) not in rel
+
+    def test_equality_ignores_tuple_order(self, rel):
+        shuffled = rel.replace_tuples(reversed(rel.tuples))
+        assert rel == shuffled
+
+    def test_relations_are_unhashable(self, rel):
+        with pytest.raises(TypeError):
+            hash(rel)
+
+
+class TestDerivations:
+    def test_where_value(self, rel):
+        assistants = rel.where_value("Assistant")
+        assert len(assistants) == 2
+        assert assistants.attribute_values() == {"Assistant"}
+
+    def test_where_surrogate(self, rel):
+        smith = rel.where_surrogate("Smith")
+        assert len(smith) == 2
+        assert smith.surrogates() == {"Smith"}
+
+    def test_sorted_by_records_order(self, rel):
+        ordered = rel.sorted_by(TS_ASC)
+        assert ordered.order == TS_ASC
+        assert ordered.verify_order()
+        assert [t.valid_from for t in ordered] == [0, 4, 6, 9]
+
+    def test_where_preserves_order_metadata(self, rel):
+        ordered = rel.sorted_by(TE_ASC)
+        filtered = ordered.where_value("Associate")
+        assert filtered.order == TE_ASC
+        assert filtered.verify_order()
+
+    def test_project_intervals(self, rel):
+        spans = rel.sorted_by(TS_ASC).project_intervals()
+        assert spans[0] == Interval(0, 6)
+
+    def test_group_by_surrogate(self, rel):
+        grouped = rel.group_by_surrogate()
+        assert set(grouped) == {"Smith", "Jones"}
+        assert [t.value for t in grouped["Smith"]] == [
+            "Assistant",
+            "Associate",
+        ]
+
+    def test_timespan(self, rel):
+        assert rel.timespan() == (0, 15)
+        assert rel.replace_tuples([]).timespan() is None
+
+    def test_snapshot(self, rel):
+        at5 = rel.snapshot(5)
+        assert {(t.surrogate, t.value) for t in at5} == {
+            ("Smith", "Assistant"),
+            ("Jones", "Assistant"),
+        }
+
+
+class TestValidation:
+    def test_validate_clean_relation(self, rel):
+        assert rel.validate() == []
+
+    def test_validate_reports_violations(self):
+        dirty = TemporalRelation.from_rows(
+            FACULTY,
+            [
+                ("Smith", "Full", 0, 6),
+                ("Smith", "Assistant", 6, 12),
+            ],
+            constraints=faculty_constraints(),
+        )
+        assert dirty.validate()
+
+    def test_verify_order_detects_lies(self, rel):
+        lying = TemporalRelation(
+            rel.schema, reversed(rel.sorted_by(TS_ASC).tuples), order=TS_ASC
+        )
+        assert not lying.verify_order()
+
+    def test_resolve_attribute(self, rel):
+        assert rel.resolve_attribute("Name") == "Name"
+        assert rel.resolve_attribute("ValidFrom") == "ValidFrom"
+        with pytest.raises(SchemaError):
+            rel.resolve_attribute("Salary")

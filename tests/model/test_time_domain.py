@@ -1,0 +1,52 @@
+"""Tests for the discrete time domain."""
+
+import pytest
+
+from repro.model import ORIGIN, TimeDomain, validate_timepoint
+
+
+class TestTimeDomain:
+    def test_defaults(self):
+        domain = TimeDomain()
+        assert domain.origin == ORIGIN == 0
+        assert 0 in domain
+        assert domain.now in domain
+
+    def test_membership(self):
+        domain = TimeDomain(origin=10, now=20)
+        assert 10 in domain
+        assert 20 in domain
+        assert 9 not in domain
+        assert 21 not in domain
+        assert "15" not in domain
+        assert True not in domain  # bools are not timepoints
+
+    def test_len(self):
+        assert len(TimeDomain(origin=0, now=9)) == 10
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            TimeDomain(origin=5, now=4)
+
+    def test_clamp(self):
+        domain = TimeDomain(origin=0, now=100)
+        assert domain.clamp(-5) == 0
+        assert domain.clamp(50) == 50
+        assert domain.clamp(500) == 100
+
+    def test_points(self):
+        assert list(TimeDomain(origin=3, now=6).points()) == [3, 4, 5, 6]
+
+
+class TestValidateTimepoint:
+    def test_accepts_ints(self):
+        assert validate_timepoint(0) == 0
+        assert validate_timepoint(-7) == -7
+
+    def test_rejects_floats_and_bools(self):
+        with pytest.raises(TypeError):
+            validate_timepoint(1.5)
+        with pytest.raises(TypeError):
+            validate_timepoint(True)
+        with pytest.raises(TypeError):
+            validate_timepoint("now", name="end")

@@ -1,0 +1,205 @@
+"""Tests for hybrid execution: stream algorithms inside declarative
+query plans."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import LJoin, compile_plan, optimize
+from repro.optimizer import execute_hybrid, recognize_stream_join
+from repro.query import parse_query, run_query, translate
+from repro.streams import TemporalOperator
+from repro.workload import PoissonWorkload, fixed_duration
+
+
+def catalog(seed_offset=0, n=150):
+    x = PoissonWorkload(n, 0.4, fixed_duration(4), name="X").generate(
+        5 + seed_offset
+    )
+    y = PoissonWorkload(n, 0.4, fixed_duration(30), name="Y").generate(
+        6 + seed_offset
+    )
+    return {"X": x, "Y": y}
+
+
+def plan_for(text, cat):
+    return optimize(translate(parse_query(text), cat))
+
+
+def first_join(plan):
+    return next(node for node in plan.walk() if isinstance(node, LJoin))
+
+
+DURING_QUERY = (
+    "range of a is X range of b is Y "
+    "retrieve (A = a.Seq, B = b.Seq) where a during b"
+)
+
+
+class TestRecognition:
+    def test_during_recognised_as_swapped_contain(self):
+        cat = catalog()
+        join = first_join(plan_for(DURING_QUERY, cat))
+        recognised = recognize_stream_join(join)
+        assert recognised == (TemporalOperator.CONTAIN_JOIN, True)
+
+    def test_contains_recognised_unswapped(self):
+        cat = catalog()
+        join = first_join(
+            plan_for(
+                "range of a is X range of b is Y "
+                "retrieve (A = a.Seq, B = b.Seq) where a contains b",
+                cat,
+            )
+        )
+        assert recognize_stream_join(join) == (
+            TemporalOperator.CONTAIN_JOIN,
+            False,
+        )
+
+    def test_general_overlap_recognised(self):
+        cat = catalog()
+        join = first_join(
+            plan_for(
+                "range of a is X range of b is Y "
+                "retrieve (A = a.Seq, B = b.Seq) where a overlap b",
+                cat,
+            )
+        )
+        assert recognize_stream_join(join) == (
+            TemporalOperator.OVERLAP_JOIN,
+            False,
+        )
+
+    def test_equality_join_not_recognised(self):
+        cat = catalog()
+        join = first_join(
+            plan_for(
+                "range of a is X range of b is Y "
+                "retrieve (A = a.Seq, B = b.Seq) where a.Id = b.Id",
+                cat,
+            )
+        )
+        assert recognize_stream_join(join) is None
+
+    def test_mixed_predicate_not_recognised(self):
+        cat = catalog()
+        join = first_join(
+            plan_for(
+                "range of a is X range of b is Y "
+                "retrieve (A = a.Seq, B = b.Seq) "
+                "where a during b and a.Id = b.Id",
+                cat,
+            )
+        )
+        assert recognize_stream_join(join) is None
+
+    def test_single_inequality_not_an_operator(self):
+        """One bare inequality (a less-than join) is not equivalent to
+        any Figure-2 operator — it stays conventional, as the paper
+        says ('with only a single inequality ... no choice but the
+        nested-loop join method')."""
+        cat = catalog()
+        join = first_join(
+            plan_for(
+                "range of a is X range of b is Y "
+                "retrieve (A = a.Seq, B = b.Seq) "
+                "where a.ValidFrom < b.ValidFrom",
+                cat,
+            )
+        )
+        assert recognize_stream_join(join) is None
+
+
+class TestHybridExecution:
+    def test_matches_conventional(self):
+        cat = catalog()
+        plan = plan_for(DURING_QUERY, cat)
+        hybrid = execute_hybrid(plan, cat)
+        conventional = compile_plan(plan, cat).run()
+        assert sorted(hybrid.rows) == sorted(conventional)
+        assert len(hybrid.stream_joins) == 1
+        info = hybrid.stream_joins[0]
+        assert info.operator is TemporalOperator.CONTAIN_JOIN
+        assert info.swapped
+        assert info.output_rows == len(hybrid.rows)
+
+    def test_padded_condition_still_streams(self):
+        """A redundant extra conjunct does not defeat recognition."""
+        cat = catalog()
+        plan = plan_for(
+            "range of a is X range of b is Y "
+            "retrieve (A = a.Seq, B = b.Seq) "
+            "where a during b and a.ValidFrom < b.ValidTo",
+            cat,
+        )
+        hybrid = execute_hybrid(plan, cat)
+        assert len(hybrid.stream_joins) == 1
+        conventional = compile_plan(plan, cat).run()
+        assert sorted(hybrid.rows) == sorted(conventional)
+
+    def test_conventional_joins_still_work(self):
+        cat = catalog()
+        plan = plan_for(
+            "range of a is X range of b is Y "
+            "retrieve (A = a.Seq, B = b.Seq) where a.Seq = b.Seq",
+            cat,
+        )
+        hybrid = execute_hybrid(plan, cat)
+        assert hybrid.stream_joins == []
+        assert sorted(hybrid.rows) == sorted(compile_plan(plan, cat).run())
+
+    def test_projection_above_stream_join(self):
+        cat = catalog()
+        plan = plan_for(
+            "range of a is X range of b is Y "
+            "retrieve unique (B = b.Seq) where a during b",
+            cat,
+        )
+        hybrid = execute_hybrid(plan, cat)
+        conventional = compile_plan(plan, cat).run()
+        assert sorted(hybrid.rows) == sorted(conventional)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=500))
+    def test_equivalence_on_random_inputs(self, seed):
+        cat = catalog(seed_offset=seed, n=40)
+        for operator_text in ("during", "overlap", "before"):
+            plan = plan_for(
+                "range of a is X range of b is Y "
+                f"retrieve (A = a.Seq, B = b.Seq) where a {operator_text} b",
+                cat,
+            )
+            hybrid = execute_hybrid(plan, cat)
+            conventional = compile_plan(plan, cat).run()
+            assert sorted(hybrid.rows) == sorted(conventional)
+
+
+class TestRunQueryStreams:
+    def test_streams_flag(self):
+        cat = catalog()
+        hybrid = run_query(DURING_QUERY, cat, streams=True)
+        plain = run_query(DURING_QUERY, cat)
+        assert sorted(hybrid.rows) == sorted(plain.rows)
+        assert len(hybrid.stream_joins) == 1
+        assert "stream" in hybrid.stream_joins[0].chosen
+
+    def test_streams_flag_off_by_default(self):
+        cat = catalog()
+        plain = run_query(DURING_QUERY, cat)
+        assert plain.stream_joins == []
+
+    def test_superstar_with_streams_still_correct(self):
+        """The Superstar upper join spans three variables and must stay
+        conventional; the hybrid path must not break it."""
+        from repro.superstar import SUPERSTAR_QUEL
+        from repro.workload import FacultyWorkload
+
+        faculty = {
+            "Faculty": FacultyWorkload(
+                faculty_count=30, continuous=True, full_fraction=1.0
+            ).generate(3)
+        }
+        hybrid = run_query(SUPERSTAR_QUEL, faculty, streams=True)
+        plain = run_query(SUPERSTAR_QUEL, faculty)
+        assert sorted(hybrid.rows) == sorted(plain.rows)

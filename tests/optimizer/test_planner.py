@@ -1,0 +1,278 @@
+"""Tests for cost-based temporal join planning."""
+
+import pytest
+
+from repro.model import TE_ASC, TS_ASC
+from repro.optimizer import CostModel, TemporalJoinPlanner, expected_workspace_for
+from repro.stats import collect_statistics
+from repro.streams import TemporalOperator, contain_predicate
+from repro.workload import PoissonWorkload, fixed_duration
+
+
+def make_relation(n, rate=0.5, duration=20, name="R", seed=1):
+    return PoissonWorkload(
+        n, rate, fixed_duration(duration), name=name
+    ).generate(seed)
+
+
+@pytest.fixture
+def planner():
+    return TemporalJoinPlanner()
+
+
+class TestCostModel:
+    def test_pages(self):
+        model = CostModel(page_capacity=10)
+        assert model.pages(0) == 0
+        assert model.pages(1) == 1
+        assert model.pages(10) == 1
+        assert model.pages(11) == 2
+
+    def test_sort_cost_grows_superlinearly_in_passes(self):
+        model = CostModel(page_capacity=4, sort_memory_pages=2)
+        small = model.sort_cost(8)
+        large = model.sort_cost(800)
+        assert large > 100 * small / 8  # more passes, not just more pages
+
+    def test_nested_loop_dominates_for_large_inputs(self):
+        model = CostModel()
+        assert model.nested_loop_cost(1000, 1000) > model.sort_cost(
+            1000
+        ) * 2 + model.stream_pass_cost(1000, 1000, 50)
+
+    def test_zero_tuples(self):
+        model = CostModel()
+        assert model.sort_cost(0) == 0.0
+        assert model.scan_cost(0) == 0.0
+
+
+class TestExpectedWorkspace:
+    def test_state_class_ordering(self):
+        x = collect_statistics(make_relation(500))
+        y = collect_statistics(make_relation(500, seed=2))
+        d = expected_workspace_for("d", x, y)
+        c = expected_workspace_for("c", x, y)
+        a = expected_workspace_for("a", x, y)
+        bad = expected_workspace_for("-", x, y)
+        assert d == 0.0
+        assert d < c < a < bad
+        assert bad == 1000.0
+
+
+class TestPlannerChoices:
+    def test_large_inputs_choose_stream(self, planner):
+        x = make_relation(600, name="X")
+        y = make_relation(600, name="Y", seed=2)
+        choice = planner.choose(TemporalOperator.CONTAIN_JOIN, x, y)
+        assert choice.kind == "stream"
+
+    def test_tiny_inputs_choose_nested_loop(self, planner):
+        x = make_relation(4, name="X")
+        y = make_relation(4, name="Y", seed=2)
+        choice = planner.choose(TemporalOperator.CONTAIN_JOIN, x, y)
+        assert choice.kind == "nested-loop"
+
+    def test_existing_order_avoids_sort(self, planner):
+        x = make_relation(600, name="X").sorted_by(TS_ASC)
+        y = make_relation(600, name="Y", seed=2).sorted_by(TS_ASC)
+        choice = planner.choose(TemporalOperator.CONTAIN_JOIN, x, y)
+        assert choice.kind == "stream"
+        assert not choice.sort_x and not choice.sort_y
+        assert str(choice.entry.x_order) == "ValidFrom^"
+
+    def test_interesting_order_tips_the_choice(self, planner):
+        """With Y already ValidTo-sorted, the (TS^, TE^) entry wins the
+        tie because it needs one fewer sort — the 'interesting orders'
+        effect."""
+        x = make_relation(600, name="X").sorted_by(TS_ASC)
+        y = make_relation(600, name="Y", seed=2).sorted_by(TE_ASC)
+        choice = planner.choose(TemporalOperator.CONTAIN_JOIN, x, y)
+        assert choice.entry.state_class == "b"
+        assert not choice.sort_x and not choice.sort_y
+
+    def test_semijoin_prefers_buffer_only_entry(self, planner):
+        x = make_relation(600, name="X").sorted_by(TS_ASC)
+        y = make_relation(600, name="Y", seed=2).sorted_by(TE_ASC)
+        choice = planner.choose(TemporalOperator.CONTAIN_SEMIJOIN, x, y)
+        assert choice.entry.state_class == "d"
+
+    def test_alternatives_are_ranked(self, planner):
+        x = make_relation(300, name="X")
+        y = make_relation(300, name="Y", seed=2)
+        ranked = planner.alternatives(TemporalOperator.CONTAIN_JOIN, x, y)
+        costs = [alt.estimated_cost for alt in ranked]
+        assert costs == sorted(costs)
+        assert any(alt.kind == "nested-loop" for alt in ranked)
+
+
+class TestPlannerExecution:
+    def test_execute_stream_correctness(self, planner):
+        x = make_relation(200, duration=30, name="X")
+        y = make_relation(200, duration=6, name="Y", seed=2)
+        results, profile = planner.execute(
+            TemporalOperator.CONTAIN_JOIN, x, y
+        )
+        assert profile.chosen.kind == "stream"
+        expected = sorted(
+            (a.value, b.value)
+            for a in x
+            for b in y
+            if contain_predicate(a, b)
+        )
+        assert sorted((a.value, b.value) for a, b in results) == expected
+        assert profile.metrics is not None
+        assert profile.metrics.passes_x == 1
+
+    def test_execute_nested_loop_correctness(self, planner):
+        x = make_relation(6, duration=30, name="X")
+        y = make_relation(6, duration=6, name="Y", seed=2)
+        results, profile = planner.execute(
+            TemporalOperator.CONTAIN_JOIN, x, y
+        )
+        assert profile.chosen.kind == "nested-loop"
+        expected = sorted(
+            (a.value, b.value)
+            for a in x
+            for b in y
+            if contain_predicate(a, b)
+        )
+        assert sorted((a.value, b.value) for a, b in results) == expected
+
+    def test_execute_semijoin(self, planner):
+        x = make_relation(150, duration=25, name="X")
+        y = make_relation(150, duration=5, name="Y", seed=2)
+        results, profile = planner.execute(
+            TemporalOperator.CONTAIN_SEMIJOIN, x, y
+        )
+        expected = sorted(
+            a.value
+            for a in x
+            if any(contain_predicate(a, b) for b in y)
+        )
+        assert sorted(t.value for t in results) == expected
+
+    def test_before_semijoin_never_needs_sort(self, planner):
+        x = make_relation(400, name="X")
+        y = make_relation(400, name="Y", seed=2)
+        choice = planner.choose(TemporalOperator.BEFORE_SEMIJOIN, x, y)
+        assert choice.kind == "stream"
+        assert not choice.sort_x and not choice.sort_y
+
+    def test_before_join_falls_back_to_nested_loop(self, planner):
+        x = make_relation(100, name="X")
+        y = make_relation(100, name="Y", seed=2)
+        choice = planner.choose(TemporalOperator.BEFORE_JOIN, x, y)
+        assert choice.kind == "nested-loop"
+
+
+class TestHistogramPlanning:
+    def bursty_relation(self, name, seed):
+        """A dense burst inside a sparse tail — the workload where the
+        stationary workspace model misleads."""
+        from repro.model import TemporalRelation, TemporalSchema
+        from repro.model.tuples import TemporalTuple
+
+        burst = [
+            TemporalTuple(f"{name}b{i}", i, 5000 + i, 5000 + i + 60)
+            for i in range(200)
+        ]
+        tail = [
+            TemporalTuple(f"{name}t{i}", 1000 + i, 50 * i, 50 * i + 5)
+            for i in range(200)
+        ]
+        return TemporalRelation(
+            TemporalSchema(name, "Id", "Seq"), burst + tail
+        )
+
+    def test_histogram_workspace_estimate_is_larger_on_bursts(self):
+        x = self.bursty_relation("X", 1)
+        y = self.bursty_relation("Y", 2)
+        stationary = TemporalJoinPlanner()
+        histogram = TemporalJoinPlanner(use_histograms=True)
+        op = TemporalOperator.OVERLAP_JOIN
+        flat_ws = stationary.choose(op, x, y).cost_breakdown[
+            "expected_workspace"
+        ]
+        hist_ws = histogram.choose(op, x, y).cost_breakdown[
+            "expected_workspace"
+        ]
+        assert hist_ws > flat_ws * 3
+
+    def test_histogram_estimate_matches_measurement(self):
+        from repro.model import TS_ASC
+
+        x = self.bursty_relation("X", 1)
+        y = self.bursty_relation("Y", 2)
+        planner = TemporalJoinPlanner(use_histograms=True)
+        results, profile = planner.execute(
+            TemporalOperator.OVERLAP_JOIN,
+            x.sorted_by(TS_ASC),
+            y.sorted_by(TS_ASC),
+        )
+        assert results
+        predicted = profile.chosen.cost_breakdown["expected_workspace"]
+        measured = profile.metrics.workspace_high_water
+        assert predicted * 0.4 <= measured <= predicted * 2.5
+
+    def test_histogram_choice_still_correct(self):
+        x = self.bursty_relation("X", 1)
+        y = self.bursty_relation("Y", 2)
+        plain_results, _ = TemporalJoinPlanner().execute(
+            TemporalOperator.OVERLAP_JOIN, x, y
+        )
+        hist_results, _ = TemporalJoinPlanner(use_histograms=True).execute(
+            TemporalOperator.OVERLAP_JOIN, x, y
+        )
+        canonical = lambda rs: sorted(
+            (a.value, b.value) for a, b in rs
+        )
+        assert canonical(plain_results) == canonical(hist_results)
+
+
+class TestWorkspaceBudgetFallback:
+    """The trade-off triangle, operationally: when the chosen stream
+    plan overflows a finite workspace, execution falls back to the
+    nested loop and still answers correctly."""
+
+    def inputs(self):
+        x = make_relation(300, duration=40, name="X")
+        y = make_relation(300, duration=8, name="Y", seed=2)
+        return x, y
+
+    def test_generous_budget_streams(self):
+        x, y = self.inputs()
+        planner = TemporalJoinPlanner()
+        results, profile = planner.execute(
+            TemporalOperator.CONTAIN_JOIN, x, y, workspace_budget=10_000
+        )
+        assert "workspace_overflow" not in profile.details
+        assert profile.chosen.kind == "stream"
+        assert results
+
+    def test_tiny_budget_falls_back(self):
+        x, y = self.inputs()
+        planner = TemporalJoinPlanner()
+        results, profile = planner.execute(
+            TemporalOperator.CONTAIN_JOIN, x, y, workspace_budget=2
+        )
+        assert profile.details.get("workspace_overflow")
+        assert profile.details.get("fallback") == "nested-loop"
+        # Correctness is preserved through the fallback.
+        expected = sorted(
+            (a.value, b.value)
+            for a in x
+            for b in y
+            if contain_predicate(a, b)
+        )
+        assert sorted((a.value, b.value) for a, b in results) == expected
+
+    def test_zero_state_plan_ignores_budget(self):
+        x, y = self.inputs()
+        planner = TemporalJoinPlanner()
+        results, profile = planner.execute(
+            TemporalOperator.CONTAIN_SEMIJOIN, x, y, workspace_budget=0
+        )
+        assert "workspace_overflow" not in profile.details
+        assert profile.chosen.entry.state_class in ("c", "d")
+        if profile.chosen.entry.state_class == "d":
+            assert profile.metrics.workspace_high_water == 0

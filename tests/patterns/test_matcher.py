@@ -1,0 +1,211 @@
+"""Tests for single-scan temporal pattern matching."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allen import AllenRelation as R
+from repro.errors import StreamOrderError, TemporalModelError
+from repro.model import SortOrder, TemporalRelation, TemporalSchema, TemporalTuple
+from repro.patterns import (
+    PatternMatch,
+    PatternScan,
+    PatternStep,
+    SequencePattern,
+    find_pattern,
+)
+from repro.workload import FacultyWorkload, figure1_relation
+
+SCHEMA = TemporalSchema("R", "Id", "Val")
+
+
+def rel(*rows):
+    return TemporalRelation.from_rows(SCHEMA, rows)
+
+
+class TestPatternConstruction:
+    def test_needs_steps(self):
+        with pytest.raises(TemporalModelError):
+            SequencePattern.of()
+
+    def test_first_step_must_be_anchorless(self):
+        with pytest.raises(TemporalModelError):
+            SequencePattern.of(PatternStep("A", R.MEETS))
+
+    def test_career_builder(self):
+        pattern = SequencePattern.career(("A", "B", "C"))
+        assert len(pattern) == 3
+        assert pattern.steps[0].relation is None
+        assert pattern.steps[1].relation is R.MET_BY
+
+    def test_value_predicates(self):
+        step = PatternStep(lambda v: v > 10)
+        assert step.accepts_value(11)
+        assert not step.accepts_value(9)
+        constant = PatternStep("A")
+        assert constant.accepts_value("A")
+
+
+class TestCareerMatching:
+    def test_full_promotion_chain(self):
+        matches = find_pattern(
+            figure1_relation(),
+            SequencePattern.career(("Assistant", "Associate", "Full")),
+        )
+        assert {m.surrogate for m in matches} == {"Smith", "Jones"}
+        smith = next(m for m in matches if m.surrogate == "Smith")
+        assert smith.span == (0, 30)
+        assert [t.value for t in smith.tuples] == [
+            "Assistant",
+            "Associate",
+            "Full",
+        ]
+
+    def test_partial_chain(self):
+        matches = find_pattern(
+            figure1_relation(),
+            SequencePattern.career(("Assistant", "Associate")),
+        )
+        # Kim reached Associate too.
+        assert {m.surrogate for m in matches} == {"Smith", "Jones", "Kim"}
+
+    def test_gap_breaks_met_by_chain(self):
+        relation = rel(
+            ("a", "A", 0, 5),
+            ("a", "B", 7, 9),  # gap: B is AFTER A, not MET_BY
+        )
+        met_by = find_pattern(relation, SequencePattern.career(("A", "B")))
+        assert met_by == []
+        after = find_pattern(
+            relation, SequencePattern.career(("A", "B"), relation=R.AFTER)
+        )
+        assert len(after) == 1
+
+    def test_matches_all_on_generated_careers(self):
+        faculty = FacultyWorkload(
+            faculty_count=50, continuous=True, full_fraction=1.0
+        ).generate(3)
+        matches = find_pattern(
+            faculty,
+            SequencePattern.career(("Assistant", "Associate", "Full")),
+        )
+        assert len(matches) == 50  # everyone reaches Full continuously
+
+
+class TestScanDiscipline:
+    def test_single_pass_and_group_workspace(self):
+        faculty = FacultyWorkload(
+            faculty_count=200, continuous=True, full_fraction=1.0
+        ).generate(5).sorted_by(SortOrder.by_surrogate())
+        scan = PatternScan(
+            faculty.tuples,
+            SequencePattern.career(("Assistant", "Associate", "Full")),
+        )
+        matches = scan.run()
+        assert len(matches) == 200
+        assert scan.tuples_read == len(faculty)
+        assert scan.groups_scanned == 200
+        # Workspace is one career, not the relation.
+        assert scan.max_group_size == 3
+
+    def test_ungrouped_input_rejected(self):
+        tuples = [
+            TemporalTuple("a", "A", 0, 5),
+            TemporalTuple("b", "A", 0, 5),
+            TemporalTuple("a", "B", 5, 9),
+        ]
+        scan = PatternScan(tuples, SequencePattern.career(("A", "B")))
+        with pytest.raises(StreamOrderError):
+            scan.run()
+
+    def test_empty_input(self):
+        scan = PatternScan([], SequencePattern.career(("A", "B")))
+        assert scan.run() == []
+
+
+class TestMultipleMatches:
+    def test_branching_histories(self):
+        """Several tuples can extend the same partial match."""
+        relation = rel(
+            ("a", "A", 0, 5),
+            ("a", "B", 5, 9),
+            ("a", "B", 5, 12),  # a second B also meeting A
+        )
+        matches = find_pattern(relation, SequencePattern.career(("A", "B")))
+        assert len(matches) == 2
+
+    def test_overlapping_pattern(self):
+        pattern = SequencePattern.of(
+            PatternStep("deploy"),
+            PatternStep("incident", R.DURING),
+        )
+        relation = rel(
+            ("svc", "deploy", 0, 100),
+            ("svc", "incident", 10, 20),
+            ("svc", "incident", 150, 160),
+        )
+        matches = find_pattern(relation, pattern)
+        assert len(matches) == 1
+        assert matches[0].tuples[1].valid_from == 10
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),      # surrogate
+                st.sampled_from(["A", "B"]),                 # value
+                st.integers(min_value=0, max_value=30),      # start
+                st.integers(min_value=1, max_value=8),       # duration
+            ),
+            max_size=14,
+        )
+    )
+    def test_two_step_pattern(self, rows):
+        relation = rel(
+            *[(f"s{s}", v, a, a + d) for s, v, a, d in rows]
+        )
+        pattern = SequencePattern.of(
+            PatternStep("A"), PatternStep("B", R.AFTER)
+        )
+        found = {
+            (m.surrogate, m.tuples[0], m.tuples[1])
+            for m in find_pattern(relation, pattern)
+        }
+        brute = set()
+        for first in relation:
+            for second in relation:
+                if (
+                    first.surrogate == second.surrogate
+                    and first.value == "A"
+                    and second.value == "B"
+                    and second.interval.after(first.interval)
+                ):
+                    brute.add((first.surrogate, first, second))
+        assert found == brute
+
+
+class TestForwardRelationDiscipline:
+    def test_backward_relations_rejected(self):
+        from repro.patterns import FORWARD_RELATIONS
+
+        for relation in (R.BEFORE, R.MEETS, R.OVERLAPS, R.CONTAINS,
+                         R.STARTS, R.FINISHED_BY, R.EQUAL):
+            assert relation not in FORWARD_RELATIONS
+            with pytest.raises(TemporalModelError):
+                SequencePattern.of(
+                    PatternStep("A"), PatternStep("B", relation)
+                )
+
+    def test_inverse_reformulation_finds_same_pairs(self):
+        """'A before B' stated forward: B AFTER the previous A."""
+        relation = rel(
+            ("a", "A", 0, 3),
+            ("a", "B", 5, 9),
+        )
+        forward = SequencePattern.of(
+            PatternStep("A"), PatternStep("B", R.AFTER)
+        )
+        matches = find_pattern(relation, forward)
+        assert len(matches) == 1

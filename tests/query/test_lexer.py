@@ -1,0 +1,70 @@
+"""Tests for the query-language lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.query import TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("RANGE of F1 is Faculty")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[0].text == "range"
+        assert tokens[2].kind is TokenKind.IDENT
+        assert tokens[2].text == "F1"
+
+    def test_qualified_attribute(self):
+        (token, _eof) = tokenize("f1.ValidFrom")
+        assert token.kind is TokenKind.QUALIFIED
+        assert token.text == "f1.ValidFrom"
+
+    def test_temporal_operator_keywords(self):
+        tokens = tokenize("f1 overlap f3 and f1 during f2")
+        assert tokens[1].kind is TokenKind.TEMPORAL
+        assert tokens[5].kind is TokenKind.TEMPORAL
+
+    def test_string_literals_both_quotes(self):
+        assert texts('"Assistant"') == ["Assistant"]
+        assert texts("'Full'") == ["Full"]
+
+    def test_numbers_including_negative(self):
+        tokens = tokenize("12 -5")
+        assert [t.text for t in tokens[:-1]] == ["12", "-5"]
+        assert all(t.kind is TokenKind.NUMBER for t in tokens[:-1])
+
+    def test_comparison_operators_longest_match(self):
+        assert texts("a <= b >= c != d < e > f = g") == [
+            "a", "<=", "b", ">=", "c", "!=", "d", "<", "e", ">", "f", "=", "g",
+        ]
+
+    def test_punctuation(self):
+        assert kinds("( , )")[:3] == [
+            TokenKind.LPAREN,
+            TokenKind.COMMA,
+            TokenKind.RPAREN,
+        ]
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize('"oops')
+
+    def test_dangling_qualifier(self):
+        with pytest.raises(LexerError):
+            tokenize("f1.")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("a @ b")
+        assert excinfo.value.position == 2

@@ -1,0 +1,128 @@
+"""Tests for the query parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query import (
+    AndCond,
+    AttributeRef,
+    ComparisonCond,
+    Constant,
+    NotCond,
+    OrCond,
+    TemporalCond,
+    parse_query,
+)
+
+SUPERSTAR = """
+range of f1 is Faculty
+range of f2 is Faculty
+range of f3 is Faculty
+retrieve into Stars (Name = f1.Name, ValidFrom = f1.ValidFrom, ValidTo = f2.ValidTo)
+where f3.Rank = "Associate" and f1.Name = f2.Name and f1.Rank = "Assistant"
+  and f2.Rank = "Full" and (f1 overlap f3) and (f2 overlap f3)
+"""
+
+
+class TestParseSuperstar:
+    def test_ranges_in_order(self):
+        query = parse_query(SUPERSTAR)
+        assert query.range_variables() == ("f1", "f2", "f3")
+        assert query.ranges["f1"] == "Faculty"
+
+    def test_target_and_projections(self):
+        query = parse_query(SUPERSTAR)
+        assert query.target == "Stars"
+        assert query.projections[0] == ("Name", AttributeRef("f1", "Name"))
+        assert query.projections[2] == (
+            "ValidTo",
+            AttributeRef("f2", "ValidTo"),
+        )
+
+    def test_where_structure(self):
+        query = parse_query(SUPERSTAR)
+        assert isinstance(query.where, AndCond)
+        parts = query.where.parts
+        assert len(parts) == 6
+        assert parts[0] == ComparisonCond(
+            AttributeRef("f3", "Rank"), "=", Constant("Associate")
+        )
+        assert parts[4] == TemporalCond("f1", "overlap", "f3")
+
+
+class TestParserFeatures:
+    def test_minimal_query(self):
+        query = parse_query(
+            "range of f is Faculty retrieve (Name = f.Name)"
+        )
+        assert query.target is None
+        assert query.where is None
+
+    def test_or_and_not_precedence(self):
+        query = parse_query(
+            "range of f is R retrieve (N = f.Name) "
+            "where f.V = 1 and f.V = 2 or not f.V = 3"
+        )
+        assert isinstance(query.where, OrCond)
+        first, second = query.where.parts
+        assert isinstance(first, AndCond)
+        assert isinstance(second, NotCond)
+
+    def test_parenthesised_conditions(self):
+        query = parse_query(
+            "range of f is R retrieve (N = f.Name) "
+            "where f.V = 1 and (f.V = 2 or f.V = 3)"
+        )
+        assert isinstance(query.where, AndCond)
+        assert isinstance(query.where.parts[1], OrCond)
+
+    def test_numeric_comparison(self):
+        query = parse_query(
+            "range of f is R retrieve (N = f.Name) where f.ValidFrom < 100"
+        )
+        cond = query.where
+        assert cond == ComparisonCond(
+            AttributeRef("f", "ValidFrom"), "<", Constant(100)
+        )
+
+    def test_all_temporal_operators_parse(self):
+        for op in (
+            "overlap", "equal", "meets", "starts", "finishes",
+            "during", "contains", "overlaps", "before", "after",
+            "metby", "startedby", "finishedby", "overlappedby",
+        ):
+            query = parse_query(
+                "range of a is R range of b is R "
+                f"retrieve (N = a.Name) where a {op} b"
+            )
+            assert query.where == TemporalCond("a", op, "b")
+
+
+class TestParseErrors:
+    def test_missing_range(self):
+        with pytest.raises(ParseError):
+            parse_query("retrieve (N = f.Name)")
+
+    def test_duplicate_range_variable(self):
+        with pytest.raises(ParseError):
+            parse_query(
+                "range of f is R range of f is S retrieve (N = f.Name)"
+            )
+
+    def test_unknown_variable_in_projection(self):
+        with pytest.raises(ParseError):
+            parse_query("range of f is R retrieve (N = g.Name)")
+
+    def test_unknown_variable_in_temporal(self):
+        with pytest.raises(ParseError):
+            parse_query(
+                "range of f is R retrieve (N = f.Name) where f overlap g"
+            )
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_query("range of f is R retrieve (N = f.Name) extra")
+
+    def test_malformed_target_list(self):
+        with pytest.raises(ParseError):
+            parse_query("range of f is R retrieve (f.Name)")

@@ -1,0 +1,68 @@
+"""Tests for the run_query convenience façade."""
+
+import pytest
+
+from repro.errors import ParseError, TranslationError
+from repro.query import run_query
+from repro.superstar import SUPERSTAR_QUEL
+from repro.workload import FacultyWorkload, figure1_relation
+
+CATALOG = {"Faculty": figure1_relation()}
+
+
+class TestRunQuery:
+    def test_simple_selection(self):
+        result = run_query(
+            'range of f is Faculty retrieve (N = f.Name) '
+            'where f.Rank = "Full"',
+            CATALOG,
+        )
+        assert sorted(result.rows) == [("Jones",), ("Smith",)]
+        assert result.schema.attributes == ("N",)
+        assert len(result) == 2
+
+    def test_iteration(self):
+        result = run_query(
+            "range of f is Faculty retrieve (N = f.Name)", CATALOG
+        )
+        assert len(list(result)) == len(figure1_relation())
+
+    def test_rewrite_flag_preserves_semantics(self):
+        raw = run_query(SUPERSTAR_QUEL, CATALOG, rewrite=False)
+        rewritten = run_query(SUPERSTAR_QUEL, CATALOG, rewrite=True)
+        assert sorted(raw.rows) == sorted(rewritten.rows)
+        assert rewritten.stats.comparisons < raw.stats.comparisons
+
+    def test_semantic_flag_attaches_report(self):
+        result = run_query(SUPERSTAR_QUEL, CATALOG, semantic=True)
+        assert result.semantic_report is not None
+        assert result.semantic_report.removed_count == 2
+        assert result.rows == [("Smith", 0, 30)]
+
+    def test_semantic_off_by_default(self):
+        result = run_query(SUPERSTAR_QUEL, CATALOG)
+        assert result.semantic_report is None
+
+    def test_parse_errors_propagate(self):
+        with pytest.raises(ParseError):
+            run_query("retrieve (N = f.Name)", CATALOG)
+
+    def test_unknown_relation(self):
+        with pytest.raises(TranslationError):
+            run_query(
+                "range of f is Nowhere retrieve (N = f.Name)", CATALOG
+            )
+
+    def test_stats_capture_scans(self):
+        result = run_query(SUPERSTAR_QUEL, CATALOG)
+        assert result.stats.scans_started == 3
+
+    def test_semantic_equivalence_on_generated_data(self):
+        catalog = {
+            "Faculty": FacultyWorkload(
+                faculty_count=40, continuous=True, full_fraction=1.0
+            ).generate(13)
+        }
+        plain = run_query(SUPERSTAR_QUEL, catalog)
+        semantic = run_query(SUPERSTAR_QUEL, catalog, semantic=True)
+        assert set(plain.rows) == set(semantic.rows)

@@ -1,0 +1,86 @@
+"""Tests for the TQuel-style ``valid from ... to ...`` clause
+(footnote 5: the original Superstar returns ``valid from begin of f1
+to begin of f2``)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query import AttributeRef, ValidClause, parse_query, run_query
+from repro.workload import FacultyWorkload, figure1_relation
+
+CATALOG = {"Faculty": figure1_relation()}
+
+TQUEL_SUPERSTAR = """
+range of f1 is Faculty
+range of f2 is Faculty
+range of f3 is Faculty
+retrieve unique into Stars (Name = f1.Name)
+valid from f1.ValidFrom to f2.ValidFrom
+where f3.Rank = "Associate" and f1.Name = f2.Name
+  and f1.Rank = "Assistant" and f2.Rank = "Full"
+  and (f1 overlap f3) and (f2 overlap f3)
+"""
+
+
+class TestParsing:
+    def test_clause_parsed(self):
+        query = parse_query(TQUEL_SUPERSTAR)
+        assert query.valid == ValidClause(
+            AttributeRef("f1", "ValidFrom"), AttributeRef("f2", "ValidFrom")
+        )
+        assert query.unique
+
+    def test_clause_optional(self):
+        query = parse_query(
+            "range of f is Faculty retrieve (N = f.Name)"
+        )
+        assert query.valid is None
+
+    def test_malformed_clause(self):
+        with pytest.raises(ParseError):
+            parse_query(
+                "range of f is Faculty retrieve (N = f.Name) "
+                "valid from f.ValidFrom"
+            )
+        with pytest.raises(ParseError):
+            parse_query(
+                "range of f is Faculty retrieve (N = f.Name) "
+                "valid f.ValidFrom to f.ValidTo"
+            )
+
+    def test_unknown_variable_in_clause(self):
+        with pytest.raises(ParseError):
+            parse_query(
+                "range of f is Faculty retrieve (N = f.Name) "
+                "valid from g.ValidFrom to f.ValidTo"
+            )
+
+
+class TestExecution:
+    def test_tquel_superstar_result(self):
+        result = run_query(TQUEL_SUPERSTAR, CATALOG)
+        assert result.schema.attributes == ("Name", "ValidFrom", "ValidTo")
+        # Smith's validity runs from becoming assistant (0) to
+        # becoming full (12) — 'valid from begin of f1 to begin of f2'.
+        assert result.rows == [("Smith", 0, 12)]
+
+    def test_result_forms_valid_lifespans(self):
+        catalog = {
+            "Faculty": FacultyWorkload(
+                faculty_count=60, continuous=True, full_fraction=1.0
+            ).generate(21)
+        }
+        result = run_query(TQUEL_SUPERSTAR, catalog)
+        assert result.rows
+        for _name, valid_from, valid_to in result.rows:
+            assert valid_from < valid_to
+
+    def test_clause_composes_with_projection(self):
+        result = run_query(
+            "range of f is Faculty retrieve (Who = f.Name) "
+            "valid from f.ValidFrom to f.ValidTo "
+            'where f.Rank = "Assistant"',
+            CATALOG,
+        )
+        assert result.schema.attributes == ("Who", "ValidFrom", "ValidTo")
+        assert ("Smith", 0, 6) in result.rows

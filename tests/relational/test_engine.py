@@ -1,0 +1,233 @@
+"""Tests for the conventional relational engine."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model import TemporalRelation, TemporalSchema
+from repro.relational import (
+    And,
+    Attr,
+    Compare,
+    CrossProduct,
+    Distinct,
+    EngineStats,
+    HashEquiJoin,
+    Literal,
+    MergeEquiJoin,
+    Not,
+    Or,
+    Project,
+    RowSchema,
+    Select,
+    Sort,
+    Table,
+    TableScan,
+    ThetaNestedLoopJoin,
+    TruePredicate,
+    table_from_temporal,
+    temporal_scan,
+)
+
+FACULTY = TemporalRelation.from_rows(
+    TemporalSchema("Faculty", "Name", "Rank"),
+    [
+        ("Smith", "Assistant", 0, 6),
+        ("Smith", "Full", 12, 30),
+        ("Jones", "Assistant", 0, 4),
+        ("Jones", "Associate", 4, 20),
+    ],
+)
+
+
+class TestRowSchema:
+    def test_index_and_reader(self):
+        schema = RowSchema.of("a", "b", "c")
+        assert schema.index_of("b") == 1
+        assert schema.reader("c")((10, 20, 30)) == 30
+
+    def test_unknown_attribute(self):
+        schema = RowSchema.of("a")
+        with pytest.raises(SchemaError):
+            schema.index_of("zzz")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchemaError):
+            RowSchema.of("a", "a")
+
+    def test_for_variable_qualifies(self):
+        schema = RowSchema.for_variable("f1", ("Name", "Rank"))
+        assert schema.attributes == ("f1.Name", "f1.Rank")
+
+    def test_concat_and_project(self):
+        left = RowSchema.of("a", "b")
+        combined = left.concat(RowSchema.of("c"))
+        assert combined.attributes == ("a", "b", "c")
+        assert combined.project(["c", "a"]).attributes == ("c", "a")
+
+
+class TestExpressions:
+    SCHEMA = RowSchema.of("x", "y")
+
+    def test_compare(self):
+        pred = Compare(Attr("x"), "<", Attr("y")).compile_against(self.SCHEMA)
+        assert pred((1, 2))
+        assert not pred((2, 1))
+
+    def test_literal_comparison(self):
+        pred = Compare(Attr("x"), "=", Literal(5)).compile_against(self.SCHEMA)
+        assert pred((5, 0))
+        assert not pred((4, 0))
+
+    def test_bad_operator(self):
+        with pytest.raises(ValueError):
+            Compare(Attr("x"), "<>", Attr("y"))
+
+    def test_and_flattens(self):
+        a = Compare(Attr("x"), "<", Literal(10))
+        b = Compare(Attr("y"), "<", Literal(10))
+        c = Compare(Attr("x"), ">", Literal(0))
+        combined = And.of(And.of(a, b), c)
+        assert len(list(combined.conjuncts())) == 3
+
+    def test_or_and_not(self):
+        a = Compare(Attr("x"), "=", Literal(1))
+        b = Compare(Attr("y"), "=", Literal(1))
+        either = Or.of(a, b).compile_against(self.SCHEMA)
+        assert either((1, 0)) and either((0, 1)) and not either((0, 0))
+        neither = Not(Or.of(a, b)).compile_against(self.SCHEMA)
+        assert neither((0, 0))
+
+    def test_attributes_collection(self):
+        a = Compare(Attr("x"), "<", Attr("y"))
+        assert And.of(a, TruePredicate()).attributes() == {"x", "y"}
+
+    def test_true_predicate_has_no_conjuncts(self):
+        assert list(TruePredicate().conjuncts()) == []
+
+
+class TestScansAndTable:
+    def test_table_from_temporal_qualified(self):
+        table = table_from_temporal(FACULTY, "f1")
+        assert table.schema.attributes == (
+            "f1.Name",
+            "f1.Rank",
+            "f1.ValidFrom",
+            "f1.ValidTo",
+        )
+        assert len(table) == 4
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError):
+            Table("t", RowSchema.of("a", "b"), [(1,)])
+
+    def test_scan_counts(self):
+        stats = EngineStats()
+        scan = temporal_scan(FACULTY, "f1", stats=stats)
+        list(scan)
+        list(scan)
+        assert stats.scans_started == 2
+        assert stats.rows_scanned == 8
+
+
+class TestUnaryOperators:
+    def scan(self, stats=None):
+        return temporal_scan(FACULTY, "f", stats=stats)
+
+    def test_select(self):
+        select = Select(
+            self.scan(), Compare(Attr("f.Rank"), "=", Literal("Assistant"))
+        )
+        out = select.run()
+        assert len(out) == 2
+        assert select.stats.comparisons == 4
+
+    def test_project_by_name_and_expression(self):
+        project = Project(
+            self.scan(), ["f.Name", ("Start", Attr("f.ValidFrom"))]
+        )
+        assert project.schema.attributes == ("f.Name", "Start")
+        assert ("Smith", 0) in project.run()
+
+    def test_sort(self):
+        ordered = Sort(self.scan(), ["f.ValidFrom", "f.ValidTo"]).run()
+        starts = [row[2] for row in ordered]
+        assert starts == sorted(starts)
+        reverse = Sort(self.scan(), ["f.ValidFrom"], descending=True).run()
+        assert [row[2] for row in reverse] == sorted(starts, reverse=True)
+
+    def test_distinct(self):
+        names = Project(self.scan(), ["f.Name"])
+        assert sorted(Distinct(names).run()) == [("Jones",), ("Smith",)]
+
+
+class TestJoins:
+    def scans(self):
+        stats = EngineStats()
+        return (
+            temporal_scan(FACULTY, "f1", stats=stats),
+            temporal_scan(FACULTY, "f2", stats=stats),
+        )
+
+    def equality(self):
+        return Compare(Attr("f1.Name"), "=", Attr("f2.Name"))
+
+    def test_cross_product_cardinality(self):
+        left, right = self.scans()
+        assert len(CrossProduct(left, right).run()) == 16
+
+    def test_mismatched_stats_rejected(self):
+        left = temporal_scan(FACULTY, "f1")
+        right = temporal_scan(FACULTY, "f2")
+        with pytest.raises(ValueError):
+            CrossProduct(left, right)
+
+    def test_three_join_algorithms_agree(self):
+        def run(builder):
+            left, right = self.scans()
+            return sorted(builder(left, right).run())
+
+        nested = run(
+            lambda l, r: ThetaNestedLoopJoin(l, r, self.equality())
+        )
+        hashed = run(
+            lambda l, r: HashEquiJoin(l, r, "f1.Name", "f2.Name")
+        )
+        merged = run(
+            lambda l, r: MergeEquiJoin(
+                Sort(l, ["f1.Name"]), Sort(r, ["f2.Name"]), "f1.Name", "f2.Name"
+            )
+        )
+        assert nested == hashed == merged
+        assert len(nested) == 8  # 2x2 per name
+
+    def test_residual_predicate(self):
+        left, right = self.scans()
+        join = HashEquiJoin(
+            left,
+            right,
+            "f1.Name",
+            "f2.Name",
+            residual=Compare(Attr("f1.ValidTo"), "<=", Attr("f2.ValidFrom")),
+        )
+        out = join.run()
+        # Per name: (Assistant, later-rank) pairs only.
+        assert len(out) == 2
+
+    def test_less_than_join_as_product_plus_selection(self):
+        """Section 3: a less-than join is a Cartesian product followed
+        by a selection — and equals the nested-loop theta join."""
+        theta = Compare(Attr("f1.ValidTo"), "<", Attr("f2.ValidFrom"))
+        left, right = self.scans()
+        via_product = sorted(
+            Select(CrossProduct(left, right), theta).run()
+        )
+        left2, right2 = self.scans()
+        via_join = sorted(ThetaNestedLoopJoin(left2, right2, theta).run())
+        assert via_product == via_join
+
+    def test_explain_renders_tree(self):
+        left, right = self.scans()
+        join = ThetaNestedLoopJoin(left, right, self.equality())
+        text = Select(join, TruePredicate()).explain()
+        assert "Select" in text and "NestedLoopJoin" in text
+        assert text.count("Scan") == 2

@@ -1,0 +1,138 @@
+"""Tests for the endpoint implication graph."""
+
+from repro.allen.symbolic import Comparison, Conjunction, Endpoint, EndpointKind
+from repro.semantic import ImplicationGraph
+
+
+def ts(v):
+    return Endpoint(v, EndpointKind.TS)
+
+
+def te(v):
+    return Endpoint(v, EndpointKind.TE)
+
+
+class TestBasicImplication:
+    def test_direct_fact(self):
+        g = ImplicationGraph()
+        g.add_fact(Comparison.lt(ts("a"), te("a")))
+        assert g.implies(Comparison.lt(ts("a"), te("a")))
+        assert g.implies(Comparison.le(ts("a"), te("a")))
+        assert not g.implies(Comparison.lt(te("a"), ts("a")))
+
+    def test_reflexive_le(self):
+        g = ImplicationGraph()
+        assert g.implies(Comparison.le(ts("a"), ts("a")))
+        assert not g.implies(Comparison.lt(ts("a"), ts("a")))
+
+    def test_transitive_strictness(self):
+        g = ImplicationGraph()
+        g.add_fact(Comparison.le(ts("a"), ts("b")))
+        g.add_fact(Comparison.lt(ts("b"), ts("c")))
+        g.add_fact(Comparison.le(ts("c"), ts("d")))
+        assert g.implies(Comparison.lt(ts("a"), ts("d")))
+
+    def test_nonstrict_chain_stays_nonstrict(self):
+        g = ImplicationGraph()
+        g.add_fact(Comparison.le(ts("a"), ts("b")))
+        g.add_fact(Comparison.le(ts("b"), ts("c")))
+        assert g.implies(Comparison.le(ts("a"), ts("c")))
+        assert not g.implies(Comparison.lt(ts("a"), ts("c")))
+
+    def test_equality_both_ways(self):
+        g = ImplicationGraph()
+        g.add_fact(Comparison.eq(te("a"), ts("b")))
+        assert g.implies(Comparison.le(te("a"), ts("b")))
+        assert g.implies(Comparison.le(ts("b"), te("a")))
+        assert g.implies(Comparison.eq(ts("b"), te("a")))
+        assert not g.implies(Comparison.lt(te("a"), ts("b")))
+
+    def test_strict_found_via_longer_path(self):
+        """A node first reached non-strictly must be revisited when a
+        strict path appears."""
+        g = ImplicationGraph()
+        g.add_fact(Comparison.le(ts("a"), ts("b")))  # short, non-strict
+        g.add_fact(Comparison.lt(ts("a"), ts("c")))
+        g.add_fact(Comparison.le(ts("c"), ts("b")))  # longer, strict
+        assert g.implies(Comparison.lt(ts("a"), ts("b")))
+
+
+class TestConstants:
+    def test_constant_ordering_implicit(self):
+        g = ImplicationGraph()
+        g.add_fact(Comparison.le(ts("a"), 5))
+        g.add_fact(Comparison.le(10, ts("b")))
+        # 5 < 10 is known arithmetic: a <= 5 < 10 <= b.
+        assert g.implies(Comparison.lt(ts("a"), ts("b")))
+
+    def test_direct_constant_comparison(self):
+        g = ImplicationGraph()
+        assert g.implies(Comparison.lt(3, 7))
+        assert not g.implies(Comparison.lt(7, 3))
+        assert g.implies(Comparison.le(3, 3))
+
+
+class TestSuperstarInference:
+    """The Section-5 derivation, literally."""
+
+    def background(self):
+        g = ImplicationGraph()
+        for v in ("f1", "f2", "f3"):
+            g.add_fact(Comparison.lt(ts(v), te(v)))
+        # chronological ordering via same name + Assistant < Full:
+        g.add_fact(Comparison.le(te("f1"), ts("f2")))
+        return g
+
+    def test_redundant_inequalities_follow(self):
+        g = self.background()
+        # kept: f3.TS < f1.TE and f2.TS < f3.TE
+        g.add_fact(Comparison.lt(ts("f3"), te("f1")))
+        g.add_fact(Comparison.lt(ts("f2"), te("f3")))
+        # both removed conjuncts are implied:
+        assert g.implies(Comparison.lt(ts("f1"), te("f3")))
+        assert g.implies(Comparison.lt(ts("f3"), te("f2")))
+
+    def test_kept_inequalities_do_not_follow(self):
+        g = self.background()
+        assert not g.implies(Comparison.lt(ts("f3"), te("f1")))
+        assert not g.implies(Comparison.lt(ts("f2"), te("f3")))
+
+
+class TestConsistency:
+    def test_consistent_graph(self):
+        g = ImplicationGraph()
+        g.add_fact(Comparison.lt(ts("a"), te("a")))
+        assert g.is_consistent()
+
+    def test_strict_cycle_detected(self):
+        g = ImplicationGraph()
+        g.add_fact(Comparison.lt(ts("a"), ts("b")))
+        g.add_fact(Comparison.le(ts("b"), ts("a")))
+        assert not g.is_consistent()
+
+    def test_nonstrict_cycle_is_fine(self):
+        g = ImplicationGraph()
+        g.add_fact(Comparison.eq(ts("a"), ts("b")))
+        assert g.is_consistent()
+
+    def test_copy_isolated(self):
+        g = ImplicationGraph()
+        g.add_fact(Comparison.lt(ts("a"), ts("b")))
+        clone = g.copy()
+        clone.add_fact(Comparison.lt(ts("b"), ts("c")))
+        assert clone.implies(Comparison.lt(ts("a"), ts("c")))
+        assert not g.implies(Comparison.lt(ts("a"), ts("c")))
+
+
+class TestConjunction:
+    def test_add_and_implies_all(self):
+        g = ImplicationGraph()
+        conj = Conjunction.of(
+            Comparison.lt(ts("a"), ts("b")),
+            Comparison.lt(ts("b"), ts("c")),
+        )
+        g.add_conjunction(conj)
+        assert g.implies_all(conj)
+        assert g.implies_all(
+            Conjunction.of(Comparison.lt(ts("a"), ts("c")))
+        )

@@ -1,0 +1,157 @@
+"""Tests for qualitative interval constraint networks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allen import ALL_RELATIONS, AllenRelation as R, classify
+from repro.allen.symbolic import Comparison, Endpoint, EndpointKind
+from repro.errors import TemporalModelError
+from repro.model import Interval
+from repro.semantic import (
+    ImplicationGraph,
+    QualitativeNetwork,
+    network_from_graph,
+    possible_relations,
+)
+
+
+def ts(v):
+    return Endpoint(v, EndpointKind.TS)
+
+
+def te(v):
+    return Endpoint(v, EndpointKind.TE)
+
+
+def intra(*variables):
+    g = ImplicationGraph()
+    for v in variables:
+        g.add_fact(Comparison.lt(ts(v), te(v)))
+    return g
+
+
+class TestNetworkBasics:
+    def test_needs_two_variables(self):
+        with pytest.raises(TemporalModelError):
+            QualitativeNetwork(["a"])
+
+    def test_default_edges_universal(self):
+        net = QualitativeNetwork(["a", "b"])
+        assert net.relation("a", "b") == frozenset(ALL_RELATIONS)
+
+    def test_self_relation_is_equal(self):
+        net = QualitativeNetwork(["a", "b"])
+        assert net.relation("a", "a") == {R.EQUAL}
+
+    def test_symmetric_storage(self):
+        net = QualitativeNetwork(["a", "b"])
+        net.constrain("a", "b", {R.BEFORE})
+        assert net.relation("b", "a") == {R.AFTER}
+        net.constrain("b", "a", {R.AFTER, R.MET_BY})
+        assert net.relation("a", "b") == {R.BEFORE}
+
+    def test_unknown_pair(self):
+        net = QualitativeNetwork(["a", "b"])
+        with pytest.raises(TemporalModelError):
+            net.relation("a", "zzz")
+
+
+class TestPropagation:
+    def test_before_chain(self):
+        net = QualitativeNetwork(["a", "b", "c"])
+        net.constrain("a", "b", {R.BEFORE})
+        net.constrain("b", "c", {R.BEFORE})
+        assert net.propagate()
+        assert net.relation("a", "c") == {R.BEFORE}
+        assert net.entails("a", "c", {R.BEFORE})
+
+    def test_during_chain(self):
+        net = QualitativeNetwork(["x", "y", "z"])
+        net.constrain("x", "y", {R.DURING})
+        net.constrain("y", "z", {R.DURING})
+        assert net.propagate()
+        assert net.relation("x", "z") == {R.DURING}
+
+    def test_meets_composition(self):
+        net = QualitativeNetwork(["a", "b", "c"])
+        net.constrain("a", "b", {R.MEETS})
+        net.constrain("b", "c", {R.MEETS})
+        assert net.propagate()
+        assert net.relation("a", "c") == {R.BEFORE}
+
+    def test_inconsistency_detected(self):
+        net = QualitativeNetwork(["a", "b", "c"])
+        net.constrain("a", "b", {R.BEFORE})
+        net.constrain("b", "c", {R.BEFORE})
+        net.constrain("a", "c", {R.AFTER})
+        assert not net.propagate()
+        assert not net.is_consistent
+
+    def test_propagation_tightens_third_edges(self):
+        # a during b, c before a => c cannot be after/met-by b, etc.
+        net = QualitativeNetwork(["a", "b", "c"])
+        net.constrain("a", "b", {R.DURING})
+        net.constrain("c", "a", {R.BEFORE})
+        assert net.propagate()
+        assert R.AFTER not in net.relation("c", "b")
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.tuples(
+            st.integers(0, 12), st.integers(1, 6),
+            st.integers(0, 12), st.integers(1, 6),
+            st.integers(0, 12), st.integers(1, 6),
+        )
+    )
+    def test_sound_on_concrete_intervals(self, params):
+        """Constraining a network with the true pairwise relations of
+        concrete intervals always stays consistent."""
+        a = Interval(params[0], params[0] + params[1])
+        b = Interval(params[2], params[2] + params[3])
+        c = Interval(params[4], params[4] + params[5])
+        net = QualitativeNetwork(["a", "b", "c"])
+        net.constrain("a", "b", {classify(a, b)})
+        net.constrain("b", "c", {classify(b, c)})
+        net.constrain("a", "c", {classify(a, c)})
+        assert net.propagate()
+
+
+class TestPossibleRelations:
+    def test_unconstrained_pair_allows_everything(self):
+        g = intra("x", "y")
+        assert possible_relations("x", "y", g) == frozenset(ALL_RELATIONS)
+
+    def test_chronological_fact_restricts_to_before_meets(self):
+        g = intra("f1", "f2")
+        g.add_fact(Comparison.le(te("f1"), ts("f2")))
+        assert possible_relations("f1", "f2", g) == {R.BEFORE, R.MEETS}
+
+    def test_strict_fact_restricts_to_before(self):
+        g = intra("f1", "f2")
+        g.add_fact(Comparison.lt(te("f1"), ts("f2")))
+        assert possible_relations("f1", "f2", g) == {R.BEFORE}
+
+    def test_containment_facts(self):
+        g = intra("x", "y")
+        g.add_fact(Comparison.lt(ts("y"), ts("x")))
+        g.add_fact(Comparison.lt(te("x"), te("y")))
+        assert possible_relations("x", "y", g) == {R.DURING}
+
+
+class TestNetworkFromGraph:
+    def test_superstar_network(self):
+        """The Section-5 knowledge, lifted to the qualitative level:
+        f1 before f2 propagates against the overlap constraints."""
+        g = intra("f1", "f2", "f3")
+        g.add_fact(Comparison.lt(te("f1"), ts("f2")))
+        # kept theta' constraints:
+        g.add_fact(Comparison.lt(ts("f3"), te("f1")))
+        g.add_fact(Comparison.lt(ts("f2"), te("f3")))
+        net = network_from_graph(("f1", "f2", "f3"), g)
+        assert net.propagate()
+        assert net.relation("f1", "f2") == {R.BEFORE}
+        # f3 must share a point with both f1 and f2's epoch: it cannot
+        # be before f1 nor after f2.
+        assert R.BEFORE not in net.relation("f3", "f1")
+        assert R.AFTER not in net.relation("f3", "f2")

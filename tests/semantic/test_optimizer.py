@@ -1,0 +1,131 @@
+"""Tests for the semantic optimizer driver on whole plans."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import compile_plan, optimize
+from repro.allen.symbolic import Endpoint, EndpointKind
+from repro.query import parse_query, translate
+from repro.semantic import extract_context, semantically_optimize
+from repro.superstar import SUPERSTAR_QUEL
+from repro.workload import FacultyWorkload, figure1_relation
+
+
+def superstar_plan(catalog):
+    return optimize(translate(parse_query(SUPERSTAR_QUEL), catalog))
+
+
+@pytest.fixture
+def catalog():
+    return {"Faculty": figure1_relation()}
+
+
+class TestContextExtraction:
+    def test_value_bindings(self, catalog):
+        context = extract_context(superstar_plan(catalog), catalog)
+        assert context.value_bindings == {
+            "f1": "Assistant",
+            "f2": "Full",
+            "f3": "Associate",
+        }
+
+    def test_surrogate_equalities(self, catalog):
+        context = extract_context(superstar_plan(catalog), catalog)
+        assert frozenset(("f1", "f2")) in context.surrogate_equalities
+        assert context.same_object("f1", "f2")
+        assert not context.same_object("f1", "f3")
+
+    def test_variable_relations(self, catalog):
+        context = extract_context(superstar_plan(catalog), catalog)
+        assert context.variable_relations == {
+            "f1": "Faculty",
+            "f2": "Faculty",
+            "f3": "Faculty",
+        }
+
+
+class TestSuperstarOptimization:
+    def test_two_redundant_conjuncts_removed(self, catalog):
+        _plan, report = semantically_optimize(
+            superstar_plan(catalog), catalog
+        )
+        assert report.removed_count == 2
+        removed = {
+            str(c) for f in report.findings for c in f.removed
+        }
+        assert removed == {"f1.TS < f3.TE", "f3.TS < f2.TE"}
+
+    def test_derived_containment_found(self, catalog):
+        _plan, report = semantically_optimize(
+            superstar_plan(catalog), catalog
+        )
+        containments = report.containments()
+        assert len(containments) == 1
+        found = containments[0]
+        assert found.container == "f3"
+        assert found.start == Endpoint("f1", EndpointKind.TE)
+        assert found.end == Endpoint("f2", EndpointKind.TS)
+        assert found.strict  # continuity + intermediate rank
+
+    def test_results_preserved(self, catalog):
+        plan = superstar_plan(catalog)
+        rewritten, _report = semantically_optimize(plan, catalog)
+        assert sorted(compile_plan(plan, catalog).run()) == sorted(
+            compile_plan(rewritten, catalog).run()
+        )
+
+    def test_fewer_comparisons_after_rewrite(self):
+        catalog = {"Faculty": FacultyWorkload(faculty_count=40).generate(2)}
+        plan = superstar_plan(catalog)
+        rewritten, _report = semantically_optimize(plan, catalog)
+        from repro.relational import EngineStats
+
+        raw = EngineStats()
+        new = EngineStats()
+        a = sorted(compile_plan(plan, catalog, raw).run())
+        b = sorted(compile_plan(rewritten, catalog, new).run())
+        assert a == b
+        assert new.comparisons <= raw.comparisons
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_equivalence_on_random_data(self, seed):
+        catalog = {
+            "Faculty": FacultyWorkload(faculty_count=15).generate(seed)
+        }
+        plan = superstar_plan(catalog)
+        rewritten, _report = semantically_optimize(plan, catalog)
+        assert sorted(compile_plan(plan, catalog).run()) == sorted(
+            compile_plan(rewritten, catalog).run()
+        )
+
+
+class TestWithoutConstraints:
+    def test_no_constraints_no_removal(self):
+        """Without declared constraints the optimizer must not touch
+        the predicate — the knowledge comes from the schema, not the
+        data."""
+        from repro.model import TemporalRelation
+
+        bare = figure1_relation()
+        stripped = TemporalRelation(bare.schema, bare.tuples)  # no constraints
+        catalog = {"Faculty": stripped}
+        _plan, report = semantically_optimize(
+            superstar_plan(catalog), catalog
+        )
+        assert report.removed_count == 0
+        assert report.containments() == []
+
+    def test_gapped_careers_nonstrict(self):
+        """Chronological ordering without continuity yields only the
+        non-strict fact, so the containment is found but not strict."""
+        rel = FacultyWorkload(faculty_count=20, continuous=False).generate(3)
+        catalog = {"Faculty": rel}
+        _plan, report = semantically_optimize(
+            superstar_plan(catalog), catalog
+        )
+        assert report.removed_count == 2
+        containments = report.containments()
+        assert len(containments) == 1
+        assert not containments[0].strict

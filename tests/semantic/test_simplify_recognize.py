@@ -1,0 +1,196 @@
+"""Tests for redundancy elimination and operator recognition."""
+
+from repro.allen import AllenRelation, constraint_for, general_overlap_constraint
+from repro.allen.symbolic import Comparison, Conjunction, Endpoint, EndpointKind
+from repro.semantic import (
+    GENERAL_OVERLAP,
+    ImplicationGraph,
+    eliminate_redundant,
+    equivalent_under,
+    is_redundant,
+    recognize_allen,
+    recognize_derived_containment,
+)
+
+
+def ts(v):
+    return Endpoint(v, EndpointKind.TS)
+
+
+def te(v):
+    return Endpoint(v, EndpointKind.TE)
+
+
+def intra(*variables):
+    g = ImplicationGraph()
+    for v in variables:
+        g.add_fact(Comparison.lt(ts(v), te(v)))
+    return g
+
+
+class TestEliminateRedundant:
+    def superstar_theta(self):
+        """The four-inequality theta' of the Superstar less-than join."""
+        return Conjunction.of(
+            Comparison.lt(ts("f1"), te("f3")),
+            Comparison.lt(ts("f3"), te("f1")),
+            Comparison.lt(ts("f2"), te("f3")),
+            Comparison.lt(ts("f3"), te("f2")),
+        )
+
+    def test_superstar_reduction(self):
+        background = intra("f1", "f2", "f3")
+        background.add_fact(Comparison.le(te("f1"), ts("f2")))
+        result = eliminate_redundant(self.superstar_theta(), background)
+        assert len(result.removed) == 2
+        assert set(result.kept.comparisons) == {
+            Comparison.lt(ts("f3"), te("f1")),
+            Comparison.lt(ts("f2"), te("f3")),
+        }
+
+    def test_no_reduction_without_chronological_fact(self):
+        background = intra("f1", "f2", "f3")
+        result = eliminate_redundant(self.superstar_theta(), background)
+        assert not result.any_removed
+
+    def test_duplicate_conjunct_removed(self):
+        conj = Conjunction.of(
+            Comparison.lt(ts("a"), ts("b")),
+            Comparison.lt(ts("a"), ts("b")),
+        )
+        result = eliminate_redundant(conj, ImplicationGraph())
+        assert len(result.kept) == 1
+
+    def test_intra_tuple_conjunct_removed(self):
+        conj = Conjunction.of(
+            Comparison.lt(ts("a"), te("a")),
+            Comparison.lt(te("a"), ts("b")),
+        )
+        result = eliminate_redundant(conj, intra("a", "b"))
+        assert result.kept.comparisons == (
+            Comparison.lt(te("a"), ts("b")),
+        )
+
+    def test_is_redundant_direct(self):
+        others = Conjunction.of(Comparison.lt(ts("a"), ts("b")))
+        weaker = Comparison.le(ts("a"), ts("b"))
+        assert is_redundant(weaker, others, ImplicationGraph())
+        assert not is_redundant(
+            Comparison.lt(ts("b"), ts("a")), others, ImplicationGraph()
+        )
+
+
+class TestEquivalentUnder:
+    def test_reflexive(self):
+        conj = constraint_for(AllenRelation.DURING, "x", "y")
+        assert equivalent_under(conj, conj, intra("x", "y"))
+
+    def test_rephrased_equivalence(self):
+        """x during y stated with an extra redundant conjunct."""
+        during = constraint_for(AllenRelation.DURING, "x", "y")
+        padded = during.conjoin(
+            Conjunction.of(Comparison.lt(ts("y"), te("x")))
+        )
+        assert equivalent_under(during, padded, intra("x", "y"))
+
+    def test_non_equivalence(self):
+        during = constraint_for(AllenRelation.DURING, "x", "y")
+        before = constraint_for(AllenRelation.BEFORE, "x", "y")
+        assert not equivalent_under(during, before, intra("x", "y"))
+
+
+class TestRecognizeAllen:
+    def test_during_recognized(self):
+        conj = constraint_for(AllenRelation.DURING, "x", "y")
+        assert (
+            recognize_allen(conj, "x", "y", intra("x", "y"))
+            is AllenRelation.DURING
+        )
+
+    def test_general_overlap_recognized(self):
+        conj = general_overlap_constraint("x", "y")
+        assert (
+            recognize_allen(conj, "x", "y", intra("x", "y"))
+            == GENERAL_OVERLAP
+        )
+
+    def test_padded_condition_still_recognized(self):
+        conj = constraint_for(AllenRelation.BEFORE, "x", "y").conjoin(
+            Conjunction.of(Comparison.lt(ts("x"), te("y")))
+        )
+        assert (
+            recognize_allen(conj, "x", "y", intra("x", "y"))
+            is AllenRelation.BEFORE
+        )
+
+    def test_unrelated_condition_not_recognized(self):
+        conj = Conjunction.of(Comparison.lt(ts("x"), ts("y")))
+        assert recognize_allen(conj, "x", "y", intra("x", "y")) is None
+
+
+class TestRecognizeDerivedContainment:
+    def superstar_kept(self):
+        return Conjunction.of(
+            Comparison.lt(ts("f3"), te("f1")),
+            Comparison.lt(ts("f2"), te("f3")),
+        )
+
+    def background(self, strict: bool):
+        g = intra("f1", "f2", "f3")
+        fact = (
+            Comparison.lt(te("f1"), ts("f2"))
+            if strict
+            else Comparison.le(te("f1"), ts("f2"))
+        )
+        g.add_fact(fact)
+        return g
+
+    def test_superstar_pattern_strict(self):
+        found = recognize_derived_containment(
+            self.superstar_kept(), "f3", self.background(strict=True)
+        )
+        assert found is not None
+        assert found.start == te("f1")
+        assert found.end == ts("f2")
+        assert found.strict
+
+    def test_superstar_pattern_nonstrict(self):
+        found = recognize_derived_containment(
+            self.superstar_kept(), "f3", self.background(strict=False)
+        )
+        assert found is not None
+        assert not found.strict
+
+    def test_requires_interval_order(self):
+        # Without te(f1) <= ts(f2), [f1.TE, f2.TS) may be inverted.
+        found = recognize_derived_containment(
+            self.superstar_kept(), "f3", intra("f1", "f2", "f3")
+        )
+        assert found is None
+
+    def test_wrong_container(self):
+        found = recognize_derived_containment(
+            self.superstar_kept(), "f1", self.background(strict=True)
+        )
+        assert found is None
+
+    def test_wrong_shape(self):
+        conj = Conjunction.of(
+            Comparison.lt(ts("f3"), te("f1")),
+            Comparison.lt(ts("f3"), te("f2")),
+        )
+        assert (
+            recognize_derived_containment(
+                conj, "f3", self.background(strict=True)
+            )
+            is None
+        )
+
+    def test_as_conjunction_roundtrip(self):
+        found = recognize_derived_containment(
+            self.superstar_kept(), "f3", self.background(strict=True)
+        )
+        rebuilt = found.as_conjunction()
+        assert equivalent_under(
+            rebuilt, self.superstar_kept(), self.background(strict=True)
+        )

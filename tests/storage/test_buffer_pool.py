@@ -1,0 +1,97 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.model import TemporalTuple
+from repro.storage import BufferPool, HeapFile
+
+
+def make_file(name, n, page_capacity=4):
+    data = [TemporalTuple(f"{name}{i}", i, i, i + 3) for i in range(n)]
+    return HeapFile.from_records(name, data, page_capacity=page_capacity)
+
+
+class TestBufferPool:
+    def test_requires_a_frame(self):
+        with pytest.raises(BufferPoolError):
+            BufferPool(0)
+
+    def test_miss_then_hit(self):
+        f = make_file("t", 8)
+        pool = BufferPool(4)
+        pool.get_page(f, 0)
+        pool.get_page(f, 0)
+        assert pool.misses == 1
+        assert pool.hits == 1
+        assert f.stats.page_reads == 1
+
+    def test_lru_eviction(self):
+        f = make_file("t", 16)  # 4 pages
+        pool = BufferPool(2)
+        pool.get_page(f, 0)
+        pool.get_page(f, 1)
+        pool.get_page(f, 2)  # evicts page 0
+        pool.get_page(f, 0)  # miss again
+        assert pool.misses == 4
+        assert pool.hits == 0
+
+    def test_lru_recency_update(self):
+        f = make_file("t", 16)
+        pool = BufferPool(2)
+        pool.get_page(f, 0)
+        pool.get_page(f, 1)
+        pool.get_page(f, 0)  # refresh page 0
+        pool.get_page(f, 2)  # evicts page 1, not 0
+        pool.get_page(f, 0)
+        assert pool.hits == 2
+
+    def test_cached_rescan_costs_no_page_reads(self):
+        """An inner relation that fits in the pool is physically read
+        once regardless of how many times it is scanned — the regime
+        where nested-loop joins look cheap."""
+        f = make_file("t", 8)  # 2 pages
+        pool = BufferPool(8)
+        list(pool.scan(f))
+        first_cost = f.stats.page_reads
+        list(pool.scan(f))
+        list(pool.scan(f))
+        assert f.stats.page_reads == first_cost == 2
+        assert f.stats.scans_started == 3
+
+    def test_uncached_rescan_pays_every_time(self):
+        f = make_file("t", 32)  # 8 pages
+        pool = BufferPool(2)
+        list(pool.scan(f))
+        list(pool.scan(f))
+        assert f.stats.page_reads == 16
+
+    def test_scan_yields_all_records(self):
+        f = make_file("t", 10)
+        pool = BufferPool(2)
+        assert list(pool.scan(f)) == f.records()
+
+    def test_distinct_files_do_not_collide(self):
+        a = make_file("a", 8)
+        b = make_file("b", 8)
+        pool = BufferPool(8)
+        pool.get_page(a, 0)
+        pool.get_page(b, 0)
+        assert pool.misses == 2
+
+    def test_invalidate(self):
+        f = make_file("t", 8)
+        pool = BufferPool(8)
+        pool.get_page(f, 0)
+        pool.invalidate(f)
+        pool.get_page(f, 0)
+        assert pool.misses == 2
+        assert len(pool) == 1
+
+    def test_hit_ratio(self):
+        f = make_file("t", 8)
+        pool = BufferPool(8)
+        assert pool.hit_ratio == 0.0
+        pool.get_page(f, 0)
+        pool.get_page(f, 0)
+        assert pool.hit_ratio == 0.5

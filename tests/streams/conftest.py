@@ -1,0 +1,59 @@
+"""Shared fixtures and strategies for stream-processor tests."""
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.model import SortOrder, TemporalTuple, sort_tuples
+from repro.streams import TupleStream
+
+#: Hypothesis strategy: lists of temporal tuples with varied overlap
+#: structure (dense starts, mixed durations).
+tuple_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=120),
+        st.integers(min_value=1, max_value=40),
+    ),
+    max_size=60,
+).map(
+    lambda spans: [
+        TemporalTuple(f"s{i}", i, a, a + d) for i, (a, d) in enumerate(spans)
+    ]
+)
+
+
+def make_stream(tuples, order: SortOrder, name="stream") -> TupleStream:
+    """Sort ``tuples`` by ``order`` and open a verifying stream."""
+    return TupleStream.from_tuples(
+        sort_tuples(tuples, order), order=order, name=name
+    )
+
+
+def values(tuples):
+    """Canonical multiset of semijoin outputs."""
+    return sorted(t.value for t in tuples)
+
+
+def pair_values(pairs):
+    """Canonical multiset of join outputs."""
+    return sorted((a.value, b.value) for a, b in pairs)
+
+
+@pytest.fixture
+def random_tuples():
+    """Deterministic random tuple generator factory."""
+
+    def build(n, span=300, max_duration=40, seed=7):
+        rng = random.Random(seed)
+        out = []
+        for i in range(n):
+            start = rng.randrange(0, span)
+            out.append(
+                TemporalTuple(
+                    f"s{i}", i, start, start + rng.randrange(1, max_duration)
+                )
+            )
+        return out
+
+    return build

@@ -1,0 +1,84 @@
+"""Tests for the Figure-4 grouped aggregation processor."""
+
+import pytest
+
+from repro.errors import StreamOrderError
+from repro.streams import (
+    GroupedAggregate,
+    finalize_average,
+    grouped_average,
+    grouped_count,
+    grouped_sum,
+)
+
+# (dept, emp, salary) records, grouped by department as in Figure 4.
+PAYROLL = [
+    ("toys", "ann", 100),
+    ("toys", "bob", 150),
+    ("tools", "cat", 200),
+    ("tools", "dan", 50),
+    ("tools", "eve", 50),
+    ("books", "fay", 300),
+]
+
+
+class TestGroupedSum:
+    def test_figure4_sums(self):
+        sums = grouped_sum(PAYROLL, key=lambda r: r[0], value=lambda r: r[2])
+        assert sums.run() == [("toys", 250), ("tools", 300), ("books", 300)]
+
+    def test_state_is_one_group(self):
+        """Figure 4's point: on grouped input the workspace is the
+        partial sum and the buffered record — one group at a time."""
+        agg = grouped_sum(PAYROLL, key=lambda r: r[0], value=lambda r: r[2])
+        agg.run()
+        assert agg.metrics.state_high_water == 1
+        assert agg.metrics.records_read == len(PAYROLL)
+        assert agg.metrics.groups_emitted == 3
+
+    def test_ungrouped_input_rejected(self):
+        shuffled = [PAYROLL[0], PAYROLL[2], PAYROLL[1]]
+        agg = grouped_sum(shuffled, key=lambda r: r[0], value=lambda r: r[2])
+        with pytest.raises(StreamOrderError):
+            agg.run()
+
+    def test_empty_input(self):
+        agg = grouped_sum([], key=lambda r: r[0], value=lambda r: r[2])
+        assert agg.run() == []
+
+    def test_single_group(self):
+        rows = [("d", "a", 1), ("d", "b", 2)]
+        agg = grouped_sum(rows, key=lambda r: r[0], value=lambda r: r[2])
+        assert agg.run() == [("d", 3)]
+
+
+class TestOtherAggregates:
+    def test_grouped_count(self):
+        counts = grouped_count(PAYROLL, key=lambda r: r[0])
+        assert counts.run() == [("toys", 2), ("tools", 3), ("books", 1)]
+
+    def test_grouped_average(self):
+        avgs = grouped_average(
+            PAYROLL, key=lambda r: r[0], value=lambda r: r[2]
+        )
+        assert list(finalize_average(avgs)) == [
+            ("toys", 125.0),
+            ("tools", 100.0),
+            ("books", 300.0),
+        ]
+
+    def test_custom_fold(self):
+        maxima = GroupedAggregate(
+            PAYROLL,
+            key=lambda r: r[0],
+            fold=lambda acc, r: max(acc, r[2]),
+            initial=lambda: 0,
+        )
+        assert maxima.run() == [("toys", 150), ("tools", 200), ("books", 300)]
+
+    def test_streaming_iteration(self):
+        """Results are emitted as groups close, not all at the end."""
+        agg = grouped_sum(PAYROLL, key=lambda r: r[0], value=lambda r: r[2])
+        iterator = iter(agg)
+        assert next(iterator) == ("toys", 250)
+        assert agg.metrics.groups_emitted == 1

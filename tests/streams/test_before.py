@@ -1,0 +1,125 @@
+"""Tests for Before-join and Before-semijoin (Section 4.2.4)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import UnsupportedSortOrderError
+from repro.model import TE_ASC, TS_ASC, TS_DESC, TemporalTuple
+from repro.streams import (
+    BeforeJoinSortedInner,
+    BeforeJoinSweep,
+    BeforeSemijoin,
+    NestedLoopJoin,
+    NestedLoopSemijoin,
+    before_predicate,
+)
+
+from .conftest import make_stream, pair_values, tuple_lists, values
+
+
+def join_oracle(xs, ys):
+    return pair_values(
+        NestedLoopJoin(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_ASC), before_predicate
+        ).run()
+    )
+
+
+def semi_oracle(xs, ys):
+    return values(
+        NestedLoopSemijoin(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_ASC), before_predicate
+        ).run()
+    )
+
+
+class TestBeforeJoinSweep:
+    def test_gap_required(self):
+        xs = [TemporalTuple("x", "x", 0, 5)]
+        ys = [
+            TemporalTuple("meets", 1, 5, 9),   # no gap: not before
+            TemporalTuple("after", 2, 6, 9),   # gap: before
+        ]
+        join = BeforeJoinSweep(make_stream(xs, TS_ASC), make_stream(ys, TS_ASC))
+        assert [(x.value, y.surrogate) for x, y in join.run()] == [
+            ("x", "after")
+        ]
+
+    def test_state_grows_linearly(self):
+        """The paper's negative result: no sort order bounds the
+        Before-join state — every ended X tuple stays until Y drains."""
+        xs = [TemporalTuple(f"x{i}", i, i, i + 1) for i in range(100)]
+        ys = [TemporalTuple(f"y{i}", i, 200 + i, 201 + i) for i in range(5)]
+        join = BeforeJoinSweep(make_stream(xs, TS_ASC), make_stream(ys, TS_ASC))
+        out = join.run()
+        assert len(out) == 500
+        assert join.metrics.workspace_high_water >= len(xs)
+
+    @settings(max_examples=50, deadline=None)
+    @given(tuple_lists, tuple_lists)
+    def test_matches_nested_loop(self, xs, ys):
+        join = BeforeJoinSweep(make_stream(xs, TS_ASC), make_stream(ys, TS_ASC))
+        assert pair_values(join.run()) == join_oracle(xs, ys)
+
+
+class TestBeforeJoinSortedInner:
+    def test_early_termination_saves_reads(self):
+        """With the inner stream ValidFrom-descending, each outer probe
+        stops at the first non-match instead of scanning everything."""
+        xs = [TemporalTuple(f"x{i}", i, 1000 + i, 1001 + i) for i in range(20)]
+        ys = [TemporalTuple(f"y{i}", i, i, i + 1) for i in range(500)]
+        join = BeforeJoinSortedInner(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_DESC)
+        )
+        assert join.run() == []
+        # Each probe reads exactly one inner tuple before stopping.
+        assert join.metrics.tuples_read_y == len(xs)
+
+    def test_requires_descending_inner(self, random_tuples):
+        xs = random_tuples(5)
+        with pytest.raises(UnsupportedSortOrderError):
+            BeforeJoinSortedInner(
+                make_stream(xs, TS_ASC), make_stream(xs, TS_ASC)
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(tuple_lists, tuple_lists)
+    def test_matches_nested_loop(self, xs, ys):
+        join = BeforeJoinSortedInner(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_DESC)
+        )
+        assert pair_values(join.run()) == join_oracle(xs, ys)
+
+
+class TestBeforeSemijoin:
+    def test_constant_state(self, random_tuples):
+        xs, ys = random_tuples(200, seed=40), random_tuples(200, seed=41)
+        semi = BeforeSemijoin(make_stream(xs, TS_ASC), make_stream(ys, TS_ASC))
+        semi.run()
+        assert semi.metrics.workspace_high_water == 0
+        assert semi.metrics.passes_x == 1
+        assert semi.metrics.passes_y == 1
+
+    def test_sort_order_independent(self, random_tuples):
+        """Section 4.2.4: the semijoin algorithm is independent of any
+        sort orderings."""
+        xs, ys = random_tuples(80, seed=42), random_tuples(80, seed=43)
+        results = []
+        for x_order in (TS_ASC, TE_ASC, TS_DESC):
+            for y_order in (TS_ASC, TE_ASC):
+                semi = BeforeSemijoin(
+                    make_stream(xs, x_order), make_stream(ys, y_order)
+                )
+                results.append(values(semi.run()))
+        assert all(r == results[0] for r in results)
+
+    def test_empty_y_yields_nothing(self, random_tuples):
+        xs = random_tuples(10)
+        semi = BeforeSemijoin(make_stream(xs, TS_ASC), make_stream([], TS_ASC))
+        assert semi.run() == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(tuple_lists, tuple_lists)
+    def test_matches_nested_loop(self, xs, ys):
+        semi = BeforeSemijoin(make_stream(xs, TS_ASC), make_stream(ys, TS_ASC))
+        assert values(semi.run()) == semi_oracle(xs, ys)

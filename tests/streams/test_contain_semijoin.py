@@ -1,0 +1,231 @@
+"""Tests for Contain-/Contained-semijoin processors (Section 4.2.2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import UnsupportedSortOrderError
+from repro.model import TE_ASC, TS_ASC, TemporalTuple
+from repro.streams import (
+    ContainedSemijoinTeTs,
+    ContainedSemijoinTsTs,
+    ContainSemijoinTsTe,
+    ContainSemijoinTsTs,
+    NestedLoopSemijoin,
+    contain_predicate,
+    contained_predicate,
+)
+
+from .conftest import make_stream, tuple_lists, values
+
+
+def contain_oracle(xs, ys):
+    return values(
+        NestedLoopSemijoin(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_ASC), contain_predicate
+        ).run()
+    )
+
+
+def contained_oracle(xs, ys):
+    return values(
+        NestedLoopSemijoin(
+            make_stream(xs, TS_ASC),
+            make_stream(ys, TS_ASC),
+            contained_predicate,
+        ).run()
+    )
+
+
+class TestContainSemijoinTsTe:
+    """The Figure-6 one-buffer algorithm."""
+
+    def test_figure6_flavoured_example(self):
+        xs = [
+            TemporalTuple("x1", "x1", 0, 10),
+            TemporalTuple("x2", "x2", 4, 20),
+        ]
+        ys = [
+            TemporalTuple("y1", "y1", 1, 3),
+            TemporalTuple("y2", "y2", 2, 8),
+            TemporalTuple("y3", "y3", 6, 15),
+        ]
+        semi = ContainSemijoinTsTe(
+            make_stream(xs, TS_ASC), make_stream(ys, TE_ASC)
+        )
+        assert values(semi.run()) == ["x1", "x2"]
+
+    def test_zero_state_tuples(self, random_tuples):
+        """Table 1, entry (d): the local workspace is only the two
+        input buffers — no state tuple is ever kept."""
+        xs, ys = random_tuples(200, seed=1), random_tuples(200, seed=2)
+        semi = ContainSemijoinTsTe(
+            make_stream(xs, TS_ASC), make_stream(ys, TE_ASC)
+        )
+        semi.run()
+        assert semi.metrics.workspace_high_water == 0
+        assert semi.metrics.buffers == 2
+        assert semi.metrics.total_footprint == 2
+
+    def test_single_pass_each(self, random_tuples):
+        xs, ys = random_tuples(100, seed=3), random_tuples(100, seed=4)
+        semi = ContainSemijoinTsTe(
+            make_stream(xs, TS_ASC), make_stream(ys, TE_ASC)
+        )
+        semi.run()
+        assert semi.metrics.passes_x == 1
+        assert semi.metrics.passes_y == 1
+
+    def test_each_x_emitted_at_most_once(self, random_tuples):
+        xs = random_tuples(60, seed=5)
+        # Many tiny Y tuples inside everything.
+        ys = [TemporalTuple(f"y{i}", i, 150 + i, 151 + i) for i in range(5)]
+        xs = [TemporalTuple("big", "big", 0, 400)] + xs
+        semi = ContainSemijoinTsTe(
+            make_stream(xs, TS_ASC), make_stream(ys, TE_ASC)
+        )
+        out = semi.run()
+        assert len(out) == len(set((t.surrogate, t.value) for t in out))
+
+    def test_rejects_wrong_orders(self, random_tuples):
+        xs = random_tuples(5)
+        with pytest.raises(UnsupportedSortOrderError):
+            ContainSemijoinTsTe(
+                make_stream(xs, TS_ASC), make_stream(xs, TS_ASC)
+            )
+
+    def test_output_preserves_x_order(self, random_tuples):
+        xs, ys = random_tuples(80, seed=6), random_tuples(80, seed=7)
+        semi = ContainSemijoinTsTe(
+            make_stream(xs, TS_ASC), make_stream(ys, TE_ASC)
+        )
+        out = semi.run()
+        assert TS_ASC.is_sorted(out)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tuple_lists, tuple_lists)
+    def test_matches_nested_loop(self, xs, ys):
+        semi = ContainSemijoinTsTe(
+            make_stream(xs, TS_ASC), make_stream(ys, TE_ASC)
+        )
+        assert values(semi.run()) == contain_oracle(xs, ys)
+
+
+class TestContainedSemijoinTeTs:
+    """Figure 6 with roles swapped: output the contained side."""
+
+    def test_zero_state_tuples(self, random_tuples):
+        xs, ys = random_tuples(200, seed=8), random_tuples(200, seed=9)
+        semi = ContainedSemijoinTeTs(
+            make_stream(xs, TE_ASC), make_stream(ys, TS_ASC)
+        )
+        semi.run()
+        assert semi.metrics.workspace_high_water == 0
+
+    def test_output_preserves_x_te_order(self, random_tuples):
+        xs, ys = random_tuples(80, seed=10), random_tuples(80, seed=11)
+        semi = ContainedSemijoinTeTs(
+            make_stream(xs, TE_ASC), make_stream(ys, TS_ASC)
+        )
+        assert TE_ASC.is_sorted(semi.run())
+
+    def test_rejects_wrong_orders(self, random_tuples):
+        xs = random_tuples(5)
+        with pytest.raises(UnsupportedSortOrderError):
+            ContainedSemijoinTeTs(
+                make_stream(xs, TS_ASC), make_stream(xs, TS_ASC)
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(tuple_lists, tuple_lists)
+    def test_matches_nested_loop(self, xs, ys):
+        semi = ContainedSemijoinTeTs(
+            make_stream(xs, TE_ASC), make_stream(ys, TS_ASC)
+        )
+        assert values(semi.run()) == contained_oracle(xs, ys)
+
+
+class TestContainSemijoinTsTs:
+    def test_bounded_state(self):
+        xs = [TemporalTuple(f"x{i}", i, 10 * i, 10 * i + 8) for i in range(100)]
+        ys = [TemporalTuple(f"y{i}", i, 10 * i + 2, 10 * i + 6) for i in range(100)]
+        semi = ContainSemijoinTsTs(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_ASC)
+        )
+        out = semi.run()
+        assert len(out) == 100
+        assert semi.metrics.workspace_high_water <= 3
+
+    def test_matched_tuples_retire_early(self):
+        """The (c) entry: the state is a *subset* of the join's state
+        because matched X tuples leave immediately."""
+        # One long X containing an early Y; without early retirement it
+        # would sit in the state for the whole run.
+        xs = [TemporalTuple("big", "big", 0, 1000)] + [
+            TemporalTuple(f"x{i}", i, i + 1, i + 3) for i in range(1, 50)
+        ]
+        ys = [TemporalTuple("y", "y", 1, 2)] + [
+            TemporalTuple(f"y{i}", i, 500 + i, 502 + i) for i in range(1, 10)
+        ]
+        semi = ContainSemijoinTsTs(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_ASC)
+        )
+        out = semi.run()
+        assert "big" in {t.value for t in out}
+
+    @settings(max_examples=60, deadline=None)
+    @given(tuple_lists, tuple_lists)
+    def test_matches_nested_loop(self, xs, ys):
+        semi = ContainSemijoinTsTs(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_ASC)
+        )
+        assert values(semi.run()) == contain_oracle(xs, ys)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tuple_lists, tuple_lists)
+    def test_agrees_with_figure6_variant(self, xs, ys):
+        a = ContainSemijoinTsTs(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_ASC)
+        )
+        b = ContainSemijoinTsTe(
+            make_stream(xs, TS_ASC), make_stream(ys, TE_ASC)
+        )
+        assert values(a.run()) == values(b.run())
+
+
+class TestContainedSemijoinTsTs:
+    def test_emits_immediately_never_stores_x(self, random_tuples):
+        xs, ys = random_tuples(100, seed=12), random_tuples(100, seed=13)
+        semi = ContainedSemijoinTsTs(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_ASC)
+        )
+        semi.run()
+        assert semi.metrics.state_high_water.get("y-state", 0) >= 0
+        assert "x-state" not in semi.metrics.state_high_water
+
+    def test_bounded_state(self):
+        xs = [TemporalTuple(f"x{i}", i, 10 * i + 2, 10 * i + 6) for i in range(100)]
+        ys = [TemporalTuple(f"y{i}", i, 10 * i, 10 * i + 8) for i in range(100)]
+        semi = ContainedSemijoinTsTs(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_ASC)
+        )
+        assert len(semi.run()) == 100
+        assert semi.metrics.workspace_high_water <= 3
+
+    @settings(max_examples=60, deadline=None)
+    @given(tuple_lists, tuple_lists)
+    def test_matches_nested_loop(self, xs, ys):
+        semi = ContainedSemijoinTsTs(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_ASC)
+        )
+        assert values(semi.run()) == contained_oracle(xs, ys)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tuple_lists, tuple_lists)
+    def test_agrees_with_figure6_variant(self, xs, ys):
+        a = ContainedSemijoinTsTs(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_ASC)
+        )
+        b = ContainedSemijoinTeTs(
+            make_stream(xs, TE_ASC), make_stream(ys, TS_ASC)
+        )
+        assert values(a.run()) == values(b.run())

@@ -1,0 +1,133 @@
+"""Tests for the footnote-8 equality-merge joins (equal/meets/starts/
+finishes — the non-inequality Figure-2 operators as stream
+processors)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.allen import AllenRelation
+from repro.errors import UnsupportedSortOrderError
+from repro.model import TE_ASC, TS_ASC, TS_TE_ASC, TemporalTuple
+from repro.streams import (
+    EqualJoin,
+    FinishesJoin,
+    MeetsJoin,
+    NestedLoopJoin,
+    StartsJoin,
+)
+
+from .conftest import make_stream, pair_values, tuple_lists
+
+
+def oracle(xs, ys, relation):
+    return pair_values(
+        NestedLoopJoin(
+            make_stream(xs, TS_ASC),
+            make_stream(ys, TS_ASC),
+            lambda a, b: relation.holds(a.interval, b.interval),
+        ).run()
+    )
+
+
+class TestEqualJoin:
+    def test_basic(self):
+        xs = [TemporalTuple("a", 1, 0, 5), TemporalTuple("b", 2, 3, 9)]
+        ys = [TemporalTuple("c", 3, 0, 5), TemporalTuple("d", 4, 3, 8)]
+        join = EqualJoin(make_stream(xs, TS_TE_ASC), make_stream(ys, TS_TE_ASC))
+        assert pair_values(join.run()) == [(1, 3)]
+
+    def test_duplicate_lifespans_cross_product(self):
+        xs = [TemporalTuple(f"x{i}", i, 2, 7) for i in range(3)]
+        ys = [TemporalTuple(f"y{i}", 10 + i, 2, 7) for i in range(2)]
+        join = EqualJoin(make_stream(xs, TS_TE_ASC), make_stream(ys, TS_TE_ASC))
+        assert len(join.run()) == 6
+
+    def test_rejects_wrong_orders(self):
+        xs = [TemporalTuple("a", 1, 0, 5)]
+        with pytest.raises(UnsupportedSortOrderError):
+            EqualJoin(make_stream(xs, TS_ASC), make_stream(xs, TS_TE_ASC))
+
+    def test_single_pass(self, random_tuples):
+        xs, ys = random_tuples(60, seed=1), random_tuples(60, seed=2)
+        join = EqualJoin(make_stream(xs, TS_TE_ASC), make_stream(ys, TS_TE_ASC))
+        join.run()
+        assert join.metrics.passes_x == 1
+        assert join.metrics.passes_y == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(tuple_lists, tuple_lists)
+    def test_matches_nested_loop(self, xs, ys):
+        join = EqualJoin(make_stream(xs, TS_TE_ASC), make_stream(ys, TS_TE_ASC))
+        assert pair_values(join.run()) == oracle(xs, ys, AllenRelation.EQUAL)
+
+
+class TestMeetsJoin:
+    def test_basic(self):
+        xs = [TemporalTuple("shift1", 1, 0, 8)]
+        ys = [
+            TemporalTuple("shift2", 2, 8, 16),  # meets
+            TemporalTuple("late", 3, 9, 16),    # gap
+        ]
+        join = MeetsJoin(make_stream(xs, TE_ASC), make_stream(ys, TS_ASC))
+        assert pair_values(join.run()) == [(1, 2)]
+
+    def test_met_by_via_swap(self, random_tuples):
+        xs, ys = random_tuples(50, seed=3), random_tuples(50, seed=4)
+        meets = MeetsJoin(make_stream(ys, TE_ASC), make_stream(xs, TS_ASC))
+        met_by = sorted((x.value, y.value) for y, x in meets.run())
+        assert met_by == oracle(xs, ys, AllenRelation.MET_BY)
+
+    @settings(max_examples=50, deadline=None)
+    @given(tuple_lists, tuple_lists)
+    def test_matches_nested_loop(self, xs, ys):
+        join = MeetsJoin(make_stream(xs, TE_ASC), make_stream(ys, TS_ASC))
+        assert pair_values(join.run()) == oracle(xs, ys, AllenRelation.MEETS)
+
+
+class TestStartsJoin:
+    def test_strictness(self):
+        xs = [TemporalTuple("a", 1, 0, 5)]
+        ys = [
+            TemporalTuple("longer", 2, 0, 9),
+            TemporalTuple("same", 3, 0, 5),     # equal, not starts
+            TemporalTuple("shifted", 4, 1, 9),  # different start
+        ]
+        join = StartsJoin(make_stream(xs, TS_ASC), make_stream(ys, TS_ASC))
+        assert pair_values(join.run()) == [(1, 2)]
+
+    @settings(max_examples=50, deadline=None)
+    @given(tuple_lists, tuple_lists)
+    def test_matches_nested_loop(self, xs, ys):
+        join = StartsJoin(make_stream(xs, TS_ASC), make_stream(ys, TS_ASC))
+        assert pair_values(join.run()) == oracle(xs, ys, AllenRelation.STARTS)
+
+
+class TestFinishesJoin:
+    def test_strictness(self):
+        xs = [TemporalTuple("a", 1, 4, 9)]
+        ys = [
+            TemporalTuple("earlier-start", 2, 0, 9),
+            TemporalTuple("same", 3, 4, 9),
+            TemporalTuple("later-start", 4, 5, 9),
+        ]
+        join = FinishesJoin(make_stream(xs, TE_ASC), make_stream(ys, TE_ASC))
+        assert pair_values(join.run()) == [(1, 2)]
+
+    @settings(max_examples=50, deadline=None)
+    @given(tuple_lists, tuple_lists)
+    def test_matches_nested_loop(self, xs, ys):
+        join = FinishesJoin(make_stream(xs, TE_ASC), make_stream(ys, TE_ASC))
+        assert pair_values(join.run()) == oracle(
+            xs, ys, AllenRelation.FINISHES
+        )
+
+
+class TestWorkspaceShape:
+    def test_group_sized_state(self, random_tuples):
+        """The merge join's workspace is one pair of same-key groups,
+        not the whole input."""
+        xs = random_tuples(200, span=2000, seed=5)
+        ys = random_tuples(200, span=2000, seed=6)
+        join = MeetsJoin(make_stream(xs, TE_ASC), make_stream(ys, TS_ASC))
+        join.run()
+        assert join.metrics.workspace_high_water < 20

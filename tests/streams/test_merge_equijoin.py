@@ -1,0 +1,78 @@
+"""Tests for the surrogate merge equi-join (footnote 8)."""
+
+import pytest
+
+from repro.errors import UnsupportedSortOrderError
+from repro.model import TS_ASC, SortOrder, TemporalTuple, sort_tuples
+from repro.streams import SurrogateMergeJoin, TupleStream
+
+SURR = SortOrder.by_surrogate()
+
+
+def stream(tuples):
+    return TupleStream.from_tuples(sort_tuples(tuples, SURR), order=SURR)
+
+
+FACULTY_ASSISTANT = [
+    TemporalTuple("jones", "Assistant", 0, 5),
+    TemporalTuple("smith", "Assistant", 2, 6),
+]
+FACULTY_FULL = [
+    TemporalTuple("smith", "Full", 10, 20),
+    TemporalTuple("adams", "Full", 1, 9),
+]
+
+
+class TestSurrogateMergeJoin:
+    def test_matches_on_equal_names(self):
+        join = SurrogateMergeJoin(stream(FACULTY_ASSISTANT), stream(FACULTY_FULL))
+        out = join.run()
+        assert [(a.surrogate, b.surrogate) for a, b in out] == [
+            ("smith", "smith")
+        ]
+
+    def test_residual_filter(self):
+        """The footnote-8 pattern: merge on the equality, filter with
+        the inequality constraints."""
+        join = SurrogateMergeJoin(
+            stream(FACULTY_ASSISTANT),
+            stream(FACULTY_FULL),
+            residual=lambda a, b: a.valid_to < b.valid_from,
+        )
+        assert len(join.run()) == 1
+        blocked = SurrogateMergeJoin(
+            stream(FACULTY_ASSISTANT),
+            stream(FACULTY_FULL),
+            residual=lambda a, b: a.valid_to > b.valid_from,
+        )
+        assert blocked.run() == []
+
+    def test_group_cross_product(self):
+        xs = [TemporalTuple("k", i, i, i + 1) for i in range(3)]
+        ys = [TemporalTuple("k", 10 + i, i, i + 1) for i in range(4)]
+        join = SurrogateMergeJoin(stream(xs), stream(ys))
+        assert len(join.run()) == 12
+
+    def test_workspace_is_group_sized(self):
+        xs = [TemporalTuple(f"s{i}", i, 0, 1) for i in range(50)]
+        ys = [TemporalTuple(f"s{i}", i, 0, 1) for i in range(50)]
+        join = SurrogateMergeJoin(stream(xs), stream(ys))
+        join.run()
+        # Every group has one tuple per side: peak state is 2.
+        assert join.metrics.workspace_high_water == 2
+
+    def test_requires_surrogate_order(self):
+        bad = TupleStream.from_tuples(FACULTY_ASSISTANT, order=TS_ASC)
+        with pytest.raises(UnsupportedSortOrderError):
+            SurrogateMergeJoin(bad, stream(FACULTY_FULL))
+
+    def test_disjoint_key_sets(self):
+        xs = [TemporalTuple("a", 1, 0, 1)]
+        ys = [TemporalTuple("b", 2, 0, 1)]
+        assert SurrogateMergeJoin(stream(xs), stream(ys)).run() == []
+
+    def test_single_pass_each(self):
+        join = SurrogateMergeJoin(stream(FACULTY_ASSISTANT), stream(FACULTY_FULL))
+        join.run()
+        assert join.metrics.passes_x == 1
+        assert join.metrics.passes_y == 1

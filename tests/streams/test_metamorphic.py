@@ -1,0 +1,113 @@
+"""Metamorphic tests: transformations of the time axis that must leave
+operator semantics unchanged.
+
+The paper's model treats time as isomorphic to the naturals with no
+fixed unit, so:
+
+* translating every lifespan by a constant shifts outputs identically;
+* scaling every endpoint by a positive integer preserves all thirteen
+  relationships except *meets* boundaries — actually scaling preserves
+  order and equality of endpoints, hence every relation;
+* the operators depend only on endpoint order, never absolute values.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allen import classify
+from repro.model import TE_ASC, TS_ASC, TemporalTuple
+from repro.streams import (
+    ContainJoinTsTs,
+    ContainSemijoinTsTe,
+    OverlapJoin,
+    SelfContainedSemijoin,
+)
+from repro.model import TS_TE_ASC
+
+from .conftest import make_stream, pair_values, tuple_lists, values
+
+shifts = st.integers(min_value=-1000, max_value=1000)
+scales = st.integers(min_value=1, max_value=7)
+
+
+def shift_tuples(tuples, delta):
+    return [
+        TemporalTuple(t.surrogate, t.value, t.valid_from + delta, t.valid_to + delta)
+        for t in tuples
+    ]
+
+
+def scale_tuples(tuples, factor):
+    return [
+        TemporalTuple(
+            t.surrogate, t.value, t.valid_from * factor, t.valid_to * factor
+        )
+        for t in tuples
+    ]
+
+
+class TestShiftInvariance:
+    @settings(max_examples=40, deadline=None)
+    @given(tuple_lists, tuple_lists, shifts)
+    def test_contain_join(self, xs, ys, delta):
+        base = ContainJoinTsTs(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_ASC)
+        )
+        shifted = ContainJoinTsTs(
+            make_stream(shift_tuples(xs, delta), TS_ASC),
+            make_stream(shift_tuples(ys, delta), TS_ASC),
+        )
+        assert pair_values(base.run()) == pair_values(shifted.run())
+
+    @settings(max_examples=40, deadline=None)
+    @given(tuple_lists, tuple_lists, shifts)
+    def test_overlap_join(self, xs, ys, delta):
+        base = OverlapJoin(make_stream(xs, TS_ASC), make_stream(ys, TS_ASC))
+        shifted = OverlapJoin(
+            make_stream(shift_tuples(xs, delta), TS_ASC),
+            make_stream(shift_tuples(ys, delta), TS_ASC),
+        )
+        assert pair_values(base.run()) == pair_values(shifted.run())
+
+    @settings(max_examples=40, deadline=None)
+    @given(tuple_lists, shifts)
+    def test_self_semijoin_workspace_too(self, xs, delta):
+        """Shifting changes neither results nor the workspace
+        trajectory's peak (the algorithm sees the same order
+        structure)."""
+        base = SelfContainedSemijoin(make_stream(xs, TS_TE_ASC))
+        base_out = values(base.run())
+        shifted = SelfContainedSemijoin(
+            make_stream(shift_tuples(xs, delta), TS_TE_ASC)
+        )
+        assert values(shifted.run()) == base_out
+        assert (
+            shifted.metrics.workspace_high_water
+            == base.metrics.workspace_high_water
+        )
+
+
+class TestScaleInvariance:
+    @settings(max_examples=40, deadline=None)
+    @given(tuple_lists, tuple_lists, scales)
+    def test_semijoin(self, xs, ys, factor):
+        base = ContainSemijoinTsTe(
+            make_stream(xs, TS_ASC), make_stream(ys, TE_ASC)
+        )
+        scaled = ContainSemijoinTsTe(
+            make_stream(scale_tuples(xs, factor), TS_ASC),
+            make_stream(scale_tuples(ys, factor), TE_ASC),
+        )
+        assert values(base.run()) == values(scaled.run())
+
+    @settings(max_examples=40, deadline=None)
+    @given(tuple_lists, scales, shifts)
+    def test_classification_invariant(self, xs, factor, delta):
+        transformed = shift_tuples(scale_tuples(xs, factor), delta)
+        for a, b in zip(xs, xs[1:]):
+            index = xs.index(a)
+            ta = transformed[index]
+            tb = transformed[index + 1]
+            assert classify(a.interval, b.interval) is classify(
+                ta.interval, tb.interval
+            )

@@ -1,0 +1,125 @@
+"""Tests for Overlap-join and Overlap-semijoin (Section 4.2.4, Table 2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import UnsupportedSortOrderError
+from repro.model import TE_ASC, TS_ASC, TemporalTuple
+from repro.streams import (
+    NestedLoopJoin,
+    NestedLoopSemijoin,
+    OverlapJoin,
+    OverlapSemijoin,
+    overlap_predicate,
+)
+
+from .conftest import make_stream, pair_values, tuple_lists, values
+
+
+def join_oracle(xs, ys):
+    return pair_values(
+        NestedLoopJoin(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_ASC), overlap_predicate
+        ).run()
+    )
+
+
+def semi_oracle(xs, ys):
+    return values(
+        NestedLoopSemijoin(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_ASC), overlap_predicate
+        ).run()
+    )
+
+
+class TestOverlapJoin:
+    def test_superstar_style_overlap(self):
+        """General (TQuel) overlap: any shared timepoint counts,
+        including containment and equality."""
+        xs = [TemporalTuple("x", "x", 0, 10)]
+        ys = [
+            TemporalTuple("inside", 1, 3, 5),
+            TemporalTuple("equal", 2, 0, 10),
+            TemporalTuple("left", 3, 0, 1),
+            TemporalTuple("meets", 4, 10, 12),  # no shared point
+            TemporalTuple("before", 5, 15, 20),
+        ]
+        join = OverlapJoin(make_stream(xs, TS_ASC), make_stream(ys, TS_ASC))
+        matched = {y.surrogate for _x, y in join.run()}
+        assert matched == {"inside", "equal", "left"}
+
+    def test_state_is_open_intervals(self):
+        """The state holds only tuples whose lifespans span the sweep
+        point: disjoint staircases keep it constant-size."""
+        xs = [TemporalTuple(f"x{i}", i, 10 * i, 10 * i + 5) for i in range(150)]
+        ys = [TemporalTuple(f"y{i}", i, 10 * i + 2, 10 * i + 7) for i in range(150)]
+        join = OverlapJoin(make_stream(xs, TS_ASC), make_stream(ys, TS_ASC))
+        out = join.run()
+        assert len(out) == 150
+        assert join.metrics.workspace_high_water <= 4
+
+    def test_rejects_other_orders(self, random_tuples):
+        """Table 2: TS^/TS^ (or its mirror) is the only appropriate
+        combination."""
+        xs = random_tuples(5)
+        with pytest.raises(UnsupportedSortOrderError):
+            OverlapJoin(make_stream(xs, TS_ASC), make_stream(xs, TE_ASC))
+        with pytest.raises(UnsupportedSortOrderError):
+            OverlapJoin(make_stream(xs, TE_ASC), make_stream(xs, TS_ASC))
+
+    def test_single_pass(self, random_tuples):
+        xs, ys = random_tuples(80, seed=30), random_tuples(80, seed=31)
+        join = OverlapJoin(make_stream(xs, TS_ASC), make_stream(ys, TS_ASC))
+        join.run()
+        assert join.metrics.passes_x == 1
+        assert join.metrics.passes_y == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(tuple_lists, tuple_lists)
+    def test_matches_nested_loop(self, xs, ys):
+        join = OverlapJoin(make_stream(xs, TS_ASC), make_stream(ys, TS_ASC))
+        assert pair_values(join.run()) == join_oracle(xs, ys)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tuple_lists, tuple_lists)
+    def test_symmetry(self, xs, ys):
+        """Overlap is symmetric: join(X,Y) = transpose(join(Y,X))."""
+        a = OverlapJoin(make_stream(xs, TS_ASC), make_stream(ys, TS_ASC))
+        b = OverlapJoin(make_stream(ys, TS_ASC), make_stream(xs, TS_ASC))
+        assert pair_values(a.run()) == sorted(
+            (x, y) for y, x in pair_values(b.run())
+        )
+
+
+class TestOverlapSemijoin:
+    def test_buffers_only(self, random_tuples):
+        """Table 2 (b): no state tuples at all."""
+        xs, ys = random_tuples(200, seed=32), random_tuples(200, seed=33)
+        semi = OverlapSemijoin(make_stream(xs, TS_ASC), make_stream(ys, TS_ASC))
+        semi.run()
+        assert semi.metrics.workspace_high_water == 0
+        assert semi.metrics.total_footprint == 2
+
+    def test_single_pass_each(self, random_tuples):
+        xs, ys = random_tuples(100, seed=34), random_tuples(100, seed=35)
+        semi = OverlapSemijoin(make_stream(xs, TS_ASC), make_stream(ys, TS_ASC))
+        semi.run()
+        assert semi.metrics.passes_x == 1
+        assert semi.metrics.passes_y == 1
+
+    def test_long_y_serves_many_x(self):
+        xs = [TemporalTuple(f"x{i}", i, 10 * i, 10 * i + 5) for i in range(20)]
+        ys = [TemporalTuple("era", "era", 0, 1000)]
+        semi = OverlapSemijoin(make_stream(xs, TS_ASC), make_stream(ys, TS_ASC))
+        assert len(semi.run()) == 20
+
+    def test_output_preserves_order(self, random_tuples):
+        xs, ys = random_tuples(60, seed=36), random_tuples(60, seed=37)
+        semi = OverlapSemijoin(make_stream(xs, TS_ASC), make_stream(ys, TS_ASC))
+        assert TS_ASC.is_sorted(semi.run())
+
+    @settings(max_examples=80, deadline=None)
+    @given(tuple_lists, tuple_lists)
+    def test_matches_nested_loop(self, xs, ys):
+        semi = OverlapSemijoin(make_stream(xs, TS_ASC), make_stream(ys, TS_ASC))
+        assert values(semi.run()) == semi_oracle(xs, ys)

@@ -1,0 +1,100 @@
+"""Tests for read-phase advancement policies (the 1/lambda heuristic)."""
+
+from hypothesis import given, settings
+
+from repro.model import TS_ASC, TemporalTuple
+from repro.streams import (
+    ContainJoinTsTs,
+    LambdaPolicy,
+    MinKeyPolicy,
+    NestedLoopJoin,
+    TupleStream,
+    Workspace,
+    contain_predicate,
+)
+from repro.streams.processors.base import ts_key
+
+from .conftest import make_stream, pair_values, tuple_lists
+
+
+class TestMinKeyPolicy:
+    def test_advances_smaller_key(self):
+        policy = MinKeyPolicy(ts_key, ts_key)
+        early = TemporalTuple("a", 1, 0, 5)
+        late = TemporalTuple("b", 2, 3, 9)
+        assert policy.choose(early, late, Workspace(), Workspace()) == "x"
+        assert policy.choose(late, early, Workspace(), Workspace()) == "y"
+
+    def test_tie_goes_to_x(self):
+        policy = MinKeyPolicy(ts_key, ts_key)
+        a = TemporalTuple("a", 1, 3, 5)
+        b = TemporalTuple("b", 2, 3, 9)
+        assert policy.choose(a, b, Workspace(), Workspace()) == "x"
+
+
+class TestLambdaPolicy:
+    def make(self, inter_x=1.0, inter_y=1.0):
+        return ContainJoinTsTs.lambda_policy(inter_x, inter_y)
+
+    def test_prefers_side_with_more_disposals(self):
+        policy = self.make(inter_x=10.0, inter_y=10.0)
+        x_buf = TemporalTuple("x", 1, 50, 60)
+        y_buf = TemporalTuple("y", 2, 50, 60)
+        x_state = Workspace()
+        y_state = Workspace()
+        # Three Y state tuples become disposable if X advances
+        # (ValidFrom <= 60); nothing in the X state is disposable.
+        for i in range(3):
+            y_state.insert(TemporalTuple(f"ys{i}", i, 52 + i, 100))
+        x_state.insert(TemporalTuple("xs", 9, 0, 500))
+        assert policy.choose(x_buf, y_buf, x_state, y_state) == "x"
+
+    def test_falls_back_to_sweep_order_on_tie(self):
+        policy = self.make()
+        x_buf = TemporalTuple("x", 1, 10, 20)
+        y_buf = TemporalTuple("y", 2, 5, 20)
+        assert policy.choose(x_buf, y_buf, Workspace(), Workspace()) == "y"
+
+    @settings(max_examples=40, deadline=None)
+    @given(tuple_lists, tuple_lists)
+    def test_policy_does_not_affect_correctness(self, xs, ys):
+        """Any advancement policy yields the same join result; only the
+        workspace profile differs (Section 4.2.1)."""
+        oracle = pair_values(
+            NestedLoopJoin(
+                make_stream(xs, TS_ASC),
+                make_stream(ys, TS_ASC),
+                contain_predicate,
+            ).run()
+        )
+        for policy in (None, self.make(2.0, 5.0), self.make(0.5, 0.5)):
+            join = ContainJoinTsTs(
+                make_stream(xs, TS_ASC),
+                make_stream(ys, TS_ASC),
+                policy=policy,
+            )
+            assert pair_values(join.run()) == oracle
+
+
+class TestLambdaPolicyOnTsTe:
+    @settings(max_examples=30, deadline=None)
+    @given(tuple_lists, tuple_lists)
+    def test_ts_te_variant_policy_independent(self, xs, ys):
+        """The TS^/TE^ Contain-join is also policy-independent."""
+        from repro.model import TE_ASC
+        from repro.streams import ContainJoinTsTe
+
+        oracle = pair_values(
+            NestedLoopJoin(
+                make_stream(xs, TS_ASC),
+                make_stream(ys, TS_ASC),
+                contain_predicate,
+            ).run()
+        )
+        for policy in (None, ContainJoinTsTe.lambda_policy(3.0, 1.5)):
+            join = ContainJoinTsTe(
+                make_stream(xs, TS_ASC),
+                make_stream(ys, TE_ASC),
+                policy=policy,
+            )
+            assert pair_values(join.run()) == oracle

@@ -1,0 +1,111 @@
+"""Unit tests for the instrumented TupleStream."""
+
+import pytest
+
+from repro.errors import StreamOrderError
+from repro.model import TS_ASC, TemporalRelation, TemporalSchema, TemporalTuple
+from repro.storage import HeapFile, IOStats
+from repro.streams import TupleStream
+
+TUPLES = [
+    TemporalTuple("a", 1, 0, 5),
+    TemporalTuple("b", 2, 3, 9),
+    TemporalTuple("c", 3, 7, 8),
+]
+
+
+class TestCursor:
+    def test_buffer_starts_empty(self):
+        s = TupleStream.from_tuples(TUPLES, order=TS_ASC)
+        assert s.buffer is None
+        assert not s.exhausted
+
+    def test_advance_loads_buffer(self):
+        s = TupleStream.from_tuples(TUPLES, order=TS_ASC)
+        first = s.advance()
+        assert first == TUPLES[0]
+        assert s.buffer == TUPLES[0]
+
+    def test_advance_to_exhaustion(self):
+        s = TupleStream.from_tuples(TUPLES, order=TS_ASC)
+        seen = []
+        while (t := s.advance()) is not None:
+            seen.append(t)
+        assert seen == TUPLES
+        assert s.exhausted
+        assert s.buffer is None
+        assert s.advance() is None  # idempotent at EOF
+
+    def test_tuples_read_counter(self):
+        s = TupleStream.from_tuples(TUPLES, order=TS_ASC)
+        s.advance()
+        s.advance()
+        assert s.tuples_read == 2
+
+    def test_single_pass_counter(self):
+        s = TupleStream.from_tuples(TUPLES, order=TS_ASC)
+        list(s.drain())
+        assert s.passes == 1
+
+    def test_restart_counts_passes(self):
+        s = TupleStream.from_tuples(TUPLES, order=TS_ASC)
+        list(s.drain())
+        s.restart()
+        assert list(s.drain()) == TUPLES
+        assert s.passes == 2
+        assert s.tuples_read == 6
+
+    def test_drain_includes_buffered_tuple(self):
+        s = TupleStream.from_tuples(TUPLES, order=TS_ASC)
+        s.advance()
+        assert list(s.drain()) == TUPLES
+
+    def test_empty_stream(self):
+        s = TupleStream.from_tuples([], order=TS_ASC)
+        assert s.advance() is None
+        assert s.exhausted
+        assert list(s.drain()) == []
+
+
+class TestOrderVerification:
+    def test_violation_raises(self):
+        disordered = [TUPLES[1], TUPLES[0]]
+        s = TupleStream.from_tuples(disordered, order=TS_ASC)
+        s.advance()
+        with pytest.raises(StreamOrderError):
+            s.advance()
+
+    def test_verification_can_be_disabled(self):
+        disordered = [TUPLES[1], TUPLES[0]]
+        s = TupleStream.from_tuples(
+            disordered, order=TS_ASC, verify_order=False
+        )
+        assert list(s.drain()) == disordered
+
+    def test_no_order_means_no_verification(self):
+        disordered = [TUPLES[1], TUPLES[0]]
+        s = TupleStream.from_tuples(disordered)
+        assert list(s.drain()) == disordered
+
+
+class TestSources:
+    def test_from_relation_inherits_order(self):
+        rel = TemporalRelation(
+            TemporalSchema("R"), TUPLES
+        ).sorted_by(TS_ASC)
+        s = TupleStream.from_relation(rel)
+        assert s.order == TS_ASC
+        assert s.name == "R"
+        assert list(s.drain()) == list(rel.tuples)
+
+    def test_from_heap_file_charges_io_per_pass(self):
+        f = HeapFile.from_records("F", TUPLES, page_capacity=2)
+        stats = IOStats()
+        s = TupleStream.from_heap_file(f, order=TS_ASC, stats=stats)
+        list(s.drain())
+        assert stats.scans_started == 1
+        assert stats.page_reads == 2
+        s.restart()
+        list(s.drain())
+        assert stats.scans_started == 2
+        assert stats.page_reads == 4

@@ -1,0 +1,60 @@
+"""Tests for the GC-free join used to demonstrate the '-' table cells."""
+
+from hypothesis import given, settings
+
+from repro.model import TS_ASC, TemporalTuple
+from repro.streams import (
+    ContainJoinTsTs,
+    NestedLoopJoin,
+    UnboundedStateJoin,
+    contain_predicate,
+    overlap_predicate,
+)
+
+from .conftest import make_stream, pair_values, tuple_lists
+
+
+class TestUnboundedStateJoin:
+    @settings(max_examples=40, deadline=None)
+    @given(tuple_lists, tuple_lists)
+    def test_correct_for_contain(self, xs, ys):
+        oracle = pair_values(
+            NestedLoopJoin(
+                make_stream(xs, TS_ASC),
+                make_stream(ys, TS_ASC),
+                contain_predicate,
+            ).run()
+        )
+        join = UnboundedStateJoin(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_ASC), contain_predicate
+        )
+        assert pair_values(join.run()) == oracle
+
+    def test_state_grows_linearly(self, random_tuples):
+        """Without GC criteria the workspace approaches |X| + |Y| — the
+        quantitative meaning of a '-' cell."""
+        xs, ys = random_tuples(100, seed=70), random_tuples(100, seed=71)
+        join = UnboundedStateJoin(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_ASC), overlap_predicate
+        )
+        join.run()
+        assert join.metrics.workspace_high_water >= 150
+
+    def test_bounded_variant_is_strictly_better(self, random_tuples):
+        """The GC criteria of the appropriate ordering shrink the state
+        by an order of magnitude on sparse data."""
+        xs, ys = (
+            random_tuples(200, span=4000, max_duration=30, seed=72),
+            random_tuples(200, span=4000, max_duration=30, seed=73),
+        )
+        bounded = ContainJoinTsTs(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_ASC)
+        )
+        unbounded = UnboundedStateJoin(
+            make_stream(xs, TS_ASC), make_stream(ys, TS_ASC), contain_predicate
+        )
+        assert pair_values(bounded.run()) == pair_values(unbounded.run())
+        assert (
+            bounded.metrics.workspace_high_water * 5
+            < unbounded.metrics.workspace_high_water
+        )

@@ -1,0 +1,84 @@
+"""Unit tests for workspace accounting."""
+
+from repro.streams import Workspace, WorkspaceMeter, WorkspaceReport
+
+
+class TestWorkspace:
+    def test_insert_and_len(self):
+        ws = Workspace()
+        ws.insert("a")
+        ws.insert("b")
+        assert len(ws) == 2
+        assert list(ws) == ["a", "b"]
+        assert bool(ws)
+
+    def test_high_water_tracks_peak(self):
+        ws = Workspace()
+        for item in "abc":
+            ws.insert(item)
+        ws.evict_where(lambda i: i != "c")
+        ws.insert("d")
+        assert len(ws) == 2
+        assert ws.high_water == 3
+
+    def test_evict_where_counts(self):
+        ws = Workspace()
+        for i in range(5):
+            ws.insert(i)
+        assert ws.evict_where(lambda i: i % 2 == 0) == 3
+        assert list(ws) == [1, 3]
+        assert ws.total_discarded == 3
+
+    def test_remove_specific(self):
+        ws = Workspace()
+        ws.insert("a")
+        ws.insert("b")
+        ws.remove("a")
+        assert list(ws) == ["b"]
+
+    def test_clear(self):
+        ws = Workspace()
+        ws.insert("a")
+        assert ws.clear() == 1
+        assert not ws
+
+    def test_replace_keeps_one(self):
+        ws = Workspace()
+        ws.replace("a")
+        ws.replace("b")
+        assert list(ws) == ["b"]
+        assert ws.high_water == 1
+        assert ws.peek() == "b"
+
+    def test_peek_empty(self):
+        assert Workspace().peek() is None
+
+
+class TestWorkspaceMeter:
+    def test_joint_high_water(self):
+        meter = WorkspaceMeter()
+        a = Workspace("a", meter=meter)
+        b = Workspace("b", meter=meter)
+        a.insert(1)
+        b.insert(2)
+        b.insert(3)
+        a.evict_where(lambda _x: True)
+        b.insert(4)
+        # Peak was 3 (1 in a, 2 in b); after evicting a and adding to b
+        # the current is 3 again but never exceeded 3.
+        assert meter.high_water == 3
+        assert meter.current == 3
+        assert meter.total_inserted == 4
+        assert meter.total_discarded == 1
+
+    def test_report_snapshot(self):
+        meter = WorkspaceMeter()
+        ws = Workspace(meter=meter)
+        ws.insert(1)
+        ws.insert(2)
+        ws.remove(1)
+        report = WorkspaceReport.from_meter(meter)
+        assert report.high_water == 2
+        assert report.residual == 1
+        assert report.total_inserted == 2
+        assert report.total_discarded == 1

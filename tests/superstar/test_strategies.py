@@ -1,0 +1,177 @@
+"""Tests for the three end-to-end Superstar strategies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.superstar import (
+    all_strategies,
+    conventional_superstar,
+    semantic_assumptions_hold,
+    semantic_superstar,
+    semantic_transformation_applies,
+    stream_superstar,
+)
+from repro.workload import FacultyWorkload, figure1_relation
+
+
+@pytest.fixture
+def strong_faculty():
+    """Data satisfying the Section-5 assumptions: continuous careers,
+    everyone reaching Full."""
+    return FacultyWorkload(
+        faculty_count=120, continuous=True, full_fraction=1.0
+    ).generate(7)
+
+
+class TestFigure1:
+    def test_smith_is_the_star(self):
+        rel = figure1_relation()
+        result = conventional_superstar(rel)
+        assert result.rows == {("Smith", 0, 30)}
+
+    def test_stream_strategy_agrees(self):
+        rel = figure1_relation()
+        assert stream_superstar(rel).rows == {("Smith", 0, 30)}
+
+    def test_semantic_assumptions_fail_for_kim(self):
+        # Kim stops at Associate, so careers do not all reach Full.
+        assert not semantic_assumptions_hold(figure1_relation())
+
+
+class TestAgreement:
+    def test_all_strategies_agree(self, strong_faculty):
+        results = all_strategies(strong_faculty)
+        assert len(results) == 3
+        rows = {r.strategy: r.rows for r in results}
+        assert len(set(map(frozenset, rows.values()))) == 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_agreement_on_random_seeds(self, seed):
+        rel = FacultyWorkload(
+            faculty_count=30, continuous=True, full_fraction=1.0
+        ).generate(seed)
+        all_strategies(rel)  # raises internally on disagreement
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_conventional_vs_stream_without_assumptions(self, seed):
+        rel = FacultyWorkload(
+            faculty_count=25, continuous=False, full_fraction=0.6
+        ).generate(seed)
+        assert (
+            conventional_superstar(rel).rows == stream_superstar(rel).rows
+        )
+
+
+class TestProfiles:
+    def test_scan_counts(self, strong_faculty):
+        conventional = conventional_superstar(strong_faculty)
+        semantic = semantic_superstar(strong_faculty)
+        assert conventional.faculty_scans == 3
+        assert semantic.faculty_scans == 1
+
+    def test_semantic_workspace_is_one_tuple(self, strong_faculty):
+        semantic = semantic_superstar(strong_faculty)
+        assert semantic.workspace_high_water == 1
+
+    def test_comparison_ordering(self, strong_faculty):
+        """The paper's performance narrative: conventional >> stream >>
+        semantic in join-condition evaluations."""
+        conventional = conventional_superstar(strong_faculty)
+        stream = stream_superstar(strong_faculty)
+        semantic = semantic_superstar(strong_faculty)
+        assert semantic.comparisons < stream.comparisons
+        assert stream.comparisons < conventional.comparisons
+
+    def test_unoptimized_conventional_is_worst(self, strong_faculty):
+        raw = conventional_superstar(strong_faculty, use_rewrites=False)
+        optimized = conventional_superstar(strong_faculty)
+        assert raw.rows == optimized.rows
+        assert raw.comparisons > optimized.comparisons
+
+
+class TestSemanticApplicability:
+    def test_transformation_applies_with_constraints(self, strong_faculty):
+        assert semantic_transformation_applies(strong_faculty)
+
+    def test_transformation_needs_constraints(self):
+        from repro.model import TemporalRelation
+
+        rel = FacultyWorkload(
+            faculty_count=10, continuous=True, full_fraction=1.0
+        ).generate(1)
+        stripped = TemporalRelation(rel.schema, rel.tuples)
+        assert not semantic_transformation_applies(stripped)
+
+    def test_semantic_assumptions_hold(self, strong_faculty):
+        assert semantic_assumptions_hold(strong_faculty)
+
+    def test_assumptions_fail_without_continuity(self):
+        rel = FacultyWorkload(
+            faculty_count=10, continuous=False, full_fraction=1.0
+        ).generate(1)
+        assert not semantic_assumptions_hold(rel)
+
+
+class TestEdgeCases:
+    def test_empty_faculty(self):
+        rel = FacultyWorkload(
+            faculty_count=0, continuous=True, full_fraction=1.0
+        ).generate(0)
+        results = all_strategies(rel)
+        assert all(r.rows == frozenset() for r in results)
+
+    def test_single_member_no_witness(self):
+        rel = FacultyWorkload(
+            faculty_count=1, continuous=True, full_fraction=1.0
+        ).generate(0)
+        results = all_strategies(rel)
+        assert all(r.rows == frozenset() for r in results)
+
+
+class TestPlannedStrategy:
+    def test_picks_semantic_when_constraints_allow(self, strong_faculty):
+        from repro.superstar import planned_superstar
+
+        result = planned_superstar(strong_faculty)
+        assert result.strategy == "semantic-self-semijoin"
+        assert result.details["planned"]
+        assert result.rows == conventional_superstar(strong_faculty).rows
+
+    def test_falls_back_without_constraints(self):
+        from repro.model import TemporalRelation
+        from repro.superstar import planned_superstar
+
+        rel = FacultyWorkload(
+            faculty_count=120, continuous=True, full_fraction=1.0
+        ).generate(3)
+        stripped = TemporalRelation(rel.schema, rel.tuples)
+        result = planned_superstar(stripped)
+        assert result.strategy == "stream-overlap"
+        assert result.rows == conventional_superstar(stripped).rows
+
+    def test_conventional_for_tiny_inputs(self):
+        from repro.model import TemporalRelation
+        from repro.superstar import planned_superstar
+
+        rel = FacultyWorkload(
+            faculty_count=3, continuous=True, full_fraction=1.0
+        ).generate(5)
+        stripped = TemporalRelation(rel.schema, rel.tuples)
+        result = planned_superstar(stripped)
+        assert result.strategy in ("conventional", "stream-overlap")
+        assert result.rows == conventional_superstar(stripped).rows
+
+    def test_gapped_careers_use_stream_plan(self):
+        from repro.superstar import planned_superstar
+
+        rel = FacultyWorkload(
+            faculty_count=100, continuous=False, full_fraction=0.7
+        ).generate(9)
+        result = planned_superstar(rel)
+        # Chronological ordering alone cannot prove the derived
+        # interval non-empty, so the single-scan plan is unsafe.
+        assert result.strategy != "semantic-self-semijoin"
+        assert result.rows == conventional_superstar(rel).rows

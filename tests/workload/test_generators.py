@@ -1,0 +1,148 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.model import TS_ASC, ChronologicalOrdering, ContinuousLifespan
+from repro.stats import collect_statistics
+from repro.workload import (
+    FacultyWorkload,
+    PayrollWorkload,
+    PoissonWorkload,
+    expected_sums,
+    figure1_relation,
+    fixed_duration,
+    geometric_duration,
+    nested_relation,
+    staircase_relation,
+    uniform_duration,
+)
+
+
+class TestPoissonWorkload:
+    def test_deterministic(self):
+        w = PoissonWorkload(100, 0.5, fixed_duration(5))
+        a = w.generate(seed=1)
+        b = w.generate(seed=1)
+        assert list(a.tuples) == list(b.tuples)
+        c = w.generate(seed=2)
+        assert list(a.tuples) != list(c.tuples)
+
+    def test_cardinality(self):
+        w = PoissonWorkload(57, 1.0, fixed_duration(3))
+        assert len(w.generate(seed=0)) == 57
+
+    def test_starts_are_nondecreasing(self):
+        w = PoissonWorkload(200, 0.3, fixed_duration(4))
+        rel = w.generate(seed=5)
+        starts = [t.valid_from for t in rel]
+        assert starts == sorted(starts)
+
+    def test_rate_is_respected(self):
+        w = PoissonWorkload(5000, 0.25, fixed_duration(2))
+        stats = collect_statistics(w.generate(seed=9))
+        assert stats.mean_inter_arrival == pytest.approx(4.0, rel=0.1)
+
+    def test_duration_samplers(self):
+        rng_probe = PoissonWorkload(300, 1.0, uniform_duration(3, 9))
+        durations = {t.duration for t in rng_probe.generate(seed=4)}
+        assert durations <= set(range(3, 10))
+        assert len(durations) > 3
+
+        geo = PoissonWorkload(2000, 1.0, geometric_duration(6.0))
+        stats = collect_statistics(geo.generate(seed=4))
+        assert stats.mean_duration == pytest.approx(6.0, rel=0.15)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PoissonWorkload(10, 0.0, fixed_duration(1)).generate(0)
+        with pytest.raises(ValueError):
+            PoissonWorkload(-1, 1.0, fixed_duration(1)).generate(0)
+        with pytest.raises(ValueError):
+            fixed_duration(0)
+        with pytest.raises(ValueError):
+            uniform_duration(5, 2)
+        with pytest.raises(ValueError):
+            geometric_duration(0.5)
+
+
+class TestShapeRelations:
+    def test_staircase_has_bounded_overlap(self):
+        rel = staircase_relation(50, step=10, duration=8)
+        assert len(rel) == 50
+        # At most one neighbour overlaps each tuple.
+        spans = rel.project_intervals()
+        for i, span in enumerate(spans):
+            overlapping = sum(span.intersects(other) for other in spans) - 1
+            assert overlapping <= 1
+
+    def test_nested_relation_is_fully_nested(self):
+        rel = nested_relation(10)
+        spans = sorted(rel.project_intervals())
+        for outer, inner in zip(spans, spans[1:]):
+            assert outer.contains(inner)
+
+
+class TestFacultyWorkload:
+    def test_constraints_hold_continuous(self):
+        rel = FacultyWorkload(faculty_count=100, continuous=True).generate(3)
+        assert rel.validate() == []
+        assert ContinuousLifespan().holds(rel)
+
+    def test_constraints_hold_with_gaps(self):
+        rel = FacultyWorkload(faculty_count=100, continuous=False).generate(3)
+        assert rel.validate() == []
+        ordering = ChronologicalOrdering(("Assistant", "Associate", "Full"))
+        assert ordering.holds(rel)
+
+    def test_full_fraction_controls_superstars_pool(self):
+        none = FacultyWorkload(faculty_count=200, full_fraction=0.0).generate(1)
+        assert "Full" not in none.attribute_values()
+        everyone = FacultyWorkload(faculty_count=200, full_fraction=1.0).generate(1)
+        full_count = len(everyone.where_value("Full"))
+        assert full_count == 200
+
+    def test_deterministic(self):
+        w = FacultyWorkload(faculty_count=50)
+        assert list(w.generate(7)) == list(w.generate(7))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FacultyWorkload(faculty_count=-1).generate(0)
+        with pytest.raises(ValueError):
+            FacultyWorkload(faculty_count=1, full_fraction=1.5).generate(0)
+        with pytest.raises(ValueError):
+            FacultyWorkload(faculty_count=1, min_period=0).generate(0)
+
+    def test_figure1_relation_is_valid(self):
+        rel = figure1_relation()
+        assert rel.validate() == []
+        assert rel.surrogates() == {"Smith", "Jones", "Kim"}
+
+
+class TestPayrollWorkload:
+    def test_grouped_by_department(self):
+        records = PayrollWorkload(departments=5).generate(seed=2)
+        seen = []
+        for record in records:
+            if not seen or seen[-1] != record.department:
+                seen.append(record.department)
+        assert len(seen) == len(set(seen)) == 5
+
+    def test_shuffled_variant_same_multiset(self):
+        w = PayrollWorkload(departments=4, employees_per_department=6)
+        grouped = w.generate(seed=2)
+        shuffled = w.generate_shuffled(seed=2)
+        assert sorted(grouped) == sorted(shuffled)
+        assert grouped != shuffled
+
+    def test_expected_sums(self):
+        records = PayrollWorkload(departments=3).generate(seed=2)
+        sums = expected_sums(records)
+        assert len(sums) == 3
+        assert all(total > 0 for total in sums.values())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PayrollWorkload(departments=-1).generate(0)
+        with pytest.raises(ValueError):
+            PayrollWorkload(min_salary=100, max_salary=50).generate(0)
