@@ -1,0 +1,244 @@
+"""BENCH-BACKEND — tuple-at-a-time vs columnar batch-sweep.
+
+Standalone (non-pytest) benchmark comparing the two physical backends
+on the paper's evaluation workloads: the Figure-5 Contain-join and the
+Figure-6 Contain-semijoin Poisson inputs (long X lifespans, short Y
+lifespans), plus the Table-2 Overlap operators and the Table-3
+single-scan self semijoin.  Both backends run the same registry cell on
+the same pre-sorted relations; outputs are cross-checked, wall-clock is
+best-of-``--repeats``, and everything lands in a JSON report.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_backend_columnar.py \
+        --sizes 1000 10000 100000 --out BENCH_columnar.json
+
+The report also records the headline claim — the columnar backend is
+at least ``--require-speedup`` (default 3x) faster on the Figure-5
+Contain-join at the largest size of 100k tuples or more — and the
+script exits non-zero when the claim fails, so CI can hold the line.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.model import TE_ASC, TS_ASC, TS_TE_ASC  # noqa: E402
+from repro.streams import (  # noqa: E402
+    BACKENDS,
+    TemporalOperator,
+    TupleStream,
+    lookup,
+)
+from repro.workload import (  # noqa: E402
+    PoissonWorkload,
+    fixed_duration,
+    uniform_duration,
+)
+
+HEADLINE = "contain-join[TS^,TS^]"
+
+#: (figure, cell label, operator, X order, Y order or None for unary)
+CELLS = (
+    ("fig5", HEADLINE, TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC),
+    (
+        "fig5",
+        "contain-join[TS^,TE^]",
+        TemporalOperator.CONTAIN_JOIN,
+        TS_ASC,
+        TE_ASC,
+    ),
+    (
+        "fig6",
+        "contain-semijoin[TS^,TE^]",
+        TemporalOperator.CONTAIN_SEMIJOIN,
+        TS_ASC,
+        TE_ASC,
+    ),
+    (
+        "tab2",
+        "overlap-join[TS^,TS^]",
+        TemporalOperator.OVERLAP_JOIN,
+        TS_ASC,
+        TS_ASC,
+    ),
+    (
+        "tab2",
+        "overlap-semijoin[TS^,TS^]",
+        TemporalOperator.OVERLAP_SEMIJOIN,
+        TS_ASC,
+        TS_ASC,
+    ),
+    (
+        "tab3",
+        "contained-semijoin[X,X][TS^,TE^]",
+        TemporalOperator.SELF_CONTAINED_SEMIJOIN,
+        TS_TE_ASC,
+        None,
+    ),
+)
+
+
+def make_inputs(n):
+    """The Figure-5/6 Poisson pair — arrival rate 0.5, X lifespans of 40
+    chronons containing Y lifespans of 10 — plus a varied-duration Z for
+    the self semijoin (fixed durations can never nest)."""
+    x = PoissonWorkload(n, 0.5, fixed_duration(40), name="X").generate(1)
+    y = PoissonWorkload(n, 0.5, fixed_duration(10), name="Y").generate(2)
+    z = PoissonWorkload(
+        n, 0.7, uniform_duration(5, 45), name="Z"
+    ).generate(3)
+    return x, y, z
+
+
+def run_once(entry, x_rel, y_rel, backend):
+    """One timed build+run on pre-sorted relations."""
+    x_stream = TupleStream.from_relation(x_rel, name="X")
+    y_stream = (
+        TupleStream.from_relation(y_rel, name="Y")
+        if y_rel is not None
+        else None
+    )
+    start = time.perf_counter()
+    if y_stream is None:
+        processor = entry.build(x_stream, backend=backend)
+    else:
+        processor = entry.build(x_stream, y_stream, backend=backend)
+    out = processor.run()
+    elapsed = time.perf_counter() - start
+    return elapsed, out, processor.metrics
+
+
+def measure_cell(figure, label, operator, x_order, y_order, x, y, repeats):
+    entry = lookup(operator, x_order, y_order)
+    x_rel = x.sorted_by(x_order)
+    y_rel = y.sorted_by(y_order) if y_order is not None else None
+    row = {"figure": figure, "cell": label, "n": len(x)}
+    counts = {}
+    for backend in BACKENDS:
+        best = None
+        for _ in range(repeats):
+            elapsed, out, metrics = run_once(entry, x_rel, y_rel, backend)
+            if best is None or elapsed < best:
+                best = elapsed
+        counts[backend] = len(out)
+        row[f"{backend}_seconds"] = round(best, 6)
+        row[f"{backend}_high_water"] = metrics.workspace_high_water
+        row[f"{backend}_comparisons"] = metrics.comparisons
+    if counts["tuple"] != counts["columnar"]:
+        raise AssertionError(
+            f"{label} n={len(x)}: backends disagree "
+            f"({counts['tuple']} vs {counts['columnar']} rows)"
+        )
+    row["output"] = counts["tuple"]
+    row["speedup"] = round(
+        row["tuple_seconds"] / max(row["columnar_seconds"], 1e-9), 2
+    )
+    return row
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[1000, 10000, 100000],
+        help="input cardinalities per relation",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="runs per cell (best kept)"
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_columnar.json",
+        help="path of the JSON report",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=3.0,
+        help="minimum columnar speedup on the Figure-5 contain-join at "
+        "the largest size (only enforced at 100k tuples or more)",
+    )
+    args = parser.parse_args(argv)
+
+    results = []
+    for n in sorted(args.sizes):
+        x, y, z = make_inputs(n)
+        for figure, label, operator, x_order, y_order in CELLS:
+            left = z if y_order is None else x
+            row = measure_cell(
+                figure, label, operator, x_order, y_order, left, y,
+                args.repeats,
+            )
+            results.append(row)
+            print(
+                f"n={n:>7d} {label:34s} "
+                f"tuple {row['tuple_seconds']:8.4f}s  "
+                f"columnar {row['columnar_seconds']:8.4f}s  "
+                f"speedup {row['speedup']:5.2f}x  "
+                f"out={row['output']}"
+            )
+
+    top = max(args.sizes)
+    headline = next(
+        (
+            r
+            for r in results
+            if r["cell"] == HEADLINE and r["n"] == top
+        ),
+        None,
+    )
+    claim = {
+        "cell": HEADLINE,
+        "n": top,
+        "required_speedup": args.require_speedup,
+        "measured_speedup": headline["speedup"] if headline else None,
+        "enforced": top >= 100000,
+        "passed": True,
+    }
+    if headline and top >= 100000:
+        claim["passed"] = headline["speedup"] >= args.require_speedup
+
+    report = {
+        "benchmark": "backend-columnar",
+        "description": (
+            "tuple-at-a-time vs columnar batch-sweep backend on the "
+            "Figure-5/6 Poisson workloads (X duration 40, Y duration "
+            "10, arrival rate 0.5)"
+        ),
+        "repeats": args.repeats,
+        "backends": list(BACKENDS),
+        "headline_claim": claim,
+        "results": results,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.out}")
+    if not claim["passed"]:
+        print(
+            f"FAIL: {HEADLINE} at n={top} sped up only "
+            f"{claim['measured_speedup']}x "
+            f"(< {args.require_speedup}x required)",
+            file=sys.stderr,
+        )
+        return 1
+    if claim["enforced"]:
+        print(
+            f"claim holds: {HEADLINE} at n={top} is "
+            f"{claim['measured_speedup']}x faster on the columnar "
+            "backend"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

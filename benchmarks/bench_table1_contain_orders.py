@@ -17,6 +17,7 @@ import pytest
 
 from repro.model import TE_ASC, TE_DESC, TS_ASC, TS_DESC
 from repro.streams import (
+    BACKENDS,
     TemporalOperator,
     TupleStream,
     UnboundedStateJoin,
@@ -45,7 +46,7 @@ OPERATORS = (
 )
 
 
-def run_cell(operator, x_order, y_order, x, y):
+def run_cell(operator, x_order, y_order, x, y, backend="tuple"):
     """Returns (state_class, measured_high_water or None)."""
     entry = lookup(operator, x_order, y_order)
     if not entry.supported:
@@ -53,19 +54,22 @@ def run_cell(operator, x_order, y_order, x, y):
     processor = entry.build(
         TupleStream.from_relation(x.sorted_by(entry.x_order), name="X"),
         TupleStream.from_relation(y.sorted_by(entry.y_order), name="Y"),
+        backend=backend,
     )
     processor.run()
     return entry.state_class, processor.metrics.workspace_high_water
 
 
-@pytest.fixture(scope="module")
-def measured_table(poisson_pair):
+@pytest.fixture(scope="module", params=BACKENDS)
+def measured_table(request, poisson_pair):
+    """The full table, measured once per physical backend — the state
+    classes and boundedness claims must hold on both."""
     x, y = poisson_pair
     table = {}
     for x_order, y_order in ORDERS:
         for operator in OPERATORS:
             table[(operator, x_order, y_order)] = run_cell(
-                operator, x_order, y_order, x, y
+                operator, x_order, y_order, x, y, backend=request.param
             )
     return table
 
@@ -148,14 +152,16 @@ def test_table1_unsupported_cells_degenerate(poisson_pair):
     )
 
 
-def test_table1_fig6_cell_timing(benchmark, poisson_pair):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_table1_fig6_cell_timing(benchmark, poisson_pair, backend):
     """Wall-clock for the showcase (d) cell: Contain-semijoin on
-    TS^/TE^ with zero state tuples."""
+    TS^/TE^ with zero state tuples — on both physical backends."""
     x, y = poisson_pair
 
     def run():
         return run_cell(
-            TemporalOperator.CONTAIN_SEMIJOIN, TS_ASC, TE_ASC, x, y
+            TemporalOperator.CONTAIN_SEMIJOIN, TS_ASC, TE_ASC, x, y,
+            backend=backend,
         )
 
     state_class, high_water = benchmark(run)

@@ -12,6 +12,8 @@ Claims reproduced:
   avoids.
 """
 
+import pytest
+
 from repro.model import (
     TE_ASC,
     TS_ASC,
@@ -21,12 +23,13 @@ from repro.model import (
     TemporalTuple,
 )
 from repro.streams import (
+    BACKENDS,
     ContainedSemijoinTeTs,
     NestedLoopSelfSemijoin,
     SelfContainedSemijoin,
-    SelfContainSemijoin,
-    SelfContainSemijoinDesc,
+    TemporalOperator,
     contained_predicate,
+    lookup,
 )
 from repro.workload import PoissonWorkload, fixed_duration
 
@@ -41,47 +44,57 @@ def big_stream(n=3000, seed=5):
     ).generate(seed)
 
 
-def run_self_contained(relation):
-    semi = SelfContainedSemijoin(
-        make_stream(relation.tuples, TS_TE_ASC, "Z")
+def run_self(operator, order, relation, backend="tuple"):
+    semi = lookup(operator, order).build(
+        make_stream(relation.tuples, order, "Z"), backend=backend
     )
     return semi.run(), semi.metrics
 
 
-def test_table3_self_contained(benchmark):
+def run_self_contained(relation, backend="tuple"):
+    return run_self(
+        TemporalOperator.SELF_CONTAINED_SEMIJOIN,
+        TS_TE_ASC,
+        relation,
+        backend,
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_table3_self_contained(benchmark, backend):
     relation = big_stream()
-    out, metrics = benchmark(run_self_contained, relation)
+    out, metrics = benchmark(run_self_contained, relation, backend)
     assert metrics.passes_x == 1
     assert metrics.workspace_high_water == 1
     assert metrics.buffers == 1
     benchmark.extra_info["output"] = len(out)
 
 
-def test_table3_self_contain_asc(benchmark):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_table3_self_contain_asc(benchmark, backend):
     relation = big_stream()
-
-    def run():
-        semi = SelfContainSemijoin(
-            make_stream(relation.tuples, TS_ASC, "Z")
-        )
-        return semi.run(), semi.metrics
-
-    out, metrics = benchmark(run)
+    out, metrics = benchmark(
+        run_self,
+        TemporalOperator.SELF_CONTAIN_SEMIJOIN,
+        TS_ASC,
+        relation,
+        backend,
+    )
     assert metrics.passes_x == 1
     assert metrics.workspace_high_water < len(relation) / 10
     benchmark.extra_info["workspace"] = metrics.workspace_high_water
 
 
-def test_table3_self_contain_desc(benchmark):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_table3_self_contain_desc(benchmark, backend):
     relation = big_stream()
-
-    def run():
-        semi = SelfContainSemijoinDesc(
-            make_stream(relation.tuples, TS_TE_DESC, "Z")
-        )
-        return semi.run(), semi.metrics
-
-    out, metrics = benchmark(run)
+    out, metrics = benchmark(
+        run_self,
+        TemporalOperator.SELF_CONTAIN_SEMIJOIN,
+        TS_TE_DESC,
+        relation,
+        backend,
+    )
     assert metrics.workspace_high_water == 1
     benchmark.extra_info["output"] = len(out)
 

@@ -1,0 +1,263 @@
+"""Columnar batch-sweep stream processors.
+
+Each class here is a drop-in physical alternative to one tuple-at-a-time
+processor in :mod:`repro.streams.processors`: same constructor signature
+(``TupleStream`` operands), same admission checks (the '-' cells of
+Tables 1-3 stay rejected), same output values (payload tuples / pairs),
+and the same :class:`~repro.streams.metrics.ProcessorMetrics` accounting
+— so every Table-1/2/3 state-class verification runs unchanged against
+this backend.
+
+The difference is purely physical: operands are drained into
+:class:`~repro.columnar.relation.IntervalColumns` up front (one pass,
+counted against the stream like any read), and the sweep runs as a batch
+kernel over the endpoint columns.  The kernels' ``SweepStats`` are then
+folded into the processor's :class:`~repro.streams.workspace.
+WorkspaceMeter`, preserving high-water marks, insert/discard totals,
+the optional Figure-5 trace, and the optional workspace ``limit``.
+"""
+
+from __future__ import annotations
+
+import gc
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError
+from ..model import sortorder as so
+from ..model.tuples import TemporalTuple
+from ..streams.processors.base import StreamProcessor
+from ..streams.stream import TupleStream
+from . import kernels
+from .kernels import SweepStats
+from .relation import IntervalColumns
+
+
+class ColumnarProcessor(StreamProcessor):
+    """Shared plumbing: drain operands into columns, run one kernel,
+    emit payloads, and mirror the kernel's accounting into the meter."""
+
+    #: Sort orders each operand may declare, as in the tuple processors
+    #: (``None`` y_orders means the operator is unary).
+    x_orders: Sequence[so.SortOrder] = (so.TS_ASC,)
+    y_orders: Optional[Sequence[so.SortOrder]] = (so.TS_ASC,)
+    #: True for the order-free Before-semijoin.
+    order_free: bool = False
+
+    def __init__(self, x: TupleStream, y: Optional[TupleStream] = None) -> None:
+        super().__init__(x, y)
+        if not self.order_free:
+            self._require_order(x, tuple(self.x_orders), "X")
+            if self.y_orders is not None:
+                if y is None:
+                    raise TypeError(f"{self.operator} is a binary operator")
+                self._require_order(y, tuple(self.y_orders), "Y")
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+    def _drain(self, stream: TupleStream) -> IntervalColumns:
+        """One batch pass over a stream, charged to its counters exactly
+        like cursor reads (cf. ``mirror_stream``: reading below the
+        single-buffer cursor, straight from the source factory)."""
+        rows = list(stream._source_factory())
+        stream.passes += 1
+        stream.tuples_read += len(rows)
+        columns = IntervalColumns.from_tuples(
+            rows, order=stream.order, name=stream.name, presorted=True
+        )
+        if stream.verify_order:
+            columns.verify_order()
+        return columns
+
+    def _absorb(self, stats: SweepStats) -> None:
+        """Fold kernel accounting into the processor's meter/metrics.
+        Kernels count their end-of-sweep residue as discarded, so the
+        meter's ``current`` legitimately stays zero."""
+        self.metrics.comparisons += stats.comparisons
+        meter = self.meter
+        meter.total_inserted += stats.inserted
+        meter.total_discarded += stats.discarded
+        if stats.high_water > meter.high_water:
+            meter.high_water = stats.high_water
+
+    # ------------------------------------------------------------------
+    # operator body
+    # ------------------------------------------------------------------
+    def _kernel(
+        self, x: IntervalColumns, y: Optional[IntervalColumns]
+    ) -> Tuple[list, SweepStats]:
+        raise NotImplementedError
+
+    def _materialise(self) -> list:
+        x_cols = self._drain(self.x)
+        y_cols = self._drain(self.y) if self.y is not None else None
+        out, stats = self._kernel(x_cols, y_cols)
+        self._absorb(stats)
+        return out
+
+    def _execute(self) -> Iterator:
+        yield from self._materialise()
+
+    def run(self) -> list:
+        """Batch fast path: one kernel call, no per-item generator
+        frames.  Semantics match ``list(self)`` exactly (single use,
+        output counting, metric finalisation)."""
+        if self._consumed:
+            raise ExecutionError(
+                f"{self.operator} has already been executed; stream "
+                "processors are single-use"
+            )
+        self._consumed = True
+        # The batch sweep allocates monotonically (columns, active
+        # entries, output rows) and creates no reference cycles, but
+        # every allocation burst makes the cyclic collector re-scan the
+        # whole live graph — on large joins that costs more than the
+        # kernel itself.  Refcounting alone reclaims everything here.
+        pause_gc = gc.isenabled()
+        if pause_gc:
+            gc.disable()
+        try:
+            out = self._materialise()
+        finally:
+            if pause_gc:
+                gc.enable()
+        self.metrics.output_count = len(out)
+        self._finalise_metrics()
+        return out
+
+
+class _SemijoinKernelMixin:
+    """Binary semijoins: kernel emits X positions, output is X payloads."""
+
+    kernel = None  # staticmethod set by subclasses
+
+    def _kernel(self, x, y):
+        idx, stats = type(self).kernel(
+            x.ts, x.te, y.ts, y.te,
+            limit=self.meter.limit, trace=self.meter.trace,
+        )
+        payload = x.payload
+        return [payload[i] for i in idx], stats
+
+
+class _JoinKernelMixin:
+    """Binary joins: kernel emits two parallel index columns, gathered
+    into payload pairs with one C-level ``zip``."""
+
+    kernel = None
+
+    def _kernel(self, x, y):
+        (xi, yj), stats = type(self).kernel(
+            x.ts, x.te, y.ts, y.te,
+            limit=self.meter.limit, trace=self.meter.trace,
+        )
+        xp, yp = x.payload, y.payload
+        return list(zip([xp[i] for i in xi], [yp[j] for j in yj])), stats
+
+
+class _SelfKernelMixin:
+    """Unary self semijoins: kernel sees only the X columns."""
+
+    kernel = None
+
+    def _kernel(self, x, y):
+        idx, stats = type(self).kernel(
+            x.ts, x.te, limit=self.meter.limit, trace=self.meter.trace
+        )
+        payload = x.payload
+        return [payload[i] for i in idx], stats
+
+
+# ----------------------------------------------------------------------
+# Table 1 — Contain
+# ----------------------------------------------------------------------
+class ColumnarContainJoinTsTs(_JoinKernelMixin, ColumnarProcessor):
+    operator = "columnar-contain-join[TS^,TS^]"
+    x_orders = (so.TS_ASC,)
+    y_orders = (so.TS_ASC,)
+    kernel = staticmethod(kernels.contain_join_ts_ts)
+
+
+class ColumnarContainJoinTsTe(_JoinKernelMixin, ColumnarProcessor):
+    operator = "columnar-contain-join[TS^,TE^]"
+    x_orders = (so.TS_ASC,)
+    y_orders = (so.TE_ASC,)
+    kernel = staticmethod(kernels.contain_join_ts_te)
+
+
+class ColumnarContainSemijoinTsTs(_SemijoinKernelMixin, ColumnarProcessor):
+    operator = "columnar-contain-semijoin[TS^,TS^]"
+    x_orders = (so.TS_ASC,)
+    y_orders = (so.TS_ASC,)
+    kernel = staticmethod(kernels.contain_semijoin_ts_ts)
+
+
+class ColumnarContainSemijoinTsTe(_SemijoinKernelMixin, ColumnarProcessor):
+    operator = "columnar-contain-semijoin[TS^,TE^]"
+    x_orders = (so.TS_ASC,)
+    y_orders = (so.TE_ASC,)
+    kernel = staticmethod(kernels.contain_semijoin_ts_te)
+
+
+class ColumnarContainedSemijoinTsTs(_SemijoinKernelMixin, ColumnarProcessor):
+    operator = "columnar-contained-semijoin[TS^,TS^]"
+    x_orders = (so.TS_ASC,)
+    y_orders = (so.TS_ASC,)
+    kernel = staticmethod(kernels.contained_semijoin_ts_ts)
+
+
+class ColumnarContainedSemijoinTeTs(_SemijoinKernelMixin, ColumnarProcessor):
+    operator = "columnar-contained-semijoin[TE^,TS^]"
+    x_orders = (so.TE_ASC,)
+    y_orders = (so.TS_ASC,)
+    kernel = staticmethod(kernels.contained_semijoin_te_ts)
+
+
+# ----------------------------------------------------------------------
+# Table 2 — Overlap
+# ----------------------------------------------------------------------
+class ColumnarOverlapJoin(_JoinKernelMixin, ColumnarProcessor):
+    operator = "columnar-overlap-join[TS^,TS^]"
+    x_orders = (so.TS_ASC,)
+    y_orders = (so.TS_ASC,)
+    kernel = staticmethod(kernels.overlap_join_ts_ts)
+
+
+class ColumnarOverlapSemijoin(_SemijoinKernelMixin, ColumnarProcessor):
+    operator = "columnar-overlap-semijoin[TS^,TS^]"
+    x_orders = (so.TS_ASC,)
+    y_orders = (so.TS_ASC,)
+    kernel = staticmethod(kernels.overlap_semijoin_ts_ts)
+
+
+# ----------------------------------------------------------------------
+# Section 4.2.4 — Before
+# ----------------------------------------------------------------------
+class ColumnarBeforeSemijoin(_SemijoinKernelMixin, ColumnarProcessor):
+    operator = "columnar-before-semijoin"
+    order_free = True
+    kernel = staticmethod(kernels.before_semijoin)
+
+
+# ----------------------------------------------------------------------
+# Table 3 — self semijoins
+# ----------------------------------------------------------------------
+class ColumnarSelfContainedSemijoin(_SelfKernelMixin, ColumnarProcessor):
+    operator = "columnar-contained-semijoin[X,X][TS^,TE^]"
+    x_orders = (so.TS_TE_ASC,)
+    y_orders = None
+    kernel = staticmethod(kernels.self_contained_semijoin_ts_te)
+
+
+class ColumnarSelfContainSemijoinDesc(_SelfKernelMixin, ColumnarProcessor):
+    operator = "columnar-contain-semijoin[X,X][TSv,TEv]"
+    x_orders = (so.TS_TE_DESC,)
+    y_orders = None
+    kernel = staticmethod(kernels.self_contain_semijoin_ts_te_desc)
+
+
+class ColumnarSelfContainSemijoin(_SelfKernelMixin, ColumnarProcessor):
+    operator = "columnar-contain-semijoin[X,X][TS^]"
+    x_orders = (so.TS_ASC,)
+    y_orders = None
+    kernel = staticmethod(kernels.self_contain_semijoin_ts)

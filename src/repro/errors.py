@@ -58,6 +58,12 @@ class UnsupportedSortOrderError(PlanningError):
     paper's Tables 1-3)."""
 
 
+class UnsupportedBackendError(PlanningError):
+    """Raised when a registry entry is asked for an execution backend
+    (e.g. ``"columnar"``) it does not implement, or for a backend name
+    that does not exist at all."""
+
+
 class ExecutionError(ReproError):
     """Raised during plan or stream-processor execution."""
 
@@ -65,6 +71,12 @@ class ExecutionError(ReproError):
 class StreamOrderError(ExecutionError):
     """Raised when a stream's tuples are observed to violate the sort
     order the stream declared."""
+
+
+class WorkspaceStateError(ExecutionError):
+    """Raised when a stream processor asks its workspace to retire a
+    state tuple the workspace does not hold — always a processor bug,
+    surfaced loudly instead of as a bare ``ValueError``."""
 
 
 class WorkspaceOverflowError(ExecutionError):

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..errors import WorkspaceOverflowError
+from ..errors import UnsupportedBackendError, WorkspaceOverflowError
 from ..model.relation import TemporalRelation
 from ..model.sortorder import order_satisfies
 from ..stats.estimators import collect_statistics
@@ -36,6 +36,7 @@ from ..streams.processors.baseline import (
     overlap_predicate,
 )
 from ..streams.registry import (
+    BACKENDS,
     RegistryEntry,
     TemporalOperator,
     supported_entries,
@@ -116,10 +117,19 @@ class TemporalJoinPlanner:
         cost_model: Optional[CostModel] = None,
         use_histograms: bool = False,
         histogram_buckets: int = 32,
+        backend: str = "tuple",
     ) -> None:
+        if backend not in BACKENDS:
+            raise UnsupportedBackendError(
+                f"unknown execution backend {backend!r}; "
+                f"choose one of {BACKENDS}"
+            )
         self.cost_model = cost_model or CostModel()
         self.use_histograms = use_histograms
         self.histogram_buckets = histogram_buckets
+        #: Physical backend stream plans execute on ("tuple" or
+        #: "columnar").  Cells lacking the backend are not enumerated.
+        self.backend = backend
 
     # ------------------------------------------------------------------
     # enumeration
@@ -147,6 +157,8 @@ class TemporalJoinPlanner:
         out: list[Alternative] = []
         seen_order_free = False
         for entry in supported_entries(operator):
+            if self.backend not in entry.backends:
+                continue
             if entry.order_free:
                 # One alternative suffices: the algorithm ignores sort
                 # orders entirely.
@@ -271,6 +283,7 @@ class TemporalJoinPlanner:
         processor = entry.build(
             TupleStream.from_relation(x_relation, name="X"),
             TupleStream.from_relation(y_relation, name="Y"),
+            backend=self.backend,
         )
         if workspace_budget is not None and hasattr(processor, "meter"):
             processor.meter.limit = workspace_budget

@@ -20,13 +20,19 @@ from .page import Page
 
 
 class BufferPool:
-    """A shared LRU cache of ``(file name, page index)`` frames."""
+    """A shared LRU cache of ``(file id, page index)`` frames.
+
+    Frames are keyed by :attr:`HeapFile.file_id`, not by name: two
+    distinct files that happen to share a name (re-created sort runs,
+    identically named test relations) must neither serve each other's
+    pages nor evict them on :meth:`invalidate`.
+    """
 
     def __init__(self, capacity_pages: int = 64) -> None:
         if capacity_pages < 1:
             raise BufferPoolError("buffer pool needs at least one frame")
         self.capacity_pages = capacity_pages
-        self._frames: "OrderedDict[tuple[str, int], Page]" = OrderedDict()
+        self._frames: "OrderedDict[tuple[int, int], Page]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -37,7 +43,7 @@ class BufferPool:
         stats: Optional[IOStats] = None,
     ) -> Page:
         """Fetch a page through the cache."""
-        key = (heap_file.name, index)
+        key = (heap_file.file_id, index)
         frame = self._frames.get(key)
         if frame is not None:
             self.hits += 1
@@ -64,8 +70,8 @@ class BufferPool:
                 yield record
 
     def invalidate(self, heap_file: HeapFile) -> None:
-        """Drop every cached frame of one file."""
-        stale = [key for key in self._frames if key[0] == heap_file.name]
+        """Drop every cached frame of one file (and only that file)."""
+        stale = [key for key in self._frames if key[0] == heap_file.file_id]
         for key in stale:
             del self._frames[key]
 

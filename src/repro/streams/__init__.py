@@ -10,6 +10,7 @@ from .policies import AdvancePolicy, LambdaPolicy, MinKeyPolicy
 from .processors import *  # noqa: F401,F403 - curated re-export
 from .processors import __all__ as _processors_all
 from .registry import (
+    BACKENDS,
     STATE_CLASS_DESCRIPTIONS,
     RegistryEntry,
     TemporalOperator,
@@ -22,6 +23,7 @@ from .workspace import Workspace, WorkspaceMeter, WorkspaceReport
 
 __all__ = [
     "AdvancePolicy",
+    "BACKENDS",
     "LambdaPolicy",
     "MinKeyPolicy",
     "ProcessorMetrics",

@@ -31,7 +31,7 @@ import enum
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from ..errors import UnsupportedSortOrderError
+from ..errors import UnsupportedBackendError, UnsupportedSortOrderError
 from ..model.sortorder import (
     TE_ASC,
     TE_DESC,
@@ -97,6 +97,13 @@ STATE_CLASS_DESCRIPTIONS = {
 }
 
 
+#: The physical execution backends a table cell may offer.  "tuple" is
+#: the paper-faithful one-buffer stream processor; "columnar" is the
+#: batch-sweep backend of :mod:`repro.columnar` (same semantics and
+#: workspace accounting, different physical execution).
+BACKENDS = ("tuple", "columnar")
+
+
 @dataclass(frozen=True)
 class RegistryEntry:
     """One table cell: operator x sort orders -> algorithm + state class."""
@@ -110,26 +117,57 @@ class RegistryEntry:
     #: True when the algorithm works regardless of input sort orders
     #: (Before-semijoin); the planner then charges no sorts.
     order_free: bool = False
+    #: The columnar batch-sweep alternative for this cell, when one is
+    #: implemented ('-' cells have neither backend: no sort order makes
+    #: them streamable, and batching does not change that).
+    columnar_factory: Optional[Callable] = None
 
     @property
     def supported(self) -> bool:
         return self.factory is not None
 
     @property
+    def backends(self) -> tuple[str, ...]:
+        """The physical backends this cell can execute on."""
+        names = []
+        if self.factory is not None:
+            names.append("tuple")
+        if self.columnar_factory is not None:
+            names.append("columnar")
+        return tuple(names)
+
+    @property
     def state_description(self) -> str:
         return STATE_CLASS_DESCRIPTIONS[self.state_class]
 
-    def build(self, x_stream, y_stream=None):
-        """Instantiate the processor on concrete streams."""
+    def factory_for(self, backend: str = "tuple") -> Callable:
+        """The processor factory for one physical backend."""
+        if backend not in BACKENDS:
+            raise UnsupportedBackendError(
+                f"unknown execution backend {backend!r}; "
+                f"choose one of {BACKENDS}"
+            )
         if self.factory is None:
             raise UnsupportedSortOrderError(
                 f"{self.operator.value} has no bounded-workspace stream "
                 f"algorithm for orders ([{self.x_order}], "
                 f"[{self.y_order}])"
             )
+        if backend == "tuple":
+            return self.factory
+        if self.columnar_factory is None:
+            raise UnsupportedBackendError(
+                f"{self.operator.value} on orders ([{self.x_order}], "
+                f"[{self.y_order}]) has no {backend!r} implementation"
+            )
+        return self.columnar_factory
+
+    def build(self, x_stream, y_stream=None, backend: str = "tuple"):
+        """Instantiate the processor on concrete streams."""
+        factory = self.factory_for(backend)
         if self.y_order is None:
-            return self.factory(x_stream)
-        return self.factory(x_stream, y_stream)
+            return factory(x_stream)
+        return factory(x_stream, y_stream)
 
 
 def _mirror_factory(factory: Callable, unary: bool = False) -> Callable:
@@ -141,33 +179,55 @@ def _mirror_factory(factory: Callable, unary: bool = False) -> Callable:
 
 def _upper_half_binary() -> list[RegistryEntry]:
     """Upper halves of Tables 1 and 2 (ascending sort orders)."""
+    from ..columnar.backend import (
+        ColumnarBeforeSemijoin,
+        ColumnarContainedSemijoinTeTs,
+        ColumnarContainedSemijoinTsTs,
+        ColumnarContainJoinTsTe,
+        ColumnarContainJoinTsTs,
+        ColumnarContainSemijoinTsTe,
+        ColumnarContainSemijoinTsTs,
+        ColumnarOverlapJoin,
+        ColumnarOverlapSemijoin,
+    )
+
     T = TemporalOperator
     rows: list[RegistryEntry] = []
 
-    def add(op, xo, yo, cls, factory):
-        rows.append(RegistryEntry(op, xo, yo, cls, factory))
+    def add(op, xo, yo, cls, factory, columnar=None):
+        rows.append(
+            RegistryEntry(op, xo, yo, cls, factory, columnar_factory=columnar)
+        )
 
     # --- Table 1, Contain-join -------------------------------------
-    add(T.CONTAIN_JOIN, TS_ASC, TS_ASC, "a", ContainJoinTsTs)
-    add(T.CONTAIN_JOIN, TS_ASC, TE_ASC, "b", ContainJoinTsTe)
+    add(T.CONTAIN_JOIN, TS_ASC, TS_ASC, "a", ContainJoinTsTs,
+        ColumnarContainJoinTsTs)
+    add(T.CONTAIN_JOIN, TS_ASC, TE_ASC, "b", ContainJoinTsTe,
+        ColumnarContainJoinTsTe)
     add(T.CONTAIN_JOIN, TE_ASC, TS_ASC, "-", None)
     add(T.CONTAIN_JOIN, TE_ASC, TE_ASC, "-", None)
     # --- Table 1, Contain-semijoin ----------------------------------
-    add(T.CONTAIN_SEMIJOIN, TS_ASC, TS_ASC, "c", ContainSemijoinTsTs)
-    add(T.CONTAIN_SEMIJOIN, TS_ASC, TE_ASC, "d", ContainSemijoinTsTe)
+    add(T.CONTAIN_SEMIJOIN, TS_ASC, TS_ASC, "c", ContainSemijoinTsTs,
+        ColumnarContainSemijoinTsTs)
+    add(T.CONTAIN_SEMIJOIN, TS_ASC, TE_ASC, "d", ContainSemijoinTsTe,
+        ColumnarContainSemijoinTsTe)
     add(T.CONTAIN_SEMIJOIN, TE_ASC, TS_ASC, "-", None)
     add(T.CONTAIN_SEMIJOIN, TE_ASC, TE_ASC, "-", None)
     # --- Table 1, Contained-semijoin --------------------------------
-    add(T.CONTAINED_SEMIJOIN, TS_ASC, TS_ASC, "c", ContainedSemijoinTsTs)
+    add(T.CONTAINED_SEMIJOIN, TS_ASC, TS_ASC, "c", ContainedSemijoinTsTs,
+        ColumnarContainedSemijoinTsTs)
     add(T.CONTAINED_SEMIJOIN, TS_ASC, TE_ASC, "-", None)
-    add(T.CONTAINED_SEMIJOIN, TE_ASC, TS_ASC, "d", ContainedSemijoinTeTs)
+    add(T.CONTAINED_SEMIJOIN, TE_ASC, TS_ASC, "d", ContainedSemijoinTeTs,
+        ColumnarContainedSemijoinTeTs)
     add(T.CONTAINED_SEMIJOIN, TE_ASC, TE_ASC, "-", None)
     # --- Table 2, Overlap -------------------------------------------
-    add(T.OVERLAP_JOIN, TS_ASC, TS_ASC, "a", OverlapJoin)
+    add(T.OVERLAP_JOIN, TS_ASC, TS_ASC, "a", OverlapJoin,
+        ColumnarOverlapJoin)
     add(T.OVERLAP_JOIN, TS_ASC, TE_ASC, "-", None)
     add(T.OVERLAP_JOIN, TE_ASC, TS_ASC, "-", None)
     add(T.OVERLAP_JOIN, TE_ASC, TE_ASC, "-", None)
-    add(T.OVERLAP_SEMIJOIN, TS_ASC, TS_ASC, "b", OverlapSemijoin)
+    add(T.OVERLAP_SEMIJOIN, TS_ASC, TS_ASC, "b", OverlapSemijoin,
+        ColumnarOverlapSemijoin)
     add(T.OVERLAP_SEMIJOIN, TS_ASC, TE_ASC, "-", None)
     add(T.OVERLAP_SEMIJOIN, TE_ASC, TS_ASC, "-", None)
     add(T.OVERLAP_SEMIJOIN, TE_ASC, TE_ASC, "-", None)
@@ -185,12 +245,20 @@ def _upper_half_binary() -> list[RegistryEntry]:
                 RegistryEntry(
                     T.BEFORE_SEMIJOIN, xo, yo, "d", BeforeSemijoin,
                     order_free=True,
+                    columnar_factory=ColumnarBeforeSemijoin,
                 )
             )
     return rows
 
 
 def _build_registry() -> dict:
+    from ..columnar.backend import (
+        ColumnarBeforeSemijoin,
+        ColumnarSelfContainedSemijoin,
+        ColumnarSelfContainSemijoin,
+        ColumnarSelfContainSemijoinDesc,
+    )
+
     registry: dict = {}
 
     def key(entry: RegistryEntry):
@@ -215,6 +283,11 @@ def _build_registry() -> dict:
             entry.state_class,
             _mirror_factory(entry.factory) if entry.factory else None,
             mirrored=True,
+            columnar_factory=(
+                _mirror_factory(entry.columnar_factory)
+                if entry.columnar_factory
+                else None
+            ),
         )
         registry.setdefault(key(mirrored), mirrored)
 
@@ -251,6 +324,7 @@ def _build_registry() -> dict:
                     "d",
                     BeforeSemijoin,
                     order_free=True,
+                    columnar_factory=ColumnarBeforeSemijoin,
                 ),
             )
 
@@ -263,6 +337,7 @@ def _build_registry() -> dict:
             None,
             "a1",
             SelfContainedSemijoin,
+            columnar_factory=ColumnarSelfContainedSemijoin,
         ),
         RegistryEntry(
             T.SELF_CONTAIN_SEMIJOIN,
@@ -270,6 +345,7 @@ def _build_registry() -> dict:
             None,
             "b1",
             SelfContainSemijoin,
+            columnar_factory=ColumnarSelfContainSemijoin,
         ),
         RegistryEntry(
             T.SELF_CONTAINED_SEMIJOIN,
@@ -284,6 +360,7 @@ def _build_registry() -> dict:
             None,
             "a1",
             SelfContainSemijoinDesc,
+            columnar_factory=ColumnarSelfContainSemijoinDesc,
         ),
     ]
     for entry in self_rows:
@@ -296,6 +373,9 @@ def _build_registry() -> dict:
                 entry.state_class,
                 _mirror_factory(entry.factory, unary=True),
                 mirrored=True,
+                columnar_factory=_mirror_factory(
+                    entry.columnar_factory, unary=True
+                ),
             )
             registry.setdefault(
                 (entry.operator, mirrored.x_order.primary, None), mirrored
@@ -309,7 +389,17 @@ def _build_registry() -> dict:
     return registry
 
 
-_REGISTRY = _build_registry()
+# Built lazily on first lookup: the columnar backend's processors both
+# feed this registry and are implemented on top of the streams package,
+# so resolving them at import time would be circular.
+_REGISTRY: Optional[dict] = None
+
+
+def _registry() -> dict:
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _build_registry()
+    return _REGISTRY
 
 
 def lookup(
@@ -322,7 +412,7 @@ def lookup(
     Orders are matched on their primary key (a finer secondary order
     never hurts; factories enforce any secondary requirement).
     """
-    return _REGISTRY[
+    return _registry()[
         (
             operator,
             x_order.primary,
@@ -333,7 +423,11 @@ def lookup(
 
 def entries_for(operator: TemporalOperator) -> list[RegistryEntry]:
     """All registered cells of one operator (one table column)."""
-    return [e for k, e in sorted(_REGISTRY.items(), key=_key_repr) if e.operator is operator]
+    return [
+        e
+        for k, e in sorted(_registry().items(), key=_key_repr)
+        if e.operator is operator
+    ]
 
 
 def supported_entries(operator: TemporalOperator) -> list[RegistryEntry]:

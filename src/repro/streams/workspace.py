@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Generic, Iterator, List, Optional, TypeVar
 
-from ..errors import WorkspaceOverflowError
+from ..errors import WorkspaceOverflowError, WorkspaceStateError
 
 T = TypeVar("T")
 
@@ -91,10 +91,24 @@ class Workspace(Generic[T]):
 
     def remove(self, item: T) -> None:
         """Remove one specific state tuple (e.g. a semijoin match that
-        has been output and is no longer needed)."""
-        self._items.remove(item)
-        self.total_discarded += 1
-        self.meter.on_discard()
+        has been output and is no longer needed).
+
+        Removal is by *identity*, not equality: relations may hold
+        duplicate rows, and equal-but-distinct state tuples must each be
+        retired exactly once for the high-water accounting to stay
+        truthful.  Asking to remove a tuple that is not in the workspace
+        raises :class:`~repro.errors.WorkspaceStateError`.
+        """
+        for index, existing in enumerate(self._items):
+            if existing is item:
+                del self._items[index]
+                self.total_discarded += 1
+                self.meter.on_discard()
+                return
+        raise WorkspaceStateError(
+            f"workspace {self.name!r} asked to remove {item!r}, which it "
+            f"does not hold ({len(self._items)} state tuples present)"
+        )
 
     def evict_where(self, condition: Callable[[T], bool]) -> int:
         """Garbage-collect every state tuple satisfying ``condition``,

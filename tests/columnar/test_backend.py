@@ -1,0 +1,218 @@
+"""Backend-selection plumbing: registry, processors, planner."""
+
+import pytest
+
+from repro.columnar import (
+    ColumnarContainJoinTsTs,
+    ColumnarOverlapJoin,
+    ColumnarSelfContainSemijoin,
+)
+from repro.errors import (
+    UnsupportedBackendError,
+    UnsupportedSortOrderError,
+    WorkspaceOverflowError,
+)
+from repro.model import (
+    TE_ASC,
+    TS_ASC,
+    TemporalRelation,
+    TemporalSchema,
+    TemporalTuple,
+    sort_tuples,
+)
+from repro.optimizer.planner import TemporalJoinPlanner
+from repro.streams import BACKENDS, TemporalOperator, TupleStream, lookup
+from repro.streams.registry import supported_entries
+
+
+def T(value, ts, te):
+    return TemporalTuple(f"s{value}", value, ts, te)
+
+
+XS = [T(0, 0, 10), T(1, 2, 6), T(2, 5, 12)]
+YS = [T(10, 1, 4), T(11, 3, 6), T(12, 6, 11)]
+
+
+def stream(tuples, order, name):
+    return TupleStream.from_tuples(
+        sort_tuples(tuples, order), order=order, name=name
+    )
+
+
+class TestRegistrySelection:
+    def test_backends_constant(self):
+        assert BACKENDS == ("tuple", "columnar")
+
+    def test_supported_cells_offer_both_backends(self):
+        entry = lookup(TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC)
+        assert entry.backends == ("tuple", "columnar")
+
+    def test_unsupported_cells_offer_neither(self):
+        entry = lookup(TemporalOperator.CONTAIN_JOIN, TE_ASC, TE_ASC)
+        assert entry.backends == ()
+        with pytest.raises(UnsupportedSortOrderError):
+            entry.factory_for("columnar")
+
+    def test_unknown_backend_rejected(self):
+        entry = lookup(TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC)
+        with pytest.raises(UnsupportedBackendError):
+            entry.factory_for("vectorised")
+
+    def test_build_backend_dispatch(self):
+        entry = lookup(TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC)
+        processor = entry.build(
+            stream(XS, TS_ASC, "X"),
+            stream(YS, TS_ASC, "Y"),
+            backend="columnar",
+        )
+        assert isinstance(processor, ColumnarContainJoinTsTs)
+        pairs = processor.run()
+        assert sorted((a.value, b.value) for a, b in pairs) == [
+            (0, 10),
+            (0, 11),
+            (2, 12),
+        ]
+
+
+class TestColumnarProcessors:
+    def test_admission_check_matches_tuple_backend(self):
+        with pytest.raises(UnsupportedSortOrderError):
+            ColumnarOverlapJoin(
+                stream(XS, TE_ASC, "X"), stream(YS, TS_ASC, "Y")
+            )
+
+    def test_binary_operator_requires_y(self):
+        with pytest.raises(TypeError):
+            ColumnarOverlapJoin(stream(XS, TS_ASC, "X"))
+
+    def test_single_use(self):
+        processor = ColumnarSelfContainSemijoin(stream(XS, TS_ASC, "X"))
+        processor.run()
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            processor.run()
+
+    def test_order_violation_surfaces(self):
+        from repro.errors import StreamOrderError
+
+        bad = TupleStream.from_tuples(XS[::-1], order=TS_ASC, name="bad")
+        processor = ColumnarSelfContainSemijoin(bad)
+        with pytest.raises(StreamOrderError):
+            processor.run()
+
+    def test_meter_limit_enforced(self):
+        processor = ColumnarOverlapJoin(
+            stream(XS, TS_ASC, "X"), stream(YS, TS_ASC, "Y")
+        )
+        processor.meter.limit = 1
+        with pytest.raises(WorkspaceOverflowError):
+            processor.run()
+
+    def test_meter_trace_enabled(self):
+        processor = ColumnarOverlapJoin(
+            stream(XS, TS_ASC, "X"), stream(YS, TS_ASC, "Y")
+        )
+        processor.meter.enable_trace()
+        processor.run()
+        trace = processor.meter.trace
+        assert trace is not None and len(trace) > 1
+        assert max(trace) == processor.metrics.workspace.high_water
+
+    def test_metrics_account_like_tuple_backend(self):
+        entry = lookup(TemporalOperator.CONTAIN_SEMIJOIN, TS_ASC, TS_ASC)
+        results = {}
+        for backend in entry.backends:
+            processor = entry.build(
+                stream(XS, TS_ASC, "X"),
+                stream(YS, TS_ASC, "Y"),
+                backend=backend,
+            )
+            out = processor.run()
+            results[backend] = sorted(t.value for t in out)
+            report = processor.metrics.workspace
+            assert report.total_inserted == report.total_discarded
+            assert report.residual == 0
+        assert results["tuple"] == results["columnar"]
+
+
+class TestPlannerBackend:
+    def make_relations(self):
+        schema_x = TemporalSchema("X", "Id", "Seq")
+        schema_y = TemporalSchema("Y", "Id", "Seq")
+        x = TemporalRelation(
+            schema_x, sort_tuples(XS * 5, TS_ASC), order=TS_ASC
+        )
+        y = TemporalRelation(
+            schema_y, sort_tuples(YS * 5, TS_ASC), order=TS_ASC
+        )
+        return x, y
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(UnsupportedBackendError):
+            TemporalJoinPlanner(backend="gpu")
+
+    def test_backends_agree_end_to_end(self):
+        x, y = self.make_relations()
+        outputs = {}
+        for backend in BACKENDS:
+            planner = TemporalJoinPlanner(backend=backend)
+            results, profile = planner.execute(
+                TemporalOperator.OVERLAP_JOIN, x, y
+            )
+            outputs[backend] = sorted(
+                (a.value, b.value) for a, b in results
+            )
+            if profile.chosen.kind == "stream":
+                assert profile.metrics.passes_x == 1
+        assert outputs["tuple"] == outputs["columnar"]
+
+    def test_columnar_planner_skips_tuple_only_cells(self):
+        """Every enumerated stream alternative must actually be
+        executable on the planner's backend."""
+        x, y = self.make_relations()
+        planner = TemporalJoinPlanner(backend="columnar")
+        for alt in planner.alternatives(
+            TemporalOperator.CONTAIN_SEMIJOIN, x, y
+        ):
+            if alt.kind == "stream":
+                assert "columnar" in alt.entry.backends
+
+    def test_workspace_budget_falls_back_to_nested_loop(self):
+        x, y = self.make_relations()
+        planner = TemporalJoinPlanner(backend="columnar")
+        results, profile = planner.execute(
+            TemporalOperator.OVERLAP_JOIN, x, y, workspace_budget=1
+        )
+        if profile.details.get("workspace_overflow"):
+            baseline = TemporalJoinPlanner(backend="tuple").execute(
+                TemporalOperator.OVERLAP_JOIN, x, y
+            )[0]
+            assert sorted((a.value, b.value) for a, b in results) == sorted(
+                (a.value, b.value) for a, b in baseline
+            )
+
+
+def test_every_supported_cell_reachable_per_backend():
+    """Building every supported cell on every advertised backend must
+    yield a runnable processor (mirrored lower-half rows included)."""
+    operators = [
+        TemporalOperator.CONTAIN_JOIN,
+        TemporalOperator.CONTAIN_SEMIJOIN,
+        TemporalOperator.CONTAINED_SEMIJOIN,
+        TemporalOperator.OVERLAP_JOIN,
+        TemporalOperator.OVERLAP_SEMIJOIN,
+        TemporalOperator.BEFORE_SEMIJOIN,
+    ]
+    mirrored_seen = 0
+    for operator in operators:
+        for entry in supported_entries(operator):
+            mirrored_seen += entry.mirrored
+            for backend in entry.backends:
+                processor = entry.build(
+                    stream(XS, entry.x_order, "X"),
+                    stream(YS, entry.y_order, "Y"),
+                    backend=backend,
+                )
+                processor.run()
+    assert mirrored_seen > 0

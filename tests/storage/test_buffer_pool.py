@@ -95,3 +95,43 @@ class TestBufferPool:
         pool.get_page(f, 0)
         pool.get_page(f, 0)
         assert pool.hit_ratio == 0.5
+
+
+class TestSameNameFiles:
+    """Regression: frames used to be keyed by ``heap_file.name``, so two
+    distinct files sharing a name (re-created sort runs, identically
+    named test relations) served each other's pages and evicted each
+    other on invalidate."""
+
+    def test_same_name_files_do_not_share_frames(self):
+        a = make_file("run", 8)
+        b = HeapFile.from_records(
+            "run",
+            [TemporalTuple(f"b{i}", -i, i, i + 1) for i in range(8)],
+            page_capacity=4,
+        )
+        pool = BufferPool(8)
+        page_a = pool.get_page(a, 0)
+        page_b = pool.get_page(b, 0)
+        assert pool.misses == 2  # b's request must not hit a's frame
+        assert list(page_a) != list(page_b)
+        # And the cached contents stay per-file on re-request.
+        assert list(pool.get_page(b, 0)) == list(page_b)
+        assert pool.hits == 1
+
+    def test_invalidate_spares_same_name_files(self):
+        a = make_file("run", 8)
+        b = make_file("run", 8)
+        pool = BufferPool(8)
+        pool.get_page(a, 0)
+        pool.get_page(b, 0)
+        pool.invalidate(a)
+        assert len(pool) == 1  # b's frame survives
+        pool.get_page(b, 0)
+        assert pool.hits == 1
+
+    def test_file_ids_are_unique_and_stable(self):
+        a = make_file("run", 4)
+        b = make_file("run", 4)
+        assert a.file_id != b.file_id
+        assert a.file_id == a.file_id

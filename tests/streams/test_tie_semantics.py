@@ -1,0 +1,255 @@
+"""Tie and boundary semantics, audited in one place (closed-open
+lifespans, Section 2's conventions).
+
+Every temporal predicate in the repo is *strict* at the boundary:
+an interval ending exactly where another starts (``a.TE == b.TS``) does
+not overlap it, does not contain it, and is not "before" it unless the
+inequality is strict.  This module pins those conventions down for
+every processor — registry cells on **both** execution backends, plus
+the non-registry processors — against the nested-loop oracle, on
+workloads built almost entirely out of ties: zero-gap adjacency, shared
+endpoints, duplicate rows, and equal sweep keys.
+"""
+
+import pytest
+
+from repro.model import TE_ASC, TS_ASC, TS_DESC, TemporalTuple, sort_tuples
+from repro.model.sortorder import SortOrder
+from repro.streams import (
+    BeforeJoinSortedInner,
+    BeforeJoinSweep,
+    EqualJoin,
+    FinishesJoin,
+    MeetsJoin,
+    NestedLoopJoin,
+    NestedLoopSelfSemijoin,
+    NestedLoopSemijoin,
+    StartsJoin,
+    TemporalOperator,
+    TupleStream,
+    UnboundedStateJoin,
+    before_predicate,
+    contain_predicate,
+    contained_predicate,
+    overlap_predicate,
+    supported_entries,
+)
+
+from .conftest import make_stream, pair_values, values
+
+
+def T(value, ts, te):
+    return TemporalTuple(f"s{value}", value, ts, te)
+
+
+#: Workloads made of boundary cases.  Every pair of intervals in each
+#: list shares an endpoint with, duplicates, or abuts another.
+TIE_WORKLOADS = [
+    # zero-gap chains: TE == next TS everywhere
+    [T(0, 0, 5), T(1, 5, 9), T(2, 9, 12), T(3, 12, 15)],
+    # duplicates plus shared starts and shared ends
+    [T(0, 1, 9), T(1, 1, 9), T(2, 1, 5), T(3, 4, 9), T(4, 1, 9)],
+    # minimal-width intervals at equal points
+    [T(0, 3, 4), T(1, 3, 4), T(2, 4, 5), T(3, 2, 5), T(4, 3, 5)],
+    # nesting with every boundary shared somewhere
+    [T(0, 0, 10), T(1, 0, 5), T(2, 5, 10), T(3, 2, 8), T(4, 2, 8)],
+    # all identical
+    [T(0, 2, 6), T(1, 2, 6), T(2, 2, 6)],
+    # empty and singleton edges
+    [],
+    [T(0, 7, 8)],
+]
+
+BINARY_OPERATORS = {
+    TemporalOperator.CONTAIN_JOIN: (contain_predicate, "join"),
+    TemporalOperator.CONTAIN_SEMIJOIN: (contain_predicate, "semi"),
+    TemporalOperator.CONTAINED_SEMIJOIN: (contained_predicate, "semi"),
+    TemporalOperator.OVERLAP_JOIN: (overlap_predicate, "join"),
+    TemporalOperator.OVERLAP_SEMIJOIN: (overlap_predicate, "semi"),
+    TemporalOperator.BEFORE_SEMIJOIN: (before_predicate, "semi"),
+}
+
+SELF_OPERATORS = {
+    TemporalOperator.SELF_CONTAINED_SEMIJOIN: contained_predicate,
+    TemporalOperator.SELF_CONTAIN_SEMIJOIN: contain_predicate,
+}
+
+
+def workload_pairs():
+    for i, xs in enumerate(TIE_WORKLOADS):
+        for j, ys in enumerate(TIE_WORKLOADS):
+            yield pytest.param(xs, ys, id=f"x{i}-y{j}")
+
+
+def registry_cases():
+    for operator, (predicate, kind) in BINARY_OPERATORS.items():
+        for entry in supported_entries(operator):
+            for backend in entry.backends:
+                yield pytest.param(
+                    entry,
+                    predicate,
+                    kind,
+                    backend,
+                    id=(
+                        f"{operator.value}[{entry.x_order}/{entry.y_order}]"
+                        f"-{backend}"
+                    ),
+                )
+
+
+@pytest.mark.parametrize("entry, predicate, kind, backend", registry_cases())
+def test_registry_cell_tie_semantics(entry, predicate, kind, backend):
+    """Every supported table cell, on every backend, agrees with the
+    strict-predicate oracle on tie-saturated inputs."""
+    for xs in TIE_WORKLOADS:
+        for ys in TIE_WORKLOADS:
+            processor = entry.build(
+                make_stream(xs, entry.x_order, "X"),
+                make_stream(ys, entry.y_order, "Y"),
+                backend=backend,
+            )
+            result = processor.run()
+            if kind == "join":
+                oracle = NestedLoopJoin(
+                    make_stream(xs, TS_ASC, "X"),
+                    make_stream(ys, TS_ASC, "Y"),
+                    predicate,
+                ).run()
+                assert pair_values(result) == pair_values(oracle)
+            else:
+                oracle = NestedLoopSemijoin(
+                    make_stream(xs, TS_ASC, "X"),
+                    make_stream(ys, TS_ASC, "Y"),
+                    predicate,
+                ).run()
+                assert values(result) == values(oracle)
+
+
+def self_registry_cases():
+    for operator, predicate in SELF_OPERATORS.items():
+        for entry in supported_entries(operator):
+            for backend in entry.backends:
+                yield pytest.param(
+                    entry,
+                    predicate,
+                    backend,
+                    id=f"{operator.value}[{entry.x_order}]-{backend}",
+                )
+
+
+@pytest.mark.parametrize("entry, predicate, backend", self_registry_cases())
+def test_self_cell_tie_semantics(entry, predicate, backend):
+    for xs in TIE_WORKLOADS:
+        processor = entry.build(
+            make_stream(xs, entry.x_order, "X"), backend=backend
+        )
+        result = processor.run()
+        oracle = NestedLoopSelfSemijoin(
+            make_stream(xs, TS_ASC, "X"), predicate
+        ).run()
+        assert values(result) == values(oracle)
+
+
+# ----------------------------------------------------------------------
+# Non-registry processors: the Allen equality joins, the Before joins,
+# and the deliberately unbounded sweep.
+# ----------------------------------------------------------------------
+def equal_order():
+    return SortOrder.by_ts(secondary_te=True)
+
+
+EXTRA_PROCESSORS = [
+    pytest.param(
+        lambda x, y: BeforeJoinSweep(x, y),
+        TS_ASC,
+        TS_ASC,
+        before_predicate,
+        "join",
+        id="before-join-sweep",
+    ),
+    pytest.param(
+        lambda x, y: BeforeJoinSortedInner(x, y),
+        TS_ASC,
+        TS_DESC,
+        before_predicate,
+        "join",
+        id="before-join-sorted-inner",
+    ),
+    pytest.param(
+        lambda x, y: UnboundedStateJoin(x, y, overlap_predicate),
+        TS_ASC,
+        TS_ASC,
+        overlap_predicate,
+        "join",
+        id="unbounded-overlap-join",
+    ),
+    pytest.param(
+        lambda x, y: EqualJoin(x, y),
+        equal_order(),
+        equal_order(),
+        lambda a, b: a.valid_from == b.valid_from
+        and a.valid_to == b.valid_to,
+        "join",
+        id="equal-join",
+    ),
+    pytest.param(
+        lambda x, y: MeetsJoin(x, y),
+        TE_ASC,
+        TS_ASC,
+        lambda a, b: a.valid_to == b.valid_from,
+        "join",
+        id="meets-join",
+    ),
+    pytest.param(
+        lambda x, y: StartsJoin(x, y),
+        TS_ASC,
+        TS_ASC,
+        lambda a, b: a.valid_from == b.valid_from
+        and a.valid_to < b.valid_to,
+        "join",
+        id="starts-join",
+    ),
+    pytest.param(
+        lambda x, y: FinishesJoin(x, y),
+        TE_ASC,
+        TE_ASC,
+        lambda a, b: a.valid_to == b.valid_to
+        and a.valid_from > b.valid_from,
+        "join",
+        id="finishes-join",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "factory, x_order, y_order, predicate, kind", EXTRA_PROCESSORS
+)
+def test_non_registry_processor_tie_semantics(
+    factory, x_order, y_order, predicate, kind
+):
+    for xs in TIE_WORKLOADS:
+        for ys in TIE_WORKLOADS:
+            processor = factory(
+                make_stream(xs, x_order, "X"), make_stream(ys, y_order, "Y")
+            )
+            result = processor.run()
+            oracle = NestedLoopJoin(
+                make_stream(xs, TS_ASC, "X"),
+                make_stream(ys, TS_ASC, "Y"),
+                predicate,
+            ).run()
+            assert pair_values(result) == pair_values(oracle)
+
+
+def test_zero_width_boundary_is_exclusive():
+    """The defining boundary case: ``[0, 5)`` and ``[5, 9)`` share the
+    timepoint 5 *on paper* but not under closed-open semantics — they
+    must not overlap, and `before` must also be false (no gap)."""
+    a, b = T(0, 0, 5), T(1, 5, 9)
+    assert not overlap_predicate(a, b)
+    assert not overlap_predicate(b, a)
+    assert not before_predicate(a, b)  # strict: needs TE < TS
+    assert before_predicate(T(2, 0, 4), b)
+    assert not contain_predicate(T(3, 0, 9), T(4, 0, 5))  # shared start
+    assert not contain_predicate(T(5, 0, 9), T(6, 5, 9))  # shared end
+    assert contain_predicate(T(7, 0, 9), T(8, 1, 8))

@@ -1,5 +1,9 @@
 """Unit tests for workspace accounting."""
 
+import pytest
+
+from repro.errors import WorkspaceStateError
+from repro.model import TemporalTuple
 from repro.streams import Workspace, WorkspaceMeter, WorkspaceReport
 
 
@@ -52,6 +56,51 @@ class TestWorkspace:
 
     def test_peek_empty(self):
         assert Workspace().peek() is None
+
+
+class TestRemoveIdentity:
+    """Regression: ``remove`` used ``list.remove``, which (a) raised a
+    bare ``ValueError`` for absent items and (b) removed the *first
+    equal* item — so with duplicate rows (equal ``TemporalTuple``
+    objects are common in real relations) the wrong state tuple could be
+    retired and the accounting corrupted."""
+
+    def test_remove_absent_raises_descriptive_error(self):
+        ws = Workspace("x-state")
+        ws.insert("a")
+        with pytest.raises(WorkspaceStateError, match="x-state"):
+            ws.remove("zzz")
+        # The failed removal must not touch the accounting.
+        assert ws.total_discarded == 0
+        assert len(ws) == 1
+
+    def test_duplicates_removed_by_identity(self):
+        first = TemporalTuple("s", "v", 0, 10)
+        second = TemporalTuple("s", "v", 0, 10)
+        assert first == second and first is not second
+        ws = Workspace()
+        ws.insert(first)
+        ws.insert(second)
+        ws.remove(second)
+        assert len(ws) == 1
+        assert next(iter(ws)) is first  # not merely equal: the same one
+
+    def test_each_duplicate_retires_exactly_once(self):
+        dup = [TemporalTuple("s", "v", 0, 10) for _ in range(3)]
+        meter = WorkspaceMeter()
+        ws = Workspace(meter=meter)
+        for t in dup:
+            ws.insert(t)
+        for t in dup:
+            ws.remove(t)
+        assert len(ws) == 0
+        assert meter.total_discarded == 3
+        assert meter.current == 0
+        # Removing one of them again is now a state error.
+        ws.insert(dup[0])
+        ws.remove(dup[0])
+        with pytest.raises(WorkspaceStateError):
+            ws.remove(dup[0])
 
 
 class TestWorkspaceMeter:
