@@ -22,9 +22,10 @@ from __future__ import annotations
 import gc
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import ExecutionError
+from ..errors import ExecutionError, StreamOrderError
 from ..model import sortorder as so
 from ..model.tuples import TemporalTuple
+from ..resilience.recovery import RecoveryPolicy
 from ..streams.processors.base import StreamProcessor
 from ..streams.stream import TupleStream
 from . import kernels
@@ -58,7 +59,16 @@ class ColumnarProcessor(StreamProcessor):
     def _drain(self, stream: TupleStream) -> IntervalColumns:
         """One batch pass over a stream, charged to its counters exactly
         like cursor reads (cf. ``mirror_stream``: reading below the
-        single-buffer cursor, straight from the source factory)."""
+        single-buffer cursor, straight from the source factory).
+
+        Under QUARANTINE the batch shortcut would bypass the cursor's
+        side-channel, so the drain goes through the cursor instead and
+        the resulting rows are clean by construction."""
+        if stream.recovery is RecoveryPolicy.QUARANTINE:
+            rows = list(stream.drain())
+            return IntervalColumns.from_tuples(
+                rows, order=stream.order, name=stream.name, presorted=True
+            )
         rows = list(stream._source_factory())
         stream.passes += 1
         stream.tuples_read += len(rows)
@@ -66,7 +76,16 @@ class ColumnarProcessor(StreamProcessor):
             rows, order=stream.order, name=stream.name, presorted=True
         )
         if stream.verify_order:
-            columns.verify_order()
+            try:
+                columns.verify_order()
+            except StreamOrderError as error:
+                # Tag the offending operand so the resilient executor
+                # can re-sort just that side, as the cursor path does.
+                error.stream_name = stream.name
+                if stream.report is not None:
+                    stream.report.note_order_violation()
+                    error.reported = True
+                raise
         return columns
 
     def _absorb(self, stats: SweepStats) -> None:

@@ -92,3 +92,30 @@ class StorageError(ReproError):
 
 class BufferPoolError(StorageError):
     """Raised when the buffer pool cannot satisfy a pin request."""
+
+
+class TransientIOError(StorageError):
+    """A page read failed in a way that a retry may heal (the simulated
+    analogue of a dropped request or a momentary device error).  Raised
+    by the fault-injection harness; callers that do not retry see it as
+    an ordinary :class:`StorageError`."""
+
+
+class PageCorruptionError(StorageError):
+    """A page's stored checksum does not match its records.  A re-read
+    may heal it (torn read); persistent corruption surfaces through
+    :class:`StorageFaultError` once retries are exhausted."""
+
+
+class StorageFaultError(StorageError):
+    """A page read kept failing after the retry budget was spent.
+
+    Carries the full fault history so the failure is diagnosable:
+    ``history`` is the sequence of fault events (see
+    :class:`repro.resilience.faults.FaultEvent`) observed for the
+    failing read, most recent last.
+    """
+
+    def __init__(self, message: str, history: tuple = ()) -> None:
+        super().__init__(message)
+        self.history = tuple(history)

@@ -63,6 +63,8 @@ class StreamJoinInfo:
     chosen: str  # the planner alternative's description
     workspace_high_water: int
     output_rows: int
+    #: Recovery policy the join ran under (``None`` = legacy mode).
+    recovery: Optional[str] = None
 
 
 @dataclass
@@ -73,6 +75,9 @@ class HybridExecution:
     schema: RowSchema
     stats: EngineStats
     stream_joins: list[StreamJoinInfo] = field(default_factory=list)
+    #: The resilience report shared by all stream joins of this plan
+    #: (``None`` when executed without a recovery policy).
+    execution_report: Optional[object] = None
 
 
 def recognize_stream_join(
@@ -133,16 +138,31 @@ def execute_hybrid(
     plan: LogicalPlan,
     catalog: Catalog,
     planner: Optional[TemporalJoinPlanner] = None,
+    recovery: Optional["RecoveryPolicy"] = None,
+    report: Optional["ExecutionReport"] = None,
 ) -> HybridExecution:
     """Execute ``plan``, sending recognised temporal joins through the
     stream planner and everything else through the conventional
-    engine."""
+    engine.
+
+    ``recovery``/``report`` select and record the resilience behaviour
+    of the stream joins (see
+    :meth:`~repro.optimizer.planner.TemporalJoinPlanner.execute`);
+    conventional operators are unaffected.
+    """
     stats = EngineStats()
     execution = HybridExecution(
         rows=[], schema=plan.schema(), stats=stats
     )
+    if recovery is not None and report is None:
+        from ..resilience.recovery import ExecutionReport
+
+        report = ExecutionReport()
+    execution.execution_report = report
     chooser = planner or TemporalJoinPlanner()
-    operator = _build(plan, catalog, stats, chooser, execution)
+    operator = _build(
+        plan, catalog, stats, chooser, execution, recovery, report
+    )
     execution.rows = operator.run()
     return execution
 
@@ -167,22 +187,37 @@ def _build(
     stats: EngineStats,
     planner: TemporalJoinPlanner,
     execution: HybridExecution,
+    recovery=None,
+    report=None,
 ) -> Operator:
     if isinstance(plan, LJoin):
-        left = _build(plan.left, catalog, stats, planner, execution)
-        right = _build(plan.right, catalog, stats, planner, execution)
+        left = _build(
+            plan.left, catalog, stats, planner, execution, recovery, report
+        )
+        right = _build(
+            plan.right, catalog, stats, planner, execution, recovery, report
+        )
         recognised = recognize_stream_join(plan)
         if recognised is not None:
             operator_kind, swapped = recognised
             rows = _stream_join(
-                left, right, operator_kind, swapped, planner, execution
+                left,
+                right,
+                operator_kind,
+                swapped,
+                planner,
+                execution,
+                recovery,
+                report,
             )
             return _MaterializedRows(plan.schema(), rows, stats)
         return _conventional_join(plan, left, right)
     if not plan.children():
         return _compile(plan, catalog, stats)
     built_children = [
-        _build(child, catalog, stats, planner, execution)
+        _build(
+            child, catalog, stats, planner, execution, recovery, report
+        )
         for child in plan.children()
     ]
     return _rebuild_node(plan, built_children)
@@ -281,6 +316,8 @@ def _stream_join(
     swapped: bool,
     planner: TemporalJoinPlanner,
     execution: HybridExecution,
+    recovery=None,
+    report=None,
 ) -> list[Row]:
     left_rows = left.run()
     right_rows = right.run()
@@ -290,12 +327,20 @@ def _stream_join(
     right_relation = _rows_to_relation(right_rows, right.schema, right_var)
     if swapped:
         results, profile = planner.execute(
-            operator_kind, right_relation, left_relation
+            operator_kind,
+            right_relation,
+            left_relation,
+            recovery=recovery,
+            report=report,
         )
         pairs = [(b.surrogate, a.surrogate) for a, b in results]
     else:
         results, profile = planner.execute(
-            operator_kind, left_relation, right_relation
+            operator_kind,
+            left_relation,
+            right_relation,
+            recovery=recovery,
+            report=report,
         )
         pairs = [(a.surrogate, b.surrogate) for a, b in results]
     execution.stream_joins.append(
@@ -309,6 +354,7 @@ def _stream_join(
                 else 0
             ),
             output_rows=len(pairs),
+            recovery=recovery.value if recovery is not None else None,
         )
     )
     return [

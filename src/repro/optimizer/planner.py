@@ -25,6 +25,7 @@ from typing import Callable, Optional
 from ..errors import UnsupportedBackendError, WorkspaceOverflowError
 from ..model.relation import TemporalRelation
 from ..model.sortorder import order_satisfies
+from ..resilience.recovery import ExecutionReport, RecoveryPolicy
 from ..stats.estimators import collect_statistics
 from ..streams.metrics import ProcessorMetrics
 from ..streams.processors.baseline import (
@@ -237,14 +238,25 @@ class TemporalJoinPlanner:
         x_relation: TemporalRelation,
         y_relation: TemporalRelation,
         workspace_budget: Optional[int] = None,
+        recovery: Optional[RecoveryPolicy] = None,
+        report: Optional[ExecutionReport] = None,
     ) -> tuple[list, ExecutionProfile]:
         """Plan, run the winner, and report the profile.
 
         ``workspace_budget`` caps the stream algorithm's state tuples
-        (the paper's finite local workspace).  If the chosen stream
-        plan overflows it — the estimate was wrong, e.g. bursty data —
-        execution falls back to the nested loop, which needs no state,
-        and the profile records the fallback.
+        (the paper's finite local workspace).
+
+        ``recovery`` selects how a violated assumption is handled:
+
+        * ``None`` (legacy) — a workspace overflow silently falls back
+          to the stateless nested loop, recorded in the profile;
+        * a :class:`~repro.resilience.recovery.RecoveryPolicy` — the
+          stream plan runs through the resilient executor: ``STRICT``
+          fails fast with the original error, ``QUARANTINE`` skips
+          violating tuples into the report's side-channel, ``DEGRADE``
+          re-sorts on order violations and spills into extra passes on
+          overflow.  The :class:`~repro.resilience.recovery.
+          ExecutionReport` lands in ``profile.details``.
         """
         ranked = self.alternatives(operator, x_relation, y_relation)
         chosen = ranked[0]
@@ -252,6 +264,16 @@ class TemporalJoinPlanner:
         if chosen.kind == "nested-loop":
             results, metrics = self._run_nested_loop(
                 operator, x_relation, y_relation
+            )
+        elif recovery is not None:
+            results, metrics = self._run_resilient(
+                chosen,
+                x_relation,
+                y_relation,
+                workspace_budget,
+                recovery,
+                report,
+                profile,
             )
         else:
             try:
@@ -266,6 +288,41 @@ class TemporalJoinPlanner:
                 )
         profile.metrics = metrics
         return results, profile
+
+    def _run_resilient(
+        self,
+        alternative: Alternative,
+        x_relation: TemporalRelation,
+        y_relation: TemporalRelation,
+        workspace_budget: Optional[int],
+        recovery: RecoveryPolicy,
+        report: Optional[ExecutionReport],
+        profile: ExecutionProfile,
+    ):
+        from ..resilience.executor import execute_entry
+
+        entry = alternative.entry
+        assert entry is not None
+        if alternative.sort_x:
+            x_relation = x_relation.sorted_by(entry.x_order)
+        if alternative.sort_y and entry.y_order is not None:
+            y_relation = y_relation.sorted_by(entry.y_order)
+        outcome = execute_entry(
+            entry,
+            x_relation.tuples,
+            y_relation.tuples,
+            backend=self.backend,
+            policy=recovery,
+            workspace_budget=workspace_budget,
+            report=report,
+        )
+        profile.details["recovery"] = recovery.value
+        profile.details["execution_report"] = outcome.report
+        if outcome.report.fallbacks:
+            profile.details["fallback"] = [
+                event.kind for event in outcome.report.fallbacks
+            ]
+        return outcome.results, outcome.metrics
 
     def _run_stream(
         self,

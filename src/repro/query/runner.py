@@ -32,6 +32,10 @@ class QueryResult:
     semantic_report: Optional[object] = None
     #: Temporal joins executed by the stream engine (hybrid mode).
     stream_joins: list = None
+    #: The resilience :class:`~repro.resilience.recovery.
+    #: ExecutionReport`, set when ``streams=True`` ran with a recovery
+    #: policy.
+    execution_report: Optional[object] = None
 
     def __iter__(self):
         return iter(self.rows)
@@ -46,6 +50,7 @@ def run_query(
     rewrite: bool = True,
     semantic: bool = False,
     streams: bool = False,
+    recovery: Optional[object] = None,
 ) -> QueryResult:
     """Execute a Quel-like query against ``catalog``.
 
@@ -65,6 +70,11 @@ def run_query(
         Execute recognised temporal joins with the stream engine via
         the cost-based planner (hybrid execution); the stream joins
         taken are listed on the result.
+    recovery:
+        A :class:`~repro.resilience.recovery.RecoveryPolicy` applied to
+        the stream joins (only meaningful with ``streams=True``); the
+        resulting :class:`~repro.resilience.recovery.ExecutionReport`
+        is attached to the result as ``execution_report``.
     """
     plan = translate(parse_query(source), catalog)
     if rewrite:
@@ -77,7 +87,7 @@ def run_query(
     if streams:
         from ..optimizer.integration import execute_hybrid
 
-        execution = execute_hybrid(plan, catalog)
+        execution = execute_hybrid(plan, catalog, recovery=recovery)
         return QueryResult(
             rows=execution.rows,
             schema=execution.schema,
@@ -85,6 +95,7 @@ def run_query(
             stats=execution.stats,
             semantic_report=report,
             stream_joins=execution.stream_joins,
+            execution_report=execution.execution_report,
         )
     stats = EngineStats()
     operator = compile_plan(plan, catalog, stats)

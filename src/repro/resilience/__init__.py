@@ -1,0 +1,75 @@
+"""Resilient execution layer: fault injection, retry/backoff, and
+graceful degradation from one-pass streams.
+
+The submodules are layered so the core vocabulary (policies, reports,
+faults, retries) has no dependency on the stream engine:
+
+* :mod:`.recovery` — :class:`RecoveryPolicy` ladder and the
+  :class:`ExecutionReport`;
+* :mod:`.retry` — bounded exponential backoff with deterministic
+  jitter;
+* :mod:`.faults` — seeded :class:`FaultPlan` and the
+  :class:`ResilientHeapFile` wrapper;
+* :mod:`.executor` — the degradation ladder over registry entries
+  (re-sort on order violations, spill-and-extra-passes on workspace
+  overflow);
+* :mod:`.harness` — the chaos differential sweep over Tables 1-3.
+
+``executor`` and ``harness`` import the stream engine, which itself
+imports :mod:`.recovery`; they are therefore loaded lazily here to keep
+the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from .faults import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    ResilientHeapFile,
+    wrap_sources,
+)
+from .recovery import (
+    ExecutionReport,
+    FallbackEvent,
+    QuarantineEvent,
+    RecoveryPolicy,
+)
+from .retry import RETRYABLE, RetryPolicy, retry_call
+
+__all__ = [
+    "ExecutionReport",
+    "FallbackEvent",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "QuarantineEvent",
+    "RETRYABLE",
+    "RecoveryPolicy",
+    "ResilientHeapFile",
+    "ResilientResult",
+    "RetryPolicy",
+    "chaos_sweep",
+    "execute_entry",
+    "retry_call",
+    "wrap_sources",
+]
+
+#: Names resolved lazily to avoid importing the stream engine (and its
+#: processors) as a side effect of importing the core vocabulary.
+_LAZY = {
+    "ResilientResult": ".executor",
+    "execute_entry": ".executor",
+    "chaos_sweep": ".harness",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    from importlib import import_module
+
+    return getattr(import_module(module_name, __name__), name)

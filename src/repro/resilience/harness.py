@@ -1,0 +1,255 @@
+"""Chaos differential sweep over Tables 1-3.
+
+The resilience layer's headline claim is *transparency*: a seeded
+transient-fault plan, healed by retries, must leave every registry cell
+byte-identical to its fault-free run — same output rows, same workspace
+high-water mark — on both physical backends.  :func:`chaos_sweep` is
+that claim as an executable: it runs every supported cell twice (clean
+and under the plan), diffs the runs, and returns a serialisable result
+the chaos CI job uploads as an artifact.
+
+Determinism contract: the dataset is derived from the sweep seed alone,
+the fault plan draws from ``(seed, file, page, logical read)``, and
+retry jitter from ``(seed, key, attempt)`` — so one seed pins the whole
+sweep, faults included.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..model.sortorder import sort_tuples
+from ..model.tuples import TemporalTuple
+from ..streams.registry import (
+    BACKENDS,
+    TemporalOperator,
+    supported_entries,
+)
+from .executor import ResilientResult, execute_entry
+from .faults import FaultKind, FaultPlan
+from .recovery import ExecutionReport, RecoveryPolicy
+from .retry import RetryPolicy, derived_rng
+
+#: Default fault mix: every species the plan knows.
+ALL_KINDS = (FaultKind.TRANSIENT, FaultKind.CORRUPT, FaultKind.SLOW)
+
+
+def generate_relation(
+    seed: int, label: str, count: int, horizon: int = 24
+) -> List[TemporalTuple]:
+    """A deterministic, tie-heavy relation for differential runs.
+
+    Endpoints are drawn from a small domain with a handful of fixed
+    durations, so equal TS/TE values — the tie cases PR 1 made
+    tie-safe — occur constantly rather than occasionally.
+    """
+    rng = derived_rng("chaos-data", seed, label)
+    durations = (1, 2, 3, 5, 8)
+    tuples = []
+    for i in range(count):
+        ts = rng.randrange(horizon)
+        te = ts + rng.choice(durations)
+        tuples.append(TemporalTuple(f"{label}{i}", rng.randrange(5), ts, te))
+    return tuples
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """The differential verdict for one registry cell on one backend."""
+
+    operator: str
+    x_order: str
+    y_order: Optional[str]
+    backend: str
+    results_match: bool
+    high_water_match: bool
+    output_rows: int
+    high_water: int
+    faults_injected: int
+    retries: int
+
+    @property
+    def ok(self) -> bool:
+        return self.results_match and self.high_water_match
+
+
+@dataclass
+class ChaosSweepResult:
+    """Every cell's verdict plus the aggregate resilience report."""
+
+    seed: int
+    cells: List[ChaosCell] = field(default_factory=list)
+    report: ExecutionReport = field(default_factory=ExecutionReport)
+
+    @property
+    def all_matched(self) -> bool:
+        return all(cell.ok for cell in self.cells)
+
+    @property
+    def mismatches(self) -> List[ChaosCell]:
+        return [cell for cell in self.cells if not cell.ok]
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "cells": len(self.cells),
+            "all_matched": self.all_matched,
+            "mismatches": [
+                {
+                    "operator": cell.operator,
+                    "x_order": cell.x_order,
+                    "y_order": cell.y_order,
+                    "backend": cell.backend,
+                    "results_match": cell.results_match,
+                    "high_water_match": cell.high_water_match,
+                }
+                for cell in self.mismatches
+            ],
+            "report": self.report.as_dict(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def summary(self) -> str:
+        return (
+            f"chaos sweep seed={self.seed}: {len(self.cells)} cells, "
+            f"{len(self.mismatches)} mismatches, {self.report.summary()}"
+        )
+
+
+def chaos_sweep(
+    seed: int = 0,
+    rate: float = 0.15,
+    kinds: Sequence[FaultKind] = ALL_KINDS,
+    backends: Sequence[str] = BACKENDS,
+    policy: RecoveryPolicy = RecoveryPolicy.STRICT,
+    workspace_budget: Optional[int] = None,
+    relation_size: int = 48,
+    page_capacity: int = 8,
+    retry_policy: Optional[RetryPolicy] = None,
+    report: Optional[ExecutionReport] = None,
+) -> ChaosSweepResult:
+    """Differential chaos run over every supported cell x backend.
+
+    Each cell executes twice on identical, properly sorted inputs: once
+    clean, once with operands staged on fault-injecting heap files under
+    ``FaultPlan(seed, rate, kinds)``.  With the default retry budget,
+    every injected fault must heal; the cell passes when both runs agree
+    on the output rows and the workspace high-water mark.
+    """
+    plan = FaultPlan(seed=seed, rate=rate, kinds=tuple(kinds))
+    retry = retry_policy if retry_policy is not None else RetryPolicy(seed=seed)
+    outcome = ChaosSweepResult(
+        seed=seed,
+        report=report if report is not None else ExecutionReport(),
+    )
+    base_x = generate_relation(seed, "x", relation_size)
+    base_y = generate_relation(seed, "y", relation_size)
+
+    for operator in TemporalOperator:
+        for entry in supported_entries(operator):
+            xs = sort_tuples(base_x, entry.x_order)
+            ys = (
+                sort_tuples(base_y, entry.y_order)
+                if entry.y_order is not None
+                else None
+            )
+            for backend in entry.backends:
+                if backend not in backends:
+                    continue
+                clean = execute_entry(
+                    entry,
+                    xs,
+                    ys,
+                    backend=backend,
+                    policy=policy,
+                    workspace_budget=workspace_budget,
+                )
+                faults_before = outcome.report.faults_injected
+                retries_before = outcome.report.retries
+                chaotic = execute_entry(
+                    entry,
+                    xs,
+                    ys,
+                    backend=backend,
+                    policy=policy,
+                    workspace_budget=workspace_budget,
+                    report=outcome.report,
+                    fault_plan=plan,
+                    retry_policy=retry,
+                    page_capacity=page_capacity,
+                )
+                outcome.cells.append(
+                    _diff_cell(
+                        entry,
+                        backend,
+                        clean,
+                        chaotic,
+                        outcome.report.faults_injected - faults_before,
+                        outcome.report.retries - retries_before,
+                    )
+                )
+    return outcome
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI for the chaos CI job: run one seeded sweep, write the
+    ExecutionReport artifact, exit non-zero on any mismatch."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Differential chaos sweep over Tables 1-3"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rate", type=float, default=0.15)
+    parser.add_argument("--size", type=int, default=48)
+    parser.add_argument(
+        "--out", default=None, help="write the sweep report JSON here"
+    )
+    options = parser.parse_args(argv)
+    result = chaos_sweep(
+        seed=options.seed,
+        rate=options.rate,
+        relation_size=options.size,
+    )
+    print(result.summary())
+    if options.out:
+        with open(options.out, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+        print(f"report written to {options.out}")
+    if not result.all_matched or not result.report.fully_accounted:
+        return 1
+    return 0
+
+
+def _diff_cell(
+    entry,
+    backend: str,
+    clean: ResilientResult,
+    chaotic: ResilientResult,
+    faults: int,
+    retries: int,
+) -> ChaosCell:
+    clean_hw = clean.metrics.workspace.high_water if clean.metrics else -1
+    chaos_hw = (
+        chaotic.metrics.workspace.high_water if chaotic.metrics else -2
+    )
+    return ChaosCell(
+        operator=entry.operator.value,
+        x_order=str(entry.x_order),
+        y_order=str(entry.y_order) if entry.y_order is not None else None,
+        backend=backend,
+        results_match=clean.results == chaotic.results,
+        high_water_match=clean_hw == chaos_hw,
+        output_rows=len(chaotic.results),
+        high_water=chaos_hw,
+        faults_injected=faults,
+        retries=retries,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    raise SystemExit(main())

@@ -1,0 +1,116 @@
+"""Retry with bounded exponential backoff and deterministic jitter.
+
+Transient storage faults should heal invisibly; persistent ones should
+surface quickly, with their history attached.  The policy here is the
+classic bounded-exponential-backoff loop, with two properties the chaos
+suite depends on:
+
+* **Determinism** — jitter is drawn from a :class:`random.Random`
+  seeded by ``(policy seed, operation key, attempt)``, so a run with a
+  fixed fault plan produces byte-identical retry schedules every time;
+* **Simulated time** — delays are *recorded*, never slept.  The
+  accounting (per-attempt delay, total backoff) flows into
+  :class:`~repro.storage.iostats.IOStats` and the
+  :class:`~repro.resilience.recovery.ExecutionReport`; tests stay fast.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from ..errors import (
+    PageCorruptionError,
+    StorageFaultError,
+    TransientIOError,
+)
+
+T = TypeVar("T")
+
+
+def derived_rng(*parts: object) -> random.Random:
+    """A :class:`random.Random` seeded by a structured key.
+
+    ``Random`` only accepts scalar seeds, so the key is serialised via
+    ``repr`` — stable across runs and processes (``repr`` of ints,
+    strings and enums does not depend on hash randomisation), which is
+    what makes fault schedules and jitter reproducible from a seed.
+    """
+    return random.Random(repr(parts))
+
+#: Exception types a retry may heal.  Everything else propagates.
+RETRYABLE: Tuple[Type[BaseException], ...] = (
+    TransientIOError,
+    PageCorruptionError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``max_attempts`` counts the initial try plus retries: the default
+    of 5 allows four retries before the fault is declared persistent.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 1.0
+    multiplier: float = 2.0
+    max_delay: float = 32.0
+    #: Relative jitter amplitude; each delay is scaled by a factor
+    #: drawn uniformly from [1 - jitter, 1 + jitter].
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("retry budget needs at least one attempt")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValueError("jitter must lie in [0, 1)")
+
+    def delay_for(self, attempt: int, key: tuple = ()) -> float:
+        """The backoff delay after failed attempt ``attempt`` (0-based).
+
+        Deterministic for a given (seed, key, attempt): re-running the
+        same faulty read yields the same schedule.
+        """
+        raw = min(
+            self.base_delay * (self.multiplier ** attempt), self.max_delay
+        )
+        if not self.jitter:
+            return raw
+        rng = derived_rng(self.seed, key, attempt)
+        return raw * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+def retry_call(
+    operation: Callable[[int], T],
+    policy: RetryPolicy,
+    key: tuple = (),
+    retryable: Tuple[Type[BaseException], ...] = RETRYABLE,
+    on_retry: Optional[Callable[[BaseException, float], None]] = None,
+) -> T:
+    """Run ``operation(attempt)`` under ``policy``.
+
+    ``on_retry(error, delay)`` is invoked for every healed fault (for
+    accounting).  When the budget is exhausted the final error is
+    wrapped in :class:`~repro.errors.StorageFaultError` carrying the
+    full fault history.
+    """
+    history: list[BaseException] = []
+    for attempt in range(policy.max_attempts):
+        try:
+            return operation(attempt)
+        except retryable as error:
+            history.append(error)
+            if attempt + 1 >= policy.max_attempts:
+                break
+            delay = policy.delay_for(attempt, key)
+            if on_retry is not None:
+                on_retry(error, delay)
+    raise StorageFaultError(
+        f"operation {key!r} failed after {policy.max_attempts} attempts: "
+        f"{history[-1]}",
+        history=tuple(history),
+    )

@@ -33,6 +33,9 @@ class BufferPool:
             raise BufferPoolError("buffer pool needs at least one frame")
         self.capacity_pages = capacity_pages
         self._frames: "OrderedDict[tuple[int, int], Page]" = OrderedDict()
+        #: Secondary index file_id -> page indexes currently framed, so
+        #: :meth:`invalidate` is O(frames of that file), not O(pool).
+        self._by_file: dict[int, set[int]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -52,8 +55,12 @@ class BufferPool:
         self.misses += 1
         page = heap_file.page(index, stats=stats)
         self._frames[key] = page
+        self._by_file.setdefault(heap_file.file_id, set()).add(index)
         if len(self._frames) > self.capacity_pages:
-            self._frames.popitem(last=False)
+            (evicted_file, evicted_index), _ = self._frames.popitem(
+                last=False
+            )
+            self._drop_from_index(evicted_file, evicted_index)
         return page
 
     def scan(
@@ -70,10 +77,20 @@ class BufferPool:
                 yield record
 
     def invalidate(self, heap_file: HeapFile) -> None:
-        """Drop every cached frame of one file (and only that file)."""
-        stale = [key for key in self._frames if key[0] == heap_file.file_id]
-        for key in stale:
-            del self._frames[key]
+        """Drop every cached frame of one file (and only that file) in
+        O(frames held for that file)."""
+        indexes = self._by_file.pop(heap_file.file_id, None)
+        if not indexes:
+            return
+        for index in indexes:
+            del self._frames[(heap_file.file_id, index)]
+
+    def _drop_from_index(self, file_id: int, index: int) -> None:
+        bucket = self._by_file.get(file_id)
+        if bucket is not None:
+            bucket.discard(index)
+            if not bucket:
+                del self._by_file[file_id]
 
     @property
     def hit_ratio(self) -> float:

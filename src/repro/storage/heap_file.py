@@ -28,6 +28,7 @@ class HeapFile:
         name: str,
         page_capacity: int = DEFAULT_PAGE_CAPACITY,
         stats: Optional[IOStats] = None,
+        verify_checksums: bool = True,
     ) -> None:
         self.name = name
         #: Unique identity of this file object.  Two files may share a
@@ -36,6 +37,11 @@ class HeapFile:
         self.file_id = next(_FILE_IDS)
         self.page_capacity = page_capacity
         self.stats = stats if stats is not None else IOStats()
+        #: When True (the default), every page fetch re-verifies the
+        #: page's stored checksum, so corruption surfaces at read time
+        #: as :class:`~repro.errors.PageCorruptionError` instead of as
+        #: silently wrong answers.
+        self.verify_checksums = verify_checksums
         self._pages: list[Page] = []
 
     # ------------------------------------------------------------------
@@ -83,17 +89,24 @@ class HeapFile:
         return sum(len(p) for p in self._pages)
 
     def page(self, index: int, stats: Optional[IOStats] = None) -> Page:
-        """Fetch one page, charging a page read."""
+        """Fetch one page, charging a page read and verifying its
+        checksum (unless verification is disabled on this file)."""
         (stats or self.stats).record_page_read()
-        return self._pages[index]
+        page = self._pages[index]
+        if self.verify_checksums:
+            page.verify()
+        return page
 
     def scan(self, stats: Optional[IOStats] = None) -> Iterator[Any]:
         """Full sequential scan; charges one page read per page and one
-        tuple read per record, plus a scan-started event."""
+        tuple read per record, plus a scan-started event.  Each page is
+        checksum-verified as it is fetched."""
         accounting = stats or self.stats
         accounting.record_scan()
         for page in self._pages:
             accounting.record_page_read()
+            if self.verify_checksums:
+                page.verify()
             for record in page:
                 accounting.record_tuple_read()
                 yield record

@@ -38,6 +38,10 @@ class ProcessorMetrics:
     )
     #: Per-state-space high-water marks, keyed by workspace name.
     state_high_water: dict = field(default_factory=dict)
+    #: Snapshot of the :class:`~repro.resilience.recovery.
+    #: ExecutionReport` when the run went through the resilient
+    #: executor (``None`` for plain runs).
+    resilience: "dict | None" = None
 
     @property
     def total_tuples_read(self) -> int:

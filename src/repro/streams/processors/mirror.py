@@ -51,6 +51,8 @@ def mirror_stream(stream: TupleStream) -> TupleStream:
         order=stream.order.mirrored() if stream.order else None,
         name=f"mirror({stream.name})",
         verify_order=stream.verify_order,
+        recovery=stream.recovery,
+        report=stream.report,
     )
     return mirrored
 

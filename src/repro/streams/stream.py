@@ -22,12 +22,35 @@ from ..errors import ExecutionError, StreamOrderError
 from ..model.relation import TemporalRelation
 from ..model.sortorder import SortOrder
 from ..model.tuples import TemporalTuple
+from ..resilience.recovery import ExecutionReport, RecoveryPolicy
 from ..storage.heap_file import HeapFile
 from ..storage.iostats import IOStats
 
 
+def _tuple_valid(tup: TemporalTuple) -> bool:
+    """The intra-tuple integrity constraint ``TS < TE``.
+
+    :class:`~repro.model.tuples.TemporalTuple` enforces it at
+    construction, but heap files and ad-hoc sources may deliver
+    duck-typed or damaged records; quarantine checks them here.
+    """
+    try:
+        return tup.valid_from < tup.valid_to
+    except (AttributeError, TypeError):
+        return False
+
+
 class TupleStream:
-    """A one-buffer, forward-only cursor over sorted temporal tuples."""
+    """A one-buffer, forward-only cursor over sorted temporal tuples.
+
+    ``recovery`` selects the stream's rung on the resilience ladder:
+    under :attr:`~repro.resilience.recovery.RecoveryPolicy.QUARANTINE`,
+    tuples that violate the declared order or the ``TS < TE`` validity
+    constraint are skipped into a counted side-channel (the ``report``)
+    instead of raising; under ``STRICT`` and ``DEGRADE`` the violation
+    raises :class:`~repro.errors.StreamOrderError` (DEGRADE's re-sort
+    is the *operator's* job — see :mod:`repro.resilience.executor`).
+    """
 
     def __init__(
         self,
@@ -35,13 +58,19 @@ class TupleStream:
         order: Optional[SortOrder] = None,
         name: str = "stream",
         verify_order: bool = True,
+        recovery: RecoveryPolicy = RecoveryPolicy.STRICT,
+        report: Optional[ExecutionReport] = None,
     ) -> None:
         self._source_factory = source_factory
         self.order = order
         self.name = name
         self.verify_order = verify_order and order is not None
+        self.recovery = recovery
+        self.report = report
         self.tuples_read = 0
         self.passes = 0
+        #: Tuples skipped into the side-channel under QUARANTINE.
+        self.quarantined = 0
         self._iterator: Optional[Iterator[TemporalTuple]] = None
         self._buffer: Optional[TemporalTuple] = None
         self._previous: Optional[TemporalTuple] = None
@@ -57,6 +86,8 @@ class TupleStream:
         relation: TemporalRelation,
         name: Optional[str] = None,
         verify_order: bool = True,
+        recovery: RecoveryPolicy = RecoveryPolicy.STRICT,
+        report: Optional[ExecutionReport] = None,
     ) -> "TupleStream":
         """A stream over a relation, inheriting its declared order."""
         return cls(
@@ -64,6 +95,8 @@ class TupleStream:
             order=relation.order,
             name=name or relation.schema.relation_name,
             verify_order=verify_order,
+            recovery=recovery,
+            report=report,
         )
 
     @classmethod
@@ -73,6 +106,8 @@ class TupleStream:
         order: Optional[SortOrder] = None,
         name: str = "stream",
         verify_order: bool = True,
+        recovery: RecoveryPolicy = RecoveryPolicy.STRICT,
+        report: Optional[ExecutionReport] = None,
     ) -> "TupleStream":
         """A stream over an in-memory (restartable) tuple sequence."""
         materialised = tuple(tuples)
@@ -81,6 +116,8 @@ class TupleStream:
             order=order,
             name=name,
             verify_order=verify_order,
+            recovery=recovery,
+            report=report,
         )
 
     @classmethod
@@ -91,6 +128,8 @@ class TupleStream:
         name: Optional[str] = None,
         stats: Optional[IOStats] = None,
         verify_order: bool = True,
+        recovery: RecoveryPolicy = RecoveryPolicy.STRICT,
+        report: Optional[ExecutionReport] = None,
     ) -> "TupleStream":
         """A stream backed by a simulated disk file; every restart is a
         fresh scan charged to the file's I/O stats."""
@@ -99,6 +138,8 @@ class TupleStream:
             order=order,
             name=name or heap_file.name,
             verify_order=verify_order,
+            recovery=recovery,
+            report=report,
         )
 
     # ------------------------------------------------------------------
@@ -118,32 +159,59 @@ class TupleStream:
 
     def advance(self) -> Optional[TemporalTuple]:
         """Load the next tuple into the buffer, returning it (or
-        ``None`` at end of stream)."""
+        ``None`` at end of stream).
+
+        Under QUARANTINE, order- or validity-violating tuples are
+        skipped (and counted) here, so the caller only ever sees a
+        clean, ordered stream.
+        """
         if self._iterator is None:
             if self._exhausted:
                 return None
             self._open()
         assert self._iterator is not None
-        self._previous = self._buffer
-        nxt = next(self._iterator, None)
-        if nxt is None:
-            self._buffer = None
-            self._exhausted = True
-            self._iterator = None
-            return None
-        self.tuples_read += 1
-        if (
-            self.verify_order
-            and self._previous is not None
-            and self.order is not None
-            and not self.order.check(self._previous, nxt)
-        ):
-            raise StreamOrderError(
-                f"stream {self.name!r} declared order [{self.order}] but "
-                f"produced {self._previous} before {nxt}"
-            )
-        self._buffer = nxt
-        return nxt
+        previous = self._buffer
+        quarantining = self.recovery is RecoveryPolicy.QUARANTINE
+        while True:
+            nxt = next(self._iterator, None)
+            if nxt is None:
+                self._previous = previous
+                self._buffer = None
+                self._exhausted = True
+                self._iterator = None
+                return None
+            self.tuples_read += 1
+            if quarantining and not _tuple_valid(nxt):
+                self._quarantine("validity", nxt)
+                continue
+            if (
+                self.verify_order
+                and previous is not None
+                and self.order is not None
+                and not self.order.check(previous, nxt)
+            ):
+                if quarantining:
+                    self._quarantine("order", nxt)
+                    continue
+                error = StreamOrderError(
+                    f"stream {self.name!r} declared order [{self.order}] "
+                    f"but produced {previous} before {nxt}"
+                )
+                # Let the resilient executor target the offending side
+                # (and avoid double-counting the violation).
+                error.stream_name = self.name
+                if self.report is not None:
+                    self.report.note_order_violation()
+                    error.reported = True
+                raise error
+            self._previous = previous
+            self._buffer = nxt
+            return nxt
+
+    def _quarantine(self, reason: str, item: TemporalTuple) -> None:
+        self.quarantined += 1
+        if self.report is not None:
+            self.report.note_quarantine(self.name, reason, item)
 
     def restart(self) -> None:
         """Rewind to the beginning for another pass.  The pass counter
@@ -170,6 +238,12 @@ class TupleStream:
             )
         self._iterator = self._source_factory()
         self._started = True
+        # A fresh pass must re-check the ordering from its own first
+        # tuple: comparing across pass boundaries would misreport a
+        # legal rewind (last tuple of pass N vs first of pass N+1) as
+        # an order violation.
+        self._previous = None
+        self._buffer = None
         self.passes += 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

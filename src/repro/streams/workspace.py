@@ -36,6 +36,9 @@ class WorkspaceMeter:
     #: the paper's finite "local workspace" and forcing the trade-off
     #: towards sorting or multiple passes.
     limit: Optional[int] = None
+    #: Times the budget was breached (kept even when a recovery policy
+    #: later absorbs the overflow by spilling).
+    overflows: int = 0
 
     def enable_trace(self) -> None:
         """Start recording the state-size trajectory."""
@@ -50,6 +53,7 @@ class WorkspaceMeter:
         if self.trace is not None:
             self.trace.append(self.current)
         if self.limit is not None and self.current > self.limit:
+            self.overflows += 1
             raise WorkspaceOverflowError(
                 f"workspace exceeded its budget of {self.limit} state "
                 f"tuples"

@@ -1,0 +1,78 @@
+"""Differential chaos suite: a seeded transient-fault plan, healed by
+retries, must leave every registry cell byte-identical to its
+fault-free run on both backends — and STRICT must fail fast with the
+original error types when the plan cannot heal."""
+
+import pytest
+
+from repro.errors import StorageFaultError
+from repro.model import sort_tuples
+from repro.model.sortorder import TS_ASC
+from repro.resilience import (
+    ExecutionReport,
+    FaultPlan,
+    RetryPolicy,
+)
+from repro.resilience.executor import execute_entry
+from repro.resilience.harness import chaos_sweep, generate_relation
+from repro.streams.registry import TemporalOperator, lookup
+
+pytestmark = pytest.mark.chaos
+
+
+class TestChaosSweep:
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_every_cell_matches_its_fault_free_run(self, seed):
+        result = chaos_sweep(seed=seed, rate=0.2, relation_size=32)
+        assert result.cells, "sweep covered no registry cells"
+        assert result.all_matched, result.summary()
+        assert all(cell.results_match for cell in result.cells)
+        assert all(cell.high_water_match for cell in result.cells)
+        # The plan actually did something: faults were injected and
+        # healed by retries, and every event is accounted for.
+        assert result.report.faults_injected > 0
+        assert result.report.retries > 0
+        assert result.report.fully_accounted
+        assert result.report.storage_errors == 0
+
+    def test_sweep_is_deterministic(self):
+        a = chaos_sweep(seed=7, rate=0.2, relation_size=24)
+        b = chaos_sweep(seed=7, rate=0.2, relation_size=24)
+        assert a.as_dict() == b.as_dict()
+        assert [c.faults_injected for c in a.cells] == [
+            c.faults_injected for c in b.cells
+        ]
+
+    def test_report_serialises(self):
+        result = chaos_sweep(seed=3, rate=0.2, relation_size=16)
+        payload = result.to_json()
+        assert '"all_matched": true' in payload
+
+
+class TestStrictFailsFast:
+    def test_persistent_fault_surfaces_storage_error(self):
+        """Retries exhaust against a page that never heals; STRICT
+        surfaces the full history instead of degrading."""
+        entry = lookup(TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC)
+        xs = sort_tuples(generate_relation(0, "x", 32), TS_ASC)
+        ys = sort_tuples(generate_relation(0, "y", 32), TS_ASC)
+        # The executor stages operands under cell-qualified file names.
+        plan = FaultPlan(
+            seed=0,
+            rate=0.0,
+            persistent=frozenset({("contain-join[tuple].X", 1)}),
+        )
+        report = ExecutionReport()
+        with pytest.raises(StorageFaultError) as err:
+            execute_entry(
+                entry,
+                xs,
+                ys,
+                fault_plan=plan,
+                retry_policy=RetryPolicy(seed=0, max_attempts=4),
+                report=report,
+                page_capacity=8,
+            )
+        assert len(err.value.history) == 4
+        assert report.storage_errors == 1
+        assert report.fully_accounted

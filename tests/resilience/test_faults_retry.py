@@ -1,0 +1,200 @@
+"""Unit tests for the fault-injection harness and the retry loop."""
+
+import pytest
+
+from repro.errors import (
+    PageCorruptionError,
+    StorageFaultError,
+    TransientIOError,
+)
+from repro.model import TemporalTuple
+from repro.resilience import (
+    ExecutionReport,
+    FaultKind,
+    FaultPlan,
+    ResilientHeapFile,
+    RetryPolicy,
+    retry_call,
+)
+from repro.storage import HeapFile
+
+
+def make_file(name="data", n=24, page_capacity=4):
+    f = HeapFile(name, page_capacity=page_capacity)
+    f.extend(TemporalTuple(f"s{i}", i, i, i + 3) for i in range(n))
+    f.stats.reset()
+    return f
+
+
+class TestRetryPolicy:
+    def test_delays_are_deterministic(self):
+        policy = RetryPolicy(seed=42)
+        a = [policy.delay_for(i, key=("f", 0)) for i in range(4)]
+        b = [policy.delay_for(i, key=("f", 0)) for i in range(4)]
+        assert a == b
+
+    def test_delays_grow_and_stay_bounded(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=2.0, max_delay=8.0, jitter=0.0
+        )
+        delays = [policy.delay_for(i) for i in range(6)]
+        assert delays == [1.0, 2.0, 4.0, 8.0, 8.0, 8.0]
+
+    def test_jitter_stays_within_amplitude(self):
+        policy = RetryPolicy(jitter=0.25, seed=7)
+        for attempt in range(5):
+            delay = policy.delay_for(attempt, key=("k",))
+            raw = min(2.0**attempt, policy.max_delay)
+            assert raw * 0.75 <= delay <= raw * 1.25
+
+    def test_rejects_empty_budget(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestRetryCall:
+    def test_heals_within_budget(self):
+        calls = []
+
+        def operation(attempt):
+            calls.append(attempt)
+            if attempt < 2:
+                raise TransientIOError("flaky")
+            return "ok"
+
+        healed = []
+        assert (
+            retry_call(
+                operation,
+                RetryPolicy(max_attempts=5),
+                on_retry=lambda err, delay: healed.append(delay),
+            )
+            == "ok"
+        )
+        assert calls == [0, 1, 2]
+        assert len(healed) == 2
+
+    def test_exhaustion_wraps_with_history(self):
+        def operation(attempt):
+            raise PageCorruptionError(f"bad page (attempt {attempt})")
+
+        with pytest.raises(StorageFaultError) as err:
+            retry_call(operation, RetryPolicy(max_attempts=3))
+        assert len(err.value.history) == 3
+        assert all(
+            isinstance(e, PageCorruptionError) for e in err.value.history
+        )
+
+    def test_non_retryable_propagates_unwrapped(self):
+        def operation(attempt):
+            raise ValueError("not an I/O problem")
+
+        with pytest.raises(ValueError):
+            retry_call(operation, RetryPolicy())
+
+
+class TestFaultPlan:
+    def test_draw_is_deterministic(self):
+        plan = FaultPlan(seed=5, rate=0.5)
+        draws = [plan.draw("f", 0, s, 0) for s in range(50)]
+        assert draws == [plan.draw("f", 0, s, 0) for s in range(50)]
+        assert any(d is not None for d in draws)
+        assert any(d is None for d in draws)
+
+    def test_faults_heal_after_duration(self):
+        plan = FaultPlan(seed=5, rate=1.0, duration=2)
+        assert plan.draw("f", 0, 0, 0) is not None
+        assert plan.draw("f", 0, 0, 1) is not None
+        assert plan.draw("f", 0, 0, 2) is None
+
+    def test_persistent_never_heals(self):
+        plan = FaultPlan(seed=5, rate=0.0, persistent=frozenset({("f", 1)}))
+        for attempt in range(10):
+            assert plan.draw("f", 1, 0, attempt) is FaultKind.TRANSIENT
+        assert plan.draw("f", 0, 0, 0) is None
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=0, rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(seed=0, duration=0)
+        with pytest.raises(ValueError):
+            FaultPlan(seed=0, kinds=())
+
+
+class TestResilientHeapFile:
+    def test_transient_faults_are_invisible(self):
+        """A faulty scan delivers exactly the fault-free records."""
+        f = make_file()
+        plan = FaultPlan(seed=3, rate=0.4)
+        resilient = ResilientHeapFile(f, plan)
+        assert list(resilient.scan()) == f.records()
+        assert resilient.fault_stats.injected > 0
+        assert resilient.fault_stats.healed == resilient.fault_stats.injected
+        assert resilient.fault_stats.surfaced == 0
+
+    def test_iostats_account_faults_and_retries(self):
+        f = make_file()
+        plan = FaultPlan(seed=3, rate=0.4)
+        resilient = ResilientHeapFile(f, plan)
+        list(resilient.scan())
+        assert f.stats.faults_seen == resilient.fault_stats.injected
+        assert f.stats.retries == resilient.fault_stats.injected
+        assert f.stats.simulated_delay > 0
+
+    def test_corrupt_reads_detected_and_healed(self):
+        f = make_file()
+        plan = FaultPlan(seed=9, rate=0.5, kinds=(FaultKind.CORRUPT,))
+        report = ExecutionReport()
+        resilient = ResilientHeapFile(f, plan, report=report)
+        assert list(resilient.scan()) == f.records()
+        assert report.fault_counts().get("corrupt", 0) > 0
+        assert report.fully_accounted
+        # The underlying pages stay pristine: a direct scan verifies.
+        assert f.records() == list(f.scan())
+
+    def test_slow_reads_charge_latency_only(self):
+        f = make_file()
+        plan = FaultPlan(
+            seed=2, rate=0.5, kinds=(FaultKind.SLOW,), slow_penalty=7.0
+        )
+        resilient = ResilientHeapFile(f, plan)
+        assert list(resilient.scan()) == f.records()
+        assert resilient.fault_stats.slow > 0
+        assert resilient.fault_stats.surfaced == 0
+        assert f.stats.slow_reads == resilient.fault_stats.slow
+        assert f.stats.simulated_delay == pytest.approx(
+            7.0 * resilient.fault_stats.slow
+        )
+
+    def test_persistent_fault_surfaces_with_history(self):
+        f = make_file()
+        plan = FaultPlan(
+            seed=1, rate=0.0, persistent=frozenset({(f.name, 1)})
+        )
+        report = ExecutionReport()
+        resilient = ResilientHeapFile(
+            f, plan, retry=RetryPolicy(max_attempts=3), report=report
+        )
+        with pytest.raises(StorageFaultError) as err:
+            list(resilient.scan())
+        assert len(err.value.history) == 3
+        assert report.storage_errors == 1
+        assert report.fully_accounted  # every event resolved: surfaced
+        assert all(e.resolution == "surfaced" for e in report.faults)
+
+    def test_fault_schedule_is_reproducible(self):
+        plan = FaultPlan(seed=17, rate=0.3)
+        runs = []
+        for _ in range(2):
+            f = make_file()
+            resilient = ResilientHeapFile(f, plan)
+            list(resilient.scan())
+            runs.append(
+                (
+                    resilient.fault_stats.injected,
+                    f.stats.retries,
+                    f.stats.simulated_delay,
+                )
+            )
+        assert runs[0] == runs[1]

@@ -1,0 +1,338 @@
+"""The recovery ladder: STRICT fail-fast, QUARANTINE side-channel, and
+DEGRADE's re-sort / spill fallbacks checked against nested-loop oracles
+on tie-heavy workloads."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StreamOrderError, WorkspaceOverflowError
+from repro.model import TemporalTuple, sort_tuples
+from repro.model.sortorder import TS_ASC
+from repro.resilience import ExecutionReport, RecoveryPolicy
+from repro.resilience.executor import execute_entry
+from repro.streams import TupleStream
+from repro.streams.processors.baseline import (
+    contain_predicate,
+    overlap_predicate,
+)
+from repro.streams.registry import TemporalOperator, lookup
+
+#: Tie-heavy lifespans: a tiny endpoint domain with few durations, so
+#: equal TS/TE values dominate.
+tie_heavy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=1, max_value=6),
+    ),
+    max_size=40,
+).map(
+    lambda spans: [
+        TemporalTuple(f"s{i}", i, a, a + d) for i, (a, d) in enumerate(spans)
+    ]
+)
+
+
+def _key(tup):
+    return (tup.valid_from, tup.valid_to, str(tup.surrogate), tup.value)
+
+
+def canon(items):
+    """Order-insensitive canonical form of semijoin/join outputs."""
+    return sorted(
+        items,
+        key=lambda item: (
+            (_key(item[0]), _key(item[1]))
+            if isinstance(item, tuple)
+            else _key(item)
+        ),
+    )
+
+
+def join_oracle(xs, ys, predicate):
+    return [(x, y) for x in xs for y in ys if predicate(x, y)]
+
+
+def semi_oracle(xs, ys, predicate):
+    return [x for x in xs if any(predicate(x, y) for y in ys)]
+
+
+def self_oracle(xs, predicate):
+    return [
+        x
+        for i, x in enumerate(xs)
+        if any(i != j and predicate(x, u) for j, u in enumerate(xs))
+    ]
+
+
+def greedy_clean(tuples, order):
+    """What a quarantining cursor keeps: each tuple that does not
+    violate the order against the previously *kept* tuple."""
+    kept = []
+    for tup in tuples:
+        if not kept or order.check(kept[-1], tup):
+            kept.append(tup)
+    return kept
+
+
+CONTAIN_TS_TS = lookup(
+    TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC
+)
+OVERLAP_SEMI = lookup(
+    TemporalOperator.OVERLAP_SEMIJOIN, TS_ASC, TS_ASC
+)
+SELF_CONTAIN = lookup(TemporalOperator.SELF_CONTAIN_SEMIJOIN, TS_ASC)
+
+#: A fixed workload dense enough that a budget of 2 always overflows
+#: the contain-join state and an unsorted stream always violates.
+DENSE_X = [TemporalTuple(f"x{i}", i, 0, 20 - i) for i in range(8)]
+DENSE_Y = [TemporalTuple(f"y{i}", i, 2 + i, 3 + i) for i in range(8)]
+UNSORTED_X = [
+    TemporalTuple("a", 0, 9, 12),
+    TemporalTuple("b", 1, 3, 5),
+    TemporalTuple("c", 2, 6, 7),
+]
+
+
+class TestStrict:
+    def test_order_violation_raises_original_type(self):
+        with pytest.raises(StreamOrderError) as err:
+            execute_entry(
+                CONTAIN_TS_TS, UNSORTED_X, sort_tuples(DENSE_Y, TS_ASC)
+            )
+        assert err.value.stream_name == "X"
+
+    def test_overflow_raises_original_type(self):
+        report = ExecutionReport()
+        with pytest.raises(WorkspaceOverflowError):
+            execute_entry(
+                CONTAIN_TS_TS,
+                sort_tuples(DENSE_X, TS_ASC),
+                sort_tuples(DENSE_Y, TS_ASC),
+                workspace_budget=2,
+                report=report,
+            )
+        assert report.workspace_overflows == 1
+        assert report.passes_added == 0  # STRICT never degrades
+
+
+class TestQuarantine:
+    def test_stream_skips_out_of_order_tuples(self):
+        report = ExecutionReport()
+        stream = TupleStream.from_tuples(
+            UNSORTED_X,
+            order=TS_ASC,
+            recovery=RecoveryPolicy.QUARANTINE,
+            report=report,
+        )
+        kept = list(stream.drain())
+        assert kept == greedy_clean(UNSORTED_X, TS_ASC)
+        assert stream.quarantined == 2
+        assert [e.reason for e in report.quarantined] == ["order", "order"]
+
+    def test_stream_skips_invalid_tuples(self):
+        class Broken:
+            valid_from = 9
+            valid_to = 3  # violates TS < TE
+
+        report = ExecutionReport()
+        stream = TupleStream.from_tuples(
+            [TemporalTuple("a", 0, 1, 2), Broken(), TemporalTuple("b", 1, 3, 4)],
+            order=TS_ASC,
+            recovery=RecoveryPolicy.QUARANTINE,
+            report=report,
+        )
+        kept = list(stream.drain())
+        assert [t.surrogate for t in kept] == ["a", "b"]
+        assert [e.reason for e in report.quarantined] == ["validity"]
+
+    @pytest.mark.parametrize("backend", ["tuple", "columnar"])
+    def test_executor_result_matches_oracle_on_kept_tuples(self, backend):
+        ys = sort_tuples(DENSE_Y, TS_ASC)
+        report = ExecutionReport()
+        outcome = execute_entry(
+            CONTAIN_TS_TS,
+            UNSORTED_X,
+            ys,
+            backend=backend,
+            policy=RecoveryPolicy.QUARANTINE,
+            report=report,
+        )
+        kept = greedy_clean(UNSORTED_X, TS_ASC)
+        assert canon(outcome.results) == canon(
+            join_oracle(kept, ys, contain_predicate)
+        )
+        assert len(report.quarantined) == 2
+
+
+class TestDegradeFixed:
+    @pytest.mark.parametrize("backend", ["tuple", "columnar"])
+    def test_resort_recovers_unsorted_input(self, backend):
+        ys = sort_tuples(DENSE_Y, TS_ASC)
+        report = ExecutionReport()
+        outcome = execute_entry(
+            CONTAIN_TS_TS,
+            UNSORTED_X,
+            ys,
+            backend=backend,
+            policy=RecoveryPolicy.DEGRADE,
+            report=report,
+        )
+        assert canon(outcome.results) == canon(
+            join_oracle(UNSORTED_X, ys, contain_predicate)
+        )
+        assert report.order_violations >= 1
+        assert [e.kind for e in report.fallbacks] == ["re-sort"]
+        assert report.passes_added > 0
+
+    @pytest.mark.parametrize("backend", ["tuple", "columnar"])
+    def test_spill_finishes_under_budget(self, backend):
+        xs = sort_tuples(DENSE_X, TS_ASC)
+        ys = sort_tuples(DENSE_Y, TS_ASC)
+        report = ExecutionReport()
+        outcome = execute_entry(
+            CONTAIN_TS_TS,
+            xs,
+            ys,
+            backend=backend,
+            policy=RecoveryPolicy.DEGRADE,
+            workspace_budget=2,
+            report=report,
+        )
+        assert canon(outcome.results) == canon(
+            join_oracle(xs, ys, contain_predicate)
+        )
+        assert report.workspace_overflows == 1
+        assert [e.kind for e in report.fallbacks] == ["spill"]
+        # 8 outer tuples in blocks of 2: one spill pass + 3 extra scans.
+        assert report.passes_added == 4
+
+    def test_resort_then_spill_compose(self):
+        ys = sort_tuples(DENSE_Y, TS_ASC)
+        # A late starter in front violates TS order; the re-sorted
+        # input is then dense enough to overflow a budget of 2.
+        xs = [TemporalTuple("z", 9, 10, 11)] + sort_tuples(DENSE_X, TS_ASC)
+        report = ExecutionReport()
+        outcome = execute_entry(
+            CONTAIN_TS_TS,
+            xs,
+            ys,
+            policy=RecoveryPolicy.DEGRADE,
+            workspace_budget=2,
+            report=report,
+        )
+        assert canon(outcome.results) == canon(
+            join_oracle(xs, ys, contain_predicate)
+        )
+        assert [e.kind for e in report.fallbacks] == ["re-sort", "spill"]
+
+    def test_metrics_carry_resilience_snapshot(self):
+        report = ExecutionReport()
+        outcome = execute_entry(
+            CONTAIN_TS_TS,
+            sort_tuples(DENSE_X, TS_ASC),
+            sort_tuples(DENSE_Y, TS_ASC),
+            policy=RecoveryPolicy.DEGRADE,
+            workspace_budget=2,
+            report=report,
+        )
+        assert outcome.metrics.resilience is not None
+        assert outcome.metrics.resilience["passes_added"] > 0
+
+
+class TestDegradeProperties:
+    """DEGRADE is semantics-preserving, and ``passes_added`` is positive
+    exactly when an assumption was actually violated."""
+
+    @pytest.mark.parametrize("backend", ["tuple", "columnar"])
+    @given(
+        xs=tie_heavy,
+        ys=tie_heavy,
+        budget=st.one_of(st.none(), st.integers(min_value=1, max_value=3)),
+        shuffle=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_contain_join_matches_oracle(self, backend, xs, ys, budget, shuffle):
+        xs = sort_tuples(xs, CONTAIN_TS_TS.x_order)
+        ys = sort_tuples(ys, CONTAIN_TS_TS.y_order)
+        if shuffle:
+            xs = list(xs)
+            random.Random(0).shuffle(xs)
+        report = ExecutionReport()
+        outcome = execute_entry(
+            CONTAIN_TS_TS,
+            xs,
+            ys,
+            backend=backend,
+            policy=RecoveryPolicy.DEGRADE,
+            workspace_budget=budget,
+            report=report,
+        )
+        assert canon(outcome.results) == canon(
+            join_oracle(xs, ys, contain_predicate)
+        )
+        violated = (
+            report.order_violations > 0 or report.workspace_overflows > 0
+        )
+        assert (report.passes_added > 0) == violated
+
+    @pytest.mark.parametrize("backend", ["tuple", "columnar"])
+    @given(
+        xs=tie_heavy,
+        ys=tie_heavy,
+        budget=st.one_of(st.none(), st.integers(min_value=1, max_value=3)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_overlap_semijoin_matches_oracle(self, backend, xs, ys, budget):
+        xs = sort_tuples(xs, OVERLAP_SEMI.x_order)
+        ys = sort_tuples(ys, OVERLAP_SEMI.y_order)
+        report = ExecutionReport()
+        outcome = execute_entry(
+            OVERLAP_SEMI,
+            xs,
+            ys,
+            backend=backend,
+            policy=RecoveryPolicy.DEGRADE,
+            workspace_budget=budget,
+            report=report,
+        )
+        assert canon(outcome.results) == canon(
+            semi_oracle(xs, ys, overlap_predicate)
+        )
+        violated = (
+            report.order_violations > 0 or report.workspace_overflows > 0
+        )
+        assert (report.passes_added > 0) == violated
+
+    @pytest.mark.parametrize("backend", ["tuple", "columnar"])
+    @given(
+        xs=tie_heavy,
+        budget=st.one_of(st.none(), st.integers(min_value=1, max_value=3)),
+        shuffle=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_self_contain_semijoin_matches_oracle(
+        self, backend, xs, budget, shuffle
+    ):
+        xs = sort_tuples(xs, SELF_CONTAIN.x_order)
+        if shuffle:
+            xs = list(xs)
+            random.Random(1).shuffle(xs)
+        report = ExecutionReport()
+        outcome = execute_entry(
+            SELF_CONTAIN,
+            xs,
+            backend=backend,
+            policy=RecoveryPolicy.DEGRADE,
+            workspace_budget=budget,
+            report=report,
+        )
+        assert canon(outcome.results) == canon(
+            self_oracle(xs, contain_predicate)
+        )
+        violated = (
+            report.order_violations > 0 or report.workspace_overflows > 0
+        )
+        assert (report.passes_added > 0) == violated

@@ -1,0 +1,108 @@
+"""Storage-layer hardening: page checksums, buffer-pool invalidation
+by file identity, and stream restart semantics."""
+
+import pytest
+
+from repro.errors import PageCorruptionError, StreamOrderError
+from repro.model import TemporalTuple
+from repro.model.sortorder import TS_ASC
+from repro.storage import BufferPool, HeapFile
+from repro.storage.page import Page
+from repro.streams import TupleStream
+
+
+def tuples(n, start=0):
+    return [TemporalTuple(f"s{i}", i, i, i + 2) for i in range(start, start + n)]
+
+
+class TestPageChecksums:
+    def test_append_maintains_checksum_incrementally(self):
+        page = Page(0, capacity=8)
+        for tup in tuples(5):
+            page.append(tup)
+            assert page.checksum == page.compute_checksum()
+        page.verify()  # clean page verifies silently
+
+    def test_tampering_detected_on_scan(self):
+        f = HeapFile.from_records("victim", tuples(10), page_capacity=4)
+        f._pages[1]._records[0] = TemporalTuple("evil", 99, 0, 1)
+        with pytest.raises(PageCorruptionError):
+            list(f.scan())
+
+    def test_tampering_detected_on_page_fetch(self):
+        f = HeapFile.from_records("victim", tuples(10), page_capacity=4)
+        f._pages[2]._records.pop()
+        f.page(0)  # untouched pages still verify
+        with pytest.raises(PageCorruptionError):
+            f.page(2)
+
+    def test_verification_can_be_disabled(self):
+        f = HeapFile("lenient", page_capacity=4, verify_checksums=False)
+        f.extend(tuples(8))
+        f._pages[0]._records[0] = TemporalTuple("evil", 99, 0, 1)
+        assert len(list(f.scan())) == 8
+
+
+class TestBufferPoolInvalidation:
+    def test_invalidate_drops_only_that_file(self):
+        pool = BufferPool(capacity_pages=16)
+        a = HeapFile.from_records("a", tuples(8), page_capacity=4)
+        b = HeapFile.from_records("b", tuples(8), page_capacity=4)
+        list(pool.scan(a))
+        list(pool.scan(b))
+        assert len(pool) == 4
+        pool.invalidate(a)
+        assert len(pool) == 2
+        hits_before = pool.hits
+        list(pool.scan(b))
+        assert pool.hits == hits_before + 2  # b's frames survived
+
+    def test_recreated_file_with_same_name_never_sees_stale_frames(self):
+        pool = BufferPool(capacity_pages=16)
+        old = HeapFile.from_records("runs", tuples(8), page_capacity=4)
+        list(pool.scan(old))
+        # Same name, new identity, different contents — the seed's
+        # name-keyed cache would happily serve old's pages here.
+        new = HeapFile.from_records(
+            "runs", tuples(8, start=100), page_capacity=4
+        )
+        assert list(pool.scan(new)) == new.records()
+        # And invalidating the new file leaves the old file's frames.
+        pool.invalidate(new)
+        assert (old.file_id, 0) in pool._frames
+
+    def test_eviction_keeps_secondary_index_consistent(self):
+        pool = BufferPool(capacity_pages=2)
+        f = HeapFile.from_records("big", tuples(16), page_capacity=4)
+        list(pool.scan(f))
+        assert len(pool) == 2
+        pool.invalidate(f)  # must not KeyError on evicted frames
+        assert len(pool) == 0
+
+
+class TestStreamRestart:
+    def test_restart_resets_order_verification(self):
+        """A fresh pass re-checks ordering from its own first tuple;
+        the last tuple of pass N must not be compared against the
+        first tuple of pass N+1."""
+        data = tuples(5)  # ascending: any rewind jumps backwards
+        stream = TupleStream.from_tuples(data, order=TS_ASC)
+        assert list(stream.drain()) == data
+        stream.restart()
+        assert list(stream.drain()) == data  # no StreamOrderError
+        assert stream.passes == 2
+
+    def test_mid_pass_restart_also_resets(self):
+        data = tuples(5)
+        stream = TupleStream.from_tuples(data, order=TS_ASC)
+        stream.advance()
+        stream.advance()
+        stream.restart()
+        assert list(stream.drain()) == data
+        assert stream.tuples_read == 2 + len(data)
+
+    def test_violations_within_a_pass_still_raise(self):
+        data = [tuples(1)[0], TemporalTuple("late", 9, 9, 11), tuples(1)[0]]
+        stream = TupleStream.from_tuples(data, order=TS_ASC)
+        with pytest.raises(StreamOrderError):
+            list(stream.drain())
