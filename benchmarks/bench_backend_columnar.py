@@ -28,7 +28,9 @@ import time
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 )
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+from common import peak_rss_bytes, run_profile  # noqa: E402
 from repro.model import TE_ASC, TS_ASC, TS_TE_ASC  # noqa: E402
 from repro.streams import (  # noqa: E402
     BACKENDS,
@@ -140,7 +142,33 @@ def measure_cell(figure, label, operator, x_order, y_order, x, y, repeats):
     row["speedup"] = round(
         row["tuple_seconds"] / max(row["columnar_seconds"], 1e-9), 2
     )
+    row["peak_rss_bytes"] = peak_rss_bytes()
     return row
+
+
+def traced_headline(x, y):
+    """One traced run of the headline cell per backend; the resulting
+    operator summaries are attached to the JSON report so perf numbers
+    come with their passes/comparisons/state-high-water provenance."""
+    from repro.obs import install_registry, uninstall_registry
+    from repro.obs.explain import operator_summaries
+    from repro.obs.trace import Tracer, set_tracer
+
+    entry = lookup(TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC)
+    x_rel = x.sorted_by(TS_ASC)
+    y_rel = y.sorted_by(TS_ASC)
+    summaries = {}
+    for backend in BACKENDS:
+        tracer = Tracer(f"bench:{backend}")
+        previous = set_tracer(tracer)
+        install_registry()
+        try:
+            run_once(entry, x_rel, y_rel, backend)
+        finally:
+            uninstall_registry()
+            set_tracer(previous)
+        summaries[backend] = operator_summaries(tracer)
+    return summaries
 
 
 def main(argv=None):
@@ -169,6 +197,7 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
+    run_started = time.perf_counter()
     results = []
     for n in sorted(args.sizes):
         x, y, z = make_inputs(n)
@@ -207,6 +236,9 @@ def main(argv=None):
     if headline and top >= 100000:
         claim["passed"] = headline["speedup"] >= args.require_speedup
 
+    trace_n = min(args.sizes)
+    trace_x, trace_y, _ = make_inputs(trace_n)
+
     report = {
         "benchmark": "backend-columnar",
         "description": (
@@ -218,6 +250,12 @@ def main(argv=None):
         "backends": list(BACKENDS),
         "headline_claim": claim,
         "results": results,
+        "trace_summary": {
+            "cell": HEADLINE,
+            "n": trace_n,
+            "operators": traced_headline(trace_x, trace_y),
+        },
+        "profile": run_profile(run_started),
     }
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)

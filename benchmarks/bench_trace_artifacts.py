@@ -1,0 +1,238 @@
+"""BENCH-TRACE — traced Fig-5 / Fig-8 runs producing CI artifacts.
+
+Standalone (non-pytest) benchmark that re-runs the paper's two headline
+evaluations with the observability layer switched on:
+
+* the Figure-5 Contain-join Poisson workload on both physical backends
+  (tuple-at-a-time and columnar batch-sweep), and
+* the Figure-8 Superstar walkthrough (stream overlap strategy plus the
+  Section-5 semantic self semijoin).
+
+Each run records a full span tree and a metrics registry; the script
+writes one Chrome trace-event JSON per run, a combined Prometheus text
+dump, and a ``summary.json`` with the per-operator summaries and the
+per-run perf profile (wall time + peak RSS).
+
+These are fault-free configurations, so every operator must report a
+single pass over each input — the script exits non-zero on any
+single-scan violation, which is the CI gate for the paper's
+single-scan claims.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_trace_artifacts.py \
+        --out-dir trace-artifacts --size 20000 --faculty 200
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from common import run_profile  # noqa: E402
+from repro.model import TS_ASC  # noqa: E402
+from repro.obs import (  # noqa: E402
+    Tracer,
+    install_registry,
+    to_chrome_trace,
+    uninstall_registry,
+)
+from repro.obs.explain import (  # noqa: E402
+    operator_summaries,
+    render_span_tree,
+    single_scan_violations,
+)
+from repro.obs.trace import set_tracer  # noqa: E402
+from repro.streams import (  # noqa: E402
+    BACKENDS,
+    TemporalOperator,
+    TupleStream,
+    lookup,
+)
+from repro.workload import (  # noqa: E402
+    FacultyWorkload,
+    PoissonWorkload,
+    fixed_duration,
+)
+
+
+def traced(name, io_events=False):
+    """A fresh tracer installed as the active one; caller must restore
+    via set_tracer(previous)."""
+    tracer = Tracer(name, io_events=io_events)
+    previous = set_tracer(tracer)
+    return tracer, previous
+
+
+def run_fig5(size, backend, registry):
+    """Figure-5 contain-join on the Poisson pair, traced."""
+    x = PoissonWorkload(size, 0.5, fixed_duration(40), name="X").generate(1)
+    y = PoissonWorkload(size, 0.5, fixed_duration(10), name="Y").generate(2)
+    entry = lookup(TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC)
+    x_rel = x.sorted_by(TS_ASC)
+    y_rel = y.sorted_by(TS_ASC)
+    tracer, previous = traced(f"fig5:{backend}")
+    started = time.perf_counter()
+    try:
+        with tracer.span("query", figure="fig5", backend=backend, n=size):
+            processor = entry.build(
+                TupleStream.from_relation(x_rel, name="X"),
+                TupleStream.from_relation(y_rel, name="Y"),
+                backend=backend,
+            )
+            out = processor.run()
+    finally:
+        set_tracer(previous)
+    return {
+        "run": f"fig5-{backend}",
+        "figure": "fig5",
+        "backend": backend,
+        "n": size,
+        "output": len(out),
+        "operators": operator_summaries(tracer),
+        "profile": run_profile(started),
+    }, tracer
+
+
+def run_fig8(faculty_count, seed):
+    """Figure-8 Superstar walkthrough (stream + semantic), traced."""
+    from repro.superstar import (
+        semantic_assumptions_hold,
+        semantic_superstar,
+        stream_superstar,
+    )
+
+    faculty = FacultyWorkload(
+        faculty_count=faculty_count, continuous=True, full_fraction=1.0
+    ).generate(seed=seed)
+    tracer, previous = traced("fig8:superstar")
+    started = time.perf_counter()
+    try:
+        with tracer.span(
+            "query", figure="fig8", faculty=len(faculty)
+        ) as root:
+            with tracer.span("strategy:stream-overlap"):
+                outcome = stream_superstar(faculty)
+            if semantic_assumptions_hold(faculty):
+                with tracer.span("strategy:semantic-self-semijoin"):
+                    outcome = semantic_superstar(faculty)
+            root.set(rows=len(outcome.rows), strategy=outcome.strategy)
+    finally:
+        set_tracer(previous)
+    return {
+        "run": "fig8-superstar",
+        "figure": "fig8",
+        "faculty": faculty_count,
+        "output": len(outcome.rows),
+        "strategy": outcome.strategy,
+        "operators": operator_summaries(tracer),
+        "profile": run_profile(started),
+    }, tracer
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out-dir",
+        default="trace-artifacts",
+        help="directory for the Chrome traces, Prometheus dump, and "
+        "summary JSON",
+    )
+    parser.add_argument(
+        "--size",
+        type=int,
+        default=20000,
+        metavar="N",
+        help="tuples per relation for the Figure-5 runs (default 20000)",
+    )
+    parser.add_argument(
+        "--faculty",
+        type=int,
+        default=200,
+        metavar="N",
+        help="faculty members for the Figure-8 run (default 200)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload seed (default 7)"
+    )
+    parser.add_argument(
+        "--print-trees",
+        action="store_true",
+        help="also print the annotated span tree of every run",
+    )
+    args = parser.parse_args(argv)
+    os.makedirs(args.out_dir, exist_ok=True)
+
+    registry = install_registry()
+    runs = []
+    try:
+        for backend in BACKENDS:
+            runs.append(run_fig5(args.size, backend, registry))
+        runs.append(run_fig8(args.faculty, args.seed))
+    finally:
+        uninstall_registry()
+
+    violations = []
+    summary_runs = []
+    for summary, tracer in runs:
+        trace_path = os.path.join(args.out_dir, f"{summary['run']}.trace.json")
+        with open(trace_path, "w") as fh:
+            json.dump(to_chrome_trace(tracer), fh)
+        summary["chrome_trace"] = os.path.basename(trace_path)
+        bad = single_scan_violations(tracer)
+        for violation in bad:
+            violation["run"] = summary["run"]
+        violations.extend(bad)
+        summary_runs.append(summary)
+        print(
+            f"{summary['run']:16s} out={summary['output']:>7d}  "
+            f"wall={summary['profile']['wall_seconds']:8.4f}s  "
+            f"operators={len(summary['operators'])}"
+        )
+        if args.print_trees:
+            print(render_span_tree(tracer))
+
+    prom_path = os.path.join(args.out_dir, "metrics.prom")
+    with open(prom_path, "w") as fh:
+        fh.write(registry.to_prometheus())
+
+    summary = {
+        "benchmark": "trace-artifacts",
+        "description": (
+            "traced Figure-5 contain-join (both backends) and Figure-8 "
+            "Superstar runs; fault-free, so every operator must report "
+            "a single pass over each input"
+        ),
+        "size": args.size,
+        "faculty": args.faculty,
+        "runs": summary_runs,
+        "single_scan_violations": violations,
+    }
+    summary_path = os.path.join(args.out_dir, "summary.json")
+    with open(summary_path, "w") as fh:
+        json.dump(summary, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {summary_path} and {prom_path}")
+
+    if violations:
+        for violation in violations:
+            print(
+                "single-scan violation: "
+                f"{violation['run']}: {violation['operator']} reported "
+                f"passes_x={violation['passes_x']} "
+                f"passes_y={violation['passes_y']}",
+                file=sys.stderr,
+            )
+        return 1
+    print("single-scan check passed: every operator made one pass")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,10 @@
 """Shared helpers for the benchmark harness (imported by the bench
 modules; fixtures live in conftest.py)."""
 
+import resource
+import sys
+import time
+
 from repro.model import sort_tuples
 from repro.streams import TupleStream
 
@@ -9,6 +13,27 @@ def make_stream(tuples, order, name="stream"):
     return TupleStream.from_tuples(
         sort_tuples(tuples, order), order=order, name=name
     )
+
+
+def peak_rss_bytes():
+    """Peak resident set size of this process so far, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS; normalise so
+    BENCH_*.json files are comparable across machines."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform != "darwin":
+        peak *= 1024
+    return peak
+
+
+def run_profile(started_at):
+    """The per-run perf-trajectory record benchmarks attach to their
+    JSON reports: wall time since ``started_at`` (a ``time.perf_counter``
+    reading) and the process peak RSS."""
+    return {
+        "wall_seconds": round(time.perf_counter() - started_at, 6),
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
 
 
 def print_table(title, header, rows):

@@ -14,11 +14,23 @@ Subcommands:
 
 * ``demo`` — the Superstar walkthrough on generated data (no files
   needed).
+
+* ``explain-analyze`` — run a query with full tracing + metrics and
+  print the annotated execution tree (EXPLAIN ANALYZE).  Defaults to
+  the Fig-8 Superstar query on generated Faculty data::
+
+      python -m repro.cli explain-analyze \\
+          --chrome-trace trace.json --prometheus metrics.prom
+
+  ``--check-single-scan`` exits non-zero if any operator reports more
+  than one pass over an input (the CI gate for the paper's single-scan
+  claims).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -68,6 +80,74 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser(
         "demo", help="run the Superstar demonstration on generated data"
     )
+
+    explain = commands.add_parser(
+        "explain-analyze",
+        help=(
+            "run a query with tracing + metrics and print the annotated "
+            "execution tree (defaults to the Fig-8 Superstar query on "
+            "generated Faculty data)"
+        ),
+    )
+    explain.add_argument(
+        "text",
+        nargs="?",
+        default=None,
+        help="query text (default: the Superstar query)",
+    )
+    explain.add_argument(
+        "--relation",
+        "-r",
+        action="append",
+        default=[],
+        metavar="NAME=FILE.csv",
+        help="bind a relation name to a temporal CSV file (repeatable); "
+        "without bindings a Faculty relation is generated",
+    )
+    explain.add_argument(
+        "--faculty",
+        type=int,
+        default=200,
+        metavar="N",
+        help="faculty members in the generated relation (default 200)",
+    )
+    explain.add_argument(
+        "--seed", type=int, default=7, help="workload seed (default 7)"
+    )
+    explain.add_argument(
+        "--semantic",
+        action="store_true",
+        help="also run the Section-5 semantic optimizer",
+    )
+    explain.add_argument(
+        "--recovery",
+        choices=["strict", "quarantine", "degrade"],
+        default=None,
+        help="run stream joins under a recovery policy",
+    )
+    explain.add_argument(
+        "--io-events",
+        action="store_true",
+        help="record one trace event per page read (verbose)",
+    )
+    explain.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        help="write the Chrome trace-event JSON (chrome://tracing)",
+    )
+    explain.add_argument(
+        "--jsonl", metavar="PATH", help="write the span log as JSONL"
+    )
+    explain.add_argument(
+        "--prometheus",
+        metavar="PATH",
+        help="write the metrics registry in Prometheus text format",
+    )
+    explain.add_argument(
+        "--check-single-scan",
+        action="store_true",
+        help="exit non-zero if any operator reports passes > 1",
+    )
     return parser
 
 
@@ -76,6 +156,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "query":
             return _run_query_command(args)
+        if args.command == "explain-analyze":
+            return _run_explain_analyze_command(args)
         return _run_demo_command()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -126,6 +208,129 @@ def _run_query_command(args) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _run_explain_analyze_command(args) -> int:
+    from .obs import (
+        Tracer,
+        install_registry,
+        to_chrome_trace,
+        to_jsonl,
+        uninstall_registry,
+    )
+    from .obs.explain import render_explain, single_scan_violations
+    from .resilience.recovery import RecoveryPolicy
+
+    catalog = {}
+    for binding in args.relation:
+        name, eq, path = binding.partition("=")
+        if not eq or not name or not path:
+            print(
+                f"error: --relation needs NAME=FILE.csv, got {binding!r}",
+                file=sys.stderr,
+            )
+            return 2
+        catalog[name] = load_temporal_csv(path, relation_name=name)
+    if not catalog:
+        from .workload import FacultyWorkload
+
+        catalog["Faculty"] = FacultyWorkload(
+            faculty_count=args.faculty, continuous=True, full_fraction=1.0
+        ).generate(seed=args.seed)
+    text = args.text
+    if text is None:
+        from .superstar import SUPERSTAR_QUEL
+
+        text = SUPERSTAR_QUEL
+
+    recovery = (
+        RecoveryPolicy(args.recovery) if args.recovery is not None else None
+    )
+    tracer = Tracer("explain-analyze", io_events=args.io_events)
+    registry = install_registry()
+    try:
+        if args.text is None:
+            # Fig-8 Superstar walkthrough: the hybrid recognizer keeps
+            # the three-variable upper join conventional, so the
+            # paper's stream/semantic strategies are traced directly —
+            # their operator spans must show passes=1 and (for the
+            # self semijoin) a one-tuple state.
+            plan, row_count = _traced_superstar(
+                tracer, catalog["Faculty"], text
+            )
+        else:
+            result = run_query(
+                text,
+                catalog,
+                semantic=args.semantic,
+                streams=True,
+                recovery=recovery,
+                trace=tracer,
+            )
+            plan, row_count = result.plan, len(result.rows)
+    finally:
+        uninstall_registry()
+
+    print(render_explain(tracer, plan))
+    print(f"\n-- {row_count} row(s)", file=sys.stderr)
+
+    if args.chrome_trace:
+        with open(args.chrome_trace, "w") as fh:
+            json.dump(to_chrome_trace(tracer), fh)
+        print(f"chrome trace written to {args.chrome_trace}", file=sys.stderr)
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            fh.write(to_jsonl(tracer))
+        print(f"span log written to {args.jsonl}", file=sys.stderr)
+    if args.prometheus:
+        with open(args.prometheus, "w") as fh:
+            fh.write(registry.to_prometheus())
+        print(f"metrics written to {args.prometheus}", file=sys.stderr)
+
+    if args.check_single_scan:
+        violations = single_scan_violations(tracer)
+        if violations:
+            for violation in violations:
+                print(
+                    "single-scan violation: "
+                    f"{violation['operator']} reported "
+                    f"passes_x={violation['passes_x']} "
+                    f"passes_y={violation['passes_y']}",
+                    file=sys.stderr,
+                )
+            return 1
+        print("single-scan check passed", file=sys.stderr)
+    return 0
+
+
+def _traced_superstar(tracer, faculty, text):
+    """Run the Fig-8 Superstar stream + semantic strategies under the
+    given tracer, returning (logical plan, row count)."""
+    from .algebra import optimize
+    from .obs.trace import set_tracer
+    from .query import parse_query, translate
+    from .superstar import (
+        semantic_assumptions_hold,
+        semantic_superstar,
+        stream_superstar,
+    )
+
+    catalog = {"Faculty": faculty}
+    plan = optimize(translate(parse_query(text), catalog))
+    previous = set_tracer(tracer)
+    try:
+        with tracer.span(
+            "query", source="superstar (Fig-8)", faculty=len(faculty)
+        ) as root:
+            with tracer.span("strategy:stream-overlap"):
+                outcome = stream_superstar(faculty)
+            if semantic_assumptions_hold(faculty):
+                with tracer.span("strategy:semantic-self-semijoin"):
+                    outcome = semantic_superstar(faculty)
+            root.set(rows=len(outcome.rows), strategy=outcome.strategy)
+    finally:
+        set_tracer(previous)
+    return plan, len(outcome.rows)
 
 
 def _run_demo_command() -> int:

@@ -25,6 +25,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 from ..errors import ExecutionError, StreamOrderError
 from ..model import sortorder as so
 from ..model.tuples import TemporalTuple
+from ..obs.trace import get_tracer
 from ..resilience.recovery import RecoveryPolicy
 from ..streams.processors.base import StreamProcessor
 from ..streams.stream import TupleStream
@@ -70,8 +71,7 @@ class ColumnarProcessor(StreamProcessor):
                 rows, order=stream.order, name=stream.name, presorted=True
             )
         rows = list(stream._source_factory())
-        stream.passes += 1
-        stream.tuples_read += len(rows)
+        stream.note_batch_pass(len(rows))
         columns = IntervalColumns.from_tuples(
             rows, order=stream.order, name=stream.name, presorted=True
         )
@@ -127,21 +127,25 @@ class ColumnarProcessor(StreamProcessor):
                 "processors are single-use"
             )
         self._consumed = True
-        # The batch sweep allocates monotonically (columns, active
-        # entries, output rows) and creates no reference cycles, but
-        # every allocation burst makes the cyclic collector re-scan the
-        # whole live graph — on large joins that costs more than the
-        # kernel itself.  Refcounting alone reclaims everything here.
-        pause_gc = gc.isenabled()
-        if pause_gc:
-            gc.disable()
-        try:
-            out = self._materialise()
-        finally:
+        tracer = get_tracer()
+        with tracer.span(f"operator:{self.operator}", backend="columnar") as span:
+            # The batch sweep allocates monotonically (columns, active
+            # entries, output rows) and creates no reference cycles, but
+            # every allocation burst makes the cyclic collector re-scan
+            # the whole live graph — on large joins that costs more than
+            # the kernel itself.  Refcounting alone reclaims everything.
+            pause_gc = gc.isenabled()
             if pause_gc:
-                gc.enable()
-        self.metrics.output_count = len(out)
-        self._finalise_metrics()
+                gc.disable()
+            try:
+                out = self._materialise()
+            finally:
+                if pause_gc:
+                    gc.enable()
+            self.metrics.output_count = len(out)
+            self._finalise_metrics()
+            if tracer.enabled:
+                span.set(**self.metrics.to_dict())
         return out
 
 

@@ -1,0 +1,63 @@
+"""Observability: tracing, metrics, and EXPLAIN ANALYZE.
+
+The paper's claims are structural — workspace high-water marks, buffer
+counts, single-scan guarantees — and this package makes them *visible*
+at run time instead of only as post-hoc
+:class:`~repro.streams.metrics.ProcessorMetrics` snapshots:
+
+* :mod:`repro.obs.trace` — hierarchical spans (query -> plan ->
+  operator -> pass -> page I/O) with monotonic timing, an always-cheap
+  no-op default, and exporters for JSONL and the Chrome
+  ``chrome://tracing`` trace-event format;
+* :mod:`repro.obs.metrics` — a process-local registry of counters,
+  gauges, and histograms fed by instrumentation hooks across the
+  streams, columnar, storage, and resilience layers, with a Prometheus
+  text-format dump;
+* :mod:`repro.obs.explain` — the EXPLAIN ANALYZE renderer over a
+  recorded trace (imported lazily by the query runner and CLI; it sits
+  *above* the engine layers and is therefore not re-exported here).
+
+Everything is zero-dependency and deterministic-friendly: spans use
+``time.perf_counter_ns`` only for durations, and nothing here ever
+sleeps or touches the network.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    install_registry,
+    uninstall_registry,
+)
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span_creation_count,
+    to_chrome_trace,
+    to_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "active_registry",
+    "get_tracer",
+    "install_registry",
+    "set_tracer",
+    "span_creation_count",
+    "to_chrome_trace",
+    "to_jsonl",
+    "uninstall_registry",
+]

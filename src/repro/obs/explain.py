@@ -1,0 +1,176 @@
+"""EXPLAIN ANALYZE rendering over a recorded trace.
+
+Given a traced query run (see ``run_query(..., trace=True)``), this
+module renders the annotated execution tree the paper's Tables 1-3 are
+about: per-operator tuples read, passes over each input, comparisons,
+state high-water marks, wall time, and any resilience events — each
+quantity the cell claims, measured on the run that just happened.
+
+It sits *above* the engine: nothing in streams/storage/optimizer
+imports this module.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .trace import Span, Tracer
+
+
+def _ms(ns: int) -> str:
+    return f"{ns / 1e6:.3f}ms"
+
+
+def _operator_line(span: Span) -> str:
+    """The per-operator annotation: the Table-1/2/3 quantities."""
+    a = span.attributes
+    parts: List[str] = []
+    if "tuples_read_x" in a:
+        passes = a.get("pass_reads_x") or []
+        detail = (
+            "+".join(str(n) for n in passes)
+            if len(passes) > 1
+            else str(a["tuples_read_x"])
+        )
+        parts.append(f"x={detail} tuples/{a.get('passes_x', '?')} pass")
+    if a.get("tuples_read_y") or a.get("passes_y"):
+        passes = a.get("pass_reads_y") or []
+        detail = (
+            "+".join(str(n) for n in passes)
+            if len(passes) > 1
+            else str(a["tuples_read_y"])
+        )
+        parts.append(f"y={detail} tuples/{a.get('passes_y', '?')} pass")
+    if "output_count" in a:
+        parts.append(f"out={a['output_count']}")
+    if "comparisons" in a:
+        parts.append(f"cmp={a['comparisons']}")
+    workspace = a.get("workspace") or {}
+    if workspace:
+        parts.append(f"state-hw={workspace.get('high_water')}")
+    state = a.get("state_high_water") or {}
+    if state:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(state.items()))
+        parts.append(f"[{inner}]")
+    if "buffers" in a:
+        parts.append(f"buffers={a['buffers']}")
+    resilience = a.get("resilience") or {}
+    if resilience and (
+        resilience.get("faults_injected")
+        or resilience.get("fallbacks")
+        or resilience.get("quarantined")
+    ):
+        parts.append(
+            "resilience(faults={faults_injected} retries={retries} "
+            "quarantined={quarantined} passes_added={passes_added})".format(
+                **{
+                    k: resilience.get(k, 0)
+                    for k in (
+                        "faults_injected",
+                        "retries",
+                        "quarantined",
+                        "passes_added",
+                    )
+                }
+            )
+        )
+    return "  ".join(parts)
+
+
+def _generic_line(span: Span) -> str:
+    """Compact attribute rendering for non-operator spans."""
+    skip = {"error"}
+    parts = []
+    for key in sorted(span.attributes):
+        if key in skip:
+            continue
+        value = span.attributes[key]
+        if isinstance(value, (dict, list)):
+            continue
+        text = str(value)
+        if len(text) > 60:
+            text = text[:57] + "..."
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+def render_span_tree(tracer: Tracer) -> str:
+    """The annotated execution tree, one line per span (plus indented
+    event lines), depth-first in start order."""
+    lines: List[str] = []
+    for span, depth in tracer.walk():
+        indent = "  " * depth
+        annotation = (
+            _operator_line(span)
+            if span.name.startswith("operator:")
+            else _generic_line(span)
+        )
+        suffix = f"  {annotation}" if annotation else ""
+        error = span.attributes.get("error")
+        if error:
+            suffix += f"  !error={error}"
+        lines.append(
+            f"{indent}{span.name}  ({_ms(span.duration_ns)}){suffix}"
+        )
+        for event in span.events:
+            attrs = " ".join(
+                f"{k}={v}" for k, v in sorted(event["attributes"].items())
+            )
+            lines.append(f"{indent}  * {event['name']}  {attrs}")
+    return "\n".join(lines)
+
+
+def render_explain(
+    tracer: Tracer, plan: Optional[object] = None
+) -> str:
+    """Full EXPLAIN ANALYZE text: the logical plan (when given)
+    followed by the annotated span tree."""
+    sections: List[str] = []
+    if plan is not None and hasattr(plan, "explain"):
+        sections.append("== logical plan ==")
+        sections.append(plan.explain())
+    sections.append("== execution trace (EXPLAIN ANALYZE) ==")
+    sections.append(render_span_tree(tracer))
+    return "\n".join(sections)
+
+
+def operator_summaries(tracer: Tracer) -> List[dict]:
+    """One dict per operator span: name, wall time, and the Table-1/2/3
+    quantities — the trace summary benchmarks attach to their JSON."""
+    out: List[dict] = []
+    for span in tracer.spans:
+        if not span.name.startswith("operator:"):
+            continue
+        a = span.attributes
+        out.append(
+            {
+                "operator": span.name[len("operator:"):],
+                "wall_ms": round(span.duration_ns / 1e6, 3),
+                "tuples_read_x": a.get("tuples_read_x"),
+                "tuples_read_y": a.get("tuples_read_y"),
+                "passes_x": a.get("passes_x"),
+                "passes_y": a.get("passes_y"),
+                "pass_reads_x": a.get("pass_reads_x"),
+                "pass_reads_y": a.get("pass_reads_y"),
+                "comparisons": a.get("comparisons"),
+                "output_count": a.get("output_count"),
+                "workspace_high_water": (a.get("workspace") or {}).get(
+                    "high_water"
+                ),
+                "state_high_water": a.get("state_high_water"),
+            }
+        )
+    return out
+
+
+def single_scan_violations(tracer: Tracer) -> List[dict]:
+    """Operator spans that report more than one pass over either input
+    — empty on a fault-free run of single-scan algorithms (the CI
+    gate)."""
+    violations: List[dict] = []
+    for summary in operator_summaries(tracer):
+        passes_x = summary.get("passes_x") or 0
+        passes_y = summary.get("passes_y") or 0
+        if passes_x > 1 or passes_y > 1:
+            violations.append(summary)
+    return violations

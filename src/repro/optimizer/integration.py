@@ -24,8 +24,11 @@ its original rows losslessly — duplicates included.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
+
+from ..obs.trace import get_tracer
 
 from ..algebra.logical import LJoin, LogicalPlan
 from ..algebra.physical import Catalog, _compile  # shared leaf compiler
@@ -65,6 +68,11 @@ class StreamJoinInfo:
     output_rows: int
     #: Recovery policy the join ran under (``None`` = legacy mode).
     recovery: Optional[str] = None
+    #: The chosen operator's full :class:`~repro.streams.metrics.
+    #: ProcessorMetrics` (``None`` for nested-loop winners without one).
+    metrics: Optional[object] = None
+    #: Wall-clock seconds spent planning + executing this join.
+    wall_seconds: float = 0.0
 
 
 @dataclass
@@ -325,24 +333,31 @@ def _stream_join(
     right_var = _variable_of_schema(right.schema)
     left_relation = _rows_to_relation(left_rows, left.schema, left_var)
     right_relation = _rows_to_relation(right_rows, right.schema, right_var)
-    if swapped:
-        results, profile = planner.execute(
-            operator_kind,
-            right_relation,
-            left_relation,
-            recovery=recovery,
-            report=report,
-        )
-        pairs = [(b.surrogate, a.surrogate) for a, b in results]
-    else:
-        results, profile = planner.execute(
-            operator_kind,
-            left_relation,
-            right_relation,
-            recovery=recovery,
-            report=report,
-        )
-        pairs = [(a.surrogate, b.surrogate) for a, b in results]
+    tracer = get_tracer()
+    started = time.perf_counter()
+    with tracer.span(
+        f"stream-join:{operator_kind.value}", swapped=swapped
+    ) as span:
+        if swapped:
+            results, profile = planner.execute(
+                operator_kind,
+                right_relation,
+                left_relation,
+                recovery=recovery,
+                report=report,
+            )
+            pairs = [(b.surrogate, a.surrogate) for a, b in results]
+        else:
+            results, profile = planner.execute(
+                operator_kind,
+                left_relation,
+                right_relation,
+                recovery=recovery,
+                report=report,
+            )
+            pairs = [(a.surrogate, b.surrogate) for a, b in results]
+        if tracer.enabled:
+            span.set(output_rows=len(pairs))
     execution.stream_joins.append(
         StreamJoinInfo(
             operator=operator_kind,
@@ -355,6 +370,8 @@ def _stream_join(
             ),
             output_rows=len(pairs),
             recovery=recovery.value if recovery is not None else None,
+            metrics=profile.metrics,
+            wall_seconds=time.perf_counter() - started,
         )
     )
     return [

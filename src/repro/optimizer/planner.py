@@ -25,6 +25,7 @@ from typing import Callable, Optional
 from ..errors import UnsupportedBackendError, WorkspaceOverflowError
 from ..model.relation import TemporalRelation
 from ..model.sortorder import order_satisfies
+from ..obs.trace import get_tracer
 from ..resilience.recovery import ExecutionReport, RecoveryPolicy
 from ..stats.estimators import collect_statistics
 from ..streams.metrics import ProcessorMetrics
@@ -258,36 +259,49 @@ class TemporalJoinPlanner:
           overflow.  The :class:`~repro.resilience.recovery.
           ExecutionReport` lands in ``profile.details``.
         """
-        ranked = self.alternatives(operator, x_relation, y_relation)
-        chosen = ranked[0]
-        profile = ExecutionProfile(chosen=chosen, alternatives=ranked)
-        if chosen.kind == "nested-loop":
-            results, metrics = self._run_nested_loop(
-                operator, x_relation, y_relation
-            )
-        elif recovery is not None:
-            results, metrics = self._run_resilient(
-                chosen,
-                x_relation,
-                y_relation,
-                workspace_budget,
-                recovery,
-                report,
-                profile,
-            )
-        else:
-            try:
-                results, metrics = self._run_stream(
-                    chosen, x_relation, y_relation, workspace_budget
+        tracer = get_tracer()
+        with tracer.span(
+            f"plan:{operator.value}", backend=self.backend
+        ) as span:
+            ranked = self.alternatives(operator, x_relation, y_relation)
+            chosen = ranked[0]
+            profile = ExecutionProfile(chosen=chosen, alternatives=ranked)
+            if tracer.enabled:
+                span.set(
+                    chosen=chosen.describe(),
+                    kind=chosen.kind,
+                    estimated_cost=chosen.estimated_cost,
+                    alternatives=len(ranked),
+                    sort_x=chosen.sort_x,
+                    sort_y=chosen.sort_y,
                 )
-            except WorkspaceOverflowError:
-                profile.details["workspace_overflow"] = True
-                profile.details["fallback"] = "nested-loop"
+            if chosen.kind == "nested-loop":
                 results, metrics = self._run_nested_loop(
                     operator, x_relation, y_relation
                 )
-        profile.metrics = metrics
-        return results, profile
+            elif recovery is not None:
+                results, metrics = self._run_resilient(
+                    chosen,
+                    x_relation,
+                    y_relation,
+                    workspace_budget,
+                    recovery,
+                    report,
+                    profile,
+                )
+            else:
+                try:
+                    results, metrics = self._run_stream(
+                        chosen, x_relation, y_relation, workspace_budget
+                    )
+                except WorkspaceOverflowError:
+                    profile.details["workspace_overflow"] = True
+                    profile.details["fallback"] = "nested-loop"
+                    results, metrics = self._run_nested_loop(
+                        operator, x_relation, y_relation
+                    )
+            profile.metrics = metrics
+            return results, profile
 
     def _run_resilient(
         self,

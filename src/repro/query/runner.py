@@ -36,6 +36,9 @@ class QueryResult:
     #: ExecutionReport`, set when ``streams=True`` ran with a recovery
     #: policy.
     execution_report: Optional[object] = None
+    #: The :class:`~repro.obs.trace.Tracer` that recorded this run, set
+    #: when ``run_query`` was called with ``trace=...``.
+    trace: Optional[object] = None
 
     def __iter__(self):
         return iter(self.rows)
@@ -51,6 +54,7 @@ def run_query(
     semantic: bool = False,
     streams: bool = False,
     recovery: Optional[object] = None,
+    trace: Optional[object] = None,
 ) -> QueryResult:
     """Execute a Quel-like query against ``catalog``.
 
@@ -75,7 +79,48 @@ def run_query(
         the stream joins (only meaningful with ``streams=True``); the
         resulting :class:`~repro.resilience.recovery.ExecutionReport`
         is attached to the result as ``execution_report``.
+    trace:
+        ``True`` (record with a fresh :class:`~repro.obs.trace.Tracer`)
+        or an existing tracer.  The tracer is installed as the active
+        one for the duration of the run — every instrumented layer
+        contributes spans under one ``query`` root — and attached to
+        the result as ``result.trace``.  The default (``None``/falsy)
+        keeps the zero-allocation no-op tracer.
     """
+    if trace:
+        from ..obs.trace import Tracer, set_tracer
+
+        tracer = trace if isinstance(trace, Tracer) else Tracer("query")
+        previous = set_tracer(tracer)
+        try:
+            with tracer.span(
+                "query",
+                source=" ".join(source.split())[:200],
+                streams=streams,
+                semantic=semantic,
+                rewrite=rewrite,
+            ) as span:
+                result = _run_pipeline(
+                    source, catalog, rewrite, semantic, streams, recovery
+                )
+                span.set(rows=len(result.rows))
+        finally:
+            set_tracer(previous)
+        result.trace = tracer
+        return result
+    return _run_pipeline(
+        source, catalog, rewrite, semantic, streams, recovery
+    )
+
+
+def _run_pipeline(
+    source: str,
+    catalog: Mapping[str, TemporalRelation],
+    rewrite: bool,
+    semantic: bool,
+    streams: bool,
+    recovery: Optional[object],
+) -> QueryResult:
     plan = translate(parse_query(source), catalog)
     if rewrite:
         plan = optimize(plan)

@@ -31,6 +31,7 @@ from ..errors import (
     WorkspaceOverflowError,
 )
 from ..model.tuples import TemporalTuple
+from ..obs.trace import get_tracer
 from ..storage.external_sort import external_sort
 from ..storage.heap_file import HeapFile
 from ..storage.page import DEFAULT_PAGE_CAPACITY
@@ -190,6 +191,7 @@ def execute_entry(
         )
 
     resorted: set = set()
+    tracer = get_tracer()
     # At most one re-sort per operand, then one spill: four attempts
     # cover every legal degradation path; a fifth means a logic error.
     for _attempt in range(4):
@@ -203,10 +205,17 @@ def execute_entry(
         if workspace_budget is not None:
             _meter_of(processor).limit = workspace_budget
         try:
-            results = processor.run()
-            if policy is not RecoveryPolicy.STRICT:
-                _exhaust(x_stream)
-                _exhaust(y_stream)
+            with tracer.span(
+                "attempt",
+                number=_attempt + 1,
+                operator=entry.operator.value,
+                backend=backend,
+                policy=policy.value,
+            ):
+                results = processor.run()
+                if policy is not RecoveryPolicy.STRICT:
+                    _exhaust(x_stream)
+                    _exhaust(y_stream)
             metrics = _metrics_of(processor)
             metrics.resilience = report.as_dict()
             return ResilientResult(
@@ -218,6 +227,12 @@ def execute_entry(
             if policy is not RecoveryPolicy.DEGRADE:
                 raise
             side = getattr(error, "stream_name", None)
+            if tracer.enabled:
+                tracer.event(
+                    "recovery.re-sort",
+                    operator=entry.operator.value,
+                    side=side or "both",
+                )
             if side is None or "X" in side:
                 if "X" in resorted:
                     raise  # re-sorted input violated again: not ours
@@ -248,6 +263,12 @@ def execute_entry(
             report.note_workspace_overflow()
             if policy is not RecoveryPolicy.DEGRADE:
                 raise
+            if tracer.enabled:
+                tracer.event(
+                    "recovery.spill",
+                    operator=entry.operator.value,
+                    budget=workspace_budget,
+                )
             results = _finish_by_spill(
                 entry,
                 x_records,

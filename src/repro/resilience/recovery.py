@@ -27,6 +27,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
+from ..obs.metrics import active_registry
+
 
 class RecoveryPolicy(enum.Enum):
     """How the execution layer reacts to violated stream assumptions."""
@@ -95,8 +97,19 @@ class ExecutionReport:
     # ------------------------------------------------------------------
     def note_fault(self, event: Any) -> None:
         self.faults.append(event)
+        registry = active_registry()
+        if registry is not None:
+            kind = getattr(event, "kind", None)
+            registry.counter(
+                "repro_resilience_faults_total",
+                "Storage faults observed by resilient reads",
+            ).inc(kind=getattr(kind, "value", str(kind)))
 
     def note_retry(self, delay: float = 0.0) -> None:
+        # The registry's retry counter is bumped in
+        # :func:`repro.resilience.retry.retry_call` (the single place
+        # every healed fault flows through), not here, so reports
+        # layered on top never double-count.
         self.retries += 1
         self.simulated_delay += delay
 
@@ -109,21 +122,55 @@ class ExecutionReport:
         self.quarantined.append(
             QuarantineEvent(stream, reason, repr(item))
         )
+        registry = active_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_resilience_quarantined_total",
+                "Tuples diverted to the quarantine side-channel",
+            ).inc(reason=reason)
 
     def note_fallback(
         self, kind: str, detail: str, passes_added: int
     ) -> None:
         self.fallbacks.append(FallbackEvent(kind, detail, passes_added))
         self.passes_added += passes_added
+        registry = active_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_recovery_fallbacks_total",
+                "Degradation steps taken (recovery-ladder transitions)",
+            ).inc(kind=kind)
+            registry.counter(
+                "repro_recovery_passes_added_total",
+                "Extra input passes bought by degradations",
+            ).inc(passes_added)
 
     def note_order_violation(self) -> None:
         self.order_violations += 1
+        registry = active_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_resilience_order_violations_total",
+                "Declared-order violations observed",
+            ).inc()
 
     def note_workspace_overflow(self) -> None:
         self.workspace_overflows += 1
+        registry = active_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_resilience_workspace_overflows_total",
+                "Workspace budget breaches observed",
+            ).inc()
 
     def note_storage_error(self) -> None:
         self.storage_errors += 1
+        registry = active_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_resilience_storage_errors_total",
+                "Persistent storage faults surfaced after retries",
+            ).inc()
 
     # ------------------------------------------------------------------
     # accounting invariants

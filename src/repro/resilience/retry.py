@@ -25,6 +25,8 @@ from ..errors import (
     StorageFaultError,
     TransientIOError,
 )
+from ..obs.metrics import active_registry
+from ..obs.trace import get_tracer
 
 T = TypeVar("T")
 
@@ -107,6 +109,21 @@ def retry_call(
             if attempt + 1 >= policy.max_attempts:
                 break
             delay = policy.delay_for(attempt, key)
+            registry = active_registry()
+            if registry is not None:
+                registry.counter(
+                    "repro_resilience_retries_total",
+                    "Read attempts repeated after a retryable fault",
+                ).inc(error=type(error).__name__)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "retry",
+                    key=repr(key),
+                    attempt=attempt,
+                    delay=delay,
+                    error=type(error).__name__,
+                )
             if on_retry is not None:
                 on_retry(error, delay)
     raise StorageFaultError(

@@ -14,6 +14,7 @@ from collections import OrderedDict
 from typing import Any, Iterator, Optional
 
 from ..errors import BufferPoolError
+from ..obs.metrics import active_registry
 from .heap_file import HeapFile
 from .iostats import IOStats
 from .page import Page
@@ -47,12 +48,23 @@ class BufferPool:
     ) -> Page:
         """Fetch a page through the cache."""
         key = (heap_file.file_id, index)
+        registry = active_registry()
         frame = self._frames.get(key)
         if frame is not None:
             self.hits += 1
             self._frames.move_to_end(key)
+            if registry is not None:
+                registry.counter(
+                    "repro_buffer_pool_requests_total",
+                    "Logical page requests against the buffer pool",
+                ).inc(result="hit")
             return frame
         self.misses += 1
+        if registry is not None:
+            registry.counter(
+                "repro_buffer_pool_requests_total",
+                "Logical page requests against the buffer pool",
+            ).inc(result="miss")
         page = heap_file.page(index, stats=stats)
         self._frames[key] = page
         self._by_file.setdefault(heap_file.file_id, set()).add(index)
@@ -61,6 +73,11 @@ class BufferPool:
                 last=False
             )
             self._drop_from_index(evicted_file, evicted_index)
+            if registry is not None:
+                registry.counter(
+                    "repro_buffer_pool_evictions_total",
+                    "Frames evicted by the LRU policy",
+                ).inc()
         return page
 
     def scan(

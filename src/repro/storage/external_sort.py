@@ -16,6 +16,8 @@ from typing import Callable, Optional
 from ..errors import StorageError
 from ..model.sortorder import SortOrder, sort_tuples
 from ..model.tuples import TemporalTuple
+from ..obs.metrics import active_registry
+from ..obs.trace import get_tracer
 from .heap_file import HeapFile
 from .iostats import IOStats
 
@@ -78,63 +80,95 @@ def external_sort(
     naming = run_namer or (lambda i: f"{source.name}.run{i}")
     run_counter = count()
 
-    # ------------------------------------------------------------------
-    # pass 0: run generation
-    # ------------------------------------------------------------------
-    runs: list[HeapFile] = []
-    buffer: list[TemporalTuple] = []
+    tracer = get_tracer()
+    with tracer.span(
+        "sort:external", source=source.name, order=str(order)
+    ) as span:
+        # --------------------------------------------------------------
+        # pass 0: run generation
+        # --------------------------------------------------------------
+        runs: list[HeapFile] = []
+        buffer: list[TemporalTuple] = []
+        spilled_tuples = 0
 
-    def flush_run() -> None:
-        if not buffer:
-            return
-        run = HeapFile(
-            naming(next(run_counter)),
-            page_capacity=source.page_capacity,
-            stats=accounting,
-        )
-        run.extend(sort_tuples(buffer, order))
-        runs.append(run)
-        buffer.clear()
-
-    for record in source.scan(stats=accounting):
-        buffer.append(record)
-        if len(buffer) >= run_capacity:
-            flush_run()
-    flush_run()
-    runs_generated = len(runs)
-
-    if not runs:
-        empty = HeapFile(
-            f"{source.name}.sorted",
-            page_capacity=source.page_capacity,
-            stats=accounting,
-        )
-        return ExternalSortResult(empty, 0, 0, accounting)
-
-    # ------------------------------------------------------------------
-    # merge passes
-    # ------------------------------------------------------------------
-    merge_passes = 0
-    while len(runs) > 1:
-        merge_passes += 1
-        next_runs: list[HeapFile] = []
-        for group_start in range(0, len(runs), merge_width):
-            group = runs[group_start : group_start + merge_width]
-            if len(group) == 1:
-                next_runs.append(group[0])
-                continue
-            merged = HeapFile(
+        def flush_run() -> None:
+            nonlocal spilled_tuples
+            if not buffer:
+                return
+            run = HeapFile(
                 naming(next(run_counter)),
                 page_capacity=source.page_capacity,
                 stats=accounting,
             )
-            merged.extend(_merge(group, order, accounting))
-            next_runs.append(merged)
-        runs = next_runs
+            run.extend(sort_tuples(buffer, order))
+            runs.append(run)
+            spilled_tuples += len(buffer)
+            buffer.clear()
 
-    output = runs[0]
-    output.name = f"{source.name}.sorted"
-    return ExternalSortResult(output, runs_generated, merge_passes, accounting)
+        for record in source.scan(stats=accounting):
+            buffer.append(record)
+            if len(buffer) >= run_capacity:
+                flush_run()
+        flush_run()
+        runs_generated = len(runs)
+
+        if not runs:
+            empty = HeapFile(
+                f"{source.name}.sorted",
+                page_capacity=source.page_capacity,
+                stats=accounting,
+            )
+            result = ExternalSortResult(empty, 0, 0, accounting)
+        else:
+            # ----------------------------------------------------------
+            # merge passes
+            # ----------------------------------------------------------
+            merge_passes = 0
+            while len(runs) > 1:
+                merge_passes += 1
+                next_runs: list[HeapFile] = []
+                for group_start in range(0, len(runs), merge_width):
+                    group = runs[group_start : group_start + merge_width]
+                    if len(group) == 1:
+                        next_runs.append(group[0])
+                        continue
+                    merged = HeapFile(
+                        naming(next(run_counter)),
+                        page_capacity=source.page_capacity,
+                        stats=accounting,
+                    )
+                    merged.extend(_merge(group, order, accounting))
+                    next_runs.append(merged)
+                runs = next_runs
+
+            output = runs[0]
+            output.name = f"{source.name}.sorted"
+            result = ExternalSortResult(
+                output, runs_generated, merge_passes, accounting
+            )
+
+        if tracer.enabled:
+            span.set(
+                runs_generated=result.runs_generated,
+                merge_passes=result.merge_passes,
+                total_passes=result.total_passes,
+                spilled_tuples=spilled_tuples,
+            )
+        registry = active_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_sort_runs_total",
+                "Initial runs generated by external sorts",
+            ).inc(result.runs_generated)
+            registry.counter(
+                "repro_sort_merge_passes_total",
+                "Merge passes performed by external sorts",
+            ).inc(result.merge_passes)
+            registry.counter(
+                "repro_sort_spilled_tuples_total",
+                "Tuples written to sort-run files",
+            ).inc(spilled_tuples)
+        return result
 
 
 def _merge(runs, order: SortOrder, stats: IOStats):

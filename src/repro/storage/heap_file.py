@@ -12,6 +12,8 @@ from __future__ import annotations
 import itertools
 from typing import Any, Iterable, Iterator, Optional
 
+from ..obs.metrics import active_registry
+from ..obs.trace import get_tracer
 from .iostats import IOStats
 from .page import DEFAULT_PAGE_CAPACITY, Page
 
@@ -55,6 +57,12 @@ class HeapFile:
                 Page(len(self._pages), capacity=self.page_capacity)
             )
             self.stats.record_page_write()
+            registry = active_registry()
+            if registry is not None:
+                registry.counter(
+                    "repro_storage_page_writes_total",
+                    "Heap-file pages allocated and written",
+                ).inc(file=self.name)
         self._pages[-1].append(record)
         self.stats.record_tuple_write()
 
@@ -92,6 +100,15 @@ class HeapFile:
         """Fetch one page, charging a page read and verifying its
         checksum (unless verification is disabled on this file)."""
         (stats or self.stats).record_page_read()
+        registry = active_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_storage_page_reads_total",
+                "Heap-file pages fetched",
+            ).inc(file=self.name)
+        tracer = get_tracer()
+        if tracer.io_events:
+            tracer.event("page.read", file=self.name, page=index)
         page = self._pages[index]
         if self.verify_checksums:
             page.verify()
@@ -103,8 +120,22 @@ class HeapFile:
         checksum-verified as it is fetched."""
         accounting = stats or self.stats
         accounting.record_scan()
-        for page in self._pages:
+        registry = active_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_storage_scans_total",
+                "Full heap-file scans started",
+            ).inc(file=self.name)
+        tracer = get_tracer()
+        for index, page in enumerate(self._pages):
             accounting.record_page_read()
+            if registry is not None:
+                registry.counter(
+                    "repro_storage_page_reads_total",
+                    "Heap-file pages fetched",
+                ).inc(file=self.name)
+            if tracer.io_events:
+                tracer.event("page.read", file=self.name, page=index)
             if self.verify_checksums:
                 page.verify()
             for record in page:

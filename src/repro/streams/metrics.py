@@ -8,7 +8,8 @@ inferring costs from timing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Optional
 
 from .workspace import WorkspaceReport
 
@@ -24,6 +25,11 @@ class ProcessorMetrics:
     #: Passes over each stream (1 == the single-scan claim).
     passes_x: int = 0
     passes_y: int = 0
+    #: Per-pass breakdown of the read totals (one entry per pass), so a
+    #: DEGRADE re-sort run reports each pass separately instead of one
+    #: aggregated total.
+    pass_reads_x: list[int] = field(default_factory=list)
+    pass_reads_y: list[int] = field(default_factory=list)
     #: Input buffers the algorithm uses (the paper counts these
     #: separately from state tuples: <Buffer-x, Buffer-y>).
     buffers: int = 2
@@ -37,11 +43,11 @@ class ProcessorMetrics:
         default_factory=lambda: WorkspaceReport(0, 0, 0, 0)
     )
     #: Per-state-space high-water marks, keyed by workspace name.
-    state_high_water: dict = field(default_factory=dict)
+    state_high_water: dict[str, int] = field(default_factory=dict)
     #: Snapshot of the :class:`~repro.resilience.recovery.
     #: ExecutionReport` when the run went through the resilient
     #: executor (``None`` for plain runs).
-    resilience: "dict | None" = None
+    resilience: Optional[dict] = None
 
     @property
     def total_tuples_read(self) -> int:
@@ -57,6 +63,18 @@ class ProcessorMetrics:
         """Peak state tuples plus input buffers — the paper's complete
         'local workspace'."""
         return self.workspace.high_water + self.buffers
+
+    def to_dict(self) -> dict:
+        """Plain-data snapshot used by the trace/metric exporters and
+        benchmark JSON reports (everything JSON-serialisable)."""
+        out = asdict(self)
+        out["workspace"] = {
+            "high_water": self.workspace.high_water,
+            "total_inserted": self.workspace.total_inserted,
+            "total_discarded": self.workspace.total_discarded,
+            "residual": self.workspace.residual,
+        }
+        return out
 
     def summary(self) -> str:
         """One-line human-readable report (used by example scripts)."""

@@ -17,6 +17,8 @@ from typing import Iterator, Optional, Sequence
 from ...errors import ExecutionError, UnsupportedSortOrderError
 from ...model.sortorder import SortOrder, order_satisfies
 from ...model.tuples import TemporalTuple
+from ...obs.metrics import active_registry
+from ...obs.trace import get_tracer
 from ..metrics import ProcessorMetrics
 from ..stream import TupleStream
 from ..workspace import Workspace, WorkspaceMeter, WorkspaceReport
@@ -46,6 +48,13 @@ class StreamProcessor(abc.ABC):
         self.x = x
         self.y = y
         self.meter = WorkspaceMeter()
+        registry = active_registry()
+        if registry is not None:
+            self.meter.observer = registry.histogram(
+                "repro_workspace_state_tuples",
+                "Joint workspace size sampled after every state "
+                "insertion/eviction",
+            ).observe
         self.metrics = ProcessorMetrics(
             buffers=1 if y is None else 2
         )
@@ -100,10 +109,14 @@ class StreamProcessor(abc.ABC):
                 "processors are single-use"
             )
         self._consumed = True
-        for item in self._execute():
-            self.metrics.output_count += 1
-            yield item
-        self._finalise_metrics()
+        tracer = get_tracer()
+        with tracer.span(f"operator:{self.operator}") as span:
+            for item in self._execute():
+                self.metrics.output_count += 1
+                yield item
+            self._finalise_metrics()
+            if tracer.enabled:
+                span.set(**self.metrics.to_dict())
 
     def run(self) -> list:
         """Execute to completion and return the materialised output."""
@@ -112,10 +125,26 @@ class StreamProcessor(abc.ABC):
     def _finalise_metrics(self) -> None:
         self.metrics.tuples_read_x = self.x.tuples_read
         self.metrics.passes_x = self.x.passes
+        self.metrics.pass_reads_x = self.x.pass_reads
         if self.y is not None:
             self.metrics.tuples_read_y = self.y.tuples_read
             self.metrics.passes_y = self.y.passes
+            self.metrics.pass_reads_y = self.y.pass_reads
         self.metrics.workspace = WorkspaceReport.from_meter(self.meter)
         self.metrics.state_high_water = {
             ws.name: ws.high_water for ws in self._workspaces
         }
+        registry = active_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_operator_runs_total",
+                "Stream-operator executions finalised",
+            ).inc(operator=self.operator)
+            registry.counter(
+                "repro_operator_output_tuples_total",
+                "Tuples/pairs emitted by stream operators",
+            ).inc(self.metrics.output_count, operator=self.operator)
+            registry.counter(
+                "repro_operator_comparisons_total",
+                "Join/state-maintenance comparisons performed",
+            ).inc(self.metrics.comparisons, operator=self.operator)

@@ -22,6 +22,8 @@ from ..errors import ExecutionError, StreamOrderError
 from ..model.relation import TemporalRelation
 from ..model.sortorder import SortOrder
 from ..model.tuples import TemporalTuple
+from ..obs.metrics import active_registry
+from ..obs.trace import get_tracer
 from ..resilience.recovery import ExecutionReport, RecoveryPolicy
 from ..storage.heap_file import HeapFile
 from ..storage.iostats import IOStats
@@ -69,6 +71,10 @@ class TupleStream:
         self.report = report
         self.tuples_read = 0
         self.passes = 0
+        #: ``tuples_read`` snapshot taken when each pass opened; the
+        #: diffs are the per-pass read counts (:attr:`pass_reads`),
+        #: recorded at zero per-tuple cost.
+        self._pass_bases: list[int] = []
         #: Tuples skipped into the side-channel under QUARANTINE.
         self.quarantined = 0
         self._iterator: Optional[Iterator[TemporalTuple]] = None
@@ -157,6 +163,19 @@ class TupleStream:
         """True once the buffer is empty and the source is drained."""
         return self._exhausted and self._buffer is None
 
+    @property
+    def pass_reads(self) -> list:
+        """Tuples read by each pass separately (one entry per pass, in
+        order).  ``restart()`` resets order verification but never the
+        counters, so without this breakdown a DEGRADE re-sort run would
+        report one aggregated total instead of per-pass counts."""
+        bases = self._pass_bases
+        return [
+            (bases[i + 1] if i + 1 < len(bases) else self.tuples_read)
+            - base
+            for i, base in enumerate(bases)
+        ]
+
     def advance(self) -> Optional[TemporalTuple]:
         """Load the next tuple into the buffer, returning it (or
         ``None`` at end of stream).
@@ -179,6 +198,15 @@ class TupleStream:
                 self._buffer = None
                 self._exhausted = True
                 self._iterator = None
+                tracer = get_tracer()
+                if tracer.enabled:
+                    reads = self.pass_reads
+                    tracer.event(
+                        "stream.pass",
+                        stream=self.name,
+                        number=self.passes,
+                        read=reads[-1] if reads else 0,
+                    )
                 return None
             self.tuples_read += 1
             if quarantining and not _tuple_valid(nxt):
@@ -244,7 +272,38 @@ class TupleStream:
         # an order violation.
         self._previous = None
         self._buffer = None
+        self._pass_bases.append(self.tuples_read)
         self.passes += 1
+        registry = active_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_stream_passes_total",
+                "Passes opened over tuple streams",
+            ).inc(stream=self.name)
+
+    def note_batch_pass(self, count: int) -> None:
+        """Account one whole-stream batch read (the columnar drain,
+        which bypasses the single-buffer cursor) exactly like a cursor
+        pass: pass counter, per-pass base, read total, and the same
+        trace/metric hooks."""
+        self._pass_bases.append(self.tuples_read)
+        self.passes += 1
+        self.tuples_read += count
+        registry = active_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_stream_passes_total",
+                "Passes opened over tuple streams",
+            ).inc(stream=self.name)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "stream.pass",
+                stream=self.name,
+                number=self.passes,
+                read=count,
+                batch=True,
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

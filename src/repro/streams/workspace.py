@@ -39,6 +39,11 @@ class WorkspaceMeter:
     #: Times the budget was breached (kept even when a recovery policy
     #: later absorbs the overflow by spilling).
     overflows: int = 0
+    #: Optional sampling hook called with the state size after every
+    #: insertion/eviction — how the observability layer records the
+    #: workspace-size timeline (e.g. ``Histogram.observe``) without the
+    #: meter importing it.  ``None`` keeps the hot path a single check.
+    observer: Optional[Callable[[int], None]] = None
 
     def enable_trace(self) -> None:
         """Start recording the state-size trajectory."""
@@ -52,6 +57,8 @@ class WorkspaceMeter:
             self.high_water = self.current
         if self.trace is not None:
             self.trace.append(self.current)
+        if self.observer is not None:
+            self.observer(self.current)
         if self.limit is not None and self.current > self.limit:
             self.overflows += 1
             raise WorkspaceOverflowError(
@@ -64,6 +71,8 @@ class WorkspaceMeter:
         self.total_discarded += count
         if self.trace is not None:
             self.trace.append(self.current)
+        if self.observer is not None:
+            self.observer(self.current)
 
 
 class Workspace(Generic[T]):

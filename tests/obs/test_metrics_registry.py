@@ -1,0 +1,133 @@
+"""Counter/gauge/histogram semantics and the Prometheus text dump."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    active_registry,
+    install_registry,
+    uninstall_registry,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_inc_and_labels(self):
+        c = Counter("repro_things_total")
+        c.inc()
+        c.inc(2, kind="a")
+        c.inc(kind="a")
+        assert c.value() == 1
+        assert c.value(kind="a") == 3
+        assert c.total == 4
+
+    def test_label_order_does_not_matter(self):
+        c = Counter("c")
+        c.inc(a="1", b="2")
+        c.inc(b="2", a="1")
+        assert c.value(b="2", a="1") == 2
+
+    def test_counters_only_go_up(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value() == 6
+
+
+class TestHistogram:
+    def test_cumulative_buckets_and_max(self):
+        h = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5, 5, 50, 500):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == 560.5
+        assert h.max == 500
+        assert h.cumulative() == [
+            ("1", 1),
+            ("10", 3),
+            ("100", 4),
+            ("+Inf", 5),
+        ]
+
+    def test_buckets_must_be_sorted_and_unique(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("m")
+
+    def test_contains_and_iteration_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert "a" in registry and "z" not in registry
+        assert [m.name for m in registry] == ["a", "b"]
+
+    def test_install_uninstall_round_trip(self):
+        assert active_registry() is None
+        registry = install_registry()
+        try:
+            assert active_registry() is registry
+        finally:
+            assert uninstall_registry() is registry
+        assert active_registry() is None
+
+
+class TestPrometheusDump:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_page_reads_total", "Pages read"
+        ).inc(3, file="X")
+        registry.gauge("repro_state").set(7)
+        text = registry.to_prometheus()
+        assert "# HELP repro_page_reads_total Pages read" in text
+        assert "# TYPE repro_page_reads_total counter" in text
+        assert 'repro_page_reads_total{file="X"} 3' in text
+        assert "# TYPE repro_state gauge" in text
+        assert "repro_state 7" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("repro_ws", buckets=(1.0, 8.0))
+        for v in (1, 2, 9):
+            h.observe(v)
+        text = registry.to_prometheus()
+        assert 'repro_ws_bucket{le="1"} 1' in text
+        assert 'repro_ws_bucket{le="8"} 2' in text
+        assert 'repro_ws_bucket{le="+Inf"} 3' in text
+        assert "repro_ws_sum 12" in text
+        assert "repro_ws_count 3" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(kind='say "hi"\n')
+        assert '\\"hi\\"\\n' in registry.to_prometheus()
+
+    def test_as_dict_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2, op="join")
+        registry.histogram("h").observe(4)
+        snap = registry.as_dict()
+        assert snap["c"]["values"] == {"op=join": 2.0}
+        assert snap["c"]["total"] == 2.0
+        assert snap["h"]["count"] == 1 and snap["h"]["max"] == 4

@@ -1,0 +1,61 @@
+"""The disabled path allocates nothing.
+
+The guarantee is counter-based, not timing-based: every real
+:class:`~repro.obs.trace.Span` construction bumps a module counter, so
+running fully instrumented engine code under the null tracer must leave
+the counter exactly where it was — proof that the default path creates
+zero span objects (and the shared ``NULL_SPAN`` singleton is all any
+null ``span()`` call ever returns).
+"""
+
+from repro.model import TS_ASC, TS_TE_ASC
+from repro.obs import (
+    NULL_TRACER,
+    get_tracer,
+    span_creation_count,
+)
+from repro.obs.trace import NULL_SPAN
+from repro.streams import BACKENDS, TemporalOperator, TupleStream, lookup
+from repro.workload import PoissonWorkload, fixed_duration, uniform_duration
+
+
+def run_instrumented_cells():
+    """Exercise the instrumented operator/stream/workspace layers."""
+    x = PoissonWorkload(300, 0.5, fixed_duration(40), name="X").generate(1)
+    y = PoissonWorkload(300, 0.5, fixed_duration(10), name="Y").generate(2)
+    z = PoissonWorkload(
+        300, 0.7, uniform_duration(5, 45), name="Z"
+    ).generate(3)
+    join = lookup(TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC)
+    self_semi = lookup(
+        TemporalOperator.SELF_CONTAINED_SEMIJOIN, TS_TE_ASC, None
+    )
+    for backend in BACKENDS:
+        join.build(
+            TupleStream.from_relation(x.sorted_by(TS_ASC), name="X"),
+            TupleStream.from_relation(y.sorted_by(TS_ASC), name="Y"),
+            backend=backend,
+        ).run()
+        self_semi.build(
+            TupleStream.from_relation(z.sorted_by(TS_TE_ASC), name="Z"),
+            backend=backend,
+        ).run()
+
+
+def test_null_tracer_allocates_no_spans():
+    assert get_tracer() is NULL_TRACER
+    before = span_creation_count()
+    run_instrumented_cells()
+    assert span_creation_count() == before
+
+
+def test_null_span_is_a_shared_singleton():
+    assert NULL_TRACER.span("anything", attr=1) is NULL_SPAN
+    assert NULL_TRACER.span("other") is NULL_SPAN
+    # The singleton's whole API is inert.
+    with NULL_SPAN as span:
+        assert span.set(a=1) is NULL_SPAN
+        assert span.event("e") is NULL_SPAN
+        assert span.duration_ns == 0
+    assert NULL_TRACER.event("e", k="v") is None
+    assert NULL_TRACER.spans == ()
