@@ -1,0 +1,255 @@
+"""BENCH-PARALLEL — serial sweep vs time-domain range-partitioned execution.
+
+Standalone (non-pytest) benchmark of :func:`repro.parallel.execute_parallel`
+against the serial sweep kernels on the Figure-5 Contain-join Poisson
+workload (long X lifespans containing short Y lifespans).  The parallel
+run forks real worker processes (``mode="process"``), outputs are
+multiset-cross-checked against serial (a divergence is a hard failure
+regardless of speed), wall-clock keeps the best of ``--repeats`` with
+the full per-repeat variance record, and everything lands in a JSON
+report.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        --sizes 10000 100000 --workers 4 --out BENCH_parallel.json
+
+The report records the headline claim — partitioned execution at
+``--workers`` workers is at least ``--require-speedup`` (default 2x)
+faster than serial on the Figure-5 contain-join, columnar backend, at
+the largest size — and the script exits non-zero when an *enforced*
+claim fails.  The claim is only enforced at 100k tuples or more AND
+when the machine actually has at least 4 CPUs (``os.cpu_count()``);
+on smaller boxes the measured number is recorded unenforced, the same
+conditional-claim pattern as BENCH_columnar.json.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from common import peak_rss_bytes, run_profile, timing_stats  # noqa: E402
+from repro.model import TS_ASC  # noqa: E402
+from repro.parallel import execute_parallel  # noqa: E402
+from repro.streams import (  # noqa: E402
+    BACKENDS,
+    TemporalOperator,
+    TupleStream,
+    lookup,
+)
+from repro.workload import PoissonWorkload, fixed_duration  # noqa: E402
+
+HEADLINE = "contain-join[TS^,TS^]"
+HEADLINE_BACKEND = "columnar"
+
+
+def make_inputs(n):
+    """The Figure-5 Poisson pair: arrival rate 0.5, X lifespans of 40
+    chronons containing Y lifespans of 10 (same generator and seeds as
+    BENCH-BACKEND so the two reports are comparable)."""
+    x = PoissonWorkload(n, 0.5, fixed_duration(40), name="X").generate(1)
+    y = PoissonWorkload(n, 0.5, fixed_duration(10), name="Y").generate(2)
+    return x, y
+
+
+def canonical(results):
+    """Order-insensitive signature of a join output."""
+    return sorted(
+        (a.surrogate, b.surrogate) for a, b in results
+    )
+
+
+def run_serial(entry, x_rel, y_rel, backend):
+    x_stream = TupleStream.from_relation(x_rel, name="X")
+    y_stream = TupleStream.from_relation(y_rel, name="Y")
+    start = time.perf_counter()
+    out = entry.build(x_stream, y_stream, backend=backend).run()
+    return time.perf_counter() - start, out
+
+
+def run_parallel(entry, x_rel, y_rel, backend, workers):
+    start = time.perf_counter()
+    outcome = execute_parallel(
+        entry,
+        list(x_rel.tuples),
+        list(y_rel.tuples),
+        shards=workers,
+        workers=workers,
+        backend=backend,
+        mode="process",
+    )
+    return time.perf_counter() - start, outcome
+
+
+def measure(n, x, y, backend, workers, repeats):
+    entry = lookup(TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC)
+    x_rel = x.sorted_by(TS_ASC)
+    y_rel = y.sorted_by(TS_ASC)
+
+    serial_times, parallel_times = [], []
+    serial_out = parallel_outcome = None
+    for _ in range(repeats):
+        elapsed, serial_out = run_serial(entry, x_rel, y_rel, backend)
+        serial_times.append(elapsed)
+    for _ in range(repeats):
+        elapsed, parallel_outcome = run_parallel(
+            entry, x_rel, y_rel, backend, workers
+        )
+        parallel_times.append(elapsed)
+
+    if canonical(serial_out) != canonical(parallel_outcome.results):
+        raise AssertionError(
+            f"{HEADLINE} n={n} backend={backend}: parallel output "
+            f"diverges from serial ({len(parallel_outcome.results)} vs "
+            f"{len(serial_out)} rows)"
+        )
+
+    serial_stats = timing_stats(serial_times)
+    parallel_stats = timing_stats(parallel_times)
+    return {
+        "cell": HEADLINE,
+        "backend": backend,
+        "n": n,
+        "workers": workers,
+        "mode": parallel_outcome.mode,
+        "output": len(serial_out),
+        "serial_seconds": round(serial_stats["best"], 6),
+        "parallel_seconds": round(parallel_stats["best"], 6),
+        "speedup": round(
+            serial_stats["best"] / max(parallel_stats["best"], 1e-9), 2
+        ),
+        "serial_timing": serial_stats,
+        "parallel_timing": parallel_stats,
+        "partition": parallel_outcome.plan.as_dict(),
+        "shard_runs": [run.as_dict() for run in parallel_outcome.shard_runs],
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[10000, 100000],
+        help="input cardinalities per relation",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="shard/worker count for the parallel runs (default 4)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="runs per configuration (best kept, variance recorded)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_parallel.json",
+        help="path of the JSON report",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=2.0,
+        help="minimum parallel speedup on the Figure-5 contain-join, "
+        "columnar backend, at the largest size (only enforced at 100k "
+        "tuples or more on a machine with at least 4 CPUs)",
+    )
+    args = parser.parse_args(argv)
+
+    cpu_count = os.cpu_count() or 1
+    run_started = time.perf_counter()
+    results = []
+    for n in sorted(args.sizes):
+        x, y = make_inputs(n)
+        for backend in BACKENDS:
+            row = measure(n, x, y, backend, args.workers, args.repeats)
+            results.append(row)
+            print(
+                f"n={n:>7d} {backend:8s} "
+                f"serial {row['serial_seconds']:8.4f}s  "
+                f"parallel[{args.workers}] "
+                f"{row['parallel_seconds']:8.4f}s  "
+                f"speedup {row['speedup']:5.2f}x  "
+                f"out={row['output']}  mode={row['mode']}"
+            )
+
+    top = max(args.sizes)
+    headline = next(
+        (
+            r
+            for r in results
+            if r["backend"] == HEADLINE_BACKEND and r["n"] == top
+        ),
+        None,
+    )
+    enforced = top >= 100000 and cpu_count >= 4
+    claim = {
+        "cell": HEADLINE,
+        "backend": HEADLINE_BACKEND,
+        "n": top,
+        "workers": args.workers,
+        "required_speedup": args.require_speedup,
+        "measured_speedup": headline["speedup"] if headline else None,
+        "cpu_count": cpu_count,
+        "enforced": enforced,
+        "passed": True,
+    }
+    if headline and enforced:
+        claim["passed"] = headline["speedup"] >= args.require_speedup
+
+    report = {
+        "benchmark": "parallel-partition",
+        "description": (
+            "serial sweep vs time-domain range-partitioned execution "
+            "(process mode) on the Figure-5 Poisson contain-join "
+            "workload (X duration 40, Y duration 10, arrival rate 0.5)"
+        ),
+        "repeats": args.repeats,
+        "workers": args.workers,
+        "cpu_count": cpu_count,
+        "backends": list(BACKENDS),
+        "headline_claim": claim,
+        "results": results,
+        "profile": run_profile(run_started),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.out}")
+    if not claim["passed"]:
+        print(
+            f"FAIL: {HEADLINE} ({HEADLINE_BACKEND}) at n={top} sped up "
+            f"only {claim['measured_speedup']}x with {args.workers} "
+            f"workers (< {args.require_speedup}x required)",
+            file=sys.stderr,
+        )
+        return 1
+    if claim["enforced"]:
+        print(
+            f"claim holds: {HEADLINE} ({HEADLINE_BACKEND}) at n={top} "
+            f"is {claim['measured_speedup']}x faster with "
+            f"{args.workers} workers"
+        )
+    else:
+        print(
+            f"claim recorded unenforced (n={top}, cpu_count={cpu_count}):"
+            f" measured {claim['measured_speedup']}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,6 +2,7 @@
 modules; fixtures live in conftest.py)."""
 
 import resource
+import statistics
 import sys
 import time
 
@@ -33,6 +34,23 @@ def run_profile(started_at):
     return {
         "wall_seconds": round(time.perf_counter() - started_at, 6),
         "peak_rss_bytes": peak_rss_bytes(),
+    }
+
+
+def timing_stats(samples):
+    """Per-repeat variance record for BENCH_*.json: the best-of number
+    the speedup claims use, plus min/median/mean/stdev/max over the
+    repeats so a lucky best can be spotted."""
+    values = sorted(float(s) for s in samples)
+    return {
+        "n": len(values),
+        "best": values[0],
+        "min": values[0],
+        "median": statistics.median(values),
+        "mean": statistics.fmean(values),
+        "stdev": statistics.stdev(values) if len(values) > 1 else 0.0,
+        "max": values[-1],
+        "samples": values,
     }
 
 

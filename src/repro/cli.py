@@ -38,6 +38,17 @@ from .errors import ReproError
 from .io import load_temporal_csv
 from .query.runner import run_query
 
+#: Default query for ``explain-analyze --parallelism``: a shardable
+#: two-variable contain join over the generated Faculty data (the
+#: Fig-8 Superstar walkthrough bypasses the hybrid planner, so it
+#: cannot demonstrate time-domain partitioning).
+PARALLEL_DEFAULT_QUEL = """
+range of x is Faculty
+range of y is Faculty
+retrieve (Outer = x.Name, Inner = y.Name)
+where x.ValidFrom < y.ValidFrom and y.ValidTo < x.ValidTo
+"""
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -146,7 +157,18 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument(
         "--check-single-scan",
         action="store_true",
-        help="exit non-zero if any operator reports passes > 1",
+        help="exit non-zero if any operator — or any fault-free "
+        "parallel shard — reports passes > 1",
+    )
+    explain.add_argument(
+        "--parallelism",
+        type=int,
+        default=None,
+        metavar="K",
+        help="let the planner shard stream joins over up to K workers "
+        "(time-domain range partitioning) and render the per-shard "
+        "breakdown; without query text a contain-join over the "
+        "generated Faculty data is used",
     )
     return parser
 
@@ -218,7 +240,12 @@ def _run_explain_analyze_command(args) -> int:
         to_jsonl,
         uninstall_registry,
     )
-    from .obs.explain import render_explain, single_scan_violations
+    from .obs.explain import (
+        parallel_scan_violations,
+        render_explain,
+        render_shard_table,
+        single_scan_violations,
+    )
     from .resilience.recovery import RecoveryPolicy
 
     catalog = {}
@@ -239,9 +266,15 @@ def _run_explain_analyze_command(args) -> int:
         ).generate(seed=args.seed)
     text = args.text
     if text is None:
-        from .superstar import SUPERSTAR_QUEL
+        if args.parallelism:
+            # The Fig-8 walkthrough bypasses run_query, so parallel
+            # runs default to a shardable Fig-5-style contain join
+            # over the same generated Faculty data instead.
+            text = PARALLEL_DEFAULT_QUEL
+        else:
+            from .superstar import SUPERSTAR_QUEL
 
-        text = SUPERSTAR_QUEL
+            text = SUPERSTAR_QUEL
 
     recovery = (
         RecoveryPolicy(args.recovery) if args.recovery is not None else None
@@ -249,7 +282,7 @@ def _run_explain_analyze_command(args) -> int:
     tracer = Tracer("explain-analyze", io_events=args.io_events)
     registry = install_registry()
     try:
-        if args.text is None:
+        if args.text is None and not args.parallelism:
             # Fig-8 Superstar walkthrough: the hybrid recognizer keeps
             # the three-variable upper join conventional, so the
             # paper's stream/semantic strategies are traced directly —
@@ -266,12 +299,17 @@ def _run_explain_analyze_command(args) -> int:
                 streams=True,
                 recovery=recovery,
                 trace=tracer,
+                parallelism=args.parallelism,
             )
             plan, row_count = result.plan, len(result.rows)
     finally:
         uninstall_registry()
 
     print(render_explain(tracer, plan))
+    shard_table = render_shard_table(tracer)
+    if shard_table:
+        print()
+        print(shard_table)
     print(f"\n-- {row_count} row(s)", file=sys.stderr)
 
     if args.chrome_trace:
@@ -289,13 +327,22 @@ def _run_explain_analyze_command(args) -> int:
 
     if args.check_single_scan:
         violations = single_scan_violations(tracer)
-        if violations:
+        shard_violations = parallel_scan_violations(tracer)
+        if violations or shard_violations:
             for violation in violations:
                 print(
                     "single-scan violation: "
                     f"{violation['operator']} reported "
                     f"passes_x={violation['passes_x']} "
                     f"passes_y={violation['passes_y']}",
+                    file=sys.stderr,
+                )
+            for violation in shard_violations:
+                print(
+                    "parallel single-scan violation: shard "
+                    f"{violation['shard']} of {violation['operator']} "
+                    f"ran passes_x={violation['passes_x']} "
+                    f"passes_y={violation['passes_y']} fault-free",
                     file=sys.stderr,
                 )
             return 1

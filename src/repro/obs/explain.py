@@ -163,6 +163,101 @@ def operator_summaries(tracer: Tracer) -> List[dict]:
     return out
 
 
+def shard_summaries(tracer: Tracer) -> List[dict]:
+    """One dict per parallel shard span (``shard:<i>``), in shard
+    order: the per-shard partition bounds, sweep quantities, and
+    resilience outcome EXPLAIN ANALYZE renders as the shard table."""
+    out: List[dict] = []
+    for span in tracer.spans:
+        if not span.name.startswith("shard:"):
+            continue
+        a = span.attributes
+        out.append(
+            {
+                "shard": int(span.name[len("shard:"):]),
+                "operator": a.get("operator"),
+                "backend": a.get("backend"),
+                "x_tuples": a.get("x_tuples"),
+                "y_tuples": a.get("y_tuples"),
+                "owned_lo": a.get("owned_lo"),
+                "owned_hi": a.get("owned_hi"),
+                "wall_ms": a.get("wall_ms"),
+                "passes_x": a.get("passes_x"),
+                "passes_y": a.get("passes_y"),
+                "output_count": a.get("output_count"),
+                "degraded": a.get("degraded"),
+                "fallbacks": a.get("fallbacks"),
+                "faults": a.get("faults"),
+                "quarantined": a.get("quarantined"),
+                "residual_filtered": a.get("residual_filtered"),
+            }
+        )
+    out.sort(key=lambda s: s["shard"])
+    return out
+
+
+def render_shard_table(tracer: Tracer) -> str:
+    """A text table of the parallel shard breakdown, or ``""`` when
+    the trace has no shard spans (serial run)."""
+    shards = shard_summaries(tracer)
+    if not shards:
+        return ""
+    columns = (
+        ("shard", "shard"),
+        ("owned", None),
+        ("x", "x_tuples"),
+        ("y", "y_tuples"),
+        ("out", "output_count"),
+        ("passes", None),
+        ("wall_ms", "wall_ms"),
+        ("faults", "faults"),
+        ("resid", "residual_filtered"),
+    )
+    rows = []
+    for s in shards:
+        row = []
+        for header, key in columns:
+            if header == "owned":
+                row.append(f"[{s['owned_lo']},{s['owned_hi']})")
+            elif header == "passes":
+                row.append(f"{s['passes_x'] or '?'}x/{s['passes_y'] or '?'}y")
+            else:
+                value = s.get(key)
+                row.append("-" if value is None else str(value))
+        rows.append(row)
+    headers = [h for h, _ in columns]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows))
+        for i in range(len(headers))
+    ]
+    def fmt(values):
+        return "  ".join(v.rjust(widths[i]) for i, v in enumerate(values))
+    lines = ["== parallel shards ==", fmt(headers)]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def parallel_scan_violations(tracer: Tracer) -> List[dict]:
+    """Shard spans that ran more than one pass over either input while
+    fault-free — each shard of a parallel plan is held to the same
+    single-scan guarantee as the serial operator (the extended CI
+    gate).  Shards that degraded, quarantined tuples, or absorbed
+    injected faults legitimately re-scan and are excluded."""
+    violations: List[dict] = []
+    for summary in shard_summaries(tracer):
+        passes_x = summary.get("passes_x") or 0
+        passes_y = summary.get("passes_y") or 0
+        fault_free = (
+            not (summary.get("faults") or 0)
+            and not (summary.get("quarantined") or 0)
+            and not (summary.get("fallbacks") or 0)
+            and not summary.get("degraded")
+        )
+        if fault_free and (passes_x > 1 or passes_y > 1):
+            violations.append(summary)
+    return violations
+
+
 def single_scan_violations(tracer: Tracer) -> List[dict]:
     """Operator spans that report more than one pass over either input
     — empty on a fault-free run of single-scan algorithms (the CI

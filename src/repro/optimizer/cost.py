@@ -34,6 +34,13 @@ class CostModel:
     workspace_tuple: float = 0.5
     page_capacity: int = 32
     sort_memory_pages: int = 8
+    #: Fixed price of forking/joining one parallel worker.
+    parallel_worker_startup: float = 40.0
+    #: Per-tuple partitioning + shard-output-merge overhead paid by the
+    #: coordinator of a parallel plan.
+    parallel_tuple_ship: float = 0.002
+    #: Largest shard count the cost model will consider.
+    max_parallel_workers: int = 8
 
     # ------------------------------------------------------------------
     # building blocks
@@ -88,6 +95,87 @@ class CostModel:
             + self.scan_cost(y_tuples)
             + expected_workspace * self.workspace_tuple
         )
+
+    def parallel_stream_cost(
+        self,
+        x_tuples: int,
+        y_tuples: int,
+        expected_workspace: float,
+        workers: int,
+        replicated: float = 0.0,
+    ) -> float:
+        """One time-domain-partitioned pass with ``workers`` shards.
+
+        Each shard sweeps ``1/workers`` of X plus its replicated share
+        of Y; the expected workspace is *not* divided — the open-tuple
+        state around any sweep point is a data property, independent of
+        where the cuts fall (the shard-local bound equals the Table-1/2
+        bound).  The coordinator pays a per-worker startup price and a
+        per-tuple ship/merge price, which is what makes serial win on
+        small inputs.
+        """
+        if workers <= 1:
+            return self.stream_pass_cost(
+                x_tuples, y_tuples, expected_workspace
+            )
+        shipped_y = y_tuples + replicated
+        per_shard = (
+            self.scan_cost(math.ceil(x_tuples / workers))
+            + self.scan_cost(math.ceil(shipped_y / workers))
+            + expected_workspace * self.workspace_tuple
+        )
+        coordination = (
+            workers * self.parallel_worker_startup
+            + (x_tuples + shipped_y) * self.parallel_tuple_ship
+        )
+        return per_shard + coordination
+
+
+def expected_replication_per_cut(
+    x_stats: TemporalStatistics, y_stats: TemporalStatistics
+) -> float:
+    """Expected Y tuples replicated across one shard boundary.
+
+    A cut at time t forces every Y tuple whose necessity window spans t
+    into both neighbouring shards; the window is the Y lifespan widened
+    by the owned X lifespans it could pair with, so the expected count
+    is the Y arrival rate times the combined mean interval length —
+    the interval-length-distribution input the shard-count decision
+    needs.
+    """
+    return y_stats.arrival_rate * (
+        x_stats.mean_duration + y_stats.mean_duration
+    )
+
+
+def choose_shard_count(
+    model: CostModel,
+    x_stats: TemporalStatistics,
+    y_stats: TemporalStatistics,
+    expected_workspace: float,
+    max_workers: int,
+) -> int:
+    """The cheapest shard count in [1, max_workers] under the model.
+
+    Returns 1 when no parallel configuration beats the serial pass —
+    the parallel-vs-serial decision the planner exposes.
+    """
+    ceiling = max(1, min(max_workers, model.max_parallel_workers))
+    per_cut = expected_replication_per_cut(x_stats, y_stats)
+    best_workers, best_cost = 1, model.stream_pass_cost(
+        x_stats.cardinality, y_stats.cardinality, expected_workspace
+    )
+    for workers in range(2, ceiling + 1):
+        cost = model.parallel_stream_cost(
+            x_stats.cardinality,
+            y_stats.cardinality,
+            expected_workspace,
+            workers,
+            replicated=(workers - 1) * per_cut,
+        )
+        if cost < best_cost:
+            best_workers, best_cost = workers, cost
+    return best_workers
 
 
 def expected_workspace_for(

@@ -148,6 +148,7 @@ def execute_hybrid(
     planner: Optional[TemporalJoinPlanner] = None,
     recovery: Optional["RecoveryPolicy"] = None,
     report: Optional["ExecutionReport"] = None,
+    parallelism: Optional[int] = None,
 ) -> HybridExecution:
     """Execute ``plan``, sending recognised temporal joins through the
     stream planner and everything else through the conventional
@@ -156,7 +157,9 @@ def execute_hybrid(
     ``recovery``/``report`` select and record the resilience behaviour
     of the stream joins (see
     :meth:`~repro.optimizer.planner.TemporalJoinPlanner.execute`);
-    conventional operators are unaffected.
+    conventional operators are unaffected.  ``parallelism`` caps the
+    shard count of time-domain-partitioned stream plans (ignored when
+    an explicit ``planner`` is given — configure that planner instead).
     """
     stats = EngineStats()
     execution = HybridExecution(
@@ -167,7 +170,7 @@ def execute_hybrid(
 
         report = ExecutionReport()
     execution.execution_report = report
-    chooser = planner or TemporalJoinPlanner()
+    chooser = planner or TemporalJoinPlanner(parallelism=parallelism)
     operator = _build(
         plan, catalog, stats, chooser, execution, recovery, report
     )

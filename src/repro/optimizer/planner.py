@@ -69,12 +69,14 @@ _SEMIJOINS = {
 class Alternative:
     """One costed way to evaluate the operator."""
 
-    kind: str  # "stream" or "nested-loop"
+    kind: str  # "stream", "parallel-stream" or "nested-loop"
     entry: Optional[RegistryEntry]
     sort_x: bool
     sort_y: bool
     estimated_cost: float
     cost_breakdown: dict
+    #: Shard count for "parallel-stream" alternatives (1 otherwise).
+    workers: int = 1
 
     def describe(self) -> str:
         if self.kind == "nested-loop":
@@ -86,8 +88,11 @@ class Alternative:
         if self.sort_y and self.entry.y_order is not None:
             sorts.append(f"sort Y by [{self.entry.y_order}]")
         prefix = (", ".join(sorts) + "; ") if sorts else ""
+        label = "stream"
+        if self.kind == "parallel-stream":
+            label = f"parallel[{self.workers}]-stream"
         return (
-            f"stream[{self.entry.x_order} / {self.entry.y_order}] "
+            f"{label}[{self.entry.x_order} / {self.entry.y_order}] "
             f"state ({self.entry.state_class}) — {prefix}"
             f"cost {self.estimated_cost:.1f}"
         )
@@ -120,6 +125,8 @@ class TemporalJoinPlanner:
         use_histograms: bool = False,
         histogram_buckets: int = 32,
         backend: str = "tuple",
+        parallelism: Optional[int] = None,
+        parallel_mode: str = "auto",
     ) -> None:
         if backend not in BACKENDS:
             raise UnsupportedBackendError(
@@ -132,6 +139,13 @@ class TemporalJoinPlanner:
         #: Physical backend stream plans execute on ("tuple" or
         #: "columnar").  Cells lacking the backend are not enumerated.
         self.backend = backend
+        #: Maximum shard count for time-domain-partitioned plans; the
+        #: cost model may pick fewer (or fall back to serial) per
+        #: instance.  ``None``/1 disables parallel alternatives.
+        self.parallelism = parallelism
+        #: Execution mode handed to the parallel executor ("auto",
+        #: "process", or "inline" — see repro.parallel.executor).
+        self.parallel_mode = parallel_mode
 
     # ------------------------------------------------------------------
     # enumeration
@@ -206,6 +220,49 @@ class TemporalJoinPlanner:
                     },
                 )
             )
+            if self.parallelism and self.parallelism > 1:
+                from .cost import (
+                    choose_shard_count,
+                    expected_replication_per_cut,
+                )
+
+                workers = choose_shard_count(
+                    model,
+                    x_stats,
+                    y_stats,
+                    workspace,
+                    self.parallelism,
+                )
+                if workers > 1:
+                    per_cut = expected_replication_per_cut(
+                        x_stats, y_stats
+                    )
+                    parallel_pass = model.parallel_stream_cost(
+                        x_stats.cardinality,
+                        y_stats.cardinality,
+                        workspace,
+                        workers,
+                        replicated=(workers - 1) * per_cut,
+                    )
+                    out.append(
+                        Alternative(
+                            kind="parallel-stream",
+                            entry=entry,
+                            sort_x=sort_x,
+                            sort_y=sort_y,
+                            estimated_cost=sort_cost + parallel_pass,
+                            cost_breakdown={
+                                "sort": sort_cost,
+                                "pass": parallel_pass,
+                                "expected_workspace": workspace,
+                                "workers": workers,
+                                "expected_replication": (
+                                    (workers - 1) * per_cut
+                                ),
+                            },
+                            workers=workers,
+                        )
+                    )
         nested = model.nested_loop_cost(
             x_stats.cardinality, y_stats.cardinality
         )
@@ -279,6 +336,25 @@ class TemporalJoinPlanner:
                 results, metrics = self._run_nested_loop(
                     operator, x_relation, y_relation
                 )
+            elif chosen.kind == "parallel-stream":
+                try:
+                    results, metrics = self._run_parallel(
+                        chosen,
+                        x_relation,
+                        y_relation,
+                        workspace_budget,
+                        recovery,
+                        report,
+                        profile,
+                    )
+                except WorkspaceOverflowError:
+                    if recovery is not None:
+                        raise
+                    profile.details["workspace_overflow"] = True
+                    profile.details["fallback"] = "nested-loop"
+                    results, metrics = self._run_nested_loop(
+                        operator, x_relation, y_relation
+                    )
             elif recovery is not None:
                 results, metrics = self._run_resilient(
                     chosen,
@@ -336,6 +412,54 @@ class TemporalJoinPlanner:
             profile.details["fallback"] = [
                 event.kind for event in outcome.report.fallbacks
             ]
+        return outcome.results, outcome.metrics
+
+    def _run_parallel(
+        self,
+        alternative: Alternative,
+        x_relation: TemporalRelation,
+        y_relation: TemporalRelation,
+        workspace_budget: Optional[int],
+        recovery: Optional[RecoveryPolicy],
+        report: Optional[ExecutionReport],
+        profile: ExecutionProfile,
+    ):
+        """Run the chosen cell through the time-domain parallel
+        executor; the recovery ladder applies per shard."""
+        from ..parallel import execute_parallel
+
+        entry = alternative.entry
+        assert entry is not None
+        if alternative.sort_x:
+            x_relation = x_relation.sorted_by(entry.x_order)
+        if alternative.sort_y and entry.y_order is not None:
+            y_relation = y_relation.sorted_by(entry.y_order)
+        outcome = execute_parallel(
+            entry,
+            x_relation.tuples,
+            y_relation.tuples if entry.y_order is not None else None,
+            shards=alternative.workers,
+            workers=alternative.workers,
+            backend=self.backend,
+            policy=recovery or RecoveryPolicy.STRICT,
+            workspace_budget=workspace_budget,
+            report=report,
+            mode=self.parallel_mode,
+        )
+        profile.details["parallel"] = dict(
+            outcome.plan.as_dict(), mode=outcome.mode,
+            workers=outcome.workers,
+        )
+        profile.details["shard_runs"] = [
+            run.as_dict() for run in outcome.shard_runs
+        ]
+        if recovery is not None:
+            profile.details["recovery"] = recovery.value
+            profile.details["execution_report"] = outcome.report
+            if outcome.report.fallbacks:
+                profile.details["fallback"] = [
+                    event.kind for event in outcome.report.fallbacks
+                ]
         return outcome.results, outcome.metrics
 
     def _run_stream(

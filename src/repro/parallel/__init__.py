@@ -1,0 +1,40 @@
+"""Parallel temporal join execution via time-domain range partitioning.
+
+The package splits a sorted operator input into K contiguous shards
+whose boundary-spanning tuples are replicated by per-operator necessity
+windows (:mod:`repro.parallel.partition`), then runs the unmodified
+tuple/columnar sweep kernels per shard under the resilience ladder and
+merges the shard outputs (:mod:`repro.parallel.executor`).  See
+``docs/PARALLEL.md`` for the partitioning rules and their derivation
+from the paper's Tables 1-3 workspace characterisations.
+"""
+
+from .executor import (
+    EXECUTION_MODES,
+    ParallelOutcome,
+    ShardRun,
+    execute_parallel,
+)
+from .partition import (
+    OwnedAggregates,
+    PartitionPlan,
+    PartitionTag,
+    Shard,
+    necessity_window,
+    partition,
+    slice_bounds,
+)
+
+__all__ = [
+    "EXECUTION_MODES",
+    "OwnedAggregates",
+    "ParallelOutcome",
+    "PartitionPlan",
+    "PartitionTag",
+    "Shard",
+    "ShardRun",
+    "execute_parallel",
+    "necessity_window",
+    "partition",
+    "slice_bounds",
+]

@@ -1,0 +1,562 @@
+"""Multiprocessing execution of partitioned stream operators.
+
+:func:`execute_parallel` is the parallel twin of
+:func:`repro.resilience.executor.execute_entry`: same inputs, same
+recovery ladder, same accounting — but the operator runs as K
+independent shards produced by :mod:`repro.parallel.partition`, each
+swept by the unmodified tuple or columnar kernel.
+
+Two modes:
+
+* ``"process"`` — shards run in a fork-based ``multiprocessing.Pool``.
+  Inputs travel to workers for free via fork copy-on-write (a module
+  global holds the shard tasks while the pool is being created); shard
+  outputs come back as compact index arrays into the parent's own
+  tuple lists wherever object identity survived the kernel (always for
+  the columnar backend and non-mirrored tuple cells), falling back to
+  pickled tuples otherwise.
+* ``"inline"`` — shards run sequentially in-process: deterministic,
+  fully traced (per-shard operator spans land in the active tracer),
+  and the fallback whenever a worker pool cannot be built.
+
+Resilience composes per shard: each shard runs ``execute_entry`` under
+the caller's policy and fault plan, so a faulted shard retries,
+quarantines, or degrades on its own — siblings never see it.  Shard
+reports are merged into one :class:`~repro.resilience.recovery.
+ExecutionReport`; per-shard summaries (passes, wall time, recovery
+events) surface as ``shard:<i>`` trace spans for EXPLAIN ANALYZE.
+
+Merged output order is deterministic: shards concatenate in cut order,
+which for semijoins reproduces the serial X-order output exactly; join
+cells interleave pairs differently than the serial sweep (which orders
+by probe arrival across the whole domain) but are multiset-identical,
+the same guarantee the two physical backends give each other.
+"""
+
+from __future__ import annotations
+
+import time
+from array import array
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import ExecutionError, ReproError
+from ..model.tuples import TemporalTuple
+from ..obs.metrics import active_registry
+from ..obs.trace import get_tracer
+from ..resilience.faults import FaultPlan
+from ..resilience.recovery import ExecutionReport, RecoveryPolicy
+from ..resilience.retry import RetryPolicy
+from ..storage.page import DEFAULT_PAGE_CAPACITY
+from ..streams.metrics import ProcessorMetrics
+from ..streams.registry import RegistryEntry, TemporalOperator, lookup
+from ..streams.workspace import WorkspaceReport
+from .partition import (
+    SELF_OPERATORS,
+    PartitionPlan,
+    PartitionTag,
+    Shard,
+    partition,
+)
+
+#: Operators whose outputs are (x, y) pairs.
+_JOIN_OPERATORS = frozenset(
+    {TemporalOperator.CONTAIN_JOIN, TemporalOperator.OVERLAP_JOIN}
+)
+
+EXECUTION_MODES = ("auto", "process", "inline")
+
+
+@dataclass
+class ShardRun:
+    """What one shard did — the EXPLAIN ANALYZE shard-table row."""
+
+    index: int
+    x_count: int
+    y_count: int
+    owned_lo: int
+    owned_hi: int
+    wall_seconds: float
+    passes_x: int
+    passes_y: int
+    output_count: int
+    degraded: bool
+    fallbacks: int
+    faults: int
+    quarantined: int
+    residual_filtered: int
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "x_count": self.x_count,
+            "y_count": self.y_count,
+            "owned_lo": self.owned_lo,
+            "owned_hi": self.owned_hi,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "passes_x": self.passes_x,
+            "passes_y": self.passes_y,
+            "output_count": self.output_count,
+            "degraded": self.degraded,
+            "fallbacks": self.fallbacks,
+            "faults": self.faults,
+            "quarantined": self.quarantined,
+            "residual_filtered": self.residual_filtered,
+        }
+
+
+@dataclass
+class ParallelOutcome:
+    """Merged results plus everything the shards reported."""
+
+    results: list
+    report: ExecutionReport
+    metrics: ProcessorMetrics
+    policy: RecoveryPolicy
+    backend: str
+    mode: str
+    workers: int
+    plan: PartitionPlan
+    shard_runs: List[ShardRun] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.report.fallbacks)
+
+
+# ----------------------------------------------------------------------
+# per-shard execution (runs in the worker process, or inline)
+# ----------------------------------------------------------------------
+#: Shard tasks published to fork children (set only while a pool is
+#: being created; fork copy-on-write makes the handoff free).
+_FORK_TASKS: Optional[List[dict]] = None
+
+
+def _shape_of(operator: TemporalOperator) -> str:
+    if operator in SELF_OPERATORS:
+        return "self"
+    if operator in _JOIN_OPERATORS:
+        return "join"
+    return "semi"
+
+
+def _run_shard(task: dict) -> dict:
+    """Execute one shard via the resilience ladder and encode results.
+
+    Raises whatever ``execute_entry`` raises (STRICT semantics must
+    propagate the original exception types to the caller).
+    """
+    from ..resilience.executor import execute_entry
+
+    entry = lookup(task["operator"], task["x_order"], task["y_order"])
+    started = time.perf_counter()
+    outcome = execute_entry(
+        entry,
+        task["x"],
+        task["y"],
+        backend=task["backend"],
+        policy=task["policy"],
+        workspace_budget=task["workspace_budget"],
+        fault_plan=task["fault_plan"],
+        retry_policy=task["retry_policy"],
+        page_capacity=task["page_capacity"],
+        sort_memory_pages=task["sort_memory_pages"],
+    )
+    wall = time.perf_counter() - started
+    shape = _shape_of(task["operator"])
+    residual_filtered = 0
+    if shape == "self":
+        owned_lo, owned_hi = task["owned_lo"], task["owned_hi"]
+        kept = array("q")
+        for emitted in outcome.results:
+            tag = emitted.value
+            if not isinstance(tag, PartitionTag):
+                raise ExecutionError(
+                    "self-semijoin shard output lost its partition tag"
+                )
+            if owned_lo <= tag.index < owned_hi:
+                kept.append(tag.index)
+            else:
+                residual_filtered += 1
+        encoded: tuple = ("self", kept)
+        output_count = len(kept)
+    elif task.get("encode", True):
+        encoded = _encode_results(outcome.results, task, shape)
+        output_count = len(outcome.results)
+    else:
+        # Inline shards share the parent's heap: the index-array
+        # round-trip only pays for itself across a process boundary.
+        encoded = ("raw", list(outcome.results))
+        output_count = len(outcome.results)
+    return {
+        "index": task["index"],
+        "encoded": encoded,
+        "report": outcome.report,
+        "metrics": outcome.metrics.to_dict(),
+        "wall_seconds": wall,
+        "output_count": output_count,
+        "residual_filtered": residual_filtered,
+    }
+
+
+def _encode_results(results: list, task: dict, shape: str) -> tuple:
+    """Compress shard outputs to index arrays into the shard's own
+    input lists when kernel outputs are the input objects themselves
+    (identity survives both backends' non-mirrored cells); otherwise
+    ship the tuples as-is."""
+    x_pos = {id(t): i for i, t in enumerate(task["x"])}
+    try:
+        if shape == "join":
+            if not results:
+                return ("pairs", array("q"), array("q"))
+            y_pos = {id(t): i for i, t in enumerate(task["y"])}
+            xs, ys = zip(*results)
+            xi = array("q", map(x_pos.__getitem__, map(id, xs)))
+            yi = array("q", map(y_pos.__getitem__, map(id, ys)))
+            return ("pairs", xi, yi)
+        return (
+            "semi",
+            array("q", map(x_pos.__getitem__, map(id, results))),
+        )
+    except KeyError:
+        return ("raw", list(results))
+
+
+def _fork_worker(index: int) -> dict:
+    assert _FORK_TASKS is not None
+    return _run_shard(_FORK_TASKS[index])
+
+
+def _decode_results(
+    encoded: tuple, shard: Shard, originals: Sequence[TemporalTuple]
+) -> list:
+    kind = encoded[0]
+    if kind == "raw":
+        return encoded[1]
+    if kind == "self":
+        return list(map(originals.__getitem__, encoded[1]))
+    if kind == "pairs":
+        return list(
+            zip(
+                map(shard.x.__getitem__, encoded[1]),
+                map(shard.y.__getitem__, encoded[2]),
+            )
+        )
+    return list(map(shard.x.__getitem__, encoded[1]))
+
+
+# ----------------------------------------------------------------------
+# the parallel executor
+# ----------------------------------------------------------------------
+def execute_parallel(
+    entry: RegistryEntry,
+    x_tuples: Sequence[TemporalTuple],
+    y_tuples: Optional[Sequence[TemporalTuple]] = None,
+    shards: int = 2,
+    workers: Optional[int] = None,
+    backend: str = "tuple",
+    policy: RecoveryPolicy = RecoveryPolicy.STRICT,
+    workspace_budget: Optional[int] = None,
+    report: Optional[ExecutionReport] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    page_capacity: int = DEFAULT_PAGE_CAPACITY,
+    sort_memory_pages: int = 8,
+    mode: str = "auto",
+) -> ParallelOutcome:
+    """Run one registry cell as ``shards`` time-domain shards.
+
+    Inputs must be in the entry's declared orders (same contract as
+    ``execute_entry``).  ``workers`` caps the pool size (default: one
+    worker per shard); ``mode`` picks ``"process"`` (fork pool),
+    ``"inline"`` (sequential in-process), or ``"auto"`` (process when
+    more than one worker is useful and fork is available).
+    """
+    if mode not in EXECUTION_MODES:
+        raise ExecutionError(
+            f"unknown parallel mode {mode!r}; choose one of "
+            f"{EXECUTION_MODES}"
+        )
+    report = report if report is not None else ExecutionReport()
+    plan = partition(entry, x_tuples, y_tuples, shards=shards)
+    workers = workers if workers is not None else plan.effective_shards
+    workers = max(1, min(workers, max(plan.effective_shards, 1)))
+    originals = list(x_tuples)
+
+    tasks = [
+        {
+            "index": shard.index,
+            "operator": entry.operator,
+            "x_order": entry.x_order,
+            "y_order": entry.y_order,
+            "x": shard.x,
+            "y": shard.y,
+            "owned_lo": shard.owned_lo,
+            "owned_hi": shard.owned_hi,
+            "backend": backend,
+            "policy": policy,
+            "workspace_budget": workspace_budget,
+            "fault_plan": fault_plan,
+            "retry_policy": retry_policy,
+            "page_capacity": page_capacity,
+            "sort_memory_pages": sort_memory_pages,
+        }
+        for shard in plan.shards
+    ]
+
+    tracer = get_tracer()
+    with tracer.span(
+        f"parallel:{entry.operator.value}",
+        backend=backend,
+        policy=policy.value,
+        shards=plan.effective_shards,
+        requested_shards=shards,
+        workers=workers,
+        skew_ratio=round(plan.skew_ratio, 3),
+        replicated=plan.replicated_total,
+        boundary_spanning=plan.boundary_spanning,
+    ) as span:
+        effective_mode = mode
+        if mode == "auto":
+            effective_mode = (
+                "process"
+                if workers > 1 and len(tasks) > 1
+                else "inline"
+            )
+        raw_runs: Optional[List[dict]] = None
+        if effective_mode == "process" and tasks:
+            raw_runs = _run_pool(tasks, workers)
+            if raw_runs is None:
+                effective_mode = "inline"
+        if raw_runs is None:
+            for task in tasks:
+                task["encode"] = False
+            raw_runs = [
+                _run_shard_traced(tracer, task) for task in tasks
+            ]
+        span.set(mode=effective_mode)
+
+        results: list = []
+        shard_runs: List[ShardRun] = []
+        metrics = _fresh_metrics()
+        residual_total = 0
+        for shard, run in zip(plan.shards, sorted(
+            raw_runs, key=lambda r: r["index"]
+        )):
+            results.extend(
+                _decode_results(run["encoded"], shard, originals)
+            )
+            _merge_report(report, run["report"])
+            shard_run = _shard_run_of(shard, run)
+            shard_runs.append(shard_run)
+            residual_total += run["residual_filtered"]
+            _absorb_metrics(metrics, run["metrics"])
+            if effective_mode == "process":
+                _emit_shard_span(tracer, entry, backend, shard_run)
+        metrics.output_count = len(results)
+        metrics.resilience = report.as_dict()
+        span.set(output_count=len(results))
+        _bump_registry(plan, residual_total, effective_mode)
+
+    return ParallelOutcome(
+        results=results,
+        report=report,
+        metrics=metrics,
+        policy=policy,
+        backend=backend,
+        mode=effective_mode,
+        workers=workers,
+        plan=plan,
+        shard_runs=shard_runs,
+    )
+
+
+def _run_pool(tasks: List[dict], workers: int) -> Optional[List[dict]]:
+    """Map shards over a fork pool; ``None`` means 'pool unavailable,
+    run inline'.  Engine errors from workers (STRICT violations)
+    re-raise with their original types."""
+    global _FORK_TASKS
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+    _FORK_TASKS = tasks
+    try:
+        with context.Pool(processes=min(workers, len(tasks))) as pool:
+            return pool.map(_fork_worker, range(len(tasks)))
+    except ReproError:
+        raise
+    except Exception:
+        # Pool infrastructure failed (pickling, resource limits, ...):
+        # parallelism is an optimisation, correctness falls back inline.
+        return None
+    finally:
+        _FORK_TASKS = None
+
+
+def _run_shard_traced(tracer, task: dict) -> dict:
+    """Inline execution, with the shard span wrapping the real run so
+    per-shard operator/attempt spans nest underneath it."""
+    with tracer.span(
+        f"shard:{task['index']}",
+        operator=task["operator"].value,
+        backend=task["backend"],
+    ) as span:
+        run = _run_shard(task)
+        if tracer.enabled:
+            span.set(**_span_attributes(run, task))
+        return run
+
+
+def _span_attributes(run: dict, task: dict) -> dict:
+    metrics = run["metrics"]
+    report: ExecutionReport = run["report"]
+    return {
+        "x_tuples": len(task["x"]),
+        "y_tuples": len(task["y"]) if task["y"] is not None else 0,
+        "owned_lo": task["owned_lo"],
+        "owned_hi": task["owned_hi"],
+        "wall_ms": round(run["wall_seconds"] * 1e3, 3),
+        "passes_x": metrics.get("passes_x"),
+        "passes_y": metrics.get("passes_y"),
+        "output_count": run["output_count"],
+        "degraded": bool(report.fallbacks),
+        "fallbacks": len(report.fallbacks),
+        "faults": report.faults_injected,
+        "quarantined": len(report.quarantined),
+        "residual_filtered": run["residual_filtered"],
+    }
+
+
+def _emit_shard_span(tracer, entry, backend, shard_run: ShardRun):
+    """Process-mode shards ran with a child-process (null) tracer; give
+    each a summary span in the parent trace so EXPLAIN ANALYZE sees the
+    same shard breakdown either way."""
+    if not tracer.enabled:
+        return
+    with tracer.span(
+        f"shard:{shard_run.index}",
+        operator=entry.operator.value,
+        backend=backend,
+    ) as span:
+        span.set(
+            x_tuples=shard_run.x_count,
+            y_tuples=shard_run.y_count,
+            owned_lo=shard_run.owned_lo,
+            owned_hi=shard_run.owned_hi,
+            wall_ms=round(shard_run.wall_seconds * 1e3, 3),
+            passes_x=shard_run.passes_x,
+            passes_y=shard_run.passes_y,
+            output_count=shard_run.output_count,
+            degraded=shard_run.degraded,
+            fallbacks=shard_run.fallbacks,
+            faults=shard_run.faults,
+            quarantined=shard_run.quarantined,
+            residual_filtered=shard_run.residual_filtered,
+        )
+
+
+def _shard_run_of(shard: Shard, run: dict) -> ShardRun:
+    metrics = run["metrics"]
+    report: ExecutionReport = run["report"]
+    return ShardRun(
+        index=shard.index,
+        x_count=len(shard.x),
+        y_count=len(shard.y) if shard.y is not None else 0,
+        owned_lo=shard.owned_lo,
+        owned_hi=shard.owned_hi,
+        wall_seconds=run["wall_seconds"],
+        passes_x=metrics.get("passes_x") or 0,
+        passes_y=metrics.get("passes_y") or 0,
+        output_count=run["output_count"],
+        degraded=bool(report.fallbacks),
+        fallbacks=len(report.fallbacks),
+        faults=report.faults_injected,
+        quarantined=len(report.quarantined),
+        residual_filtered=run["residual_filtered"],
+    )
+
+
+# ----------------------------------------------------------------------
+# merging
+# ----------------------------------------------------------------------
+def _merge_report(
+    target: ExecutionReport, shard_report: ExecutionReport
+) -> None:
+    """Fold a shard's report into the caller's, without re-triggering
+    the note_* metric hooks (the shard already counted what it could)."""
+    target.faults.extend(shard_report.faults)
+    target.retries += shard_report.retries
+    target.simulated_delay += shard_report.simulated_delay
+    target.quarantined.extend(shard_report.quarantined)
+    target.fallbacks.extend(shard_report.fallbacks)
+    target.passes_added += shard_report.passes_added
+    target.workspace_overflows += shard_report.workspace_overflows
+    target.order_violations += shard_report.order_violations
+    target.storage_errors += shard_report.storage_errors
+
+
+def _fresh_metrics() -> ProcessorMetrics:
+    metrics = ProcessorMetrics()
+    metrics.buffers = 0
+    metrics.passes_x = 0
+    metrics.passes_y = 0
+    return metrics
+
+
+def _absorb_metrics(target: ProcessorMetrics, shard: dict) -> None:
+    """Aggregate shard metrics: totals sum; passes and workspace
+    high-water take the per-shard maximum — the Tables-1/2/3 bound (and
+    the single-scan claim) hold *per shard*, which is the shard-local
+    workspace guarantee the partitioner is built on."""
+    target.tuples_read_x += shard.get("tuples_read_x", 0)
+    target.tuples_read_y += shard.get("tuples_read_y", 0)
+    target.passes_x = max(target.passes_x, shard.get("passes_x", 0))
+    target.passes_y = max(target.passes_y, shard.get("passes_y", 0))
+    target.buffers += shard.get("buffers", 0)
+    target.comparisons += shard.get("comparisons", 0)
+    workspace = shard.get("workspace") or {}
+    target.workspace = WorkspaceReport(
+        max(
+            target.workspace.high_water,
+            workspace.get("high_water", 0),
+        ),
+        target.workspace.total_inserted
+        + workspace.get("total_inserted", 0),
+        target.workspace.total_discarded
+        + workspace.get("total_discarded", 0),
+        target.workspace.residual + workspace.get("residual", 0),
+    )
+    for name, value in (shard.get("state_high_water") or {}).items():
+        current = target.state_high_water.get(name, 0)
+        target.state_high_water[name] = max(current, value)
+
+
+def _bump_registry(
+    plan: PartitionPlan, residual_filtered: int, mode: str
+) -> None:
+    registry = active_registry()
+    if registry is None:
+        return
+    registry.counter(
+        "repro_parallel_runs_total",
+        "Parallel operator executions",
+    ).inc(mode=mode)
+    registry.counter(
+        "repro_parallel_shards_total",
+        "Shards executed by the parallel executor",
+    ).inc(plan.effective_shards)
+    registry.counter(
+        "repro_parallel_replicated_tuples_total",
+        "Boundary-spanning tuples shipped to extra shards",
+    ).inc(plan.replicated_total)
+    registry.counter(
+        "repro_parallel_residual_filtered_total",
+        "Self-semijoin outputs dropped by owner filtering",
+    ).inc(residual_filtered)
+    registry.gauge(
+        "repro_parallel_skew_ratio",
+        "max/mean per-shard work of the last partitioning",
+    ).set(round(plan.skew_ratio, 3))

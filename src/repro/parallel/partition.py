@@ -1,0 +1,359 @@
+"""Time-domain range partitioning for the stream operators.
+
+The paper's Tables 1-3 characterise each (operator, sort order) cell by
+the *local workspace* a single sweep needs: the open X tuples and the
+waiting Y tuples around the sweep point.  That characterisation is
+exactly what a range partitioner needs — any contiguous slice of the
+sorted X input can be swept independently as long as the shard also
+sees every Y tuple its slice's workspace would have held.  This module
+derives that "necessity window" per operator from the slice's endpoint
+aggregates and builds K self-contained shards:
+
+* **X is sharded positionally** into contiguous slices of the sorted
+  input.  Positional cuts are tie-safe by construction: tuples with
+  equal sort keys may straddle a cut, but each tuple has exactly one
+  owner shard, so no pair is ever produced twice and no dedup pass is
+  needed for joins or semijoins.
+* **Y is replicated by window.**  For each shard the owned slice's
+  endpoint aggregates (min/max of TS and TE) bound which Y tuples can
+  possibly satisfy the operator's predicate against an owned X tuple;
+  only those are shipped.  The windows below are non-strict supersets
+  of the strict Section-4.2 predicates, so boundary-spanning Y tuples
+  are replicated into every shard that might need them — the
+  replicate-and-filter side of Piatov et al.'s boundary handling.
+* **Self semijoins replicate context and filter residually.**  The
+  shard input is the window-filtered relation (a superset of the owned
+  slice); every tuple is tagged with its global index so the executor
+  can drop kernel outputs whose owner is another shard (partition-aware
+  residual filtering — the "dedup" obligation for Table-3 cells).
+* **Before-semijoin collapses Y to one representative.**  The operator
+  only ever consumes ``max(Y.TS)`` (Section 4.2.4's single-scan
+  argument), which is shard-independent, so each shard receives the
+  single argmax tuple instead of a window.
+
+Per-operator windows, with ``minTS``/``maxTS``/``minTE``/``maxTE``
+ranging over the shard's owned X slice:
+
+=====================  ==========================================
+operator               Y (or context) necessity window
+=====================  ==========================================
+contain-join/semijoin  ``y.ts >= minTS  and  y.te <= maxTE``
+contained-semijoin     ``y.ts <= maxTS  and  y.te >= minTE``
+overlap-join/semijoin  ``y.te >= minTS  and  y.ts <= maxTE``
+before-semijoin        the single ``argmax(y.ts)`` representative
+contained(X,X)         ``z.ts <= maxTS  and  z.te >= minTE``
+contain(X,X)           ``z.ts >= minTS  and  z.te <= maxTE``
+=====================  ==========================================
+
+Window filtering preserves sort order (a subsequence of a sorted
+sequence is sorted), so every shard's inputs still satisfy the cell's
+declared orders and the unmodified kernels run per shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError
+from ..model.tuples import TemporalTuple
+from ..streams.registry import RegistryEntry, TemporalOperator
+
+#: Operators whose shard input is the relation itself (Table 3).
+SELF_OPERATORS = frozenset(
+    {
+        TemporalOperator.SELF_CONTAINED_SEMIJOIN,
+        TemporalOperator.SELF_CONTAIN_SEMIJOIN,
+    }
+)
+
+
+@dataclass(frozen=True)
+class PartitionTag:
+    """Self-semijoin payload marker: the tuple's global input index.
+
+    Self-op shards replicate context tuples, so a kernel output may be
+    owned by a different shard; the tag survives pickling and the
+    mirrored processors' tuple reconstruction (both preserve ``value``),
+    which object identity does not.
+    """
+
+    index: int
+
+
+@dataclass(frozen=True)
+class OwnedAggregates:
+    """Endpoint aggregates of one owned X slice — the shard-local
+    workspace bound's inputs."""
+
+    min_ts: int
+    max_ts: int
+    min_te: int
+    max_te: int
+
+    @classmethod
+    def of(cls, tuples: Sequence[TemporalTuple]) -> "OwnedAggregates":
+        ts = [t.valid_from for t in tuples]
+        te = [t.valid_to for t in tuples]
+        return cls(min(ts), max(ts), min(te), max(te))
+
+
+@dataclass
+class Shard:
+    """One self-contained unit of parallel work."""
+
+    index: int
+    #: Contiguous owned slice of the sorted X input (binary operators)
+    #: or the window-filtered, index-tagged relation (self operators).
+    x: List[TemporalTuple]
+    #: Replicated Y tuples (binary operators; ``None`` for self ops).
+    y: Optional[List[TemporalTuple]]
+    #: Global index range [lo, hi) of the owned slice.
+    owned_lo: int
+    owned_hi: int
+    #: Endpoint aggregates of the owned slice (None for an empty shard).
+    aggregates: Optional[OwnedAggregates] = None
+
+    @property
+    def owned_count(self) -> int:
+        return self.owned_hi - self.owned_lo
+
+    def owns(self, global_index: int) -> bool:
+        return self.owned_lo <= global_index < self.owned_hi
+
+
+@dataclass
+class PartitionPlan:
+    """The shards plus the accounting EXPLAIN ANALYZE reports on."""
+
+    operator: TemporalOperator
+    requested_shards: int
+    shards: List[Shard] = field(default_factory=list)
+    x_total: int = 0
+    y_total: int = 0
+    #: Sum of per-shard Y (or context) input sizes.
+    shipped_total: int = 0
+    #: Shipped tuples beyond one copy of each needed tuple — the
+    #: replicate-and-filter overhead at shard boundaries.
+    replicated_total: int = 0
+    #: Y/context tuples present in more than one shard.
+    boundary_spanning: int = 0
+    #: Positional cut points (global X indices) between shards.
+    cuts: List[int] = field(default_factory=list)
+    #: max(per-shard work) / mean(per-shard work), work = |x| + |y|.
+    skew_ratio: float = 1.0
+
+    @property
+    def effective_shards(self) -> int:
+        return len(self.shards)
+
+    def as_dict(self) -> dict:
+        return {
+            "operator": self.operator.value,
+            "requested_shards": self.requested_shards,
+            "effective_shards": self.effective_shards,
+            "x_total": self.x_total,
+            "y_total": self.y_total,
+            "shipped_total": self.shipped_total,
+            "replicated_total": self.replicated_total,
+            "boundary_spanning": self.boundary_spanning,
+            "cuts": list(self.cuts),
+            "skew_ratio": round(self.skew_ratio, 3),
+            "shard_sizes": [
+                {"x": len(s.x), "y": len(s.y) if s.y is not None else 0}
+                for s in self.shards
+            ],
+        }
+
+
+#: operator -> aggregates -> (y tuple -> needed?).  Non-strict
+#: supersets of the strict predicates in
+#: :mod:`repro.streams.processors.baseline`.
+_WINDOWS: dict = {
+    TemporalOperator.CONTAIN_JOIN: lambda a: (
+        lambda y: y.valid_from >= a.min_ts and y.valid_to <= a.max_te
+    ),
+    TemporalOperator.CONTAIN_SEMIJOIN: lambda a: (
+        lambda y: y.valid_from >= a.min_ts and y.valid_to <= a.max_te
+    ),
+    TemporalOperator.CONTAINED_SEMIJOIN: lambda a: (
+        lambda y: y.valid_from <= a.max_ts and y.valid_to >= a.min_te
+    ),
+    TemporalOperator.OVERLAP_JOIN: lambda a: (
+        lambda y: y.valid_to >= a.min_ts and y.valid_from <= a.max_te
+    ),
+    TemporalOperator.OVERLAP_SEMIJOIN: lambda a: (
+        lambda y: y.valid_to >= a.min_ts and y.valid_from <= a.max_te
+    ),
+    TemporalOperator.SELF_CONTAINED_SEMIJOIN: lambda a: (
+        lambda z: z.valid_from <= a.max_ts and z.valid_to >= a.min_te
+    ),
+    TemporalOperator.SELF_CONTAIN_SEMIJOIN: lambda a: (
+        lambda z: z.valid_from >= a.min_ts and z.valid_to <= a.max_te
+    ),
+}
+
+
+def necessity_window(
+    operator: TemporalOperator, aggregates: OwnedAggregates
+) -> Callable[[TemporalTuple], bool]:
+    """The predicate selecting the Y (or context) tuples a shard with
+    these owned aggregates could possibly need."""
+    try:
+        factory = _WINDOWS[operator]
+    except KeyError:
+        raise ExecutionError(
+            f"{operator.value} has no partitioning rule"
+        ) from None
+    return factory(aggregates)
+
+
+def slice_bounds(total: int, shards: int) -> List[Tuple[int, int]]:
+    """Equi-count positional [lo, hi) slices; the last shards absorb
+    the remainder.  Empty slices (shards > total) are dropped."""
+    if shards < 1:
+        raise ExecutionError("shard count must be at least 1")
+    bounds = []
+    for i in range(shards):
+        lo = (i * total) // shards
+        hi = ((i + 1) * total) // shards
+        if hi > lo:
+            bounds.append((lo, hi))
+    return bounds
+
+
+def partition(
+    entry: RegistryEntry,
+    x_tuples: Sequence[TemporalTuple],
+    y_tuples: Optional[Sequence[TemporalTuple]] = None,
+    shards: int = 2,
+) -> PartitionPlan:
+    """Split sorted inputs for ``entry`` into self-contained shards.
+
+    ``x_tuples`` (and ``y_tuples`` for binary operators) must already be
+    in the entry's declared orders, exactly as
+    :func:`~repro.resilience.executor.execute_entry` expects them.
+    """
+    operator = entry.operator
+    plan = PartitionPlan(operator=operator, requested_shards=shards)
+    x = list(x_tuples)
+    plan.x_total = len(x)
+    if operator in SELF_OPERATORS:
+        _partition_self(plan, x, shards)
+    elif operator is TemporalOperator.BEFORE_SEMIJOIN:
+        _partition_before(plan, x, y_tuples, shards)
+    else:
+        _partition_windowed(plan, entry, x, y_tuples, shards)
+    _finish_accounting(plan)
+    return plan
+
+
+def _partition_windowed(plan, entry, x, y_tuples, shards) -> None:
+    if y_tuples is None:
+        raise ExecutionError(
+            f"{plan.operator.value} is binary; y_tuples is required"
+        )
+    y = list(y_tuples)
+    plan.y_total = len(y)
+    window_of = _WINDOWS.get(plan.operator)
+    if window_of is None:
+        raise ExecutionError(
+            f"{plan.operator.value} has no partitioning rule"
+        )
+    ship_counts = [0] * len(y)
+    for index, (lo, hi) in enumerate(slice_bounds(len(x), shards)):
+        owned = x[lo:hi]
+        aggregates = OwnedAggregates.of(owned)
+        needed = window_of(aggregates)
+        shard_y = []
+        for position, candidate in enumerate(y):
+            if needed(candidate):
+                shard_y.append(candidate)
+                ship_counts[position] += 1
+        plan.shards.append(
+            Shard(index, owned, shard_y, lo, hi, aggregates)
+        )
+    plan.shipped_total = sum(ship_counts)
+    plan.boundary_spanning = sum(1 for c in ship_counts if c > 1)
+    plan.replicated_total = sum(c - 1 for c in ship_counts if c > 1)
+
+
+def _partition_before(plan, x, y_tuples, shards) -> None:
+    """Before-semijoin: ``x`` matches iff ``x.te < max(Y.TS)`` — each
+    shard needs only the argmax(Y.TS) representative."""
+    if y_tuples is None:
+        raise ExecutionError(
+            f"{plan.operator.value} is binary; y_tuples is required"
+        )
+    y = list(y_tuples)
+    plan.y_total = len(y)
+    representative = (
+        [max(y, key=lambda t: t.valid_from)] if y else []
+    )
+    for index, (lo, hi) in enumerate(slice_bounds(len(x), shards)):
+        owned = x[lo:hi]
+        plan.shards.append(
+            Shard(
+                index,
+                owned,
+                list(representative),
+                lo,
+                hi,
+                OwnedAggregates.of(owned),
+            )
+        )
+    plan.shipped_total = len(representative) * len(plan.shards)
+    if len(plan.shards) > 1 and representative:
+        plan.boundary_spanning = 1
+        plan.replicated_total = len(plan.shards) - 1
+
+
+def _partition_self(plan, x, shards) -> None:
+    """Table-3 self semijoins: shard input is the window-filtered
+    relation, tagged with global indices for residual owner filtering."""
+    window_of = _WINDOWS[plan.operator]
+    tagged = [
+        TemporalTuple(
+            t.surrogate, PartitionTag(i), t.valid_from, t.valid_to
+        )
+        for i, t in enumerate(x)
+    ]
+    ship_counts = [0] * len(x)
+    for index, (lo, hi) in enumerate(slice_bounds(len(x), shards)):
+        aggregates = OwnedAggregates.of(x[lo:hi])
+        needed = window_of(aggregates)
+        shard_x = []
+        for position, candidate in enumerate(tagged):
+            if needed(candidate) or lo <= position < hi:
+                shard_x.append(candidate)
+                ship_counts[position] += 1
+        plan.shards.append(
+            Shard(index, shard_x, None, lo, hi, aggregates)
+        )
+    plan.shipped_total = sum(ship_counts)
+    plan.boundary_spanning = sum(1 for c in ship_counts if c > 1)
+    plan.replicated_total = sum(c - 1 for c in ship_counts if c > 1)
+
+
+def _finish_accounting(plan: PartitionPlan) -> None:
+    for lo_hi in plan.shards[1:]:
+        plan.cuts.append(lo_hi.owned_lo)
+    if plan.shards:
+        work = [
+            len(s.x) + (len(s.y) if s.y is not None else 0)
+            for s in plan.shards
+        ]
+        mean = sum(work) / len(work)
+        plan.skew_ratio = (max(work) / mean) if mean else 1.0
+
+
+def untag(
+    originals: Sequence[TemporalTuple], emitted: TemporalTuple
+) -> TemporalTuple:
+    """Map a tagged self-op kernel output back to the original tuple."""
+    tag = emitted.value
+    if not isinstance(tag, PartitionTag):  # pragma: no cover - guard
+        raise ExecutionError(
+            "self-semijoin shard output lost its partition tag"
+        )
+    return originals[tag.index]

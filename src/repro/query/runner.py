@@ -55,6 +55,7 @@ def run_query(
     streams: bool = False,
     recovery: Optional[object] = None,
     trace: Optional[object] = None,
+    parallelism: Optional[int] = None,
 ) -> QueryResult:
     """Execute a Quel-like query against ``catalog``.
 
@@ -86,6 +87,10 @@ def run_query(
         contributes spans under one ``query`` root — and attached to
         the result as ``result.trace``.  The default (``None``/falsy)
         keeps the zero-allocation no-op tracer.
+    parallelism:
+        Maximum shard count for time-domain-partitioned parallel
+        stream joins (only meaningful with ``streams=True``); the cost
+        model may still pick fewer shards, or serial execution.
     """
     if trace:
         from ..obs.trace import Tracer, set_tracer
@@ -101,7 +106,13 @@ def run_query(
                 rewrite=rewrite,
             ) as span:
                 result = _run_pipeline(
-                    source, catalog, rewrite, semantic, streams, recovery
+                    source,
+                    catalog,
+                    rewrite,
+                    semantic,
+                    streams,
+                    recovery,
+                    parallelism,
                 )
                 span.set(rows=len(result.rows))
         finally:
@@ -109,7 +120,7 @@ def run_query(
         result.trace = tracer
         return result
     return _run_pipeline(
-        source, catalog, rewrite, semantic, streams, recovery
+        source, catalog, rewrite, semantic, streams, recovery, parallelism
     )
 
 
@@ -120,6 +131,7 @@ def _run_pipeline(
     semantic: bool,
     streams: bool,
     recovery: Optional[object],
+    parallelism: Optional[int] = None,
 ) -> QueryResult:
     plan = translate(parse_query(source), catalog)
     if rewrite:
@@ -132,7 +144,9 @@ def _run_pipeline(
     if streams:
         from ..optimizer.integration import execute_hybrid
 
-        execution = execute_hybrid(plan, catalog, recovery=recovery)
+        execution = execute_hybrid(
+            plan, catalog, recovery=recovery, parallelism=parallelism
+        )
         return QueryResult(
             rows=execution.rows,
             schema=execution.schema,

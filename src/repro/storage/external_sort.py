@@ -31,16 +31,21 @@ class ExternalSortResult:
         runs_generated: int,
         merge_passes: int,
         stats: IOStats,
+        skipped_presorted: bool = False,
     ) -> None:
         self.output = output
         self.runs_generated = runs_generated
         self.merge_passes = merge_passes
         self.stats = stats
+        #: True when the sortedness pre-check found the input already
+        #: ordered and the sort was skipped entirely (the one
+        #: verification scan is the only I/O charged).
+        self.skipped_presorted = skipped_presorted
 
     @property
     def total_passes(self) -> int:
-        """Read passes over the data: one for run generation plus one
-        per merge pass."""
+        """Read passes over the data: one for run generation (or the
+        sortedness verification scan) plus one per merge pass."""
         return 1 + self.merge_passes
 
 
@@ -51,6 +56,8 @@ def external_sort(
     fan_in: Optional[int] = None,
     stats: Optional[IOStats] = None,
     run_namer: Optional[Callable[[int], str]] = None,
+    presort_check: bool = True,
+    run_sort_workers: int = 1,
 ) -> ExternalSortResult:
     """Sort ``source`` by ``order`` using bounded memory.
 
@@ -68,6 +75,20 @@ def external_sort(
         (one page reserved for output), the textbook setting.
     stats:
         Accounting sink; defaults to a fresh :class:`IOStats`.
+    presort_check:
+        Verify sortedness with one early-exit scan first; an already
+        ordered input is returned as-is with zero runs written (the
+        common case for the resilience DEGRADE re-sort and for the
+        parallel partitioner's per-shard sorts, whose inputs are order-
+        preserving subsequences of sorted relations).  The check aborts
+        at the first out-of-order pair, so an unsorted input pays only
+        a prefix re-read.
+    run_sort_workers:
+        Sort initial runs in parallel with this many forked workers
+        (CPU parallelism for pass 0; merging stays serial).  Raises the
+        transient memory bound to ``run_sort_workers`` buffered runs —
+        the coordinator holds one batch of unsorted chunks while the
+        pool sorts it.  Any pool failure falls back to inline sorting.
     """
     if memory_pages < 2:
         raise StorageError("external sort needs at least two memory pages")
@@ -75,6 +96,11 @@ def external_sort(
     merge_width = fan_in if fan_in is not None else max(2, memory_pages - 1)
     if merge_width < 2:
         raise StorageError("merge fan-in must be at least two")
+
+    if presort_check:
+        skipped = _presorted_result(source, order, accounting)
+        if skipped is not None:
+            return skipped
 
     run_capacity = memory_pages * source.page_capacity
     naming = run_namer or (lambda i: f"{source.name}.run{i}")
@@ -89,20 +115,38 @@ def external_sort(
         # --------------------------------------------------------------
         runs: list[HeapFile] = []
         buffer: list[TemporalTuple] = []
+        pending_chunks: list[list[TemporalTuple]] = []
         spilled_tuples = 0
 
-        def flush_run() -> None:
+        def write_run(sorted_records: list[TemporalTuple]) -> None:
             nonlocal spilled_tuples
-            if not buffer:
-                return
             run = HeapFile(
                 naming(next(run_counter)),
                 page_capacity=source.page_capacity,
                 stats=accounting,
             )
-            run.extend(sort_tuples(buffer, order))
+            run.extend(sorted_records)
             runs.append(run)
-            spilled_tuples += len(buffer)
+            spilled_tuples += len(sorted_records)
+
+        def drain_pending() -> None:
+            if not pending_chunks:
+                return
+            for chunk in _sort_chunks(
+                pending_chunks, order, run_sort_workers
+            ):
+                write_run(chunk)
+            pending_chunks.clear()
+
+        def flush_run() -> None:
+            if not buffer:
+                return
+            if run_sort_workers > 1:
+                pending_chunks.append(list(buffer))
+                if len(pending_chunks) >= run_sort_workers:
+                    drain_pending()
+            else:
+                write_run(sort_tuples(buffer, order))
             buffer.clear()
 
         for record in source.scan(stats=accounting):
@@ -110,6 +154,7 @@ def external_sort(
             if len(buffer) >= run_capacity:
                 flush_run()
         flush_run()
+        drain_pending()
         runs_generated = len(runs)
 
         if not runs:
@@ -153,6 +198,7 @@ def external_sort(
                 merge_passes=result.merge_passes,
                 total_passes=result.total_passes,
                 spilled_tuples=spilled_tuples,
+                run_sort_workers=run_sort_workers,
             )
         registry = active_registry()
         if registry is not None:
@@ -169,6 +215,73 @@ def external_sort(
                 "Tuples written to sort-run files",
             ).inc(spilled_tuples)
         return result
+
+
+#: Fork-inherited state for parallel run sorting (set only while a
+#: pool is alive; workers read it copy-on-write instead of having the
+#: sort order pickled per task).
+_RUN_SORT_ORDER: Optional[SortOrder] = None
+
+
+def _run_sort_worker(chunk: list[TemporalTuple]) -> list[TemporalTuple]:
+    return sort_tuples(chunk, _RUN_SORT_ORDER)
+
+
+def _sort_chunks(
+    chunks: list[list[TemporalTuple]], order: SortOrder, workers: int
+) -> list[list[TemporalTuple]]:
+    """Sort run chunks, forking a pool when it can actually help;
+    falls back to inline sorting on any pool failure."""
+    global _RUN_SORT_ORDER
+    if workers > 1 and len(chunks) > 1:
+        import multiprocessing
+
+        _RUN_SORT_ORDER = order
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(
+                processes=min(workers, len(chunks))
+            ) as pool:
+                return pool.map(_run_sort_worker, chunks)
+        except Exception:
+            pass
+        finally:
+            _RUN_SORT_ORDER = None
+    return [sort_tuples(chunk, order) for chunk in chunks]
+
+
+def _presorted_result(
+    source: HeapFile, order: SortOrder, accounting: IOStats
+) -> Optional[ExternalSortResult]:
+    """One early-exit verification scan; the no-op sort result when
+    ``source`` already obeys ``order``, else ``None``."""
+    tracer = get_tracer()
+    with tracer.span(
+        "sort:presort-check", source=source.name, order=str(order)
+    ) as span:
+        previous: Optional[TemporalTuple] = None
+        checked = 0
+        sorted_input = True
+        for record in source.scan(stats=accounting):
+            checked += 1
+            if previous is not None and not order.check(previous, record):
+                sorted_input = False
+                break
+            previous = record
+        if tracer.enabled:
+            span.set(sorted=sorted_input, tuples_checked=checked)
+    if not sorted_input:
+        return None
+    registry = active_registry()
+    if registry is not None:
+        registry.counter(
+            "repro_sort_presorted_skips_total",
+            "External sorts skipped because the input was already "
+            "ordered",
+        ).inc()
+    return ExternalSortResult(
+        source, 0, 0, accounting, skipped_presorted=True
+    )
 
 
 def _merge(runs, order: SortOrder, stats: IOStats):

@@ -47,9 +47,20 @@ class TestStorageToStreams:
             300, 0.5, fixed_duration(6), name="Y"
         ).generate(2)
 
+        # Stage the relations shuffled: Poisson arrivals are already in
+        # TS order, and the sortedness pre-check would (correctly) skip
+        # the sort this test exists to exercise.
+        import random
+
+        shuffle = random.Random(99).shuffle
+        x_records = list(x_rel.tuples)
+        y_records = list(y_rel.tuples)
+        shuffle(x_records)
+        shuffle(y_records)
+
         stats = IOStats()
-        x_file = HeapFile.from_records("x", x_rel.tuples, stats=stats)
-        y_file = HeapFile.from_records("y", y_rel.tuples, stats=stats)
+        x_file = HeapFile.from_records("x", x_records, stats=stats)
+        y_file = HeapFile.from_records("y", y_records, stats=stats)
 
         sorted_x = external_sort(x_file, TS_ASC, stats=stats).output
         sorted_y = external_sort(y_file, TS_ASC, stats=stats).output

@@ -1,0 +1,189 @@
+"""Differential suite: parallel execution must be multiset-identical
+to the serial kernel for every registry cell, on both backends, at
+every shard count — including under seeded chaos."""
+
+import os
+
+import pytest
+
+from repro.resilience import (
+    ExecutionReport,
+    FaultPlan,
+    RecoveryPolicy,
+    RetryPolicy,
+)
+from repro.resilience.harness import generate_relation
+from repro.model import TS_ASC, sort_tuples
+from repro.parallel import execute_parallel
+from repro.streams import TemporalOperator, lookup
+
+from .conftest import (
+    all_supported_cells,
+    canon,
+    cell_id,
+    serial_run,
+    sorted_inputs,
+)
+
+CELLS = all_supported_cells()
+
+#: Worker/shard count for process-mode checks; the CI parallel job pins
+#: this to 2 so the differential runs with a real fork pool.
+WORKERS = int(os.environ.get("REPRO_PARALLEL_WORKERS", "2"))
+
+
+@pytest.mark.parametrize("entry", CELLS, ids=cell_id)
+@pytest.mark.parametrize("backend", ["tuple", "columnar"])
+@pytest.mark.parametrize("shards", [2, 3])
+def test_every_cell_matches_serial(entry, backend, shards, small_inputs):
+    x_raw, y_raw = small_inputs
+    xs, ys = sorted_inputs(entry, x_raw, y_raw)
+    expected = canon(serial_run(entry, xs, ys, backend))
+    outcome = execute_parallel(
+        entry, xs, ys, shards=shards, backend=backend, mode="inline"
+    )
+    assert canon(outcome.results) == expected
+    assert outcome.plan.effective_shards >= 1
+    assert not outcome.degraded
+
+
+class TestChaosDifferential:
+    """A healing transient fault plan must leave the parallel output
+    byte-identical to a clean serial run — per shard, the full
+    resilience ladder composes exactly as it does serially."""
+
+    pytestmark = pytest.mark.chaos
+
+    @pytest.mark.parametrize("backend", ["tuple", "columnar"])
+    def test_faulted_parallel_matches_clean_serial(self, backend):
+        entry = lookup(TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC)
+        xs = sort_tuples(generate_relation(5, "x", 72), TS_ASC)
+        ys = sort_tuples(generate_relation(5, "y", 72), TS_ASC)
+        expected = canon(serial_run(entry, xs, ys, backend))
+        report = ExecutionReport()
+        outcome = execute_parallel(
+            entry,
+            xs,
+            ys,
+            shards=3,
+            backend=backend,
+            policy=RecoveryPolicy.DEGRADE,
+            fault_plan=FaultPlan(seed=13, rate=0.2),
+            retry_policy=RetryPolicy(seed=13, max_attempts=5),
+            report=report,
+            page_capacity=8,
+            mode="inline",
+        )
+        assert canon(outcome.results) == expected
+        assert report.faults_injected > 0
+        assert report.fully_accounted
+        assert report.storage_errors == 0
+
+    def test_chaos_parallel_is_deterministic(self):
+        entry = lookup(TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC)
+        xs = sort_tuples(generate_relation(5, "x", 48), TS_ASC)
+        ys = sort_tuples(generate_relation(5, "y", 48), TS_ASC)
+
+        def run():
+            report = ExecutionReport()
+            outcome = execute_parallel(
+                entry,
+                xs,
+                ys,
+                shards=3,
+                policy=RecoveryPolicy.DEGRADE,
+                fault_plan=FaultPlan(seed=21, rate=0.25),
+                retry_policy=RetryPolicy(seed=21, max_attempts=5),
+                report=report,
+                page_capacity=8,
+                mode="inline",
+            )
+            return canon(outcome.results), report.faults_injected
+
+        assert run() == run()
+
+
+class TestShardIsolation:
+    """Recovery is shard-local: a workspace overflow triggered by one
+    shard's dense time region degrades that shard alone — siblings run
+    clean, and the merged output still matches serial."""
+
+    def test_one_shard_degrades_siblings_stay_clean(self):
+        from repro.model.tuples import TemporalTuple
+
+        entry = lookup(TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC)
+        # First half: 48 long intervals piled on [0, 50) — dozens open
+        # at once, workspace far above budget.  Second half: singleton
+        # intervals marching right — workspace of one.
+        xs = [
+            TemporalTuple(f"dense{i}", i, i % 10, 50 + i % 10)
+            for i in range(48)
+        ] + [
+            TemporalTuple(f"sparse{i}", 100 + i, 100 + 10 * i, 101 + 10 * i)
+            for i in range(48)
+        ]
+        xs = sort_tuples(xs, TS_ASC)
+        ys = sort_tuples(
+            [
+                TemporalTuple(f"y{i}", i, 12 + (i % 20), 14 + (i % 20))
+                for i in range(30)
+            ],
+            TS_ASC,
+        )
+        expected = canon(serial_run(entry, xs, ys, "tuple"))
+        outcome = execute_parallel(
+            entry,
+            xs,
+            ys,
+            shards=2,
+            policy=RecoveryPolicy.DEGRADE,
+            workspace_budget=8,
+            mode="inline",
+        )
+        # Degradation healed the output: still identical to serial.
+        assert canon(outcome.results) == expected
+        degraded = [r for r in outcome.shard_runs if r.degraded]
+        clean = [r for r in outcome.shard_runs if not r.degraded]
+        assert degraded, "the dense shard never overflowed"
+        assert clean, "overflow leaked into the sparse shard"
+        # Per-shard accounting keeps the blast radius visible: fallbacks
+        # are recorded on the shard that took them, not smeared.
+        assert sum(r.fallbacks for r in outcome.shard_runs) == len(
+            outcome.report.fallbacks
+        )
+        assert outcome.report.workspace_overflows == len(degraded)
+
+
+class TestProcessModeDifferential:
+    """The fork pool path must agree with inline for a representative
+    spread of shapes (join pairs, semijoin, self-semijoin)."""
+
+    @pytest.mark.parametrize(
+        "operator",
+        [
+            TemporalOperator.CONTAIN_JOIN,
+            TemporalOperator.CONTAIN_SEMIJOIN,
+            TemporalOperator.SELF_CONTAIN_SEMIJOIN,
+        ],
+    )
+    def test_process_matches_inline(self, operator, small_inputs):
+        entry = next(iter(_entries_for(operator)))
+        x_raw, y_raw = small_inputs
+        xs, ys = sorted_inputs(entry, x_raw, y_raw)
+        inline = execute_parallel(
+            entry, xs, ys, shards=WORKERS, mode="inline"
+        )
+        process = execute_parallel(
+            entry,
+            xs,
+            ys,
+            shards=WORKERS,
+            workers=WORKERS,
+            mode="process",
+        )
+        assert canon(process.results) == canon(inline.results)
+        assert process.mode in ("process", "inline")
+
+
+def _entries_for(operator):
+    return [e for e in CELLS if e.operator is operator]

@@ -1,0 +1,135 @@
+"""Executor mechanics: fork-pool mode, STRICT propagation from
+workers, shard-span emission, and max-vs-sum metric merging."""
+
+import pytest
+
+from repro.errors import ExecutionError, StorageFaultError
+from repro.model import TS_ASC, sort_tuples
+from repro.obs.metrics import (
+    MetricsRegistry,
+    install_registry,
+    uninstall_registry,
+)
+from repro.obs.trace import Tracer, set_tracer
+from repro.parallel import execute_parallel
+from repro.resilience import FaultPlan, RecoveryPolicy, RetryPolicy
+from repro.streams import TemporalOperator, lookup
+
+from .conftest import canon, make_tuples, serial_run
+
+
+def contain_entry():
+    return lookup(TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC)
+
+
+def inputs():
+    xs = sort_tuples(make_tuples("x", 80, seed=31), TS_ASC)
+    ys = sort_tuples(make_tuples("y", 80, seed=32), TS_ASC)
+    return xs, ys
+
+
+class TestProcessMode:
+    def test_pool_smoke_matches_serial(self):
+        entry = contain_entry()
+        xs, ys = inputs()
+        expected = canon(serial_run(entry, xs, ys, "tuple"))
+        outcome = execute_parallel(
+            entry, xs, ys, shards=2, workers=2, mode="process"
+        )
+        assert canon(outcome.results) == expected
+        assert outcome.mode in ("process", "inline")
+        assert len(outcome.shard_runs) == outcome.plan.effective_shards
+        assert all(r.output_count >= 0 for r in outcome.shard_runs)
+
+    def test_strict_fault_propagates_from_worker(self):
+        """A never-healing page under STRICT must surface the original
+        StorageFaultError through the pool, not a pickling wrapper."""
+        entry = contain_entry()
+        xs, ys = inputs()
+        plan = FaultPlan(
+            seed=0,
+            rate=0.0,
+            persistent=frozenset({("contain-join[tuple].X", 0)}),
+        )
+        with pytest.raises(StorageFaultError):
+            execute_parallel(
+                entry,
+                xs,
+                ys,
+                shards=2,
+                workers=2,
+                policy=RecoveryPolicy.STRICT,
+                fault_plan=plan,
+                retry_policy=RetryPolicy(seed=0, max_attempts=3),
+                page_capacity=8,
+                mode="process",
+            )
+
+    def test_unknown_mode_rejected(self):
+        entry = contain_entry()
+        xs, ys = inputs()
+        with pytest.raises(ExecutionError):
+            execute_parallel(entry, xs, ys, shards=2, mode="threads")
+
+
+class TestShardSpans:
+    @pytest.mark.parametrize("mode", ["inline", "process"])
+    def test_each_shard_gets_a_span(self, mode):
+        entry = contain_entry()
+        xs, ys = inputs()
+        tracer = Tracer("shards")
+        previous = set_tracer(tracer)
+        try:
+            outcome = execute_parallel(
+                entry, xs, ys, shards=3, mode=mode
+            )
+        finally:
+            set_tracer(previous)
+        shard_spans = [
+            s for s in tracer.spans if s.name.startswith("shard:")
+        ]
+        assert len(shard_spans) == outcome.plan.effective_shards
+        for span in shard_spans:
+            assert span.attributes["passes_x"] <= 1
+            assert "owned_lo" in span.attributes
+            assert "wall_ms" in span.attributes
+        parallel_spans = [
+            s for s in tracer.spans if s.name.startswith("parallel:")
+        ]
+        assert len(parallel_spans) == 1
+        assert parallel_spans[0].attributes["output_count"] == len(
+            outcome.results
+        )
+
+
+class TestMergedAccounting:
+    def test_passes_take_shard_max_not_sum(self):
+        """Four single-scan shards must still report a single scan —
+        the Tables 1-3 bound is shard-local, so merging sums would
+        fabricate a violation that never happened."""
+        entry = contain_entry()
+        xs, ys = inputs()
+        outcome = execute_parallel(
+            entry, xs, ys, shards=4, mode="inline"
+        )
+        assert outcome.metrics.passes_x == 1
+        assert outcome.metrics.passes_y == 1
+        # Totals do sum: every shard's reads are real work.
+        assert outcome.metrics.tuples_read_x == sum(
+            len(s.x) for s in outcome.plan.shards
+        )
+
+    def test_registry_counters_bumped(self):
+        entry = contain_entry()
+        xs, ys = inputs()
+        install_registry(MetricsRegistry())
+        try:
+            execute_parallel(entry, xs, ys, shards=3, mode="inline")
+            from repro.obs.metrics import active_registry
+
+            dump = active_registry().to_prometheus()
+        finally:
+            uninstall_registry()
+        assert "repro_parallel_runs_total" in dump
+        assert "repro_parallel_shards_total" in dump
+        assert "repro_parallel_skew_ratio" in dump

@@ -1,0 +1,219 @@
+"""Unit tests for the time-domain range partitioner."""
+
+import pytest
+
+from .conftest import make_tuples, tie_heavy_tuples
+
+from repro.errors import ExecutionError
+from repro.model import TS_ASC, TS_TE_ASC, sort_tuples
+from repro.model.tuples import TemporalTuple
+from repro.parallel import (
+    OwnedAggregates,
+    PartitionTag,
+    necessity_window,
+    partition,
+    slice_bounds,
+)
+from repro.streams import TemporalOperator, lookup
+from repro.streams.registry import supported_entries
+
+
+def T(name, ts, te):
+    return TemporalTuple(name, name, ts, te)
+
+
+class TestSliceBounds:
+    def test_even_split(self):
+        assert slice_bounds(9, 3) == [(0, 3), (3, 6), (6, 9)]
+
+    def test_remainder_spread(self):
+        bounds = slice_bounds(10, 3)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 10
+        assert all(hi > lo for lo, hi in bounds)
+        assert [lo for lo, _ in bounds[1:]] == [hi for _, hi in bounds[:-1]]
+        assert sum(hi - lo for lo, hi in bounds) == 10
+
+    def test_more_shards_than_tuples_drops_empties(self):
+        bounds = slice_bounds(2, 5)
+        assert sum(hi - lo for lo, hi in bounds) == 2
+        assert all(hi > lo for lo, hi in bounds)
+        assert len(bounds) <= 2
+
+    def test_single_shard(self):
+        assert slice_bounds(7, 1) == [(0, 7)]
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ExecutionError):
+            slice_bounds(4, 0)
+
+
+class TestAggregates:
+    def test_of(self):
+        agg = OwnedAggregates.of([T("a", 1, 9), T("b", 4, 5), T("c", 2, 7)])
+        assert (agg.min_ts, agg.max_ts) == (1, 4)
+        assert (agg.min_te, agg.max_te) == (5, 9)
+
+
+class TestNecessityWindows:
+    AGG = OwnedAggregates(min_ts=10, max_ts=20, min_te=15, max_te=40)
+
+    def test_contain_window_is_superset_of_predicate(self):
+        # x contains y needs x.ts < y.ts and y.te < x.te: any y inside
+        # some owned lifespan satisfies ts >= minTS and te <= maxTE.
+        window = necessity_window(TemporalOperator.CONTAIN_JOIN, self.AGG)
+        assert window(T("in", 12, 30))
+        assert window(T("edge", 10, 40))  # non-strict at the boundary
+        assert not window(T("early", 9, 30))
+        assert not window(T("late", 12, 41))
+
+    def test_contained_window_mirrors(self):
+        window = necessity_window(
+            TemporalOperator.CONTAINED_SEMIJOIN, self.AGG
+        )
+        assert window(T("covers", 5, 50))
+        assert window(T("edge-start", 20, 50))  # non-strict at max_ts
+        assert window(T("edge-end", 5, 15))  # non-strict at min_te
+        assert not window(T("starts-after-owned", 21, 50))
+        assert not window(T("ends-before-owned", 5, 14))
+
+    def test_overlap_window(self):
+        window = necessity_window(TemporalOperator.OVERLAP_JOIN, self.AGG)
+        assert window(T("spans", 5, 50))
+        assert window(T("touch-left", 5, 10))   # non-strict supersets
+        assert window(T("touch-right", 40, 50))
+        assert not window(T("before", 1, 9))
+        assert not window(T("after", 41, 50))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExecutionError):
+            necessity_window(TemporalOperator.BEFORE_SEMIJOIN, self.AGG)
+
+
+class TestWindowedPartition:
+    def entry(self):
+        return lookup(TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC)
+
+    def test_x_owned_exactly_once(self):
+        xs = sort_tuples(make_tuples("x", 50, seed=1), TS_ASC)
+        ys = sort_tuples(make_tuples("y", 60, seed=2), TS_ASC)
+        plan = partition(self.entry(), xs, ys, shards=4)
+        rebuilt = [t for shard in plan.shards for t in shard.x]
+        assert rebuilt == xs
+        assert plan.cuts == [s.owned_lo for s in plan.shards[1:]]
+
+    def test_shard_y_is_sorted_subsequence(self):
+        xs = sort_tuples(make_tuples("x", 50, seed=1), TS_ASC)
+        ys = sort_tuples(make_tuples("y", 60, seed=2), TS_ASC)
+        plan = partition(self.entry(), xs, ys, shards=3)
+        for shard in plan.shards:
+            positions = [ys.index(t) for t in shard.y]
+            assert positions == sorted(positions)
+
+    def test_replication_accounting(self):
+        xs = sort_tuples(make_tuples("x", 40, seed=3), TS_ASC)
+        ys = sort_tuples(make_tuples("y", 40, seed=4), TS_ASC)
+        plan = partition(self.entry(), xs, ys, shards=4)
+        shipped = sum(len(s.y) for s in plan.shards)
+        assert plan.shipped_total == shipped
+        # shipped = distinct-needed + replicated copies
+        distinct_needed = len(
+            {id(t) for s in plan.shards for t in s.y}
+        )
+        assert plan.replicated_total == shipped - distinct_needed
+        assert plan.boundary_spanning <= distinct_needed
+        assert plan.skew_ratio >= 1.0
+
+    def test_missing_y_rejected(self):
+        xs = sort_tuples(make_tuples("x", 10, seed=1), TS_ASC)
+        with pytest.raises(ExecutionError):
+            partition(self.entry(), xs, None, shards=2)
+
+    def test_tie_heavy_cuts_keep_single_ownership(self):
+        # Many tuples share TS exactly where positional cuts land.
+        xs = sort_tuples(tie_heavy_tuples("x", 64, seed=9), TS_ASC)
+        ys = sort_tuples(tie_heavy_tuples("y", 64, seed=10), TS_ASC)
+        plan = partition(self.entry(), xs, ys, shards=7)
+        seen = []
+        for shard in plan.shards:
+            assert xs[shard.owned_lo : shard.owned_hi] == shard.x
+            seen.extend(shard.x)
+        assert seen == xs
+
+
+class TestBeforePartition:
+    def test_single_representative(self):
+        from repro.model import TE_ASC
+
+        entry = next(
+            e
+            for e in supported_entries(TemporalOperator.BEFORE_SEMIJOIN)
+        )
+        xs = sort_tuples(make_tuples("x", 30, seed=1), entry.x_order)
+        ys = sort_tuples(make_tuples("y", 30, seed=2), entry.y_order)
+        plan = partition(entry, xs, ys, shards=3)
+        latest = max(ys, key=lambda t: t.valid_from)
+        for shard in plan.shards:
+            assert shard.y == [latest]
+        assert plan.replicated_total == len(plan.shards) - 1
+        assert plan.boundary_spanning == 1
+
+    def test_empty_y(self):
+        entry = next(
+            e
+            for e in supported_entries(TemporalOperator.BEFORE_SEMIJOIN)
+        )
+        xs = sort_tuples(make_tuples("x", 10, seed=1), entry.x_order)
+        plan = partition(entry, xs, [], shards=2)
+        for shard in plan.shards:
+            assert shard.y == []
+        assert plan.replicated_total == 0
+
+
+class TestSelfPartition:
+    def test_tags_and_owner_coverage(self):
+        entry = lookup(
+            TemporalOperator.SELF_CONTAINED_SEMIJOIN, TS_TE_ASC, None
+        )
+        xs = sort_tuples(make_tuples("x", 40, seed=7), TS_TE_ASC)
+        plan = partition(entry, xs, shards=4)
+        for shard in plan.shards:
+            assert shard.y is None
+            owned_tags = {
+                t.value.index
+                for t in shard.x
+                if shard.owns(t.value.index)
+            }
+            # every owned position is present in the shard input
+            assert owned_tags == set(
+                range(shard.owned_lo, shard.owned_hi)
+            )
+            for t in shard.x:
+                assert isinstance(t.value, PartitionTag)
+                original = xs[t.value.index]
+                assert (t.valid_from, t.valid_to) == (
+                    original.valid_from,
+                    original.valid_to,
+                )
+
+    def test_k1_is_whole_relation(self):
+        entry = lookup(
+            TemporalOperator.SELF_CONTAIN_SEMIJOIN, TS_TE_ASC, None
+        )
+        xs = sort_tuples(make_tuples("x", 25, seed=8), TS_TE_ASC)
+        plan = partition(entry, xs, shards=1)
+        assert plan.effective_shards == 1
+        assert len(plan.shards[0].x) == len(xs)
+        assert plan.replicated_total == 0
+
+
+class TestPlanDict:
+    def test_as_dict_round_trips(self):
+        entry = lookup(TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC)
+        xs = sort_tuples(make_tuples("x", 30, seed=1), TS_ASC)
+        ys = sort_tuples(make_tuples("y", 30, seed=2), TS_ASC)
+        plan = partition(entry, xs, ys, shards=3)
+        d = plan.as_dict()
+        assert d["operator"] == "contain-join"
+        assert d["effective_shards"] == len(plan.shards)
+        assert len(d["shard_sizes"]) == len(plan.shards)
+        assert d["cuts"] == plan.cuts

@@ -111,3 +111,85 @@ class TestExternalSort:
         out = result.output.records()
         assert TS_TE_ASC.is_sorted(out)
         assert sorted(t.value for t in out) == sorted(t.value for t in data)
+
+
+class TestPresortedSkip:
+    def sorted_file(self, n=60):
+        data = sorted(random_tuples(n), key=lambda t: (t.valid_from,))
+        return load(data), data
+
+    def test_sorted_input_skips_the_sort(self):
+        f, data = self.sorted_file()
+        result = external_sort(f, TS_ASC, memory_pages=3)
+        assert result.skipped_presorted
+        assert result.output is f
+        assert result.runs_generated == 0
+        assert result.merge_passes == 0
+        # One pass total: the verification scan.
+        assert result.total_passes == 1
+        assert result.output.records() == data
+
+    def test_skip_charges_only_the_verification_scan(self):
+        f, _ = self.sorted_file()
+        stats = IOStats()
+        external_sort(f, TS_ASC, memory_pages=3, stats=stats)
+        assert stats.page_reads == f.num_pages
+        assert stats.page_writes == 0
+
+    def test_unsorted_input_pays_partial_check_then_sorts(self):
+        f = load(random_tuples(80))
+        stats = IOStats()
+        result = external_sort(f, TS_ASC, memory_pages=3, stats=stats)
+        assert not result.skipped_presorted
+        assert result.runs_generated > 0
+        assert TS_ASC.is_sorted(result.output.records())
+        # The early-exit check gave up before a full pass.
+        assert stats.page_writes >= f.num_pages
+
+    def test_presort_check_can_be_disabled(self):
+        f, _ = self.sorted_file()
+        result = external_sort(
+            f, TS_ASC, memory_pages=3, presort_check=False
+        )
+        assert not result.skipped_presorted
+        assert result.runs_generated > 0
+        assert result.output is not f
+
+    def test_skip_counter_bumped(self):
+        from repro.obs.metrics import (
+            MetricsRegistry,
+            install_registry,
+            uninstall_registry,
+        )
+
+        f, _ = self.sorted_file()
+        install_registry(MetricsRegistry())
+        try:
+            external_sort(f, TS_ASC, memory_pages=3)
+            from repro.obs.metrics import active_registry
+
+            dump = active_registry().to_prometheus()
+        finally:
+            uninstall_registry()
+        assert "repro_sort_presorted_skips_total 1" in dump
+
+
+class TestParallelRunGeneration:
+    def test_worker_output_identical_to_inline(self):
+        data = random_tuples(200, seed=11)
+        inline = external_sort(
+            load(data), TS_TE_ASC, memory_pages=3
+        )
+        forked = external_sort(
+            load(data), TS_TE_ASC, memory_pages=3, run_sort_workers=4
+        )
+        assert forked.output.records() == inline.output.records()
+        assert forked.runs_generated == inline.runs_generated
+        assert TS_TE_ASC.is_sorted(forked.output.records())
+
+    def test_single_worker_is_default_path(self):
+        data = random_tuples(50, seed=12)
+        result = external_sort(
+            load(data), TS_ASC, memory_pages=3, run_sort_workers=1
+        )
+        assert TS_ASC.is_sorted(result.output.records())
