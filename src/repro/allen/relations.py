@@ -11,7 +11,12 @@ from __future__ import annotations
 
 import enum
 
-from ..model.interval import Interval
+from ..model.interval import (
+    Interval,
+    ends_before_start,
+    ends_strictly_before,
+    starts_strictly_before,
+)
 
 
 class AllenRelation(enum.Enum):
@@ -117,9 +122,9 @@ def classify(x: Interval, y: Interval) -> AllenRelation:
 
     Decides by comparing the four endpoints; total over valid intervals.
     """
-    if x.end < y.start:
+    if ends_before_start(x, y):
         return AllenRelation.BEFORE
-    if y.end < x.start:
+    if ends_before_start(y, x):
         return AllenRelation.AFTER
     if x.end == y.start:
         return AllenRelation.MEETS
@@ -130,22 +135,26 @@ def classify(x: Interval, y: Interval) -> AllenRelation:
         if x.end == y.end:
             return AllenRelation.EQUAL
         return (
-            AllenRelation.STARTS if x.end < y.end else AllenRelation.STARTED_BY
+            AllenRelation.STARTS
+            if ends_strictly_before(x, y)
+            else AllenRelation.STARTED_BY
         )
     if x.end == y.end:
         return (
             AllenRelation.FINISHES
-            if x.start > y.start
+            if starts_strictly_before(y, x)
             else AllenRelation.FINISHED_BY
         )
-    if x.start < y.start:
+    if starts_strictly_before(x, y):
         return (
             AllenRelation.CONTAINS
-            if x.end > y.end
+            if ends_strictly_before(y, x)
             else AllenRelation.OVERLAPS
         )
     return (
-        AllenRelation.DURING if x.end < y.end else AllenRelation.OVERLAPPED_BY
+        AllenRelation.DURING
+        if ends_strictly_before(x, y)
+        else AllenRelation.OVERLAPPED_BY
     )
 
 

@@ -1,0 +1,148 @@
+"""``mypy --strict`` with a tracked error baseline.
+
+The repo predates strict typing, so strictness is introduced as a
+ratchet instead of a flag-day: the checked-in baseline
+(``mypy_baseline.json``) records the tolerated error count, the gate
+fails only when the count *rises*, and shrinking the count is a
+one-command baseline update.  Where mypy is not installed (the
+default dev container deliberately carries no extra toolchain) the
+gate reports and exits 0 unless ``--require`` is given — CI passes
+``--require`` after installing the ``dev`` extra.
+
+Baseline schema::
+
+    {"max_errors": 123, "bootstrap": false, "command": [...]}
+
+``bootstrap: true`` (with ``max_errors: null``) means no baseline has
+been pinned yet: the gate prints the observed count and asks for
+``--update-baseline``, succeeding either way so the ratchet can be
+bootstrapped from an environment that actually has mypy.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+BASELINE_PATH = Path(__file__).with_name("mypy_baseline.json")
+
+#: The exact invocation the baseline count refers to.
+MYPY_COMMAND = ["mypy", "--strict", "--no-error-summary", "src/repro"]
+
+
+def load_baseline(path: Path = BASELINE_PATH) -> dict:
+    with path.open(encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def count_errors(output: str) -> int:
+    """Count mypy error lines (``path:line: error: ...``)."""
+    return sum(
+        1 for line in output.splitlines() if ": error:" in line
+    )
+
+
+def run_mypy(cwd: Optional[Path] = None) -> Optional[str]:
+    """Run mypy and return its combined output, or ``None`` when mypy
+    is not installed."""
+    if shutil.which("mypy") is None:
+        return None
+    result = subprocess.run(
+        MYPY_COMMAND,
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return result.stdout + result.stderr
+
+
+def gate(
+    require: bool = False,
+    update_baseline: bool = False,
+    cwd: Optional[Path] = None,
+    baseline_path: Path = BASELINE_PATH,
+    out=sys.stdout,
+) -> int:
+    """Enforce the baseline.  Returns a process exit code."""
+    baseline = load_baseline(baseline_path)
+    output = run_mypy(cwd=cwd)
+    if output is None:
+        message = (
+            "mypy is not installed; install the 'dev' extra "
+            "(pip install -e '.[dev]') to run the strict gate"
+        )
+        if require:
+            print(f"mypy gate FAIL: {message}", file=out)
+            return 1
+        print(f"mypy gate SKIPPED: {message}", file=out)
+        return 0
+    errors = count_errors(output)
+    if update_baseline:
+        baseline = {
+            "max_errors": errors,
+            "bootstrap": False,
+            "command": MYPY_COMMAND,
+        }
+        baseline_path.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"mypy baseline updated: {errors} errors pinned", file=out)
+        return 0
+    limit = baseline.get("max_errors")
+    if baseline.get("bootstrap") or limit is None:
+        print(output, file=out, end="")
+        print(
+            f"mypy gate BOOTSTRAP: {errors} errors observed, no baseline "
+            "pinned yet; run with --update-baseline to pin it",
+            file=out,
+        )
+        return 0
+    if errors > limit:
+        print(output, file=out, end="")
+        print(
+            f"mypy gate FAIL: {errors} errors > baseline {limit}; fix the "
+            "new errors or (only for pre-existing debt) re-pin with "
+            "--update-baseline",
+            file=out,
+        )
+        return 1
+    if errors < limit:
+        print(
+            f"mypy gate OK: {errors} errors <= baseline {limit} — the "
+            "count dropped, consider re-pinning with --update-baseline",
+            file=out,
+        )
+    else:
+        print(f"mypy gate OK: {errors} errors (baseline {limit})", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.mypy_gate",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--require",
+        action="store_true",
+        help="fail (instead of skipping) when mypy is not installed",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="pin the current error count as the new baseline",
+    )
+    args = parser.parse_args(argv)
+    return gate(require=args.require, update_baseline=args.update_baseline)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

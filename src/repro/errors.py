@@ -52,6 +52,13 @@ class PlanningError(ReproError):
     """Raised when the optimizer cannot produce a physical plan."""
 
 
+class PlanStateError(PlanningError):
+    """Raised when a planner object's internal invariant is violated —
+    e.g. a plan asked to describe its chosen registry entry before one
+    was selected.  Always a planner bug; raised as a typed exception so
+    the invariant survives ``python -O`` (which strips ``assert``)."""
+
+
 class UnsupportedSortOrderError(PlanningError):
     """Raised when a stream operator is asked to run on sort orders for
     which no bounded-workspace algorithm exists (the '-' entries in the
@@ -71,6 +78,21 @@ class ExecutionError(ReproError):
 class StreamOrderError(ExecutionError):
     """Raised when a stream's tuples are observed to violate the sort
     order the stream declared."""
+
+
+class StreamStateError(ExecutionError):
+    """Raised when a :class:`~repro.streams.stream.TupleStream` detects
+    an impossible internal state (e.g. no open iterator mid-advance) —
+    the stream-machinery sibling of :class:`StreamOrderError`, typed so
+    the invariant survives ``python -O``."""
+
+
+class ProcessorStateError(ExecutionError):
+    """Raised when a stream processor's internal invariant is violated
+    — a binary operator run without its Y stream, a sweep consuming
+    from an empty buffer, an advancement policy with no fallback.
+    Always a processor bug, never a data problem; typed (rather than a
+    bare ``assert``) so the check survives ``python -O``."""
 
 
 class WorkspaceStateError(ExecutionError):

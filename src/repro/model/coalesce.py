@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Optional
 
-from .interval import Interval
+from .interval import Interval, lifespan_key
 from .relation import TemporalRelation
 from .tuples import TemporalTuple
 
@@ -35,7 +35,7 @@ def coalesce(relation: TemporalRelation) -> TemporalRelation:
     for tup in relation:
         groups.setdefault((tup.surrogate, tup.value), []).append(tup)
     for (surrogate, value), tuples in groups.items():
-        tuples.sort(key=lambda t: (t.valid_from, t.valid_to))
+        tuples.sort(key=lifespan_key)
         current: Optional[Interval] = None
         for tup in tuples:
             span = tup.interval
@@ -64,7 +64,7 @@ def is_coalesced(relation: TemporalRelation) -> bool:
     for tup in relation:
         groups.setdefault((tup.surrogate, tup.value), []).append(tup)
     for tuples in groups.values():
-        tuples.sort(key=lambda t: (t.valid_from, t.valid_to))
+        tuples.sort(key=lifespan_key)
         for prev, cur in zip(tuples, tuples[1:]):
             if prev.interval.union(cur.interval) is not None:
                 return False

@@ -27,6 +27,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Hashable, Iterable
 
 from ..errors import IntegrityViolationError
+from .interval import (
+    ends_after,
+    is_valid_lifespan,
+    lifespan_key,
+    starts_before,
+)
 from .tuples import TemporalTuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -52,7 +58,7 @@ def _tuples_by_surrogate(
     for tup in tuples:
         grouped[tup.surrogate].append(tup)
     for history in grouped.values():
-        history.sort(key=lambda t: (t.valid_from, t.valid_to))
+        history.sort(key=lifespan_key)
     return grouped
 
 
@@ -97,7 +103,7 @@ class IntraTupleConstraint(Constraint):
                 (tup,),
             )
             for tup in relation
-            if not tup.valid_from < tup.valid_to
+            if not is_valid_lifespan(tup)
         ]
 
 
@@ -112,7 +118,7 @@ class SnapshotUniqueness(Constraint):
         violations: list[Violation] = []
         for surrogate, history in _tuples_by_surrogate(relation).items():
             for prev, cur in zip(history, history[1:]):
-                if cur.valid_from < prev.valid_to:
+                if starts_before(cur, prev.valid_to):
                     violations.append(
                         Violation(
                             self.name,
@@ -193,7 +199,7 @@ class ChronologicalOrdering(Constraint):
                                 (prev, cur),
                             )
                         )
-                    elif prev.valid_to > cur.valid_from:
+                    elif ends_after(prev, cur.valid_from):
                         violations.append(
                             Violation(
                                 self.name,

@@ -22,10 +22,23 @@ Note the two distinct notions of "overlap" used by the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Protocol
 
 from ..errors import InvalidIntervalError
 from .time_domain import Timepoint, validate_timepoint
+
+
+class HasLifespan(Protocol):
+    """Anything carrying a half-open lifespan ``[valid_from, valid_to)``
+    — :class:`~repro.model.tuples.TemporalTuple`, multi-attribute and
+    bitemporal tuples, and (via its alias properties) :class:`Interval`
+    itself."""
+
+    @property
+    def valid_from(self) -> Timepoint: ...
+
+    @property
+    def valid_to(self) -> Timepoint: ...
 
 
 @dataclass(frozen=True, slots=True, order=True)
@@ -51,6 +64,18 @@ class Interval:
     # ------------------------------------------------------------------
     # basic geometry
     # ------------------------------------------------------------------
+    @property
+    def valid_from(self) -> Timepoint:
+        """Alias for :attr:`start`, so intervals satisfy the
+        :class:`HasLifespan` protocol used by the tie-safe comparators
+        below."""
+        return self.start
+
+    @property
+    def valid_to(self) -> Timepoint:
+        """Alias for :attr:`end` (see :attr:`valid_from`)."""
+        return self.end
+
     @property
     def duration(self) -> int:
         """Number of timepoints in the interval (``end - start``)."""
@@ -177,3 +202,137 @@ class Interval:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"[{self.start}, {self.end})"
+
+
+# ----------------------------------------------------------------------
+# Tie-safe endpoint comparators
+# ----------------------------------------------------------------------
+# Under the half-open convention ``[ValidFrom, ValidTo)`` the choice
+# between ``<`` and ``<=`` at an endpoint tie IS the operator semantics:
+# ``a.TE <= b.TS`` means "a is over before b begins" (Allen meets-or-
+# before), while ``a.TE < b.TS`` additionally requires a gap (Allen
+# before).  PR 1's tie-semantics audit fixed several kernels that had
+# the wrong strictness at exactly these boundaries.  To keep that from
+# drifting back in, every comparison of interval endpoints outside this
+# module must go through the named comparators below — rule REP001 of
+# ``repro.analysis`` enforces it.
+#
+# Two families:
+#
+# * *point form* — compare one endpoint against a sweep position (an
+#   ``int`` timepoint or a ``float`` expected-key estimate);
+# * *lifespan form* — compare the endpoints of two lifespan carriers.
+#
+# All of them are trivial one-liners on purpose: the value is the
+# single, named, tested definition, not the code.
+
+# -- point form --------------------------------------------------------
+def starts_by(t: HasLifespan, point: float) -> bool:
+    """``t.ValidFrom <= point`` — ``t`` has started by ``point``."""
+    return t.valid_from <= point
+
+
+def starts_before(t: HasLifespan, point: float) -> bool:
+    """``t.ValidFrom < point`` — ``t`` started strictly before."""
+    return t.valid_from < point
+
+
+def starts_after(t: HasLifespan, point: float) -> bool:
+    """``t.ValidFrom > point`` — ``t`` starts strictly after."""
+    return t.valid_from > point
+
+
+def starts_at_or_after(t: HasLifespan, point: float) -> bool:
+    """``t.ValidFrom >= point``."""
+    return t.valid_from >= point
+
+
+def ends_by(t: HasLifespan, point: float) -> bool:
+    """``t.ValidTo <= point`` — the half-open lifespan is over at
+    ``point`` (a tuple ending exactly at the sweep position is dead)."""
+    return t.valid_to <= point
+
+
+def ends_before(t: HasLifespan, point: float) -> bool:
+    """``t.ValidTo < point`` — over, with a gap before ``point``."""
+    return t.valid_to < point
+
+
+def ends_after(t: HasLifespan, point: float) -> bool:
+    """``t.ValidTo > point`` — still live strictly past ``point``."""
+    return t.valid_to > point
+
+
+def ends_at_or_after(t: HasLifespan, point: float) -> bool:
+    """``t.ValidTo >= point``."""
+    return t.valid_to >= point
+
+
+def covers_point(t: HasLifespan, point: float) -> bool:
+    """``t.ValidFrom <= point < t.ValidTo`` — membership under the
+    half-open convention (the endpoint itself is NOT covered)."""
+    return t.valid_from <= point < t.valid_to
+
+
+def is_valid_lifespan(t: HasLifespan) -> bool:
+    """The intra-tuple integrity constraint ``ValidFrom < ValidTo``."""
+    return t.valid_from < t.valid_to
+
+
+def lifespan_key(t: HasLifespan) -> tuple:
+    """The canonical ``(ValidFrom, ValidTo)`` sort key — primary on
+    ValidFrom, ties broken on ValidTo, exactly the Section-4.2.3
+    ordering.  Use as ``sorted(..., key=lifespan_key)`` instead of an
+    inline endpoint lambda."""
+    return (t.valid_from, t.valid_to)
+
+
+# -- lifespan form -----------------------------------------------------
+def starts_no_later(a: HasLifespan, b: HasLifespan) -> bool:
+    """``a.TS <= b.TS`` — ``a`` starts no later than ``b``; ties count.
+    The Section-4.2.1 disposal test "every future Y starts at or after
+    ``b.TS``, so it cannot start strictly before ``a``"."""
+    return a.valid_from <= b.valid_from
+
+
+def starts_strictly_before(a: HasLifespan, b: HasLifespan) -> bool:
+    """``a.TS < b.TS`` — strict start precedence (ties excluded)."""
+    return a.valid_from < b.valid_from
+
+
+def ends_no_later(a: HasLifespan, b: HasLifespan) -> bool:
+    """``a.TE <= b.TE`` — ``a`` ends no later than ``b``; ties count."""
+    return a.valid_to <= b.valid_to
+
+
+def ends_strictly_before(a: HasLifespan, b: HasLifespan) -> bool:
+    """``a.TE < b.TE`` — strict end precedence (ties excluded)."""
+    return a.valid_to < b.valid_to
+
+
+def ends_by_start(a: HasLifespan, b: HasLifespan) -> bool:
+    """``a.TE <= b.TS`` — the lifespans are disjoint with ``a`` first
+    (half-open: touching endpoints do NOT share a timepoint).  The
+    canonical garbage-collection criterion of the sweep algorithms."""
+    return a.valid_to <= b.valid_from
+
+
+def ends_before_start(a: HasLifespan, b: HasLifespan) -> bool:
+    """``a.TE < b.TS`` — Allen's *before*: a gap separates the
+    lifespans (stricter than :func:`ends_by_start`)."""
+    return a.valid_to < b.valid_from
+
+
+def contains_lifespan(a: HasLifespan, b: HasLifespan) -> bool:
+    """``a.TS < b.TS and b.TE < a.TE`` — ``a`` strictly contains ``b``
+    (the Contain-join condition of Section 4.2.1; both inequalities
+    strict, so sharing either endpoint is not containment)."""
+    return a.valid_from < b.valid_from and b.valid_to < a.valid_to
+
+
+def lifespans_intersect(a: HasLifespan, b: HasLifespan) -> bool:
+    """``a.TS < b.TE and b.TS < a.TE`` — the TQuel/Snodgrass *overlap*:
+    the lifespans share at least one timepoint.  Meeting endpoints
+    (``a.TE == b.TS``) do NOT intersect under the half-open
+    convention."""
+    return a.valid_from < b.valid_to and b.valid_from < a.valid_to

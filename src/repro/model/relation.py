@@ -14,6 +14,7 @@ from typing import Any, Callable, Hashable, Iterable, Iterator, Optional
 
 from ..errors import SchemaError
 from .constraints import ConstraintSet, Violation
+from .interval import lifespan_key
 from .sortorder import SortOrder, sort_tuples
 from .tuples import TemporalSchema, TemporalTuple
 
@@ -142,7 +143,7 @@ class TemporalRelation:
         for tup in self.tuples:
             grouped[tup.surrogate].append(tup)
         for history in grouped.values():
-            history.sort(key=lambda t: (t.valid_from, t.valid_to))
+            history.sort(key=lifespan_key)
         return dict(grouped)
 
     def surrogates(self) -> set:

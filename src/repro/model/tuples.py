@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Any, Hashable
 
 from ..errors import SchemaError
-from .interval import Interval
+from .interval import Interval, covers_point
 from .time_domain import Timepoint
 
 #: Canonical names of the two timestamp attributes, with the short
@@ -103,7 +103,7 @@ class TemporalTuple:
 
     def holds_at(self, point: Timepoint) -> bool:
         """True when the tuple's lifespan covers ``point``."""
-        return self.valid_from <= point < self.valid_to
+        return covers_point(self, point)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -27,7 +27,12 @@ from typing import Any, Hashable, Iterable, Iterator, Mapping, Optional
 
 from ..errors import SchemaError, TemporalModelError
 from ..model.coalesce import coalesce
-from ..model.interval import Interval
+from ..model.interval import (
+    Interval,
+    covers_point,
+    lifespan_key,
+    starts_before,
+)
 from ..model.relation import TemporalRelation
 from ..model.tuples import TIMESTAMP_ALIASES, TemporalSchema, TemporalTuple
 
@@ -174,7 +179,7 @@ class MultiAttributeRelation:
         return {
             tup.surrogate: tup.values
             for tup in self.tuples
-            if tup.valid_from <= point < tup.valid_to
+            if covers_point(tup, point)
         }
 
 
@@ -208,11 +213,9 @@ def recompose(
             continue  # some attribute never defined for this object
         timelines = []
         for name in schema.attribute_names:
-            history = sorted(
-                by_attribute[name], key=lambda t: (t.valid_from, t.valid_to)
-            )
+            history = sorted(by_attribute[name], key=lifespan_key)
             for prev, cur in zip(history, history[1:]):
-                if cur.valid_from < prev.valid_to:
+                if starts_before(cur, prev.valid_to):
                     raise TemporalModelError(
                         f"attribute {name!r} of {surrogate!r} has "
                         "overlapping periods; recomposition is ambiguous"
@@ -272,6 +275,6 @@ _UNDEFINED = _Undefined()
 
 def _value_at(history: list[TemporalTuple], point: int) -> Any:
     for tup in history:
-        if tup.valid_from <= point < tup.valid_to:
+        if covers_point(tup, point):
             return tup.value
     return _UNDEFINED

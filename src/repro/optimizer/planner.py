@@ -22,7 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..errors import UnsupportedBackendError, WorkspaceOverflowError
+from ..errors import (
+    PlanStateError,
+    UnsupportedBackendError,
+    WorkspaceOverflowError,
+)
 from ..model.relation import TemporalRelation
 from ..model.sortorder import order_satisfies
 from ..obs.trace import get_tracer
@@ -81,7 +85,10 @@ class Alternative:
     def describe(self) -> str:
         if self.kind == "nested-loop":
             return f"nested-loop (cost {self.estimated_cost:.1f})"
-        assert self.entry is not None
+        if self.entry is None:
+            raise PlanStateError(
+                f"{self.kind} alternative has no registry entry"
+            )
         sorts = []
         if self.sort_x:
             sorts.append(f"sort X by [{self.entry.x_order}]")
@@ -392,7 +399,10 @@ class TemporalJoinPlanner:
         from ..resilience.executor import execute_entry
 
         entry = alternative.entry
-        assert entry is not None
+        if entry is None:
+            raise PlanStateError(
+                f"{alternative.kind} alternative has no registry entry"
+            )
         if alternative.sort_x:
             x_relation = x_relation.sorted_by(entry.x_order)
         if alternative.sort_y and entry.y_order is not None:
@@ -429,7 +439,10 @@ class TemporalJoinPlanner:
         from ..parallel import execute_parallel
 
         entry = alternative.entry
-        assert entry is not None
+        if entry is None:
+            raise PlanStateError(
+                f"{alternative.kind} alternative has no registry entry"
+            )
         if alternative.sort_x:
             x_relation = x_relation.sorted_by(entry.x_order)
         if alternative.sort_y and entry.y_order is not None:
@@ -470,7 +483,10 @@ class TemporalJoinPlanner:
         workspace_budget: Optional[int] = None,
     ):
         entry = alternative.entry
-        assert entry is not None
+        if entry is None:
+            raise PlanStateError(
+                f"{alternative.kind} alternative has no registry entry"
+            )
         if alternative.sort_x:
             x_relation = x_relation.sorted_by(entry.x_order)
         if alternative.sort_y and entry.y_order is not None:

@@ -40,7 +40,7 @@ from array import array
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from ..errors import ExecutionError, ReproError
+from ..errors import ExecutionError, ProcessorStateError, ReproError
 from ..model.tuples import TemporalTuple
 from ..obs.metrics import active_registry
 from ..obs.trace import get_tracer
@@ -223,7 +223,10 @@ def _encode_results(results: list, task: dict, shape: str) -> tuple:
 
 
 def _fork_worker(index: int) -> dict:
-    assert _FORK_TASKS is not None
+    if _FORK_TASKS is None:
+        raise ProcessorStateError(
+            "fork worker started without a published task table"
+        )
     return _run_shard(_FORK_TASKS[index])
 
 

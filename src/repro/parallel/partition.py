@@ -56,6 +56,13 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..errors import ExecutionError
+from ..model.interval import (
+    ends_at_or_after,
+    ends_by,
+    lifespan_key,
+    starts_at_or_after,
+    starts_by,
+)
 from ..model.tuples import TemporalTuple
 from ..streams.registry import RegistryEntry, TemporalOperator
 
@@ -171,25 +178,25 @@ class PartitionPlan:
 #: :mod:`repro.streams.processors.baseline`.
 _WINDOWS: dict = {
     TemporalOperator.CONTAIN_JOIN: lambda a: (
-        lambda y: y.valid_from >= a.min_ts and y.valid_to <= a.max_te
+        lambda y: starts_at_or_after(y, a.min_ts) and ends_by(y, a.max_te)
     ),
     TemporalOperator.CONTAIN_SEMIJOIN: lambda a: (
-        lambda y: y.valid_from >= a.min_ts and y.valid_to <= a.max_te
+        lambda y: starts_at_or_after(y, a.min_ts) and ends_by(y, a.max_te)
     ),
     TemporalOperator.CONTAINED_SEMIJOIN: lambda a: (
-        lambda y: y.valid_from <= a.max_ts and y.valid_to >= a.min_te
+        lambda y: starts_by(y, a.max_ts) and ends_at_or_after(y, a.min_te)
     ),
     TemporalOperator.OVERLAP_JOIN: lambda a: (
-        lambda y: y.valid_to >= a.min_ts and y.valid_from <= a.max_te
+        lambda y: ends_at_or_after(y, a.min_ts) and starts_by(y, a.max_te)
     ),
     TemporalOperator.OVERLAP_SEMIJOIN: lambda a: (
-        lambda y: y.valid_to >= a.min_ts and y.valid_from <= a.max_te
+        lambda y: ends_at_or_after(y, a.min_ts) and starts_by(y, a.max_te)
     ),
     TemporalOperator.SELF_CONTAINED_SEMIJOIN: lambda a: (
-        lambda z: z.valid_from <= a.max_ts and z.valid_to >= a.min_te
+        lambda z: starts_by(z, a.max_ts) and ends_at_or_after(z, a.min_te)
     ),
     TemporalOperator.SELF_CONTAIN_SEMIJOIN: lambda a: (
-        lambda z: z.valid_from >= a.min_ts and z.valid_to <= a.max_te
+        lambda z: starts_at_or_after(z, a.min_ts) and ends_by(z, a.max_te)
     ),
 }
 
@@ -288,7 +295,7 @@ def _partition_before(plan, x, y_tuples, shards) -> None:
     y = list(y_tuples)
     plan.y_total = len(y)
     representative = (
-        [max(y, key=lambda t: t.valid_from)] if y else []
+        [max(y, key=lifespan_key)] if y else []
     )
     for index, (lo, hi) in enumerate(slice_bounds(len(x), shards)):
         owned = x[lo:hi]

@@ -22,6 +22,7 @@ from typing import Any, Callable, Hashable, Iterator, Optional, Sequence
 
 from ..allen.relations import AllenRelation
 from ..errors import StreamOrderError, TemporalModelError
+from ..model.interval import lifespan_key
 from ..model.sortorder import SortOrder
 from ..model.tuples import TemporalTuple
 
@@ -189,7 +190,7 @@ class PatternScan:
     ) -> Iterator[PatternMatch]:
         self.groups_scanned += 1
         self.max_group_size = max(self.max_group_size, len(history))
-        ordered = sorted(history, key=lambda t: (t.valid_from, t.valid_to))
+        ordered = sorted(history, key=lifespan_key)
         steps = self.pattern.steps
         # Frontier of partial matches: tuples matched so far per branch.
         frontier: list[tuple[TemporalTuple, ...]] = [()]

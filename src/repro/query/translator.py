@@ -87,7 +87,8 @@ def translate(
             relation_name, variable, catalog[relation_name].schema
         )
         plan = leaf if plan is None else LProduct(plan, leaf)
-    assert plan is not None  # the parser guarantees >= 1 range
+    if plan is None:
+        raise TranslationError("query has no range declarations")
 
     predicate = (
         translate_condition(query.where)

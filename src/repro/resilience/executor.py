@@ -27,6 +27,7 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import (
     ExecutionError,
+    ProcessorStateError,
     StreamOrderError,
     WorkspaceOverflowError,
 )
@@ -340,7 +341,10 @@ def _finish_by_spill(
     )
     x_spill.extend(x_records)
     inner_records = x_records if shape == "self" else y_records
-    assert inner_records is not None
+    if inner_records is None:
+        raise ProcessorStateError(
+            f"{entry.operator.value} spill fallback needs inner records"
+        )
     inner_spill = (
         x_spill
         if shape == "self"

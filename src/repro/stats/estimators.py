@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from ..model.interval import ends_after, starts_before
 from ..model.relation import TemporalRelation
 from ..model.tuples import TemporalTuple
 
@@ -69,9 +70,9 @@ def collect_statistics(
     for tup in tuples:
         starts.append(tup.valid_from)
         durations.append(tup.duration)
-        if span_start is None or tup.valid_from < span_start:
+        if span_start is None or starts_before(tup, span_start):
             span_start = tup.valid_from
-        if span_end is None or tup.valid_to > span_end:
+        if span_end is None or ends_after(tup, span_end):
             span_end = tup.valid_to
     cardinality = len(starts)
     if cardinality == 0:

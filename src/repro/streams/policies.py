@@ -24,6 +24,7 @@ from __future__ import annotations
 import abc
 from typing import Callable, Optional
 
+from ..errors import ProcessorStateError
 from ..model.tuples import TemporalTuple
 from .workspace import Workspace
 
@@ -120,5 +121,8 @@ class LambdaPolicy(AdvancePolicy):
             return X
         if gain_if_y > gain_if_x:
             return Y
-        assert self._fallback is not None
+        if self._fallback is None:
+            raise ProcessorStateError(
+                "LambdaPolicy has no fallback policy to break the tie"
+            )
         return self._fallback.choose(x_buffer, y_buffer, x_state, y_state)

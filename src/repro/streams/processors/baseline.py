@@ -14,6 +14,12 @@ from __future__ import annotations
 
 from typing import Callable, Iterator
 
+from ...errors import ProcessorStateError
+from ...model.interval import (
+    contains_lifespan,
+    ends_before_start,
+    lifespans_intersect,
+)
 from ...model.tuples import TemporalTuple
 from ..stream import TupleStream
 from .base import StreamProcessor
@@ -38,7 +44,8 @@ class NestedLoopJoin(StreamProcessor):
         self.predicate = predicate
 
     def _execute(self) -> Iterator[tuple[TemporalTuple, TemporalTuple]]:
-        assert self.y is not None
+        if self.y is None:
+            raise ProcessorStateError(f"{self.operator} needs a Y stream")
         while True:
             outer = self.x.advance()
             if outer is None:
@@ -69,7 +76,8 @@ class NestedLoopSemijoin(StreamProcessor):
         self.predicate = predicate
 
     def _execute(self) -> Iterator[TemporalTuple]:
-        assert self.y is not None
+        if self.y is None:
+            raise ProcessorStateError(f"{self.operator} needs a Y stream")
         while True:
             outer = self.x.advance()
             if outer is None:
@@ -114,7 +122,7 @@ class NestedLoopSelfSemijoin(StreamProcessor):
 def contain_predicate(x: TemporalTuple, y: TemporalTuple) -> bool:
     """Contain-join(X,Y): the lifespan of X contains that of Y —
     ``X.TS < Y.TS`` and ``Y.TE < X.TE``."""
-    return x.valid_from < y.valid_from and y.valid_to < x.valid_to
+    return contains_lifespan(x, y)
 
 
 def contained_predicate(x: TemporalTuple, y: TemporalTuple) -> bool:
@@ -125,13 +133,13 @@ def contained_predicate(x: TemporalTuple, y: TemporalTuple) -> bool:
 def overlap_predicate(x: TemporalTuple, y: TemporalTuple) -> bool:
     """The TQuel general overlap of the Superstar query: the lifespans
     share at least one timepoint."""
-    return x.valid_from < y.valid_to and y.valid_from < x.valid_to
+    return lifespans_intersect(x, y)
 
 
 def before_predicate(x: TemporalTuple, y: TemporalTuple) -> bool:
     """Before-join(X,Y): X's lifespan ends before Y's begins, with a
     gap (Allen's *before*: ``X.TE < Y.TS``)."""
-    return x.valid_to < y.valid_from
+    return ends_before_start(x, y)
 
 
 def same_surrogate(x: TemporalTuple, y: TemporalTuple) -> bool:

@@ -24,7 +24,9 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from ...errors import ProcessorStateError
 from ...model import sortorder as so
+from ...model.interval import ends_before, starts_after, starts_no_later
 from ...model.tuples import TemporalTuple
 from ..stream import TupleStream
 from .base import StreamProcessor, ts_key
@@ -67,7 +69,7 @@ class BeforeJoinSweep(SymmetricSweepJoin):
         # A Y state tuple is useful only if a future X can end before
         # its start; future X start at or after x_b.TS and span at
         # least one timepoint.
-        return state_tuple.valid_from <= x_buffer.valid_from
+        return starts_no_later(state_tuple, x_buffer)
 
 
 class BeforeJoinSortedInner(StreamProcessor):
@@ -88,7 +90,8 @@ class BeforeJoinSortedInner(StreamProcessor):
         self._require_order(y, (so.TS_DESC,), "Y")
 
     def _execute(self) -> Iterator[tuple[TemporalTuple, TemporalTuple]]:
-        assert self.y is not None
+        if self.y is None:
+            raise ProcessorStateError(f"{self.operator} needs a Y stream")
         while True:
             outer = self.x.advance()
             if outer is None:
@@ -120,15 +123,16 @@ class BeforeSemijoin(StreamProcessor):
         super().__init__(x, y)
 
     def _execute(self) -> Iterator[TemporalTuple]:
-        assert self.y is not None
+        if self.y is None:
+            raise ProcessorStateError(f"{self.operator} needs a Y stream")
         latest_start: Optional[int] = None
         for y_tuple in self.y.drain():
             self.note_comparison()
-            if latest_start is None or y_tuple.valid_from > latest_start:
+            if latest_start is None or starts_after(y_tuple, latest_start):
                 latest_start = y_tuple.valid_from
         if latest_start is None:
             return
         for x_tuple in self.x.drain():
             self.note_comparison()
-            if x_tuple.valid_to < latest_start:
+            if ends_before(x_tuple, latest_start):
                 yield x_tuple

@@ -31,6 +31,13 @@ from __future__ import annotations
 from typing import Optional
 
 from ...model import sortorder as so
+from ...model.interval import (
+    ends_by,
+    ends_by_start,
+    ends_no_later,
+    starts_by,
+    starts_no_later,
+)
 from ...model.tuples import TemporalTuple
 from ..policies import AdvancePolicy, LambdaPolicy
 from ..stream import TupleStream
@@ -71,10 +78,10 @@ class ContainJoinTsTs(SymmetricSweepJoin):
     y_sweep_key = staticmethod(ts_key)
 
     def x_disposable(self, state_tuple, y_buffer) -> bool:
-        return state_tuple.valid_to <= y_buffer.valid_from
+        return ends_by_start(state_tuple, y_buffer)
 
     def y_disposable(self, state_tuple, x_buffer) -> bool:
-        return state_tuple.valid_from <= x_buffer.valid_from
+        return starts_no_later(state_tuple, x_buffer)
 
     @classmethod
     def lambda_policy(
@@ -91,12 +98,12 @@ class ContainJoinTsTs(SymmetricSweepJoin):
             # ValidFrom at or below the expected next X start become
             # disposable.
             y_disposable_if_x_advances=(
-                lambda y_tup, next_x: y_tup.valid_from <= next_x
+                lambda y_tup, next_x: starts_by(y_tup, next_x)
             ),
             # Advancing Y moves y_b.TS forward; X state tuples ending at
             # or before the expected next Y start become disposable.
             x_disposable_if_y_advances=(
-                lambda x_tup, next_y: x_tup.valid_to <= next_y
+                lambda x_tup, next_y: ends_by(x_tup, next_y)
             ),
         )
 
@@ -132,10 +139,10 @@ class ContainJoinTsTe(SymmetricSweepJoin):
     y_sweep_key = staticmethod(te_key)
 
     def x_disposable(self, state_tuple, y_buffer) -> bool:
-        return state_tuple.valid_to <= y_buffer.valid_to
+        return ends_no_later(state_tuple, y_buffer)
 
     def y_disposable(self, state_tuple, x_buffer) -> bool:
-        return state_tuple.valid_from <= x_buffer.valid_from
+        return starts_no_later(state_tuple, x_buffer)
 
     @classmethod
     def lambda_policy(
@@ -147,9 +154,9 @@ class ContainJoinTsTe(SymmetricSweepJoin):
             ts_key,
             te_key,
             y_disposable_if_x_advances=(
-                lambda y_tup, next_x: y_tup.valid_from <= next_x
+                lambda y_tup, next_x: starts_by(y_tup, next_x)
             ),
             x_disposable_if_y_advances=(
-                lambda x_tup, next_y: x_tup.valid_to <= next_y
+                lambda x_tup, next_y: ends_by(x_tup, next_y)
             ),
         )

@@ -23,7 +23,14 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from ...errors import ProcessorStateError
 from ...model import sortorder as so
+from ...model.interval import (
+    ends_by_start,
+    ends_strictly_before,
+    starts_no_later,
+    starts_strictly_before,
+)
 from ...model.tuples import TemporalTuple
 from ..stream import TupleStream
 from .base import StreamProcessor
@@ -56,7 +63,8 @@ class ContainSemijoinTsTe(StreamProcessor):
         self._require_order(y, (so.TE_ASC,), "Y")
 
     def _execute(self) -> Iterator[TemporalTuple]:
-        assert self.y is not None
+        if self.y is None:
+            raise ProcessorStateError(f"{self.operator} needs a Y stream")
         self.x.advance()
         self.y.advance()
         while self.x.buffer is not None:
@@ -67,9 +75,9 @@ class ContainSemijoinTsTe(StreamProcessor):
                 # future X tuples; with Y exhausted nothing remains.
                 return
             self.note_comparison()
-            if y_buf.valid_from <= x_buf.valid_from:
+            if starts_no_later(y_buf, x_buf):
                 self.y.advance()
-            elif y_buf.valid_to < x_buf.valid_to:
+            elif ends_strictly_before(y_buf, x_buf):
                 yield x_buf
                 self.x.advance()
             else:
@@ -94,7 +102,8 @@ class ContainedSemijoinTeTs(StreamProcessor):
         self._require_order(y, (so.TS_ASC,), "Y")
 
     def _execute(self) -> Iterator[TemporalTuple]:
-        assert self.y is not None
+        if self.y is None:
+            raise ProcessorStateError(f"{self.operator} needs a Y stream")
         self.x.advance()
         self.y.advance()
         while self.y.buffer is not None:
@@ -103,10 +112,10 @@ class ContainedSemijoinTeTs(StreamProcessor):
             if x_buf is None:
                 return
             self.note_comparison()
-            if x_buf.valid_from <= y_buf.valid_from:
+            if starts_no_later(x_buf, y_buf):
                 # No current or future Y starts strictly before x_b.
                 self.x.advance()
-            elif x_buf.valid_to < y_buf.valid_to:
+            elif ends_strictly_before(x_buf, y_buf):
                 yield x_buf
                 self.x.advance()
             else:
@@ -136,7 +145,8 @@ class ContainSemijoinTsTs(StreamProcessor):
         self.x_state = self.new_workspace("x-state")
 
     def _execute(self) -> Iterator[TemporalTuple]:
-        assert self.y is not None
+        if self.y is None:
+            raise ProcessorStateError(f"{self.operator} needs a Y stream")
         self.x.advance()
         self.y.advance()
         while True:
@@ -148,7 +158,7 @@ class ContainSemijoinTsTs(StreamProcessor):
             if x_buf is None and not self.x_state:
                 # X is exhausted and every candidate is decided.
                 return
-            if x_buf is not None and x_buf.valid_from <= y_buf.valid_from:
+            if x_buf is not None and starts_no_later(x_buf, y_buf):
                 self.x_state.insert(x_buf)
                 self.x.advance()
             else:
@@ -164,7 +174,7 @@ class ContainSemijoinTsTs(StreamProcessor):
             y_buf = self.y.buffer
             if y_buf is not None:
                 self.x_state.evict_where(
-                    lambda t: t.valid_to <= y_buf.valid_from
+                    lambda t: ends_by_start(t, y_buf)
                 )
 
 
@@ -187,7 +197,8 @@ class ContainedSemijoinTsTs(StreamProcessor):
         self.y_state = self.new_workspace("y-state")
 
     def _execute(self) -> Iterator[TemporalTuple]:
-        assert self.y is not None
+        if self.y is None:
+            raise ProcessorStateError(f"{self.operator} needs a Y stream")
         self.x.advance()
         self.y.advance()
         while True:
@@ -197,7 +208,7 @@ class ContainedSemijoinTsTs(StreamProcessor):
                 # Remaining Y tuples cannot contain anything still
                 # undecided.
                 return
-            if y_buf is not None and y_buf.valid_from < x_buf.valid_from:
+            if y_buf is not None and starts_strictly_before(y_buf, x_buf):
                 self.y_state.insert(y_buf)
                 self.y.advance()
                 continue
@@ -212,5 +223,5 @@ class ContainedSemijoinTsTs(StreamProcessor):
             x_buf = self.x.buffer
             if x_buf is not None:
                 self.y_state.evict_where(
-                    lambda t: t.valid_to <= x_buf.valid_from
+                    lambda t: ends_by_start(t, x_buf)
                 )

@@ -30,7 +30,9 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, Optional, Sequence
 
+from ...errors import ProcessorStateError
 from ...model import sortorder as so
+from ...model.interval import ends_strictly_before, starts_strictly_before
 from ...model.tuples import TemporalTuple
 from ..stream import TupleStream
 from .base import StreamProcessor, te_key, ts_key
@@ -64,7 +66,8 @@ class EndpointMergeJoin(StreamProcessor):
         self.y_group = self.new_workspace("y-group")
 
     def _execute(self) -> Iterator[tuple[TemporalTuple, TemporalTuple]]:
-        assert self.y is not None
+        if self.y is None:
+            raise ProcessorStateError(f"{self.operator} needs a Y stream")
         self.x.advance()
         self.y.advance()
         while self.x.buffer is not None and self.y.buffer is not None:
@@ -81,7 +84,8 @@ class EndpointMergeJoin(StreamProcessor):
     def _join_groups(
         self, key: int
     ) -> Iterator[tuple[TemporalTuple, TemporalTuple]]:
-        assert self.y is not None
+        if self.y is None:
+            raise ProcessorStateError(f"{self.operator} needs a Y stream")
         while (
             self.x.buffer is not None and self._x_key(self.x.buffer) == key
         ):
@@ -151,7 +155,7 @@ class StartsJoin(EndpointMergeJoin):
             y_key=ts_key,
             x_orders=(so.TS_ASC,),
             y_orders=(so.TS_ASC,),
-            residual=lambda a, b: a.valid_to < b.valid_to,
+            residual=lambda a, b: ends_strictly_before(a, b),
         )
 
 
@@ -169,5 +173,5 @@ class FinishesJoin(EndpointMergeJoin):
             y_key=te_key,
             x_orders=(so.TE_ASC,),
             y_orders=(so.TE_ASC,),
-            residual=lambda a, b: a.valid_from > b.valid_from,
+            residual=lambda a, b: starts_strictly_before(b, a),
         )

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, Optional
 
+from ...errors import ProcessorStateError
 from ...model import sortorder as so
 from ...model.tuples import TemporalTuple
 from ..stream import TupleStream
@@ -47,7 +48,8 @@ class SurrogateMergeJoin(StreamProcessor):
         self.y_group = self.new_workspace("y-group")
 
     def _execute(self) -> Iterator[tuple[TemporalTuple, TemporalTuple]]:
-        assert self.y is not None
+        if self.y is None:
+            raise ProcessorStateError(f"{self.operator} needs a Y stream")
         self.x.advance()
         self.y.advance()
         while self.x.buffer is not None and self.y.buffer is not None:
@@ -66,7 +68,8 @@ class SurrogateMergeJoin(StreamProcessor):
     ) -> Iterator[tuple[TemporalTuple, TemporalTuple]]:
         """Buffer both same-key groups and emit their cross product
         (filtered by the residual predicate)."""
-        assert self.y is not None
+        if self.y is None:
+            raise ProcessorStateError(f"{self.operator} needs a Y stream")
         while (
             self.x.buffer is not None
             and _surrogate_key(self.x.buffer) == key

@@ -21,7 +21,9 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from ...errors import ProcessorStateError
 from ...model import sortorder as so
+from ...model.interval import ends_by_start
 from ...model.tuples import TemporalTuple
 from ..policies import AdvancePolicy
 from ..stream import TupleStream
@@ -58,10 +60,10 @@ class OverlapJoin(SymmetricSweepJoin):
     y_sweep_key = staticmethod(ts_key)
 
     def x_disposable(self, state_tuple, y_buffer) -> bool:
-        return state_tuple.valid_to <= y_buffer.valid_from
+        return ends_by_start(state_tuple, y_buffer)
 
     def y_disposable(self, state_tuple, x_buffer) -> bool:
-        return state_tuple.valid_to <= x_buffer.valid_from
+        return ends_by_start(state_tuple, x_buffer)
 
 
 class OverlapSemijoin(StreamProcessor):
@@ -89,7 +91,8 @@ class OverlapSemijoin(StreamProcessor):
         self._require_order(y, (so.TS_ASC,), "Y")
 
     def _execute(self) -> Iterator[TemporalTuple]:
-        assert self.y is not None
+        if self.y is None:
+            raise ProcessorStateError(f"{self.operator} needs a Y stream")
         self.x.advance()
         self.y.advance()
         while True:
@@ -104,7 +107,7 @@ class OverlapSemijoin(StreamProcessor):
             if overlap_predicate(x_buf, y_buf):
                 yield x_buf
                 self.x.advance()
-            elif y_buf.valid_to <= x_buf.valid_from:
+            elif ends_by_start(y_buf, x_buf):
                 self.y.advance()
             else:
                 self.x.advance()

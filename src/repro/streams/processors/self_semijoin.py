@@ -27,7 +27,14 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from ...errors import ProcessorStateError
 from ...model import sortorder as so
+from ...model.interval import (
+    contains_lifespan,
+    ends_by_start,
+    ends_no_later,
+    ends_strictly_before,
+)
 from ...model.tuples import TemporalTuple
 from ..stream import TupleStream
 from .base import StreamProcessor
@@ -67,11 +74,14 @@ class SelfContainedSemijoin(StreamProcessor):
             if x_buf is None:
                 return
             x_s = self.state.peek()
-            assert x_s is not None
+            if x_s is None:
+                raise ProcessorStateError(
+                    f"{self.operator}: state tuple vanished mid-scan"
+                )
             self.note_comparison()
             if x_s.valid_from == x_buf.valid_from:
                 self.state.replace(x_buf)
-            elif x_s.valid_to <= x_buf.valid_to:
+            elif ends_no_later(x_s, x_buf):
                 self.state.replace(x_buf)
             else:
                 yield x_buf
@@ -105,14 +115,14 @@ class SelfContainSemijoinDesc(StreamProcessor):
             if x_buf is None:
                 return
             x_s = self.state.peek()
-            assert x_s is not None
+            if x_s is None:
+                raise ProcessorStateError(
+                    f"{self.operator}: state tuple vanished mid-scan"
+                )
             self.note_comparison()
-            if (
-                x_buf.valid_from < x_s.valid_from
-                and x_s.valid_to < x_buf.valid_to
-            ):
+            if contains_lifespan(x_buf, x_s):
                 yield x_buf
-            if x_buf.valid_to < x_s.valid_to:
+            if ends_strictly_before(x_buf, x_s):
                 self.state.replace(x_buf)
             elif x_buf.valid_from == x_s.valid_from:
                 # Secondary descending sort gives x_buf.TE <= x_s.TE;
@@ -146,15 +156,12 @@ class SelfContainSemijoin(StreamProcessor):
             if x_buf is None:
                 return
             self.state.evict_where(
-                lambda t: t.valid_to <= x_buf.valid_from
+                lambda t: ends_by_start(t, x_buf)
             )
             matched = []
             for candidate in self.state:
                 self.note_comparison()
-                if (
-                    candidate.valid_from < x_buf.valid_from
-                    and x_buf.valid_to < candidate.valid_to
-                ):
+                if contains_lifespan(candidate, x_buf):
                     matched.append(candidate)
             for candidate in matched:
                 self.state.remove(candidate)

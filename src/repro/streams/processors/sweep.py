@@ -26,6 +26,7 @@ from __future__ import annotations
 import abc
 from typing import Iterator, Optional
 
+from ...errors import ProcessorStateError
 from ...model.tuples import TemporalTuple
 from ..policies import AdvancePolicy, MinKeyPolicy, X, Y
 from ..stream import TupleStream
@@ -93,7 +94,8 @@ class SymmetricSweepJoin(StreamProcessor):
     # the sweep
     # ------------------------------------------------------------------
     def _execute(self) -> Iterator[tuple[TemporalTuple, TemporalTuple]]:
-        assert self.y is not None
+        if self.y is None:
+            raise ProcessorStateError(f"{self.operator} needs a Y stream")
         self.x.advance()
         self.y.advance()
         while True:
@@ -119,7 +121,10 @@ class SymmetricSweepJoin(StreamProcessor):
 
             if side == X:
                 consumed = x_buf
-                assert consumed is not None
+                if consumed is None:
+                    raise ProcessorStateError(
+                        f"{self.operator}: policy chose X with no X buffer"
+                    )
                 for candidate in self.y_state:
                     self.note_comparison()
                     if self.match(consumed, candidate):
@@ -131,7 +136,10 @@ class SymmetricSweepJoin(StreamProcessor):
                 self.x.advance()
             else:
                 consumed = y_buf
-                assert consumed is not None
+                if consumed is None:
+                    raise ProcessorStateError(
+                        f"{self.operator}: policy chose Y with no Y buffer"
+                    )
                 for candidate in self.x_state:
                     self.note_comparison()
                     if self.match(candidate, consumed):
@@ -144,7 +152,8 @@ class SymmetricSweepJoin(StreamProcessor):
 
     def _garbage_collect(self) -> None:
         """Step 3 of the Section-4.2.1 algorithm."""
-        assert self.y is not None
+        if self.y is None:
+            raise ProcessorStateError(f"{self.operator} needs a Y stream")
         y_buf = self.y.buffer
         if y_buf is not None:
             self.x_state.evict_where(

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Optional
 
-from ..errors import ExecutionError, StreamOrderError
+from ..errors import ExecutionError, StreamOrderError, StreamStateError
+from ..model.interval import is_valid_lifespan
 from ..model.relation import TemporalRelation
 from ..model.sortorder import SortOrder
 from ..model.tuples import TemporalTuple
@@ -37,7 +38,7 @@ def _tuple_valid(tup: TemporalTuple) -> bool:
     duck-typed or damaged records; quarantine checks them here.
     """
     try:
-        return tup.valid_from < tup.valid_to
+        return is_valid_lifespan(tup)
     except (AttributeError, TypeError):
         return False
 
@@ -188,7 +189,10 @@ class TupleStream:
             if self._exhausted:
                 return None
             self._open()
-        assert self._iterator is not None
+        if self._iterator is None:
+            raise StreamStateError(
+                f"stream {self.name!r} failed to open an iterator"
+            )
         previous = self._buffer
         quarantining = self.recovery is RecoveryPolicy.QUARANTINE
         while True:

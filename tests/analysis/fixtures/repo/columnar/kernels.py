@@ -1,0 +1,14 @@
+"""REP004 kernel fixture: public kernels must thread SweepStats."""
+
+
+def rogue_kernel(xs, ys):
+    return [(x, y) for x in xs for y in ys]
+
+
+def good_kernel(xs):
+    stats = SweepStats()
+    return xs, stats
+
+
+def _private_helper(xs):
+    return xs

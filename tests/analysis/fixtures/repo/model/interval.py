@@ -1,0 +1,15 @@
+"""REP001 exemption fixture: raw endpoint comparisons ARE the
+comparator vocabulary's implementation, sanctioned only in a file
+ending with ``model/interval.py``."""
+
+
+def starts_no_later(a, b):
+    return a.valid_from <= b.valid_from
+
+
+def ends_by_start(a, b):
+    return a.valid_to <= b.valid_from
+
+
+def lifespan_key(t):
+    return (t.valid_from, t.valid_to)

@@ -1,0 +1,8 @@
+"""REP003 scope fixture: ambient state outside ``parallel/`` and
+``resilience/`` is not this rule's concern."""
+
+import time
+
+
+def stamp():
+    return time.time()

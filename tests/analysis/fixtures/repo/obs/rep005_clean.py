@@ -1,0 +1,17 @@
+"""REP005 clean fixture: context-managed spans, and ``.span`` on
+receivers that are not tracers."""
+
+
+def balanced(tracer):
+    with tracer.span("probe"):
+        return True
+
+
+def nested(tracer, name):
+    with tracer.span(name) as span:
+        span.note("ok")
+        return span
+
+
+def geometry(box):
+    return box.span(3)

@@ -1,0 +1,11 @@
+"""REP005 fixture: spans opened imperatively leak on exceptions."""
+
+
+def leaky(tracer):
+    span = tracer.span("probe")
+    span.finish()
+    return span
+
+
+def leaky_method(self):
+    return self._tracer.span("scan")

@@ -1,0 +1,21 @@
+"""REP003 clean fixture: seeded generators and monotonic clocks."""
+
+import random
+import time
+from random import Random
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def make_rng_direct(seed):
+    return Random(seed)
+
+
+def duration(start):
+    return time.perf_counter() - start
+
+
+def draw(rng):
+    return rng.random()

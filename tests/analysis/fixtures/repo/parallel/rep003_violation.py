@@ -1,0 +1,20 @@
+"""REP003 fixture: ambient nondeterminism in a worker path."""
+
+import os
+import random
+import time
+import uuid
+from random import random as rand_func
+from time import time_ns
+
+
+def stamp():
+    return time.time()
+
+
+def entropy():
+    return os.urandom(8) + uuid.uuid4().bytes
+
+
+def draw():
+    return random.random() + rand_func()

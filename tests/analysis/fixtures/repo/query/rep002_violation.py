@@ -1,0 +1,9 @@
+"""REP002 fixture: page access bypassing the BufferPool."""
+
+
+def sneaky_read(heap, page_number):
+    return heap.page(page_number)
+
+
+def forge(capacity):
+    return Page(capacity)

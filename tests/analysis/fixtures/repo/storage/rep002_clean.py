@@ -1,0 +1,10 @@
+"""REP002 scope fixture: inside ``storage/`` the same constructs are
+the implementation itself and must not be flagged."""
+
+
+def implementation_read(heap, page_number):
+    return heap.page(page_number)
+
+
+def implementation_alloc(capacity):
+    return Page(capacity)

@@ -1,0 +1,21 @@
+"""REP001 clean fixture: sanctioned comparator and key usage only."""
+
+
+def compare(a, b):
+    return starts_no_later(a, b)
+
+
+def equality(a, b):
+    return a.valid_from == b.valid_from
+
+
+def weak_single_side(x, limit):
+    return x.start < limit
+
+
+def unrelated_attrs(job, task):
+    return job.priority < task.priority
+
+
+def sort(items):
+    return sorted(items, key=lifespan_key)

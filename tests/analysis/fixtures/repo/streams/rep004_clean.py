@@ -1,0 +1,9 @@
+"""REP004 clean fixture: the meter is threaded either way."""
+
+
+def keyword_meter(name, meter):
+    return Workspace(name, meter=meter)
+
+
+def positional_meter(name, meter):
+    return Workspace(name, meter)

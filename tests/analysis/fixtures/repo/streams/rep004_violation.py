@@ -1,0 +1,5 @@
+"""REP004 fixture: workspace constructed without a meter."""
+
+
+def build_state(name):
+    return Workspace(name)

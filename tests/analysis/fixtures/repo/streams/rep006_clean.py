@@ -1,0 +1,7 @@
+"""REP006 clean fixture: typed exception instead of assert."""
+
+
+def checked(value):
+    if value is None:
+        raise ValueError("value is required")
+    return value

@@ -1,0 +1,6 @@
+"""REP006 fixture: a bare assert, stripped under ``python -O``."""
+
+
+def checked(value):
+    assert value is not None
+    return value

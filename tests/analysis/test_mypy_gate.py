@@ -1,0 +1,89 @@
+"""The mypy strict-baseline ratchet (no mypy required to test it)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.analysis import mypy_gate
+
+
+@pytest.fixture
+def baseline(tmp_path):
+    path = tmp_path / "mypy_baseline.json"
+    path.write_text(
+        json.dumps({"max_errors": 3, "bootstrap": False}),
+        encoding="utf-8",
+    )
+    return path
+
+
+def _gate(monkeypatch, output, baseline_path, **kwargs):
+    monkeypatch.setattr(mypy_gate, "run_mypy", lambda cwd=None: output)
+    out = io.StringIO()
+    code = mypy_gate.gate(baseline_path=baseline_path, out=out, **kwargs)
+    return code, out.getvalue()
+
+
+def test_count_errors_ignores_notes_and_summaries():
+    output = (
+        "src/a.py:1: error: Incompatible return value\n"
+        "src/a.py:2: note: See docs\n"
+        "Found 1 error in 1 file (checked 2 source files)\n"
+    )
+    assert mypy_gate.count_errors(output) == 1
+
+
+def test_missing_mypy_skips_by_default(monkeypatch, baseline):
+    code, output = _gate(monkeypatch, None, baseline)
+    assert code == 0 and "SKIPPED" in output
+
+
+def test_missing_mypy_fails_when_required(monkeypatch, baseline):
+    code, output = _gate(monkeypatch, None, baseline, require=True)
+    assert code == 1 and "FAIL" in output
+
+
+def test_count_at_baseline_passes(monkeypatch, baseline):
+    errors = "a.py:1: error: x\n" * 3
+    code, output = _gate(monkeypatch, errors, baseline)
+    assert code == 0 and "OK" in output
+
+
+def test_count_above_baseline_fails(monkeypatch, baseline):
+    errors = "a.py:1: error: x\n" * 4
+    code, output = _gate(monkeypatch, errors, baseline)
+    assert code == 1 and "4 errors > baseline 3" in output
+
+
+def test_count_below_baseline_suggests_repin(monkeypatch, baseline):
+    errors = "a.py:1: error: x\n"
+    code, output = _gate(monkeypatch, errors, baseline)
+    assert code == 0 and "re-pinning" in output
+
+
+def test_bootstrap_baseline_reports_and_passes(monkeypatch, tmp_path):
+    path = tmp_path / "mypy_baseline.json"
+    path.write_text(
+        json.dumps({"max_errors": None, "bootstrap": True}),
+        encoding="utf-8",
+    )
+    code, output = _gate(monkeypatch, "a.py:1: error: x\n", path)
+    assert code == 0 and "BOOTSTRAP" in output
+
+
+def test_update_baseline_pins_current_count(monkeypatch, baseline):
+    errors = "a.py:1: error: x\n" * 5
+    code, _ = _gate(monkeypatch, errors, baseline, update_baseline=True)
+    assert code == 0
+    pinned = json.loads(baseline.read_text(encoding="utf-8"))
+    assert pinned["max_errors"] == 5 and pinned["bootstrap"] is False
+
+
+def test_shipped_baseline_is_bootstrap():
+    """The checked-in baseline must stay un-pinned until an environment
+    with mypy pins it — otherwise the gate would fail vacuously."""
+    shipped = mypy_gate.load_baseline()
+    assert shipped["bootstrap"] is True and shipped["max_errors"] is None

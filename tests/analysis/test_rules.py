@@ -1,0 +1,120 @@
+"""The REP rules against the fixture corpus and the real tree.
+
+Two directions per rule: the violation fixtures must fire at exact
+(rule, path, line) coordinates (no blind spots), and the clean
+fixtures plus the whole of ``src/repro`` must stay silent (no false
+positives).  The fixture tree mirrors the repo layout because the
+rules scope by path fragment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.framework import all_rules, analyze_paths, select_rules
+
+FIXTURES = Path(__file__).parent / "fixtures" / "repo"
+REPO_SRC = Path(__file__).parent.parent.parent / "src" / "repro"
+
+#: Every finding the corpus must produce, exactly.
+EXPECTED = {
+    ("REP001", "streams/rep001_violation.py", 5),
+    ("REP001", "streams/rep001_violation.py", 9),
+    ("REP001", "streams/rep001_violation.py", 13),
+    ("REP001", "streams/rep001_violation.py", 17),
+    ("REP001", "streams/rep001_violation.py", 21),
+    ("REP001", "streams/rep001_violation.py", 25),
+    ("REP001", "streams/rep001_violation.py", 29),
+    ("REP001", "streams/rep_suppressed.py", 14),
+    ("REP002", "query/rep002_violation.py", 5),
+    ("REP002", "query/rep002_violation.py", 9),
+    ("REP003", "parallel/rep003_violation.py", 7),
+    ("REP003", "parallel/rep003_violation.py", 8),
+    ("REP003", "parallel/rep003_violation.py", 12),
+    ("REP003", "parallel/rep003_violation.py", 16),
+    ("REP003", "parallel/rep003_violation.py", 16),
+    ("REP003", "parallel/rep003_violation.py", 20),
+    ("REP004", "columnar/kernels.py", 4),
+    ("REP004", "streams/rep004_violation.py", 5),
+    ("REP005", "obs/rep005_violation.py", 5),
+    ("REP005", "obs/rep005_violation.py", 11),
+    ("REP006", "streams/rep006_violation.py", 5),
+}
+
+#: Fixture files that must produce no findings at all.
+CLEAN_FIXTURES = [
+    "model/interval.py",
+    "model/rep003_scope.py",
+    "streams/rep001_clean.py",
+    "storage/rep002_clean.py",
+    "parallel/rep003_clean.py",
+    "streams/rep004_clean.py",
+    "obs/rep005_clean.py",
+    "streams/rep006_clean.py",
+]
+
+
+@pytest.fixture(scope="module")
+def corpus_report():
+    return analyze_paths([FIXTURES], root=FIXTURES)
+
+
+def test_corpus_produces_exactly_the_expected_findings(corpus_report):
+    got = {(f.rule, f.path, f.line) for f in corpus_report.findings}
+    # The two REP003 findings on line 16 collapse in a set; compare
+    # multiset cardinality separately.
+    assert got == EXPECTED
+    assert len(corpus_report.findings) == 21
+    assert not corpus_report.parse_errors
+
+
+def test_every_rule_fires_somewhere(corpus_report):
+    fired = {f.rule for f in corpus_report.findings}
+    assert fired == {r.id for r in all_rules()}
+
+
+def test_suppressions_are_counted(corpus_report):
+    # rep_suppressed.py: REP006 silenced by code, REP001 by blanket.
+    assert corpus_report.suppressed == 2
+
+
+def test_mismatched_noqa_code_does_not_suppress(corpus_report):
+    # noqa(REP002) on a REP001 violation leaves the finding live.
+    assert ("REP001", "streams/rep_suppressed.py", 14) in {
+        (f.rule, f.path, f.line) for f in corpus_report.findings
+    }
+
+
+@pytest.mark.parametrize("relative", CLEAN_FIXTURES)
+def test_clean_fixtures_stay_silent(relative):
+    report = analyze_paths([FIXTURES / relative], root=FIXTURES)
+    assert report.clean, [f.render() for f in report.findings]
+
+
+def test_single_rule_selection_restricts_findings():
+    report = analyze_paths(
+        [FIXTURES], rules=select_rules(["REP006"]), root=FIXTURES
+    )
+    assert {f.rule for f in report.findings} == {"REP006"}
+    assert len(report.findings) == 1
+
+
+def test_real_tree_is_clean():
+    """The acceptance criterion: the linter exits 0 on src/repro."""
+    report = analyze_paths([REPO_SRC], root=REPO_SRC.parent.parent)
+    assert report.clean, "\n" + "\n".join(
+        f.render() for f in report.findings
+    )
+    assert report.files_scanned > 100
+
+
+def test_chained_comparison_yields_one_finding(corpus_report):
+    # a.valid_from <= point < a.valid_to is one hazard, not two.
+    chain_findings = [
+        f
+        for f in corpus_report.findings
+        if f.path == "streams/rep001_violation.py" and f.line == 17
+    ]
+    assert len(chain_findings) == 1
