@@ -37,22 +37,33 @@ class IntervalColumns:
     always describes ``payload[i]``, and deleted entries never leave
     holes (kernels compact their *active lists* lazily instead, per
     Piatov et al.).
+
+    Endpoint columns are any int64 buffer the kernels can index — an
+    ``array('q')``, or a ``memoryview`` cast to ``'q'`` over a
+    ``multiprocessing.shared_memory`` segment (the zero-copy shard
+    runtime maps published columns read-only this way).  ``payload``
+    may be ``None`` for such endpoint-only views: kernels return
+    positional indexes, and the payloads materialise lazily on
+    whichever side of the process boundary owns the tuple objects.
     """
 
     __slots__ = ("ts", "te", "payload", "order", "name")
 
     def __init__(
         self,
-        ts: array,
-        te: array,
-        payload: Sequence[TemporalTuple],
+        ts: Sequence[int],
+        te: Sequence[int],
+        payload: Optional[Sequence[TemporalTuple]],
         order: Optional[SortOrder],
         name: str = "columns",
     ) -> None:
-        if not (len(ts) == len(te) == len(payload)):
+        if len(ts) != len(te) or (
+            payload is not None and len(payload) != len(ts)
+        ):
+            payload_len = "-" if payload is None else len(payload)
             raise ValueError(
                 "endpoint and payload columns must be positionally "
-                f"aligned (got {len(ts)}/{len(te)}/{len(payload)})"
+                f"aligned (got {len(ts)}/{len(te)}/{payload_len})"
             )
         self.ts = ts
         self.te = te
@@ -80,11 +91,23 @@ class IntervalColumns:
         te = array("q", (t.valid_to for t in rows))
         return cls(ts, te, rows, order, name=name)
 
+    @classmethod
+    def from_views(
+        cls,
+        ts: Sequence[int],
+        te: Sequence[int],
+        order: Optional[SortOrder] = None,
+        name: str = "columns",
+    ) -> "IntervalColumns":
+        """Endpoint-only columns over existing buffers (typically
+        shared-memory ``memoryview`` slices); no payloads, no copy."""
+        return cls(ts, te, None, order, name=name)
+
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.payload)
+        return len(self.ts)
 
     def verify_order(self) -> None:
         """Check the endpoint columns against the declared sort order,
@@ -104,25 +127,38 @@ class IntervalColumns:
                 column = self.te
             else:
                 # Non-endpoint components have no column; fall back to
-                # the tuple-level check for the whole order.
-                if not self.order.is_sorted(list(self.payload)):
+                # the tuple-level check for the whole order (requires
+                # payloads — endpoint-only views have none to check).
+                if self.payload is not None and not self.order.is_sorted(
+                    list(self.payload)
+                ):
                     raise StreamOrderError(
                         f"columns {self.name!r} violate declared order "
                         f"[{self.order}]"
                     )
                 return
             keys.append((column, sort_key.direction is Direction.DESC))
-        for i in range(1, len(self.payload)):
+        for i in range(1, len(self.ts)):
             for column, descending in keys:
                 a, b = column[i - 1], column[i]
                 if a == b:
                     continue
                 if (a < b) == (not descending):
                     break  # strictly ordered on this key: pair is fine
+                before = (
+                    self.payload[i - 1]
+                    if self.payload is not None
+                    else f"({self.ts[i - 1]}, {self.te[i - 1]})"
+                )
+                after = (
+                    self.payload[i]
+                    if self.payload is not None
+                    else f"({self.ts[i]}, {self.te[i]})"
+                )
                 raise StreamOrderError(
                     f"columns {self.name!r} declared order "
                     f"[{self.order}] but position {i - 1} holds "
-                    f"{self.payload[i - 1]} before {self.payload[i]}"
+                    f"{before} before {after}"
                 )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -16,7 +16,9 @@ abstract cost units; only comparisons between alternatives matter.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
+from typing import Optional
 
 from ..stats.estimators import TemporalStatistics
 
@@ -34,11 +36,17 @@ class CostModel:
     workspace_tuple: float = 0.5
     page_capacity: int = 32
     sort_memory_pages: int = 8
-    #: Fixed price of forking/joining one parallel worker.
-    parallel_worker_startup: float = 40.0
-    #: Per-tuple partitioning + shard-output-merge overhead paid by the
-    #: coordinator of a parallel plan.
-    parallel_tuple_ship: float = 0.002
+    #: Fixed price of dispatching one shard to the warm worker pool.
+    #: The shared-memory runtime keeps workers resident across queries
+    #: and ships only segment names plus offsets, so this is the cost
+    #: of a queue round-trip, not of forking a process.
+    parallel_worker_startup: float = 2.0
+    #: Per-tuple coordinator overhead of a parallel plan.  Operands are
+    #: published once into shared memory (a memcpy of two int64
+    #: columns) and results come back as index arrays, so the per-tuple
+    #: price is publication plus lazy payload materialisation — not a
+    #: pickle round-trip.
+    parallel_tuple_ship: float = 0.0002
     #: Largest shard count the cost model will consider.
     max_parallel_workers: int = 8
 
@@ -154,13 +162,24 @@ def choose_shard_count(
     y_stats: TemporalStatistics,
     expected_workspace: float,
     max_workers: int,
+    available_cpus: Optional[int] = None,
 ) -> int:
     """The cheapest shard count in [1, max_workers] under the model.
 
     Returns 1 when no parallel configuration beats the serial pass —
     the parallel-vs-serial decision the planner exposes.
+
+    ``available_cpus`` caps the search at the cores that can actually
+    run shards concurrently (default: ``os.cpu_count()``); on a
+    single-CPU host the answer is always 1, because time-slicing K
+    shards on one core pays all of the coordination for none of the
+    speedup.  Callers pass an explicit value when the user granted a
+    specific degree of parallelism.
     """
-    ceiling = max(1, min(max_workers, model.max_parallel_workers))
+    cpus = available_cpus if available_cpus is not None else os.cpu_count() or 1
+    if cpus <= 1:
+        return 1
+    ceiling = max(1, min(max_workers, model.max_parallel_workers, cpus))
     per_cut = expected_replication_per_cut(x_stats, y_stats)
     best_workers, best_cost = 1, model.stream_pass_cost(
         x_stats.cardinality, y_stats.cardinality, expected_workspace

@@ -134,6 +134,7 @@ class TemporalJoinPlanner:
         backend: str = "tuple",
         parallelism: Optional[int] = None,
         parallel_mode: str = "auto",
+        available_cpus: Optional[int] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise UnsupportedBackendError(
@@ -153,6 +154,16 @@ class TemporalJoinPlanner:
         #: Execution mode handed to the parallel executor ("auto",
         #: "process", or "inline" — see repro.parallel.executor).
         self.parallel_mode = parallel_mode
+        #: Cores the shard-count search may assume.  ``None`` means
+        #: "ask the host" (``os.cpu_count()``); an explicit
+        #: ``parallelism`` request is treated as an explicit core
+        #: grant, so ``--parallelism K`` plans K-shard alternatives
+        #: even on boxes the planner would otherwise keep serial.
+        self.available_cpus = (
+            available_cpus
+            if available_cpus is not None
+            else parallelism
+        )
 
     # ------------------------------------------------------------------
     # enumeration
@@ -239,6 +250,7 @@ class TemporalJoinPlanner:
                     y_stats,
                     workspace,
                     self.parallelism,
+                    available_cpus=self.available_cpus,
                 )
                 if workers > 1:
                     per_cut = expected_replication_per_cut(

@@ -2,15 +2,27 @@
 
 The package splits a sorted operator input into K contiguous shards
 whose boundary-spanning tuples are replicated by per-operator necessity
-windows (:mod:`repro.parallel.partition`), then runs the unmodified
-tuple/columnar sweep kernels per shard under the resilience ladder and
-merges the shard outputs (:mod:`repro.parallel.executor`).  See
-``docs/PARALLEL.md`` for the partitioning rules and their derivation
-from the paper's Tables 1-3 workspace characterisations.
+windows, then runs the unmodified tuple/columnar sweep kernels per
+shard under the resilience ladder and merges the shard outputs
+(:mod:`repro.parallel.executor`).  Two shard planners exist:
+
+* :mod:`repro.parallel.shards` — contiguous *index ranges* over the
+  operand endpoint columns, used by the zero-copy shared-memory
+  process runtime (:mod:`repro.parallel.shm`,
+  :mod:`repro.parallel.pool`, :mod:`repro.parallel.worker`): shards
+  are described by offsets into one published segment, so nothing is
+  pickled on the hot path;
+* :mod:`repro.parallel.partition` — materialised per-shard tuple
+  lists, used by the inline mode and wherever tagged tuples are
+  convenient.
+
+See ``docs/PARALLEL.md`` for the partitioning rules and their
+derivation from the paper's Tables 1-3 workspace characterisations.
 """
 
 from .executor import (
     EXECUTION_MODES,
+    LazyResults,
     ParallelOutcome,
     ShardRun,
     execute_parallel,
@@ -24,17 +36,34 @@ from .partition import (
     partition,
     slice_bounds,
 )
+from .pool import (
+    WorkerPool,
+    WorkerPoolError,
+    pool_stats,
+    shutdown_pool,
+    warm_pool,
+)
+from .shards import RangePlan, ShardRange, plan_ranges
 
 __all__ = [
     "EXECUTION_MODES",
+    "LazyResults",
     "OwnedAggregates",
     "ParallelOutcome",
     "PartitionPlan",
     "PartitionTag",
+    "RangePlan",
     "Shard",
+    "ShardRange",
     "ShardRun",
+    "WorkerPool",
+    "WorkerPoolError",
     "execute_parallel",
     "necessity_window",
     "partition",
+    "plan_ranges",
+    "pool_stats",
+    "shutdown_pool",
     "slice_bounds",
+    "warm_pool",
 ]

@@ -1,46 +1,53 @@
-"""Multiprocessing execution of partitioned stream operators.
+"""Parallel execution of partitioned stream operators.
 
 :func:`execute_parallel` is the parallel twin of
 :func:`repro.resilience.executor.execute_entry`: same inputs, same
 recovery ladder, same accounting — but the operator runs as K
-independent shards produced by :mod:`repro.parallel.partition`, each
-swept by the unmodified tuple or columnar kernel.
+independent shards, each swept by the unmodified tuple or columnar
+kernel.
 
 Two modes:
 
-* ``"process"`` — shards run in a fork-based ``multiprocessing.Pool``.
-  Inputs travel to workers for free via fork copy-on-write (a module
-  global holds the shard tasks while the pool is being created); shard
-  outputs come back as compact index arrays into the parent's own
-  tuple lists wherever object identity survived the kernel (always for
-  the columnar backend and non-mirrored tuple cells), falling back to
-  pickled tuples otherwise.
-* ``"inline"`` — shards run sequentially in-process: deterministic,
-  fully traced (per-shard operator spans land in the active tracer),
-  and the fallback whenever a worker pool cannot be built.
+* ``"process"`` — the zero-copy shared-memory shard runtime.  The
+  operand endpoint columns (:class:`~repro.columnar.relation.
+  IntervalColumns`) are published once into a
+  ``multiprocessing.shared_memory`` segment; shards are planned as
+  contiguous index ranges (:mod:`repro.parallel.shards`); a persistent
+  warm spawn pool (:mod:`repro.parallel.pool`) receives only segment
+  names plus offsets and writes results back as ``array('q')`` global
+  index columns in shared result segments.  No ``TemporalTuple`` is
+  ever pickled on this path — payloads materialise lazily from the
+  index columns on the parent side.
+* ``"inline"`` — shards run sequentially in-process over the windowed
+  partitioner (:mod:`repro.parallel.partition`): deterministic, fully
+  traced, and the fallback whenever the worker pool is unavailable.
 
-Resilience composes per shard: each shard runs ``execute_entry`` under
-the caller's policy and fault plan, so a faulted shard retries,
-quarantines, or degrades on its own — siblings never see it.  Shard
-reports are merged into one :class:`~repro.resilience.recovery.
-ExecutionReport`; per-shard summaries (passes, wall time, recovery
-events) surface as ``shard:<i>`` trace spans for EXPLAIN ANALYZE.
+Resilience composes per shard: each shard runs under the caller's
+policy and fault plan, so a faulted shard retries, quarantines, or
+degrades on its own — siblings never see it.  Shard reports are merged
+into one :class:`~repro.resilience.recovery.ExecutionReport`; per-shard
+summaries surface as ``shard:<i>`` trace spans for EXPLAIN ANALYZE.
+Pool infrastructure failures are *visible* degradations: the run falls
+back inline, bumps ``repro_parallel_pool_fallbacks_total`` with the
+exception class, and records it on the ``parallel:`` span.
 
 Merged output order is deterministic: shards concatenate in cut order,
 which for semijoins reproduces the serial X-order output exactly; join
-cells interleave pairs differently than the serial sweep (which orders
-by probe arrival across the whole domain) but are multiset-identical,
-the same guarantee the two physical backends give each other.
+cells interleave pairs differently than the serial sweep but are
+multiset-identical, the same guarantee the two physical backends give
+each other.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from array import array
+from collections import abc
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from ..errors import ExecutionError, ProcessorStateError, ReproError
+from ..columnar.relation import IntervalColumns
+from ..errors import ExecutionError, ReproError
 from ..model.tuples import TemporalTuple
 from ..obs.metrics import active_registry
 from ..obs.trace import get_tracer
@@ -51,13 +58,15 @@ from ..storage.page import DEFAULT_PAGE_CAPACITY
 from ..streams.metrics import ProcessorMetrics
 from ..streams.registry import RegistryEntry, TemporalOperator, lookup
 from ..streams.workspace import WorkspaceReport
+from . import shm
 from .partition import (
     SELF_OPERATORS,
-    PartitionPlan,
     PartitionTag,
     Shard,
     partition,
 )
+from .pool import get_pool
+from .shards import RangePlan, ShardRange, plan_ranges
 
 #: Operators whose outputs are (x, y) pairs.
 _JOIN_OPERATORS = frozenset(
@@ -65,6 +74,10 @@ _JOIN_OPERATORS = frozenset(
 )
 
 EXECUTION_MODES = ("auto", "process", "inline")
+
+
+def _available_cpus() -> int:
+    return os.cpu_count() or 1
 
 
 @dataclass
@@ -107,29 +120,26 @@ class ShardRun:
 
 @dataclass
 class ParallelOutcome:
-    """Merged results plus everything the shards reported."""
+    """Merged results plus everything the shards reported.
 
-    results: list
+    ``results`` is list-like; process-mode runs return a
+    :class:`LazyResults` whose payload tuples materialise on first
+    element access (``len()`` is always free).
+    """
+
+    results: Sequence
     report: ExecutionReport
     metrics: ProcessorMetrics
     policy: RecoveryPolicy
     backend: str
     mode: str
     workers: int
-    plan: PartitionPlan
+    plan: object  # PartitionPlan (inline) or RangePlan (process)
     shard_runs: List[ShardRun] = field(default_factory=list)
 
     @property
     def degraded(self) -> bool:
         return bool(self.report.fallbacks)
-
-
-# ----------------------------------------------------------------------
-# per-shard execution (runs in the worker process, or inline)
-# ----------------------------------------------------------------------
-#: Shard tasks published to fork children (set only while a pool is
-#: being created; fork copy-on-write makes the handoff free).
-_FORK_TASKS: Optional[List[dict]] = None
 
 
 def _shape_of(operator: TemporalOperator) -> str:
@@ -140,8 +150,11 @@ def _shape_of(operator: TemporalOperator) -> str:
     return "semi"
 
 
+# ----------------------------------------------------------------------
+# inline shard execution
+# ----------------------------------------------------------------------
 def _run_shard(task: dict) -> dict:
-    """Execute one shard via the resilience ladder and encode results.
+    """Execute one windowed shard via the resilience ladder.
 
     Raises whatever ``execute_entry`` raises (STRICT semantics must
     propagate the original exception types to the caller).
@@ -163,11 +176,10 @@ def _run_shard(task: dict) -> dict:
         sort_memory_pages=task["sort_memory_pages"],
     )
     wall = time.perf_counter() - started
-    shape = _shape_of(task["operator"])
     residual_filtered = 0
-    if shape == "self":
+    if _shape_of(task["operator"]) == "self":
         owned_lo, owned_hi = task["owned_lo"], task["owned_hi"]
-        kept = array("q")
+        kept = []
         for emitted in outcome.results:
             tag = emitted.value
             if not isinstance(tag, PartitionTag):
@@ -175,77 +187,298 @@ def _run_shard(task: dict) -> dict:
                     "self-semijoin shard output lost its partition tag"
                 )
             if owned_lo <= tag.index < owned_hi:
-                kept.append(tag.index)
+                kept.append(task["originals"][tag.index])
             else:
                 residual_filtered += 1
-        encoded: tuple = ("self", kept)
-        output_count = len(kept)
-    elif task.get("encode", True):
-        encoded = _encode_results(outcome.results, task, shape)
-        output_count = len(outcome.results)
+        results = kept
     else:
-        # Inline shards share the parent's heap: the index-array
-        # round-trip only pays for itself across a process boundary.
-        encoded = ("raw", list(outcome.results))
-        output_count = len(outcome.results)
+        results = list(outcome.results)
     return {
         "index": task["index"],
-        "encoded": encoded,
+        "results": results,
         "report": outcome.report,
         "metrics": outcome.metrics.to_dict(),
         "wall_seconds": wall,
-        "output_count": output_count,
+        "output_count": len(results),
         "residual_filtered": residual_filtered,
+        "x_count": len(task["x"]),
+        "y_count": len(task["y"]) if task["y"] is not None else 0,
+        "owned_lo": task["owned_lo"],
+        "owned_hi": task["owned_hi"],
     }
 
 
-def _encode_results(results: list, task: dict, shape: str) -> tuple:
-    """Compress shard outputs to index arrays into the shard's own
-    input lists when kernel outputs are the input objects themselves
-    (identity survives both backends' non-mirrored cells); otherwise
-    ship the tuples as-is."""
-    x_pos = {id(t): i for i, t in enumerate(task["x"])}
-    try:
-        if shape == "join":
-            if not results:
-                return ("pairs", array("q"), array("q"))
-            y_pos = {id(t): i for i, t in enumerate(task["y"])}
-            xs, ys = zip(*results)
-            xi = array("q", map(x_pos.__getitem__, map(id, xs)))
-            yi = array("q", map(y_pos.__getitem__, map(id, ys)))
-            return ("pairs", xi, yi)
-        return (
-            "semi",
-            array("q", map(x_pos.__getitem__, map(id, results))),
-        )
-    except KeyError:
-        return ("raw", list(results))
+def _run_shard_traced(tracer, task: dict) -> dict:
+    """Inline execution, with the shard span wrapping the real run so
+    per-shard operator/attempt spans nest underneath it."""
+    with tracer.span(
+        f"shard:{task['index']}",
+        operator=task["operator"].value,
+        backend=task["backend"],
+    ) as span:
+        run = _run_shard(task)
+        if tracer.enabled:
+            span.set(**_span_attributes(run))
+        return run
 
 
-def _fork_worker(index: int) -> dict:
-    if _FORK_TASKS is None:
-        raise ProcessorStateError(
-            "fork worker started without a published task table"
-        )
-    return _run_shard(_FORK_TASKS[index])
+def _inline_tasks(
+    entry: RegistryEntry,
+    shards_list: List[Shard],
+    originals: Sequence[TemporalTuple],
+    backend: str,
+    policy: RecoveryPolicy,
+    workspace_budget: Optional[int],
+    fault_plan: Optional[FaultPlan],
+    retry_policy: Optional[RetryPolicy],
+    page_capacity: int,
+    sort_memory_pages: int,
+) -> List[dict]:
+    return [
+        {
+            "index": shard.index,
+            "operator": entry.operator,
+            "x_order": entry.x_order,
+            "y_order": entry.y_order,
+            "x": shard.x,
+            "y": shard.y,
+            "owned_lo": shard.owned_lo,
+            "owned_hi": shard.owned_hi,
+            "originals": originals,
+            "backend": backend,
+            "policy": policy,
+            "workspace_budget": workspace_budget,
+            "fault_plan": fault_plan,
+            "retry_policy": retry_policy,
+            "page_capacity": page_capacity,
+            "sort_memory_pages": sort_memory_pages,
+        }
+        for shard in shards_list
+    ]
 
 
-def _decode_results(
-    encoded: tuple, shard: Shard, originals: Sequence[TemporalTuple]
-) -> list:
-    kind = encoded[0]
-    if kind == "raw":
-        return encoded[1]
-    if kind == "self":
-        return list(map(originals.__getitem__, encoded[1]))
-    if kind == "pairs":
-        return list(
-            zip(
-                map(shard.x.__getitem__, encoded[1]),
-                map(shard.y.__getitem__, encoded[2]),
+# ----------------------------------------------------------------------
+# shared-memory shard execution
+# ----------------------------------------------------------------------
+def _shm_tasks(
+    entry: RegistryEntry,
+    plan: RangePlan,
+    segment: shm.ColumnSegment,
+    result_names: List[str],
+    backend: str,
+    policy: RecoveryPolicy,
+    workspace_budget: Optional[int],
+    fault_plan: Optional[FaultPlan],
+    retry_policy: Optional[RetryPolicy],
+    page_capacity: int,
+    sort_memory_pages: int,
+) -> List[dict]:
+    """Task dicts shipping only names, offsets and small config —
+    factored out so the lifecycle chaos tests can wrap it."""
+    shape = _shape_of(entry.operator)
+    x_ts_base, x_te_base = segment.offsets[0], segment.offsets[1]
+    if shape != "self":
+        y_ts_base, y_te_base = segment.offsets[2], segment.offsets[3]
+    tasks = []
+    for shard_range, result_name in zip(plan.ranges, result_names):
+        task = {
+            "index": shard_range.index,
+            "operator": entry.operator,
+            "x_order": entry.x_order,
+            "y_order": entry.y_order,
+            "shape": shape,
+            "segment": segment.name,
+            "result_segment": result_name,
+            "owned_lo": shard_range.owned_lo,
+            "owned_hi": shard_range.owned_hi,
+            "backend": backend,
+            "policy": policy,
+            "workspace_budget": workspace_budget,
+            "fault_plan": fault_plan,
+            "retry_policy": retry_policy,
+            "page_capacity": page_capacity,
+            "sort_memory_pages": sort_memory_pages,
+        }
+        if shape == "self":
+            # Kernel input is the context hull range of the X columns.
+            task.update(
+                x_ts_offset=x_ts_base + shard_range.y_lo,
+                x_te_offset=x_te_base + shard_range.y_lo,
+                x_len=shard_range.context_count,
+                x_base=shard_range.y_lo,
+                y_len=0,
             )
+        else:
+            task.update(
+                x_ts_offset=x_ts_base + shard_range.owned_lo,
+                x_te_offset=x_te_base + shard_range.owned_lo,
+                x_len=shard_range.owned_count,
+                x_base=shard_range.owned_lo,
+                y_ts_offset=y_ts_base + shard_range.y_lo,
+                y_te_offset=y_te_base + shard_range.y_lo,
+                y_len=shard_range.context_count,
+                y_base=shard_range.y_lo,
+            )
+        tasks.append(task)
+    return tasks
+
+
+class LazyResults(abc.Sequence):
+    """Merged shard outputs held as positional index columns.
+
+    The parent half of the zero-copy contract: workers ship shard-local
+    index arrays plus base offsets, and the payload tuples materialise
+    (then cache) only when an element is actually touched.  ``len()``
+    is free, so consumers that need counts alone — EXPLAIN ANALYZE,
+    the metrics layer, cardinality checks — never pay for output
+    object construction.
+    """
+
+    __slots__ = (
+        "_originals_x",
+        "_originals_y",
+        "_chunks",
+        "_length",
+        "_cache",
+    )
+
+    def __init__(
+        self,
+        originals_x: Sequence[TemporalTuple],
+        originals_y: Optional[Sequence[TemporalTuple]],
+        chunks: Sequence[tuple],
+    ):
+        self._originals_x = originals_x
+        self._originals_y = originals_y
+        self._chunks = chunks
+        self._length = sum(len(chunk[1]) for chunk in chunks)
+        self._cache: Optional[list] = None
+
+    def _materialised(self) -> list:
+        if self._cache is None:
+            ox, oy = self._originals_x, self._originals_y
+            out: list = []
+            for kind, first, second, x_base, y_base in self._chunks:
+                if kind == shm.RESULT_PAIRS:
+                    if oy is None:
+                        raise ExecutionError(
+                            "pair results require Y originals"
+                        )
+                    out.extend(
+                        (ox[x_base + i], oy[y_base + j])
+                        for i, j in zip(first, second)
+                    )
+                else:
+                    out.extend(ox[x_base + i] for i in first)
+            self._cache = out
+            self._chunks = ()  # the index arrays are no longer needed
+        return self._cache
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self):
+        return iter(self._materialised())
+
+    def __getitem__(self, index):
+        return self._materialised()[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "materialised" if self._cache is not None else "lazy"
+        return f"LazyResults(n={self._length}, {state})"
+
+
+def _run_shm(
+    entry: RegistryEntry,
+    plan: RangePlan,
+    x_cols: IntervalColumns,
+    y_cols: Optional[IntervalColumns],
+    workers: int,
+    backend: str,
+    policy: RecoveryPolicy,
+    workspace_budget: Optional[int],
+    fault_plan: Optional[FaultPlan],
+    retry_policy: Optional[RetryPolicy],
+    page_capacity: int,
+    sort_memory_pages: int,
+) -> List[dict]:
+    """Run the planned ranges through the warm pool; returns run dicts.
+
+    The parent owns every segment name it hands out: operands and all
+    result segments are swept in the ``finally`` block, so neither a
+    worker crash nor a STRICT re-raise can leak ``/dev/shm`` entries.
+    """
+    if not plan.ranges:
+        return []
+    columns = [x_cols.ts, x_cols.te]
+    if y_cols is not None:
+        columns += [y_cols.ts, y_cols.te]
+    segment = shm.ColumnSegment(columns)
+    result_names = [
+        shm.segment_name(f"res{r.index}") for r in plan.ranges
+    ]
+    try:
+        tasks = _shm_tasks(
+            entry,
+            plan,
+            segment,
+            result_names,
+            backend,
+            policy,
+            workspace_budget,
+            fault_plan,
+            retry_policy,
+            page_capacity,
+            sort_memory_pages,
         )
-    return list(map(shard.x.__getitem__, encoded[1]))
+        pool = get_pool(min(workers, len(tasks)))
+        summaries = pool.run_batch(tasks)
+        runs = []
+        for summary in summaries:
+            kind, first, second, x_base, y_base = shm.read_result(
+                summary["result_segment"]
+            )
+            shard_range = plan.ranges[summary["index"]]
+            runs.append(
+                {
+                    "index": summary["index"],
+                    "chunk": (kind, first, second, x_base, y_base),
+                    "report": summary["report"],
+                    "metrics": summary["metrics"],
+                    "wall_seconds": summary["wall_seconds"],
+                    "output_count": summary["output_count"],
+                    "residual_filtered": summary["residual_filtered"],
+                    "x_count": (
+                        shard_range.context_count
+                        if _shape_of(entry.operator) == "self"
+                        else shard_range.owned_count
+                    ),
+                    "y_count": (
+                        0
+                        if _shape_of(entry.operator) == "self"
+                        else shard_range.context_count
+                    ),
+                    "owned_lo": shard_range.owned_lo,
+                    "owned_hi": shard_range.owned_hi,
+                }
+            )
+        return runs
+    finally:
+        segment.close()
+        for name in result_names:
+            shm.destroy_segment(name)
+
+
+def _note_pool_fallback(span, exc: Exception) -> None:
+    """Satellite of the silent-``except Exception`` bugfix: fallbacks
+    are counted and carry the exception class into EXPLAIN ANALYZE."""
+    span.set(pool_fallback=True, fallback_error=type(exc).__name__)
+    registry = active_registry()
+    if registry is not None:
+        registry.counter(
+            "repro_parallel_pool_fallbacks_total",
+            "Pool failures that degraded a process run to inline",
+        ).inc(error=type(exc).__name__)
 
 
 # ----------------------------------------------------------------------
@@ -271,9 +504,10 @@ def execute_parallel(
 
     Inputs must be in the entry's declared orders (same contract as
     ``execute_entry``).  ``workers`` caps the pool size (default: one
-    worker per shard); ``mode`` picks ``"process"`` (fork pool),
-    ``"inline"`` (sequential in-process), or ``"auto"`` (process when
-    more than one worker is useful and fork is available).
+    worker per shard); ``mode`` picks ``"process"`` (shared-memory
+    runtime over the warm worker pool), ``"inline"`` (sequential
+    in-process), or ``"auto"`` (process when more than one worker is
+    useful *and* the host has more than one CPU).
     """
     if mode not in EXECUTION_MODES:
         raise ExecutionError(
@@ -281,84 +515,146 @@ def execute_parallel(
             f"{EXECUTION_MODES}"
         )
     report = report if report is not None else ExecutionReport()
-    plan = partition(entry, x_tuples, y_tuples, shards=shards)
-    workers = workers if workers is not None else plan.effective_shards
-    workers = max(1, min(workers, max(plan.effective_shards, 1)))
-    originals = list(x_tuples)
-
-    tasks = [
-        {
-            "index": shard.index,
-            "operator": entry.operator,
-            "x_order": entry.x_order,
-            "y_order": entry.y_order,
-            "x": shard.x,
-            "y": shard.y,
-            "owned_lo": shard.owned_lo,
-            "owned_hi": shard.owned_hi,
-            "backend": backend,
-            "policy": policy,
-            "workspace_budget": workspace_budget,
-            "fault_plan": fault_plan,
-            "retry_policy": retry_policy,
-            "page_capacity": page_capacity,
-            "sort_memory_pages": sort_memory_pages,
-        }
-        for shard in plan.shards
-    ]
+    x_list = list(x_tuples)
+    y_list = list(y_tuples) if y_tuples is not None else None
+    unary = entry.operator in SELF_OPERATORS
 
     tracer = get_tracer()
     with tracer.span(
         f"parallel:{entry.operator.value}",
         backend=backend,
         policy=policy.value,
-        shards=plan.effective_shards,
         requested_shards=shards,
-        workers=workers,
-        skew_ratio=round(plan.skew_ratio, 3),
-        replicated=plan.replicated_total,
-        boundary_spanning=plan.boundary_spanning,
     ) as span:
-        effective_mode = mode
-        if mode == "auto":
-            effective_mode = (
-                "process"
-                if workers > 1 and len(tasks) > 1
-                else "inline"
+        runs: Optional[List[dict]] = None
+        plan: Optional[object] = None
+        effective_workers = 1
+        want_process = mode == "process" or (
+            mode == "auto"
+            and shards > 1
+            and (workers is None or workers > 1)
+            and _available_cpus() > 1
+        )
+        if want_process and x_list:
+            x_cols = IntervalColumns.from_tuples(
+                x_list, order=entry.x_order, presorted=True, name="X"
             )
-        raw_runs: Optional[List[dict]] = None
-        if effective_mode == "process" and tasks:
-            raw_runs = _run_pool(tasks, workers)
-            if raw_runs is None:
-                effective_mode = "inline"
-        if raw_runs is None:
-            for task in tasks:
-                task["encode"] = False
-            raw_runs = [
-                _run_shard_traced(tracer, task) for task in tasks
-            ]
-        span.set(mode=effective_mode)
+            y_cols = (
+                IntervalColumns.from_tuples(
+                    y_list or [],
+                    order=entry.y_order,
+                    presorted=True,
+                    name="Y",
+                )
+                if not unary
+                else None
+            )
+            if not unary and y_list is None:
+                raise ExecutionError(
+                    f"{entry.operator.value} is binary; y_tuples is "
+                    "required"
+                )
+            plan = plan_ranges(
+                entry,
+                x_cols.ts,
+                x_cols.te,
+                y_cols.ts if y_cols is not None else None,
+                y_cols.te if y_cols is not None else None,
+                shards=shards,
+            )
+            effective_workers = max(
+                1,
+                min(
+                    workers if workers is not None else plan.effective_shards,
+                    max(plan.effective_shards, 1),
+                ),
+            )
+            if mode == "auto" and plan.effective_shards <= 1:
+                # One shard gains nothing from a process hop.
+                plan = None
+            else:
+                try:
+                    runs = _run_shm(
+                        entry,
+                        plan,
+                        x_cols,
+                        y_cols,
+                        effective_workers,
+                        backend,
+                        policy,
+                        workspace_budget,
+                        fault_plan,
+                        retry_policy,
+                        page_capacity,
+                        sort_memory_pages,
+                    )
+                    effective_mode = "process"
+                except ReproError:
+                    raise
+                except Exception as exc:
+                    # Pool infrastructure failed (worker death, segment
+                    # limits, spawn failure): parallelism is an
+                    # optimisation, correctness falls back inline — but
+                    # visibly (counter + span), never silently.
+                    _note_pool_fallback(span, exc)
+                    runs = None
+        if runs is None:
+            plan = partition(entry, x_list, y_list, shards=shards)
+            effective_workers = max(
+                1,
+                min(
+                    workers if workers is not None else plan.effective_shards,
+                    max(plan.effective_shards, 1),
+                ),
+            )
+            tasks = _inline_tasks(
+                entry,
+                plan.shards,
+                x_list,
+                backend,
+                policy,
+                workspace_budget,
+                fault_plan,
+                retry_policy,
+                page_capacity,
+                sort_memory_pages,
+            )
+            runs = [_run_shard_traced(tracer, task) for task in tasks]
+            effective_mode = "inline"
 
-        results: list = []
+        eager: list = []
+        chunks: List[tuple] = []
         shard_runs: List[ShardRun] = []
         metrics = _fresh_metrics()
         residual_total = 0
-        for shard, run in zip(plan.shards, sorted(
-            raw_runs, key=lambda r: r["index"]
-        )):
-            results.extend(
-                _decode_results(run["encoded"], shard, originals)
-            )
+        for run in sorted(runs, key=lambda r: r["index"]):
+            if effective_mode == "process":
+                chunks.append(run["chunk"])
+            else:
+                eager.extend(run["results"])
             _merge_report(report, run["report"])
-            shard_run = _shard_run_of(shard, run)
+            shard_run = _shard_run_of(run)
             shard_runs.append(shard_run)
             residual_total += run["residual_filtered"]
             _absorb_metrics(metrics, run["metrics"])
             if effective_mode == "process":
                 _emit_shard_span(tracer, entry, backend, shard_run)
+        results: Sequence = (
+            LazyResults(x_list, y_list, chunks)
+            if effective_mode == "process"
+            else eager
+        )
         metrics.output_count = len(results)
         metrics.resilience = report.as_dict()
-        span.set(output_count=len(results))
+        span.set(
+            mode=effective_mode,
+            shards=plan.effective_shards,
+            workers=effective_workers,
+            skew_ratio=round(plan.skew_ratio, 3),
+            replicated=plan.replicated_total,
+            boundary_spanning=plan.boundary_spanning,
+            output_count=len(results),
+        )
         _bump_registry(plan, residual_total, effective_mode)
 
     return ParallelOutcome(
@@ -368,59 +664,23 @@ def execute_parallel(
         policy=policy,
         backend=backend,
         mode=effective_mode,
-        workers=workers,
+        workers=effective_workers,
         plan=plan,
         shard_runs=shard_runs,
     )
 
 
-def _run_pool(tasks: List[dict], workers: int) -> Optional[List[dict]]:
-    """Map shards over a fork pool; ``None`` means 'pool unavailable,
-    run inline'.  Engine errors from workers (STRICT violations)
-    re-raise with their original types."""
-    global _FORK_TASKS
-    import multiprocessing
-
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:
-        return None
-    _FORK_TASKS = tasks
-    try:
-        with context.Pool(processes=min(workers, len(tasks))) as pool:
-            return pool.map(_fork_worker, range(len(tasks)))
-    except ReproError:
-        raise
-    except Exception:
-        # Pool infrastructure failed (pickling, resource limits, ...):
-        # parallelism is an optimisation, correctness falls back inline.
-        return None
-    finally:
-        _FORK_TASKS = None
-
-
-def _run_shard_traced(tracer, task: dict) -> dict:
-    """Inline execution, with the shard span wrapping the real run so
-    per-shard operator/attempt spans nest underneath it."""
-    with tracer.span(
-        f"shard:{task['index']}",
-        operator=task["operator"].value,
-        backend=task["backend"],
-    ) as span:
-        run = _run_shard(task)
-        if tracer.enabled:
-            span.set(**_span_attributes(run, task))
-        return run
-
-
-def _span_attributes(run: dict, task: dict) -> dict:
+# ----------------------------------------------------------------------
+# spans and per-shard summaries
+# ----------------------------------------------------------------------
+def _span_attributes(run: dict) -> dict:
     metrics = run["metrics"]
     report: ExecutionReport = run["report"]
     return {
-        "x_tuples": len(task["x"]),
-        "y_tuples": len(task["y"]) if task["y"] is not None else 0,
-        "owned_lo": task["owned_lo"],
-        "owned_hi": task["owned_hi"],
+        "x_tuples": run["x_count"],
+        "y_tuples": run["y_count"],
+        "owned_lo": run["owned_lo"],
+        "owned_hi": run["owned_hi"],
         "wall_ms": round(run["wall_seconds"] * 1e3, 3),
         "passes_x": metrics.get("passes_x"),
         "passes_y": metrics.get("passes_y"),
@@ -434,7 +694,7 @@ def _span_attributes(run: dict, task: dict) -> dict:
 
 
 def _emit_shard_span(tracer, entry, backend, shard_run: ShardRun):
-    """Process-mode shards ran with a child-process (null) tracer; give
+    """Process-mode shards ran in worker processes with no tracer; give
     each a summary span in the parent trace so EXPLAIN ANALYZE sees the
     same shard breakdown either way."""
     if not tracer.enabled:
@@ -461,15 +721,15 @@ def _emit_shard_span(tracer, entry, backend, shard_run: ShardRun):
         )
 
 
-def _shard_run_of(shard: Shard, run: dict) -> ShardRun:
+def _shard_run_of(run: dict) -> ShardRun:
     metrics = run["metrics"]
     report: ExecutionReport = run["report"]
     return ShardRun(
-        index=shard.index,
-        x_count=len(shard.x),
-        y_count=len(shard.y) if shard.y is not None else 0,
-        owned_lo=shard.owned_lo,
-        owned_hi=shard.owned_hi,
+        index=run["index"],
+        x_count=run["x_count"],
+        y_count=run["y_count"],
+        owned_lo=run["owned_lo"],
+        owned_hi=run["owned_hi"],
         wall_seconds=run["wall_seconds"],
         passes_x=metrics.get("passes_x") or 0,
         passes_y=metrics.get("passes_y") or 0,
@@ -538,7 +798,7 @@ def _absorb_metrics(target: ProcessorMetrics, shard: dict) -> None:
 
 
 def _bump_registry(
-    plan: PartitionPlan, residual_filtered: int, mode: str
+    plan, residual_filtered: int, mode: str
 ) -> None:
     registry = active_registry()
     if registry is None:
@@ -563,3 +823,16 @@ def _bump_registry(
         "repro_parallel_skew_ratio",
         "max/mean per-shard work of the last partitioning",
     ).set(round(plan.skew_ratio, 3))
+
+
+# Re-exported so tests can reference the range planner via the
+# executor module (and to keep ShardRange in the public surface).
+__all__ = [
+    "EXECUTION_MODES",
+    "LazyResults",
+    "ParallelOutcome",
+    "RangePlan",
+    "ShardRange",
+    "ShardRun",
+    "execute_parallel",
+]

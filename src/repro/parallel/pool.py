@@ -1,0 +1,279 @@
+"""Persistent spawn-based worker pool for the shard runtime.
+
+The fork pool of the original process mode was built per query, which
+priced every parallel run at pool construction plus a full pickle of
+the operand tuples.  This pool is built **once**, reused across
+queries, and shut down atexit; workers are spawn-safe (no inherited
+parent state beyond the module imports) and receive only segment names
+plus shard offsets, so a warm dispatch costs a few hundred bytes of
+task dict per shard.
+
+Concurrency: one batch owns the pool at a time (``run_batch`` holds a
+lock), and every task/result carries a monotone job id, so two threads
+calling ``execute_parallel`` concurrently serialise cleanly instead of
+interleaving results — the replacement for the ``_FORK_TASKS`` module
+global that was unsafe under concurrent ``run_query`` calls.
+
+Failure semantics:
+
+* a worker raising a :class:`~repro.errors.ReproError` (STRICT
+  violations, storage faults) ships the pickled original exception
+  back; ``run_batch`` re-raises it after the batch drains;
+* a worker *dying* (crash, OOM kill) raises :class:`WorkerPoolError`
+  — deliberately **not** a ``ReproError`` — and poisons the pool so
+  the next query builds a fresh one; the executor treats it as
+  "parallelism unavailable" and falls back inline;
+* the parent owns every shared-memory segment name it put into a
+  batch, so cleanup after either failure is the executor's
+  ``finally``-block sweep, never the pool's problem.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import queue
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..errors import ExecutionError
+
+#: Seconds of total batch silence before the pool is declared hung.
+_BATCH_TIMEOUT = 600.0
+#: Poll interval while waiting on the result queue.
+_POLL_SECONDS = 0.05
+
+
+class WorkerPoolError(RuntimeError):
+    """Pool infrastructure failure (worker death, hang) — parallelism
+    is unavailable, correctness falls back inline."""
+
+
+def _encode_error(exc: BaseException) -> bytes:
+    """Pickle the original exception, downgrading to an ExecutionError
+    carrying the repr when the instance itself cannot travel."""
+    try:
+        return pickle.dumps(exc)
+    except Exception:
+        return pickle.dumps(
+            ExecutionError(f"shard failed with unpicklable {exc!r}")
+        )
+
+
+def _worker_main(tasks, results) -> None:
+    """Worker loop: run shard tasks until the ``None`` sentinel."""
+    from .worker import run_task
+
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        try:
+            results.put(run_task(task))
+        except BaseException as exc:  # noqa: BLE001 - shipped to parent
+            results.put(
+                {
+                    "job": task.get("job"),
+                    "index": task.get("index"),
+                    "error": _encode_error(exc),
+                }
+            )
+
+
+class WorkerPool:
+    """A fixed set of warm spawn workers around one task/result queue
+    pair.  Grows on demand; never shrinks until shutdown."""
+
+    def __init__(self, size: int):
+        import multiprocessing
+
+        self._context = multiprocessing.get_context("spawn")
+        self._tasks = self._context.Queue()
+        self._results = self._context.Queue()
+        self._processes: List = []
+        self._dispatch_lock = threading.Lock()
+        self._job_counter = 0
+        self._broken = False
+        self.grow(size)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._processes)
+
+    @property
+    def healthy(self) -> bool:
+        return not self._broken and all(
+            p.is_alive() or p.exitcode == 0 for p in self._processes
+        )
+
+    def grow(self, size: int) -> None:
+        while len(self._processes) < size:
+            process = self._context.Process(
+                target=_worker_main,
+                args=(self._tasks, self._results),
+                daemon=True,
+                name=f"repro-shard-{len(self._processes)}",
+            )
+            process.start()
+            self._processes.append(process)
+
+    def worker_pids(self) -> List[int]:
+        return [p.pid for p in self._processes]
+
+    def shutdown(self) -> None:
+        """Graceful stop: sentinels, short join, then terminate."""
+        self._broken = True
+        for _ in self._processes:
+            try:
+                self._tasks.put_nowait(None)
+            except Exception:  # pragma: no cover - queue already closed
+                break
+        for process in self._processes:
+            process.join(timeout=1.0)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for q in (self._tasks, self._results):
+            try:
+                q.close()
+                q.join_thread()
+            except Exception:  # pragma: no cover - teardown race
+                pass
+        self._processes.clear()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def run_batch(self, tasks: List[dict]) -> List[dict]:
+        """Run one batch of shard tasks; returns the per-task summary
+        dicts in arbitrary order.
+
+        Re-raises the first (lowest shard index) worker ``ReproError``
+        with its original type; raises :class:`WorkerPoolError` when a
+        worker dies or the batch hangs.
+        """
+        if not tasks:
+            return []
+        with self._dispatch_lock:
+            if self._broken:
+                raise WorkerPoolError("worker pool is poisoned")
+            self._job_counter += 1
+            job = self._job_counter
+            for task in tasks:
+                task["job"] = job
+            for task in tasks:
+                self._tasks.put(task)
+            return self._collect(job, len(tasks))
+
+    def _collect(self, job: int, expected: int) -> List[dict]:
+        summaries: List[dict] = []
+        errors: List[dict] = []
+        deadline = time.monotonic() + _BATCH_TIMEOUT
+        while len(summaries) + len(errors) < expected:
+            try:
+                result = self._results.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                self._check_liveness(deadline)
+                continue
+            deadline = time.monotonic() + _BATCH_TIMEOUT
+            if result.get("job") != job:
+                continue  # stale result from an abandoned batch
+            if "error" in result:
+                errors.append(result)
+            else:
+                summaries.append(result)
+        if errors:
+            errors.sort(key=lambda e: e.get("index") or 0)
+            raise pickle.loads(errors[0]["error"])
+        return summaries
+
+    def _check_liveness(self, deadline: float) -> None:
+        dead = [p for p in self._processes if not p.is_alive()]
+        if dead:
+            self._broken = True
+            codes = sorted({p.exitcode for p in dead})
+            raise WorkerPoolError(
+                f"{len(dead)} shard worker(s) died (exit codes {codes})"
+            )
+        if time.monotonic() > deadline:
+            self._broken = True
+            raise WorkerPoolError(
+                f"shard batch produced no result for {_BATCH_TIMEOUT}s"
+            )
+
+
+# ----------------------------------------------------------------------
+# the process-wide pool
+# ----------------------------------------------------------------------
+_POOL: Optional[WorkerPool] = None
+_POOL_GUARD = threading.Lock()
+_ATEXIT_INSTALLED = False
+
+
+def get_pool(workers: int) -> WorkerPool:
+    """The shared warm pool, grown to at least ``workers`` processes.
+
+    A poisoned pool (dead worker, hung batch) is torn down and rebuilt
+    here, so one crash costs one inline fallback, not the session.
+    """
+    global _POOL, _ATEXIT_INSTALLED
+    with _POOL_GUARD:
+        if _POOL is not None and not _POOL.healthy:
+            _POOL.shutdown()
+            _POOL = None
+        if _POOL is None:
+            _POOL = WorkerPool(max(1, workers))
+            if not _ATEXIT_INSTALLED:
+                atexit.register(shutdown_pool)
+                _ATEXIT_INSTALLED = True
+        elif _POOL.size < workers:
+            _POOL.grow(workers)
+        return _POOL
+
+
+def shutdown_pool() -> None:
+    """Stop the shared pool (atexit hook; also used by tests)."""
+    global _POOL
+    with _POOL_GUARD:
+        if _POOL is not None:
+            _POOL.shutdown()
+            _POOL = None
+
+
+def pool_stats() -> Dict[str, object]:
+    """Introspection for tests and EXPLAIN ANALYZE."""
+    with _POOL_GUARD:
+        if _POOL is None:
+            return {"alive": False, "size": 0, "pids": []}
+        return {
+            "alive": _POOL.healthy,
+            "size": _POOL.size,
+            "pids": _POOL.worker_pids(),
+        }
+
+
+def warm_pool(workers: int) -> List[int]:
+    """Ensure ``workers`` processes exist and have finished importing;
+    returns their pids (benchmarks call this before timing)."""
+    pool = get_pool(workers)
+    # Spawned workers import the runtime while the parent keeps going;
+    # a zero-task batch is not observable, so just confirm liveness.
+    for process in pool._processes:
+        while process.pid is None:  # pragma: no cover - start race
+            time.sleep(_POLL_SECONDS)
+    return pool.worker_pids()
+
+
+__all__ = [
+    "WorkerPool",
+    "WorkerPoolError",
+    "get_pool",
+    "pool_stats",
+    "shutdown_pool",
+    "warm_pool",
+]

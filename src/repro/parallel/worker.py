@@ -1,0 +1,242 @@
+"""Worker-side shard execution for the shared-memory runtime.
+
+A task names an operand segment plus column offsets; the worker maps
+the segment read-only and runs the shard in one of two ways:
+
+* **Kernel fast path** — columnar backend, STRICT policy, no fault
+  plan, no workspace budget, non-mirrored cell: the columnar sweep
+  kernel runs *directly on the shared-memory views* (wrapped in
+  :class:`~repro.columnar.relation.IntervalColumns` endpoint-only
+  columns), so the shard costs exactly the kernel plus zero object
+  traffic.
+* **Resilience ladder** — every other configuration reconstructs the
+  shard's tuples from the endpoint views (surrogate = global column
+  index, no payloads) and runs the unchanged
+  :func:`~repro.resilience.executor.execute_entry`, preserving the
+  STRICT/QUARANTINE/DEGRADE ladder, fault plans, and retry semantics
+  per shard.
+
+Either way the result leaves the worker as ``array('q')`` *global*
+index columns in a parent-assigned result segment; the parent
+materialises payload tuples lazily from its own relation lists.
+Surrogates of reconstructed tuples are their global indexes, which the
+mirrored processors preserve, so every backend/policy combination
+encodes without ever pickling a tuple.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from array import array
+from typing import Optional
+
+from ..columnar.relation import IntervalColumns
+from ..model.tuples import TemporalTuple
+from ..resilience.recovery import ExecutionReport, RecoveryPolicy
+from ..streams.registry import RegistryEntry, lookup
+from . import shm
+
+_SHAPE_KINDS = {
+    "semi": shm.RESULT_SEMI,
+    "join": shm.RESULT_PAIRS,
+    "self": shm.RESULT_SELF,
+}
+
+
+def run_task(task: dict) -> dict:
+    """Execute one shard task; returns the queue-sized summary dict.
+
+    Raises whatever the shard raises (STRICT semantics) — the pool loop
+    is responsible for shipping exceptions back to the parent.
+    """
+    if task.get("fault_exit"):
+        # Deterministic crash hook for the segment-lifecycle chaos
+        # tests: die before any result segment exists.
+        os._exit(task.get("fault_exit_code", 2))
+    started = time.perf_counter()
+    entry = lookup(task["operator"], task["x_order"], task["y_order"])
+    with shm.MappedColumns(task["segment"]) as mapped:
+        x_ts = mapped.view(task["x_ts_offset"], task["x_len"])
+        x_te = mapped.view(task["x_te_offset"], task["x_len"])
+        y_ts = y_te = None
+        if task["shape"] != "self" and task["y_len"]:
+            y_ts = mapped.view(task["y_ts_offset"], task["y_len"])
+            y_te = mapped.view(task["y_te_offset"], task["y_len"])
+        if _fast_path_eligible(task, entry):
+            summary = _run_kernel(task, entry, x_ts, x_te, y_ts, y_te)
+        else:
+            summary = _run_ladder(task, entry, x_ts, x_te, y_ts, y_te)
+    summary["wall_seconds"] = time.perf_counter() - started
+    summary["job"] = task["job"]
+    summary["index"] = task["index"]
+    summary["result_segment"] = task["result_segment"]
+    return summary
+
+
+def _fast_path_eligible(task: dict, entry: RegistryEntry) -> bool:
+    return (
+        task["backend"] == "columnar"
+        and task["policy"] is RecoveryPolicy.STRICT
+        and task["fault_plan"] is None
+        and task["workspace_budget"] is None
+        and not entry.mirrored
+        and isinstance(entry.columnar_factory, type)
+    )
+
+
+# ----------------------------------------------------------------------
+# kernel fast path
+# ----------------------------------------------------------------------
+def _run_kernel(task, entry, x_ts, x_te, y_ts, y_te) -> dict:
+    kernel = entry.columnar_factory.kernel
+    shape, x_base = task["shape"], task["x_base"]
+    x_cols = IntervalColumns.from_views(
+        x_ts, x_te, entry.x_order, name="X[shm]"
+    )
+    residual_filtered = 0
+    y_read = 0
+    y_base = 0
+    if shape == "self":
+        positions, stats = kernel(x_cols.ts, x_cols.te)
+        # Owner-filter in shard-local coordinates: only positions
+        # inside the owned slice of the context window survive.
+        lo = task["owned_lo"] - x_base
+        hi = task["owned_hi"] - x_base
+        first = array("q", (rel for rel in positions if lo <= rel < hi))
+        residual_filtered = len(positions) - len(first)
+        second = None
+    else:
+        empty = array("q")
+        y_cols = IntervalColumns.from_views(
+            y_ts if y_ts is not None else empty,
+            y_te if y_te is not None else empty,
+            entry.y_order,
+            name="Y[shm]",
+        )
+        y_read = len(y_cols)
+        y_base = task["y_base"]
+        if shape == "join":
+            (xi, yj), stats = kernel(
+                x_cols.ts, x_cols.te, y_cols.ts, y_cols.te
+            )
+            first = array("q", xi)
+            second = array("q", yj)
+        else:
+            positions, stats = kernel(
+                x_cols.ts, x_cols.te, y_cols.ts, y_cols.te
+            )
+            first = array("q", positions)
+            second = None
+    output_count = len(first)
+    # Positions stay shard-local; the parent adds the bases during its
+    # lazy payload materialisation (one addition fewer per output on
+    # the worker's critical path).
+    shm.write_result(
+        task["result_segment"],
+        _SHAPE_KINDS[shape],
+        first,
+        second,
+        x_base=x_base,
+        y_base=y_base,
+    )
+    return {
+        "report": ExecutionReport(),
+        "metrics": _kernel_metrics(
+            len(x_cols), y_read, shape, output_count, stats
+        ),
+        "output_count": output_count,
+        "residual_filtered": residual_filtered,
+    }
+
+
+def _kernel_metrics(x_read, y_read, shape, output_count, stats) -> dict:
+    binary = shape != "self"
+    return {
+        "tuples_read_x": x_read,
+        "tuples_read_y": y_read,
+        "passes_x": 1,
+        "passes_y": 1 if binary else 0,
+        "pass_reads_x": [x_read],
+        "pass_reads_y": [y_read] if binary else [],
+        "buffers": 2,
+        "output_count": output_count,
+        "comparisons": stats.comparisons,
+        "workspace": {
+            "high_water": stats.high_water,
+            "total_inserted": stats.inserted,
+            "total_discarded": stats.discarded,
+            "residual": 0,
+        },
+        "state_high_water": {},
+        "resilience": None,
+    }
+
+
+# ----------------------------------------------------------------------
+# resilience-ladder path
+# ----------------------------------------------------------------------
+def _reconstruct(ts, te, base: int) -> list:
+    """Payload-free tuples whose surrogate is the global column index —
+    the property every processor (mirrored ones included) preserves, so
+    outputs encode back to global indexes without identity tricks."""
+    return [
+        TemporalTuple(base + i, None, ts[i], te[i])
+        for i in range(len(ts))
+    ]
+
+
+def _run_ladder(task, entry, x_ts, x_te, y_ts, y_te) -> dict:
+    from ..resilience.executor import execute_entry
+
+    shape = task["shape"]
+    x_records = _reconstruct(x_ts, x_te, task["x_base"])
+    y_records: Optional[list] = None
+    if shape != "self":
+        y_records = (
+            _reconstruct(y_ts, y_te, task["y_base"])
+            if y_ts is not None
+            else []
+        )
+    outcome = execute_entry(
+        entry,
+        x_records,
+        y_records,
+        backend=task["backend"],
+        policy=task["policy"],
+        workspace_budget=task["workspace_budget"],
+        fault_plan=task["fault_plan"],
+        retry_policy=task["retry_policy"],
+        page_capacity=task["page_capacity"],
+        sort_memory_pages=task["sort_memory_pages"],
+    )
+    residual_filtered = 0
+    if shape == "self":
+        owned_lo, owned_hi = task["owned_lo"], task["owned_hi"]
+        first = array("q")
+        for emitted in outcome.results:
+            if owned_lo <= emitted.surrogate < owned_hi:
+                first.append(emitted.surrogate)
+            else:
+                residual_filtered += 1
+        second = None
+    elif shape == "join":
+        first, second = array("q"), array("q")
+        for left, right in outcome.results:
+            first.append(left.surrogate)
+            second.append(right.surrogate)
+    else:
+        first = array("q", (t.surrogate for t in outcome.results))
+        second = None
+    output_count = len(first)
+    # Ladder surrogates are already global indexes — bases stay zero.
+    shm.write_result(
+        task["result_segment"], _SHAPE_KINDS[shape], first, second
+    )
+    metrics = outcome.metrics.to_dict() if outcome.metrics else {}
+    return {
+        "report": outcome.report,
+        "metrics": metrics,
+        "output_count": output_count,
+        "residual_filtered": residual_filtered,
+    }

@@ -23,20 +23,46 @@ class TestChooseShardCount:
         model = CostModel()
         x = collect_statistics(make_relation(40, seed=1))
         y = collect_statistics(make_relation(40, seed=2))
-        assert choose_shard_count(model, x, y, 10.0, 8) == 1
+        assert choose_shard_count(model, x, y, 10.0, 8, available_cpus=8) == 1
 
     def test_large_inputs_go_parallel(self):
         model = CostModel()
         x = collect_statistics(make_relation(4000, seed=1))
         y = collect_statistics(make_relation(4000, seed=2))
-        workers = choose_shard_count(model, x, y, 20.0, 8)
+        workers = choose_shard_count(model, x, y, 20.0, 8, available_cpus=8)
         assert workers > 1
 
     def test_max_workers_caps_the_search(self):
         model = CostModel()
         x = collect_statistics(make_relation(4000, seed=1))
         y = collect_statistics(make_relation(4000, seed=2))
-        assert choose_shard_count(model, x, y, 20.0, 2) <= 2
+        assert choose_shard_count(model, x, y, 20.0, 2, available_cpus=8) <= 2
+
+    def test_single_cpu_prefers_serial(self):
+        # Even inputs that clearly justify sharding stay serial when
+        # only one core can run them: time-slicing K shards on one CPU
+        # pays the coordination for none of the speedup.
+        model = CostModel()
+        x = collect_statistics(make_relation(4000, seed=1))
+        y = collect_statistics(make_relation(4000, seed=2))
+        assert choose_shard_count(model, x, y, 20.0, 8, available_cpus=1) == 1
+
+    def test_cpu_count_caps_the_search(self):
+        model = CostModel()
+        x = collect_statistics(make_relation(4000, seed=1))
+        y = collect_statistics(make_relation(4000, seed=2))
+        assert choose_shard_count(model, x, y, 20.0, 8, available_cpus=2) <= 2
+
+    def test_default_cpu_clamp_is_host_honest(self):
+        # With no explicit grant the search may never exceed the host's
+        # core count (the regression: K=4 planned on a 1-CPU box).
+        import os
+
+        model = CostModel()
+        x = collect_statistics(make_relation(4000, seed=1))
+        y = collect_statistics(make_relation(4000, seed=2))
+        workers = choose_shard_count(model, x, y, 20.0, 8)
+        assert workers <= (os.cpu_count() or 1)
 
     def test_workers_1_cost_equals_serial_pass(self):
         model = CostModel()

@@ -1,0 +1,166 @@
+"""Range shard planning: the contiguous index ranges handed to the
+shared-memory runtime must cover everything the windowed partitioner
+would ship, shard for shard, on every operator."""
+
+import pytest
+
+from repro.columnar.relation import IntervalColumns
+from repro.model import sort_tuples
+from repro.parallel import plan_ranges
+from repro.parallel.partition import (
+    SELF_OPERATORS,
+    PartitionTag,
+    partition,
+)
+from repro.streams import TemporalOperator
+
+from .conftest import all_supported_cells, cell_id, make_tuples
+
+CELLS = all_supported_cells()
+
+
+def binary_entry():
+    return next(
+        e for e in CELLS if e.operator is TemporalOperator.CONTAIN_JOIN
+    )
+
+
+def columns_for(entry, seed_x=41, seed_y=42, n=160):
+    xs = sort_tuples(make_tuples("x", n, seed=seed_x), entry.x_order)
+    ys = (
+        sort_tuples(make_tuples("y", n, seed=seed_y), entry.y_order)
+        if entry.y_order is not None
+        else None
+    )
+    x_cols = IntervalColumns.from_tuples(
+        xs, order=entry.x_order, presorted=True
+    )
+    y_cols = (
+        IntervalColumns.from_tuples(
+            ys, order=entry.y_order, presorted=True
+        )
+        if ys is not None
+        else None
+    )
+    return xs, ys, x_cols, y_cols
+
+
+def make_plan(entry, x_cols, y_cols, shards):
+    return plan_ranges(
+        entry,
+        x_cols.ts,
+        x_cols.te,
+        y_cols.ts if y_cols is not None else None,
+        y_cols.te if y_cols is not None else None,
+        shards=shards,
+    )
+
+
+@pytest.mark.parametrize("entry", CELLS, ids=cell_id)
+@pytest.mark.parametrize("shards", [2, 3, 5])
+class TestRangeGeometry:
+    def test_owned_ranges_partition_x(self, entry, shards):
+        xs, _, x_cols, y_cols = columns_for(entry)
+        plan = make_plan(entry, x_cols, y_cols, shards)
+        cursor = 0
+        for shard_range in plan.ranges:
+            assert shard_range.owned_lo == cursor
+            assert shard_range.owned_hi > shard_range.owned_lo
+            cursor = shard_range.owned_hi
+        assert cursor == len(xs)
+
+    def test_range_covers_windowed_partition(self, entry, shards):
+        """Every context tuple the windowed partitioner ships to shard
+        i must fall inside shard i's planned index range — the range is
+        allowed to be a superset (the kernels re-check the exact
+        predicates) but never to miss a necessary tuple."""
+        xs, ys, x_cols, y_cols = columns_for(entry)
+        plan = make_plan(entry, x_cols, y_cols, shards)
+        windowed = partition(entry, xs, ys, shards=shards)
+        assert plan.effective_shards == windowed.effective_shards
+        unary = entry.operator in SELF_OPERATORS
+        if not unary:
+            position = {id(t): i for i, t in enumerate(ys)}
+        for shard, shard_range in zip(windowed.shards, plan.ranges):
+            assert shard.owned_lo == shard_range.owned_lo
+            assert shard.owned_hi == shard_range.owned_hi
+            if unary:
+                for tagged in shard.x:
+                    tag = tagged.value
+                    assert isinstance(tag, PartitionTag)
+                    assert (
+                        shard_range.y_lo <= tag.index < shard_range.y_hi
+                    )
+            else:
+                for y_tuple in shard.y:
+                    index = position[id(y_tuple)]
+                    assert shard_range.y_lo <= index < shard_range.y_hi
+
+    def test_self_context_contains_owned(self, entry, shards):
+        if entry.operator not in SELF_OPERATORS:
+            pytest.skip("binary cell")
+        _, _, x_cols, y_cols = columns_for(entry)
+        plan = make_plan(entry, x_cols, y_cols, shards)
+        for shard_range in plan.ranges:
+            assert shard_range.y_lo <= shard_range.owned_lo
+            assert shard_range.y_hi >= shard_range.owned_hi
+
+
+class TestBeforeRepresentative:
+    def test_single_argmax_representative(self):
+        entry = next(
+            e
+            for e in CELLS
+            if e.operator is TemporalOperator.BEFORE_SEMIJOIN
+        )
+        _, ys, x_cols, y_cols = columns_for(entry)
+        plan = make_plan(entry, x_cols, y_cols, 3)
+        best = max(
+            range(len(ys)), key=lambda i: (y_cols.ts[i], y_cols.te[i])
+        )
+        for shard_range in plan.ranges:
+            assert shard_range.context_count == 1
+            assert shard_range.y_lo == best
+
+
+class TestAccounting:
+    def test_as_dict_reports_partition_plan_surface(self):
+        entry = binary_entry()
+        _, _, x_cols, y_cols = columns_for(entry)
+        plan = make_plan(entry, x_cols, y_cols, 3)
+        payload = plan.as_dict()
+        assert payload["strategy"] == "range"
+        for key in (
+            "operator",
+            "requested_shards",
+            "effective_shards",
+            "x_total",
+            "shipped_total",
+            "replicated_total",
+            "boundary_spanning",
+            "cuts",
+            "skew_ratio",
+            "shard_sizes",
+        ):
+            assert key in payload
+        assert len(payload["shard_sizes"]) == plan.effective_shards
+        assert plan.skew_ratio >= 1.0
+
+    def test_empty_input_plans_no_ranges(self):
+        entry = binary_entry()
+        plan = plan_ranges(entry, [], [], [], [], shards=4)
+        assert plan.effective_shards == 0
+        assert plan.replicated_total == 0
+
+    def test_more_shards_than_tuples_degrades_gracefully(self):
+        entry = binary_entry()
+        xs = sort_tuples(make_tuples("x", 3, seed=9), entry.x_order)
+        ys = sort_tuples(make_tuples("y", 3, seed=10), entry.y_order)
+        x_cols = IntervalColumns.from_tuples(
+            xs, order=entry.x_order, presorted=True
+        )
+        y_cols = IntervalColumns.from_tuples(
+            ys, order=entry.y_order, presorted=True
+        )
+        plan = make_plan(entry, x_cols, y_cols, 10)
+        assert 1 <= plan.effective_shards <= 3

@@ -1,0 +1,235 @@
+"""Shared-memory runtime lifecycle: segments must never outlive the
+query (success, STRICT re-raise, or worker crash), the warm pool must
+persist across queries and survive concurrent dispatch, and pool
+degradation must be visible (counter + span), never silent."""
+
+import os
+import threading
+
+import pytest
+
+from repro.errors import StorageFaultError
+from repro.model import TS_ASC, sort_tuples
+from repro.obs.metrics import (
+    MetricsRegistry,
+    active_registry,
+    install_registry,
+    uninstall_registry,
+)
+from repro.obs.trace import Tracer, set_tracer
+from repro.parallel import (
+    LazyResults,
+    execute_parallel,
+    pool_stats,
+    shutdown_pool,
+)
+from repro.parallel import executor as executor_mod
+from repro.resilience import FaultPlan, RecoveryPolicy, RetryPolicy
+from repro.streams import TemporalOperator, lookup
+
+from .conftest import canon, make_tuples, serial_run
+
+
+def contain_entry():
+    return lookup(TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC)
+
+
+def inputs(seed_x=31, seed_y=32, n=80):
+    xs = sort_tuples(make_tuples("x", n, seed=seed_x), TS_ASC)
+    ys = sort_tuples(make_tuples("y", n, seed=seed_y), TS_ASC)
+    return xs, ys
+
+
+def shm_entries():
+    """Names of our segments currently visible in /dev/shm (empty set
+    on platforms without the tmpfs mount, making leak checks vacuous
+    rather than wrong)."""
+    try:
+        names = os.listdir("/dev/shm")
+    except FileNotFoundError:
+        return set()
+    return {name for name in names if name.startswith("repro-")}
+
+
+class TestSegmentLifecycle:
+    def test_success_unlinks_every_segment(self):
+        entry = contain_entry()
+        xs, ys = inputs()
+        before = shm_entries()
+        outcome = execute_parallel(
+            entry, xs, ys, shards=3, workers=2, mode="process"
+        )
+        assert outcome.mode == "process"
+        assert canon(outcome.results) == canon(
+            serial_run(entry, xs, ys, "tuple")
+        )
+        assert shm_entries() == before
+
+    def test_strict_reraise_sweeps_segments(self):
+        """A STRICT failure inside a worker must surface the original
+        exception type AND leave /dev/shm clean — the parent sweeps the
+        names it handed out on the error path too."""
+        entry = contain_entry()
+        xs, ys = inputs()
+        plan = FaultPlan(
+            seed=0,
+            rate=0.0,
+            persistent=frozenset({("contain-join[tuple].X", 0)}),
+        )
+        before = shm_entries()
+        with pytest.raises(StorageFaultError):
+            execute_parallel(
+                entry,
+                xs,
+                ys,
+                shards=2,
+                workers=2,
+                policy=RecoveryPolicy.STRICT,
+                fault_plan=plan,
+                retry_policy=RetryPolicy(seed=0, max_attempts=3),
+                page_capacity=8,
+                mode="process",
+            )
+        assert shm_entries() == before
+
+    def test_worker_crash_degrades_visibly_and_sweeps(self, monkeypatch):
+        """Kill one worker before it writes its result: the run must
+        fall back inline with correct output, bump the fallback counter
+        with the exception class, mark the span, and leave no segments
+        behind (the crashed shard's result segment never existed; the
+        sweep tolerates that)."""
+        entry = contain_entry()
+        xs, ys = inputs()
+        expected = canon(serial_run(entry, xs, ys, "tuple"))
+        original = executor_mod._shm_tasks
+
+        def sabotaged(*args, **kwargs):
+            tasks = original(*args, **kwargs)
+            tasks[0]["fault_exit"] = True
+            return tasks
+
+        monkeypatch.setattr(executor_mod, "_shm_tasks", sabotaged)
+        before = shm_entries()
+        tracer = Tracer("crash")
+        previous = set_tracer(tracer)
+        install_registry(MetricsRegistry())
+        try:
+            outcome = execute_parallel(
+                entry, xs, ys, shards=2, workers=2, mode="process"
+            )
+            dump = active_registry().to_prometheus()
+        finally:
+            uninstall_registry()
+            set_tracer(previous)
+            shutdown_pool()
+        assert outcome.mode == "inline"
+        assert canon(outcome.results) == expected
+        assert shm_entries() == before
+        assert "repro_parallel_pool_fallbacks_total" in dump
+        assert "WorkerPoolError" in dump
+        parallel_span = next(
+            s for s in tracer.spans if s.name.startswith("parallel:")
+        )
+        assert parallel_span.attributes["pool_fallback"] is True
+        assert (
+            parallel_span.attributes["fallback_error"]
+            == "WorkerPoolError"
+        )
+
+    def test_pool_recovers_after_crash(self, monkeypatch):
+        """The poisoned pool must be rebuilt transparently: the very
+        next process-mode query succeeds through fresh workers."""
+        entry = contain_entry()
+        xs, ys = inputs()
+        original = executor_mod._shm_tasks
+        calls = {"n": 0}
+
+        def sabotage_first(*args, **kwargs):
+            tasks = original(*args, **kwargs)
+            calls["n"] += 1
+            if calls["n"] == 1:
+                tasks[0]["fault_exit"] = True
+            return tasks
+
+        monkeypatch.setattr(executor_mod, "_shm_tasks", sabotage_first)
+        crashed = execute_parallel(
+            entry, xs, ys, shards=2, workers=2, mode="process"
+        )
+        assert crashed.mode == "inline"
+        healed = execute_parallel(
+            entry, xs, ys, shards=2, workers=2, mode="process"
+        )
+        assert healed.mode == "process"
+        assert canon(healed.results) == canon(
+            serial_run(entry, xs, ys, "tuple")
+        )
+
+
+class TestWarmPool:
+    def test_pool_persists_across_queries(self):
+        entry = contain_entry()
+        xs, ys = inputs()
+        shutdown_pool()
+        execute_parallel(entry, xs, ys, shards=2, workers=2, mode="process")
+        first = pool_stats()
+        execute_parallel(entry, xs, ys, shards=2, workers=2, mode="process")
+        second = pool_stats()
+        assert first["alive"] and second["alive"]
+        assert first["pids"] == second["pids"]
+
+    def test_concurrent_queries_from_two_threads(self):
+        """Two threads sharing the warm pool must both get exactly
+        their own results — the regression the old fork-pool global
+        task handoff (_FORK_TASKS) could not guarantee."""
+        entry = contain_entry()
+        runs = [inputs(seed_x=71, seed_y=72), inputs(seed_x=73, seed_y=74)]
+        expected = [
+            canon(serial_run(entry, xs, ys, "tuple")) for xs, ys in runs
+        ]
+        failures = []
+
+        def query(slot):
+            xs, ys = runs[slot]
+            try:
+                outcome = execute_parallel(
+                    entry, xs, ys, shards=2, workers=2, mode="process"
+                )
+                if canon(outcome.results) != expected[slot]:
+                    failures.append(f"slot {slot}: wrong results")
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(f"slot {slot}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=query, args=(slot,)) for slot in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures, failures
+
+
+class TestLazyResults:
+    def test_len_is_free_and_payloads_cache(self):
+        entry = contain_entry()
+        xs, ys = inputs()
+        expected = canon(serial_run(entry, xs, ys, "columnar"))
+        outcome = execute_parallel(
+            entry,
+            xs,
+            ys,
+            shards=2,
+            workers=2,
+            backend="columnar",
+            mode="process",
+        )
+        assert outcome.mode == "process"
+        results = outcome.results
+        assert isinstance(results, LazyResults)
+        count = len(results)
+        assert results._cache is None  # len() alone must not materialise
+        assert canon(results) == expected
+        assert results._cache is not None
+        assert len(results) == count == len(expected)
+        left, right = results[0]
+        assert left in xs and right in ys
