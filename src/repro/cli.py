@@ -87,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the conventional Figure-3 rewrites",
     )
+    _add_governance_arguments(query)
 
     commands.add_parser(
         "demo", help="run the Superstar demonstration on generated data"
@@ -170,7 +171,60 @@ def build_parser() -> argparse.ArgumentParser:
         "breakdown; without query text a contain-join over the "
         "generated Faculty data is used",
     )
+    _add_governance_arguments(explain)
     return parser
+
+
+def _add_governance_arguments(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; past it the next governance "
+        "checkpoint aborts the query with a DeadlineExceededError",
+    )
+    command.add_argument(
+        "--workspace-budget",
+        type=int,
+        default=None,
+        metavar="TUPLES",
+        help="cap on concurrent workspace state tuples",
+    )
+    command.add_argument(
+        "--page-budget",
+        type=int,
+        default=None,
+        metavar="PAGES",
+        help="cap on physical heap-file page reads",
+    )
+    command.add_argument(
+        "--shm-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="cap on shared-memory bytes mapped for parallel shards",
+    )
+
+
+def _budget_from_args(args):
+    """A QueryBudget from the governance flags, or ``None`` when no
+    flag was given (the ungoverned fast path stays flag-free)."""
+    if (
+        args.deadline is None
+        and args.workspace_budget is None
+        and args.page_budget is None
+        and args.shm_budget is None
+    ):
+        return None
+    from .governance import QueryBudget
+
+    return QueryBudget(
+        deadline_seconds=args.deadline,
+        workspace_tuple_cap=args.workspace_budget,
+        page_read_cap=args.page_budget,
+        shm_byte_cap=args.shm_budget,
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -202,6 +256,7 @@ def _run_query_command(args) -> int:
         catalog,
         rewrite=not args.no_rewrite,
         semantic=args.semantic,
+        budget=_budget_from_args(args),
     )
     if args.explain:
         print(result.plan.explain())
@@ -279,6 +334,8 @@ def _run_explain_analyze_command(args) -> int:
     recovery = (
         RecoveryPolicy(args.recovery) if args.recovery is not None else None
     )
+    budget = _budget_from_args(args)
+    governance = None
     tracer = Tracer("explain-analyze", io_events=args.io_events)
     registry = install_registry()
     try:
@@ -288,9 +345,18 @@ def _run_explain_analyze_command(args) -> int:
             # paper's stream/semantic strategies are traced directly —
             # their operator spans must show passes=1 and (for the
             # self semijoin) a one-tuple state.
-            plan, row_count = _traced_superstar(
-                tracer, catalog["Faculty"], text
-            )
+            if budget is not None:
+                from .governance import governed
+
+                with governed(budget=budget) as token:
+                    plan, row_count = _traced_superstar(
+                        tracer, catalog["Faculty"], text
+                    )
+                governance = token.as_dict()
+            else:
+                plan, row_count = _traced_superstar(
+                    tracer, catalog["Faculty"], text
+                )
         else:
             result = run_query(
                 text,
@@ -300,12 +366,14 @@ def _run_explain_analyze_command(args) -> int:
                 recovery=recovery,
                 trace=tracer,
                 parallelism=args.parallelism,
+                budget=budget,
             )
             plan, row_count = result.plan, len(result.rows)
+            governance = result.governance
     finally:
         uninstall_registry()
 
-    print(render_explain(tracer, plan))
+    print(render_explain(tracer, plan, governance=governance))
     shard_table = render_shard_table(tracer)
     if shard_table:
         print()

@@ -23,6 +23,7 @@ import gc
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ExecutionError, StreamOrderError
+from ..governance.budget import active_token
 from ..model import sortorder as so
 from ..model.tuples import TemporalTuple
 from ..obs.trace import get_tracer
@@ -98,6 +99,13 @@ class ColumnarProcessor(StreamProcessor):
         meter.total_discarded += stats.discarded
         if stats.high_water > meter.high_water:
             meter.high_water = stats.high_water
+        token = active_token()
+        if token is not None:
+            # Kernels bypass the metered insert path, so the governance
+            # workspace cap is enforced here from the kernel's own
+            # high-water count — batch granularity: the breach surfaces
+            # after the sweep, not mid-kernel.
+            token.charge_workspace(stats.high_water)
 
     # ------------------------------------------------------------------
     # operator body
@@ -110,6 +118,12 @@ class ColumnarProcessor(StreamProcessor):
     def _materialise(self) -> list:
         x_cols = self._drain(self.x)
         y_cols = self._drain(self.y) if self.y is not None else None
+        token = active_token()
+        if token is not None:
+            # Last governance checkpoint before the uninterruptible
+            # kernel sweep (the drains above checked at their pass
+            # boundaries).
+            token.check()
         out, stats = self._kernel(x_cols, y_cols)
         self._absorb(stats)
         return out

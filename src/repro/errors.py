@@ -108,6 +108,69 @@ class WorkspaceOverflowError(ExecutionError):
     Section-4.1 trade-off triangle)."""
 
 
+class GovernanceError(ReproError):
+    """Base class for query-governance violations: deadlines, explicit
+    cancellation, and resource-budget breaches.
+
+    Governance errors are **terminal by design**: the recovery ladder
+    (STRICT/QUARANTINE/DEGRADE) and the storage retry loop must never
+    retry, re-sort, or spill around one — retrying a query that already
+    blew its deadline or budget only spends more of the resource the
+    caller asked us to bound.  ``RETRYABLE`` in
+    :mod:`repro.resilience.retry` is an allowlist that excludes this
+    hierarchy, and :func:`repro.resilience.executor.execute_entry`
+    catches only the two recoverable stream errors, so these propagate
+    through every rung untouched.
+    """
+
+
+class DeadlineExceededError(GovernanceError):
+    """The query's wall-clock deadline passed before it finished.
+
+    Raised cooperatively at the next checkpoint (page read, pass
+    boundary, batch drain, or shard-collect poll), so detection latency
+    is bounded by the checkpoint interval, not by query length.
+    """
+
+    def __init__(self, message: str, elapsed: float = 0.0) -> None:
+        super().__init__(message)
+        self.elapsed = elapsed
+
+
+class QueryCancelledError(GovernanceError):
+    """The query was cancelled from outside (admission control, a
+    client disconnect, an operator kill) via
+    :meth:`repro.governance.CancellationToken.cancel`."""
+
+    def __init__(self, message: str, reason: str = "cancelled") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class BudgetExceededError(GovernanceError):
+    """A resource cap in the query's :class:`~repro.governance.
+    QueryBudget` was breached (workspace tuples, page reads, or
+    shared-memory bytes).  ``resource`` names the breached cap."""
+
+    def __init__(
+        self, message: str, resource: str = "", spent: int = 0, cap: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.resource = resource
+        self.spent = spent
+        self.cap = cap
+
+
+class AdmissionRejectedError(GovernanceError):
+    """The admission controller could not grant a query slot within the
+    queue timeout — the service is at capacity and the caller asked not
+    to wait any longer."""
+
+    def __init__(self, message: str, waited: float = 0.0) -> None:
+        super().__init__(message)
+        self.waited = waited
+
+
 class StorageError(ReproError):
     """Base class for errors in the simulated storage layer."""
 

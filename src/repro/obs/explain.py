@@ -121,17 +121,57 @@ def render_span_tree(tracer: Tracer) -> str:
 
 
 def render_explain(
-    tracer: Tracer, plan: Optional[object] = None
+    tracer: Tracer,
+    plan: Optional[object] = None,
+    governance: Optional[dict] = None,
 ) -> str:
     """Full EXPLAIN ANALYZE text: the logical plan (when given)
-    followed by the annotated span tree."""
+    followed by the annotated span tree, plus the governance spend
+    summary when the run was budgeted."""
     sections: List[str] = []
     if plan is not None and hasattr(plan, "explain"):
         sections.append("== logical plan ==")
         sections.append(plan.explain())
     sections.append("== execution trace (EXPLAIN ANALYZE) ==")
     sections.append(render_span_tree(tracer))
+    if governance:
+        sections.append(render_governance(governance))
     return "\n".join(sections)
+
+
+def render_governance(governance: dict) -> str:
+    """The governance spend summary (``CancellationToken.as_dict()``)
+    as an EXPLAIN section: each budgeted resource with spend vs cap,
+    unbudgeted ones with bare spend."""
+    budget = governance.get("budget") or {}
+    lines = ["== governance =="]
+
+    def cap_of(key):
+        cap = budget.get(key)
+        return "unbounded" if cap is None else str(cap)
+
+    deadline = budget.get("deadline_seconds")
+    lines.append(
+        f"elapsed={governance.get('elapsed_seconds')}s"
+        + (f" of deadline={deadline}s" if deadline is not None else "")
+    )
+    lines.append(
+        f"pages_read={governance.get('pages_read')}"
+        f" (cap {cap_of('page_read_cap')})"
+    )
+    lines.append(
+        f"workspace_peak={governance.get('workspace_peak')}"
+        f" (cap {cap_of('workspace_tuple_cap')})"
+    )
+    lines.append(
+        f"shm_bytes={governance.get('shm_bytes')}"
+        f" (cap {cap_of('shm_byte_cap')})"
+    )
+    lines.append(
+        f"checkpoints={governance.get('checkpoints')}"
+        f" cancelled={governance.get('cancelled')}"
+    )
+    return "\n".join(lines)
 
 
 def operator_summaries(tracer: Tracer) -> List[dict]:
@@ -190,6 +230,7 @@ def shard_summaries(tracer: Tracer) -> List[dict]:
                 "faults": a.get("faults"),
                 "quarantined": a.get("quarantined"),
                 "residual_filtered": a.get("residual_filtered"),
+                "attempt": a.get("attempt"),
             }
         )
     out.sort(key=lambda s: s["shard"])
@@ -212,6 +253,7 @@ def render_shard_table(tracer: Tracer) -> str:
         ("wall_ms", "wall_ms"),
         ("faults", "faults"),
         ("resid", "residual_filtered"),
+        ("att", "attempt"),
     )
     rows = []
     for s in shards:

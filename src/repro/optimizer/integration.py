@@ -26,7 +26,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..governance.budget import QueryBudget
+    from ..resilience.recovery import ExecutionReport, RecoveryPolicy
 
 from ..obs.trace import get_tracer
 
@@ -149,6 +153,7 @@ def execute_hybrid(
     recovery: Optional["RecoveryPolicy"] = None,
     report: Optional["ExecutionReport"] = None,
     parallelism: Optional[int] = None,
+    budget: Optional["QueryBudget"] = None,
 ) -> HybridExecution:
     """Execute ``plan``, sending recognised temporal joins through the
     stream planner and everything else through the conventional
@@ -160,7 +165,20 @@ def execute_hybrid(
     conventional operators are unaffected.  ``parallelism`` caps the
     shard count of time-domain-partitioned stream plans (ignored when
     an explicit ``planner`` is given — configure that planner instead).
+    ``budget`` runs the whole execution — stream and conventional
+    operators alike — under a governance token built from that
+    :class:`~repro.governance.QueryBudget`; when the caller already
+    installed a token (e.g. ``run_query(deadline=...)``), the existing
+    token governs and ``budget`` is ignored.
     """
+    if budget is not None:
+        from ..governance.budget import active_token, governed
+
+        if active_token() is None:
+            with governed(budget=budget):
+                return execute_hybrid(
+                    plan, catalog, planner, recovery, report, parallelism
+                )
     stats = EngineStats()
     execution = HybridExecution(
         rows=[], schema=plan.schema(), stats=stats

@@ -20,7 +20,10 @@ data instances".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..governance.budget import QueryBudget
 
 from ..errors import (
     PlanStateError,
@@ -135,6 +138,7 @@ class TemporalJoinPlanner:
         parallelism: Optional[int] = None,
         parallel_mode: str = "auto",
         available_cpus: Optional[int] = None,
+        budget: Optional["QueryBudget"] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise UnsupportedBackendError(
@@ -164,6 +168,11 @@ class TemporalJoinPlanner:
             if available_cpus is not None
             else parallelism
         )
+        #: Per-query :class:`~repro.governance.QueryBudget` every
+        #: ``execute`` runs under when the caller has not already
+        #: installed a governance token.  Its ``workspace_tuple_cap``
+        #: also becomes the default ``workspace_budget``.
+        self.budget = budget
 
     # ------------------------------------------------------------------
     # enumeration
@@ -334,7 +343,46 @@ class TemporalJoinPlanner:
           re-sorts on order violations and spills into extra passes on
           overflow.  The :class:`~repro.resilience.recovery.
           ExecutionReport` lands in ``profile.details``.
+
+        A planner constructed with ``budget=`` runs the whole thing
+        under that :class:`~repro.governance.QueryBudget` (unless the
+        caller already installed a governance token, which then wins),
+        and the budget's ``workspace_tuple_cap`` is the default
+        ``workspace_budget``.
         """
+        if self.budget is not None:
+            if workspace_budget is None:
+                workspace_budget = self.budget.workspace_tuple_cap
+            from ..governance.budget import active_token, governed
+
+            if active_token() is None:
+                with governed(budget=self.budget):
+                    return self._execute_impl(
+                        operator,
+                        x_relation,
+                        y_relation,
+                        workspace_budget,
+                        recovery,
+                        report,
+                    )
+        return self._execute_impl(
+            operator,
+            x_relation,
+            y_relation,
+            workspace_budget,
+            recovery,
+            report,
+        )
+
+    def _execute_impl(
+        self,
+        operator: TemporalOperator,
+        x_relation: TemporalRelation,
+        y_relation: TemporalRelation,
+        workspace_budget: Optional[int],
+        recovery: Optional[RecoveryPolicy],
+        report: Optional[ExecutionReport],
+    ) -> tuple[list, ExecutionProfile]:
         tracer = get_tracer()
         with tracer.span(
             f"plan:{operator.value}", backend=self.backend
@@ -510,6 +558,14 @@ class TemporalJoinPlanner:
         )
         if workspace_budget is not None and hasattr(processor, "meter"):
             processor.meter.limit = workspace_budget
+        if hasattr(processor, "meter"):
+            # Governance rides the metered insert path here exactly as
+            # it does in the resilient executor: under a token, every
+            # insert reports the joint state size against the
+            # workspace-tuple cap.
+            from ..governance.budget import active_token
+
+            processor.meter.token = active_token()
         results = processor.run()
         return results, processor.metrics
 

@@ -48,10 +48,11 @@ from typing import List, Optional, Sequence
 
 from ..columnar.relation import IntervalColumns
 from ..errors import ExecutionError, ReproError
+from ..governance.budget import active_token
 from ..model.tuples import TemporalTuple
 from ..obs.metrics import active_registry
 from ..obs.trace import get_tracer
-from ..resilience.faults import FaultPlan
+from ..resilience.faults import FaultPlan, WorkerFaultPlan
 from ..resilience.recovery import ExecutionReport, RecoveryPolicy
 from ..resilience.retry import RetryPolicy
 from ..storage.page import DEFAULT_PAGE_CAPACITY
@@ -98,6 +99,10 @@ class ShardRun:
     faults: int
     quarantined: int
     residual_filtered: int
+    #: Dispatch attempt that produced this summary: 0 on the first
+    #: dispatch, >0 when the shard was re-dispatched after a worker
+    #: death, straggling, or a corrupt result segment.
+    attempt: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -115,6 +120,7 @@ class ShardRun:
             "faults": self.faults,
             "quarantined": self.quarantined,
             "residual_filtered": self.residual_filtered,
+            "attempt": self.attempt,
         }
 
 
@@ -136,6 +142,9 @@ class ParallelOutcome:
     workers: int
     plan: object  # PartitionPlan (inline) or RangePlan (process)
     shard_runs: List[ShardRun] = field(default_factory=list)
+    #: Containment counters of the process-mode batch (shard_retries,
+    #: worker_deaths, speculations); empty on inline runs.
+    containment: dict = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
@@ -388,6 +397,73 @@ class LazyResults(abc.Sequence):
         return f"LazyResults(n={self._length}, {state})"
 
 
+def _governance_payload(token) -> Optional[dict]:
+    """The governance slice a worker can enforce locally: the parent's
+    *remaining* deadline (the worker's clock starts at dispatch) and
+    the workspace cap.  Page/shm budgets stay parent-accounted."""
+    if token is None:
+        return None
+    remaining = token.remaining()
+    cap = token.budget.workspace_tuple_cap
+    if remaining is None and cap is None:
+        return None
+    return {
+        "deadline_seconds": (
+            max(remaining, 0.001) if remaining is not None else None
+        ),
+        "workspace_tuple_cap": cap,
+    }
+
+
+def _count_shard_retry(reason: str) -> None:
+    registry = active_registry()
+    if registry is not None:
+        registry.counter(
+            "repro_parallel_shard_retries_total",
+            "Shard re-dispatches, by reason",
+        ).inc(reason=reason)
+
+
+def _read_result_with_retry(
+    pool,
+    summary: dict,
+    tasks_by_index: dict,
+    result_names: List[str],
+    token,
+    containment: dict,
+) -> tuple:
+    """Read one shard's result segment, re-dispatching the shard once
+    if the payload fails its checksum.
+
+    Shards are idempotent, so a corrupt result segment (torn write,
+    chaos fault) costs one re-dispatch, exactly like a worker death.
+    A *second* integrity failure raises — the generic except in
+    ``execute_parallel`` then degrades the whole run inline, visibly.
+
+    Returns ``(chunk, final summary)`` — the summary of whichever
+    attempt actually produced the readable segment, so the EXPLAIN
+    shard row reports the true attempt number.
+    """
+    try:
+        return shm.read_result(summary["result_segment"]), summary
+    except shm.SegmentIntegrityError:
+        task = dict(tasks_by_index[summary["index"]])
+        task["attempt"] = summary.get("attempt", 0) + 1
+        fresh = shm.segment_name(
+            f"res{summary['index']}c{task['attempt']}"
+        )
+        task["result_segment"] = fresh
+        result_names.append(fresh)
+        _count_shard_retry("corrupt-result")
+        containment["shard_retries"] = (
+            containment.get("shard_retries", 0) + 1
+        )
+        retry = pool.run_batch(
+            [task], token=token, segment_names=result_names
+        )[0]
+        return shm.read_result(retry["result_segment"]), retry
+
+
 def _run_shm(
     entry: RegistryEntry,
     plan: RangePlan,
@@ -401,15 +477,21 @@ def _run_shm(
     retry_policy: Optional[RetryPolicy],
     page_capacity: int,
     sort_memory_pages: int,
-) -> List[dict]:
-    """Run the planned ranges through the warm pool; returns run dicts.
+    worker_fault_plan: Optional[WorkerFaultPlan] = None,
+    straggler_after: Optional[float] = None,
+) -> tuple:
+    """Run the planned ranges through the warm pool; returns
+    ``(run dicts, containment stats)``.
 
     The parent owns every segment name it hands out: operands and all
-    result segments are swept in the ``finally`` block, so neither a
-    worker crash nor a STRICT re-raise can leak ``/dev/shm`` entries.
+    result segments — including the fresh names re-dispatches create,
+    which the pool appends to ``result_names`` — are swept in the
+    ``finally`` block, so neither a worker crash nor a STRICT re-raise
+    can leak ``/dev/shm`` entries.
     """
     if not plan.ranges:
-        return []
+        return [], {}
+    token = active_token()
     columns = [x_cols.ts, x_cols.te]
     if y_cols is not None:
         columns += [y_cols.ts, y_cols.te]
@@ -431,13 +513,38 @@ def _run_shm(
             page_capacity,
             sort_memory_pages,
         )
+        governance = _governance_payload(token)
+        if governance is not None:
+            for task in tasks:
+                task["governance"] = governance
+        if worker_fault_plan is not None:
+            target = worker_fault_plan.target_shard(
+                f"{entry.operator.value}/{backend}", len(tasks)
+            )
+            if target is not None:
+                tasks[target]["worker_fault"] = (
+                    worker_fault_plan.task_fault()
+                )
+        tasks_by_index = {task["index"]: task for task in tasks}
         pool = get_pool(min(workers, len(tasks)))
-        summaries = pool.run_batch(tasks)
+        summaries = pool.run_batch(
+            tasks,
+            token=token,
+            segment_names=result_names,
+            straggler_after=straggler_after,
+        )
+        containment = dict(pool.last_batch_stats)
         runs = []
         for summary in summaries:
-            kind, first, second, x_base, y_base = shm.read_result(
-                summary["result_segment"]
+            chunk, summary = _read_result_with_retry(
+                pool,
+                summary,
+                tasks_by_index,
+                result_names,
+                token,
+                containment,
             )
+            kind, first, second, x_base, y_base = chunk
             shard_range = plan.ranges[summary["index"]]
             runs.append(
                 {
@@ -448,6 +555,7 @@ def _run_shm(
                     "wall_seconds": summary["wall_seconds"],
                     "output_count": summary["output_count"],
                     "residual_filtered": summary["residual_filtered"],
+                    "attempt": summary.get("attempt", 0),
                     "x_count": (
                         shard_range.context_count
                         if _shape_of(entry.operator) == "self"
@@ -462,7 +570,7 @@ def _run_shm(
                     "owned_hi": shard_range.owned_hi,
                 }
             )
-        return runs
+        return runs, containment
     finally:
         segment.close()
         for name in result_names:
@@ -499,6 +607,8 @@ def execute_parallel(
     page_capacity: int = DEFAULT_PAGE_CAPACITY,
     sort_memory_pages: int = 8,
     mode: str = "auto",
+    worker_fault_plan: Optional[WorkerFaultPlan] = None,
+    straggler_after: Optional[float] = None,
 ) -> ParallelOutcome:
     """Run one registry cell as ``shards`` time-domain shards.
 
@@ -508,6 +618,12 @@ def execute_parallel(
     runtime over the warm worker pool), ``"inline"`` (sequential
     in-process), or ``"auto"`` (process when more than one worker is
     useful *and* the host has more than one CPU).
+
+    ``worker_fault_plan`` injects a seeded worker-level fault (kill,
+    stall, corrupt result) into one shard — the chaos harness's probe
+    of the containment machinery; ``straggler_after`` overrides the
+    speculation threshold in seconds (default: a fraction of the
+    governance deadline, or of the batch timeout when ungoverned).
     """
     if mode not in EXECUTION_MODES:
         raise ExecutionError(
@@ -528,6 +644,7 @@ def execute_parallel(
     ) as span:
         runs: Optional[List[dict]] = None
         plan: Optional[object] = None
+        containment: dict = {}
         effective_workers = 1
         want_process = mode == "process" or (
             mode == "auto"
@@ -574,7 +691,7 @@ def execute_parallel(
                 plan = None
             else:
                 try:
-                    runs = _run_shm(
+                    runs, containment = _run_shm(
                         entry,
                         plan,
                         x_cols,
@@ -587,6 +704,8 @@ def execute_parallel(
                         retry_policy,
                         page_capacity,
                         sort_memory_pages,
+                        worker_fault_plan,
+                        straggler_after,
                     )
                     effective_mode = "process"
                 except ReproError:
@@ -655,6 +774,12 @@ def execute_parallel(
             boundary_spanning=plan.boundary_spanning,
             output_count=len(results),
         )
+        if containment:
+            span.set(
+                shard_retries=containment.get("shard_retries", 0),
+                worker_deaths=containment.get("worker_deaths", 0),
+                speculations=containment.get("speculations", 0),
+            )
         _bump_registry(plan, residual_total, effective_mode)
 
     return ParallelOutcome(
@@ -667,6 +792,7 @@ def execute_parallel(
         workers=effective_workers,
         plan=plan,
         shard_runs=shard_runs,
+        containment=containment,
     )
 
 
@@ -718,6 +844,7 @@ def _emit_shard_span(tracer, entry, backend, shard_run: ShardRun):
             faults=shard_run.faults,
             quarantined=shard_run.quarantined,
             residual_filtered=shard_run.residual_filtered,
+            attempt=shard_run.attempt,
         )
 
 
@@ -739,6 +866,7 @@ def _shard_run_of(run: dict) -> ShardRun:
         faults=report.faults_injected,
         quarantined=len(report.quarantined),
         residual_filtered=run["residual_filtered"],
+        attempt=run.get("attempt", 0),
     )
 
 

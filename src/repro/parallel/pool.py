@@ -14,40 +14,116 @@ calling ``execute_parallel`` concurrently serialise cleanly instead of
 interleaving results — the replacement for the ``_FORK_TASKS`` module
 global that was unsafe under concurrent ``run_query`` calls.
 
-Failure semantics:
+Failure semantics — **shard-level containment**, not batch abort:
 
 * a worker raising a :class:`~repro.errors.ReproError` (STRICT
-  violations, storage faults) ships the pickled original exception
-  back; ``run_batch`` re-raises it after the batch drains;
-* a worker *dying* (crash, OOM kill) raises :class:`WorkerPoolError`
-  — deliberately **not** a ``ReproError`` — and poisons the pool so
-  the next query builds a fresh one; the executor treats it as
-  "parallelism unavailable" and falls back inline;
+  violations, storage faults, governance breaches) ships the pickled
+  original exception back; ``run_batch`` re-raises the lowest-index
+  one after every shard resolves — deterministic errors are never
+  retried, they would only fail again;
+* a worker *dying* costs **one shard re-dispatch**, not the batch:
+  workers ack each task before running it, so the collector knows
+  which shard a dead pid owned, re-enqueues that task (shards are
+  idempotent — exactly-once ownership means a re-run produces the
+  identical index arrays) under a fresh result-segment name, and
+  prunes the corpse from the process list.  The pool stays healthy;
+  the next ``get_pool`` merely tops it back up;
+* **straggler speculation**: a shard silent past a fraction of the
+  batch's time allowance (the governance deadline when one is set,
+  the batch timeout otherwise) is speculatively re-dispatched once;
+  first summary per shard wins, the loser's segment is swept by the
+  deferred-cleanup list;
+* the pool is poisoned (and :class:`WorkerPoolError` raised, which the
+  executor answers with a visible inline fallback) only when **quorum
+  is lost** — fewer than half the target workers still alive — when a
+  shard exhausts its re-dispatch budget (a poison-pill shard that
+  kills every worker it touches), or when the whole batch goes silent
+  past the batch timeout;
 * the parent owns every shared-memory segment name it put into a
-  batch, so cleanup after either failure is the executor's
-  ``finally``-block sweep, never the pool's problem.
+  batch, so cleanup after any failure is the executor's
+  ``finally``-block sweep; segments that a speculation *loser* may
+  write after that sweep land on the pool's deferred-cleanup list and
+  are re-swept on the next batches and at shutdown.
+
+The batch timeout is configurable: ``WorkerPool(batch_timeout=...)``
+or the ``REPRO_BATCH_TIMEOUT`` environment variable (seconds), default
+600.
 """
 
 from __future__ import annotations
 
 import atexit
+import math
+import os
 import pickle
-import queue
+import sys
 import threading
 import time
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..errors import ExecutionError
+from ..obs.metrics import active_registry
+from . import shm
 
-#: Seconds of total batch silence before the pool is declared hung.
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..governance.budget import CancellationToken
+
+#: Default seconds of total batch silence before the pool is declared
+#: hung (override per pool or via ``REPRO_BATCH_TIMEOUT``).
 _BATCH_TIMEOUT = 600.0
 #: Poll interval while waiting on the result queue.
 _POLL_SECONDS = 0.05
+#: Re-dispatches allowed per shard before the batch is declared
+#: infrastructure-hopeless.  A poison-pill shard that crashes every
+#: worker it lands on must not consume the pool worker by worker —
+#: quorum loss usually trips first, this cap is the backstop.
+_MAX_SHARD_RETRIES = 2
+#: Fraction of the batch's time allowance after which a silent shard
+#: is speculatively re-dispatched.
+_STRAGGLER_FRACTION = 0.75
+#: Sweep attempts for deferred segment names (speculation losers may
+#: write after the batch's own sweep; a few re-sweeps reap them).
+_DEFERRED_SWEEPS = 3
+#: Grace period after a worker death before unacked shards are treated
+#: as orphans.  A worker that exits right after acking can take the
+#: ack down with the queue's feeder thread, so an unacked shard may be
+#: owned by the corpse — but it may also just have its ack in flight,
+#: and the grace lets those land before any conservative re-dispatch.
+_ORPHAN_GRACE = 0.25
+
+
+#: ``REPRO_POOL_DEBUG=1`` traces dispatch/ack/reap/re-dispatch events
+#: to stderr — the fault-containment ladder is timing-dependent, and
+#: this is the only way to see a production incident's event order.
+_DEBUG = bool(os.environ.get("REPRO_POOL_DEBUG"))
+
+
+def _dbg(msg: str) -> None:
+    if _DEBUG:  # pragma: no cover - diagnostics only
+        print(
+            f"[pool pid={os.getpid()} t={time.monotonic():.3f}] {msg}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+
+def _default_batch_timeout() -> float:
+    raw = os.environ.get("REPRO_BATCH_TIMEOUT")
+    if raw:
+        try:
+            value = float(raw)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return _BATCH_TIMEOUT
 
 
 class WorkerPoolError(RuntimeError):
-    """Pool infrastructure failure (worker death, hang) — parallelism
-    is unavailable, correctness falls back inline."""
+    """Pool infrastructure failure (quorum loss, hang, retry budget
+    spent) — parallelism is unavailable, correctness falls back
+    inline."""
 
 
 def _encode_error(exc: BaseException) -> bytes:
@@ -61,14 +137,35 @@ def _encode_error(exc: BaseException) -> bytes:
         )
 
 
-def _worker_main(tasks, results) -> None:
-    """Worker loop: run shard tasks until the ``None`` sentinel."""
+def _worker_main(tasks, results, acks) -> None:
+    """Worker loop: run shard tasks until the ``None`` sentinel.
+
+    Each task is acked (job, shard index, attempt, pid) *before* it
+    runs: the ack is what lets the parent map a dead pid back to the
+    shard it owned and re-dispatch exactly that shard.  Acks and
+    results both travel on ``SimpleQueue``\\ s — synchronous pipe
+    writes with no feeder thread — so a worker that ``os._exit``\\ s
+    cannot lose an ack it sent or a summary it finished: by the time
+    the loop takes the next task, the previous result is in the pipe.
+    """
     from .worker import run_task
 
     while True:
         task = tasks.get()
         if task is None:
             break
+        _dbg(
+            f"worker got job={task.get('job')} index={task.get('index')} "
+            f"attempt={task.get('attempt', 0)}"
+        )
+        acks.put(
+            {
+                "job": task.get("job"),
+                "index": task.get("index"),
+                "attempt": task.get("attempt", 0),
+                "pid": os.getpid(),
+            }
+        )
         try:
             results.put(run_task(task))
         except BaseException as exc:  # noqa: BLE001 - shipped to parent
@@ -76,25 +173,71 @@ def _worker_main(tasks, results) -> None:
                 {
                     "job": task.get("job"),
                     "index": task.get("index"),
+                    "attempt": task.get("attempt", 0),
                     "error": _encode_error(exc),
                 }
             )
 
 
+@dataclass
+class _ShardState:
+    """Collector-side bookkeeping for one shard of the current batch."""
+
+    task: dict
+    attempt: int = 0
+    pid: Optional[int] = None
+    dispatched_at: float = 0.0
+    acked_at: Optional[float] = None
+    speculated: bool = False
+    retries: int = 0
+    #: Result-segment names created for re-dispatches (the original
+    #: name stays owned by the caller's sweep list).
+    retry_segments: List[str] = field(default_factory=list)
+
+
 class WorkerPool:
     """A fixed set of warm spawn workers around one task/result queue
-    pair.  Grows on demand; never shrinks until shutdown."""
+    pair.  Grows on demand; never shrinks until shutdown (dead workers
+    are pruned mid-batch and replaced by the next ``get_pool``)."""
 
-    def __init__(self, size: int):
+    def __init__(
+        self,
+        size: int,
+        batch_timeout: Optional[float] = None,
+        straggler_fraction: float = _STRAGGLER_FRACTION,
+    ):
         import multiprocessing
 
         self._context = multiprocessing.get_context("spawn")
         self._tasks = self._context.Queue()
-        self._results = self._context.Queue()
+        # Results and acks travel on SimpleQueues — synchronous pipe
+        # writes with no feeder thread.  A buffered Queue loses state
+        # to ``os._exit``: a worker that finishes shard A, then takes
+        # shard B and dies, takes A's *finished but unflushed* summary
+        # down with the feeder.  A synchronous write means a worker
+        # cannot take task N+1 before result N is physically in the
+        # pipe, so a corpse owns at most one unresolved shard.
+        self._results = self._context.SimpleQueue()
+        self._acks = self._context.SimpleQueue()
         self._processes: List = []
         self._dispatch_lock = threading.Lock()
         self._job_counter = 0
+        self._spawn_counter = 0
         self._broken = False
+        self._batch_timeout = (
+            batch_timeout
+            if batch_timeout is not None
+            else _default_batch_timeout()
+        )
+        self._straggler_fraction = straggler_fraction
+        self._target_size = max(1, size)
+        #: name -> remaining sweep attempts for segments a speculation
+        #: loser may still write after the batch's own sweep.
+        self._deferred_segments: Dict[str, int] = {}
+        #: Containment counters of the most recent batch (the executor
+        #: copies them onto the ``parallel:`` span; batches serialise
+        #: on the dispatch lock, so no extra locking is needed).
+        self.last_batch_stats: Dict[str, int] = {}
         self.grow(size)
 
     # ------------------------------------------------------------------
@@ -111,13 +254,15 @@ class WorkerPool:
         )
 
     def grow(self, size: int) -> None:
+        self._target_size = max(self._target_size, size)
         while len(self._processes) < size:
             process = self._context.Process(
                 target=_worker_main,
-                args=(self._tasks, self._results),
+                args=(self._tasks, self._results, self._acks),
                 daemon=True,
-                name=f"repro-shard-{len(self._processes)}",
+                name=f"repro-shard-{self._spawn_counter}",
             )
+            self._spawn_counter += 1
             process.start()
             self._processes.append(process)
 
@@ -125,7 +270,10 @@ class WorkerPool:
         return [p.pid for p in self._processes]
 
     def shutdown(self) -> None:
-        """Graceful stop: sentinels, short join, then terminate."""
+        """Graceful stop: sentinels, short join, terminate, then
+        ``kill()`` for anything SIGTERM could not stop (a worker stuck
+        in uninterruptible C code or with the signal masked must not
+        outlive the pool).  Idempotent."""
         self._broken = True
         for _ in self._processes:
             try:
@@ -138,10 +286,19 @@ class WorkerPool:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=1.0)
-        for q in (self._tasks, self._results):
+        for process in self._processes:
+            if process.is_alive():  # terminate was not enough: escalate
+                process.kill()
+                process.join(timeout=1.0)
+        self._sweep_deferred(final=True)
+        try:
+            self._tasks.close()
+            self._tasks.join_thread()
+        except Exception:  # pragma: no cover - teardown race
+            pass
+        for channel in (self._results, self._acks):
             try:
-                q.close()
-                q.join_thread()
+                channel.close()
             except Exception:  # pragma: no cover - teardown race
                 pass
         self._processes.clear()
@@ -149,62 +306,385 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    def run_batch(self, tasks: List[dict]) -> List[dict]:
+    def run_batch(
+        self,
+        tasks: List[dict],
+        token: Optional["CancellationToken"] = None,
+        segment_names: Optional[List[str]] = None,
+        straggler_after: Optional[float] = None,
+    ) -> List[dict]:
         """Run one batch of shard tasks; returns the per-task summary
-        dicts in arbitrary order.
+        dicts in shard-index order.
 
-        Re-raises the first (lowest shard index) worker ``ReproError``
-        with its original type; raises :class:`WorkerPoolError` when a
-        worker dies or the batch hangs.
+        ``token`` makes the collect loop a governance checkpoint (a
+        deadline or cancellation surfaces within one poll tick) and
+        sizes the straggler threshold; ``segment_names`` is the
+        caller's sweep list, which re-dispatches append their fresh
+        result-segment names to; ``straggler_after`` overrides the
+        deadline-fraction speculation threshold (seconds).
+
+        Re-raises the first (lowest shard index) worker
+        :class:`~repro.errors.ReproError` with its original type after
+        every shard resolves; raises :class:`WorkerPoolError` only for
+        infrastructure failure (quorum loss, hang, retry budget spent).
         """
         if not tasks:
             return []
         with self._dispatch_lock:
             if self._broken:
                 raise WorkerPoolError("worker pool is poisoned")
+            self._sweep_deferred()
             self._job_counter += 1
             job = self._job_counter
+            now = time.monotonic()
+            states: Dict[int, _ShardState] = {}
+            self.last_batch_stats = {
+                "shard_retries": 0,
+                "worker_deaths": 0,
+                "speculations": 0,
+            }
             for task in tasks:
                 task["job"] = job
+                task.setdefault("attempt", 0)
+                states[task["index"]] = _ShardState(
+                    task=task, dispatched_at=now
+                )
+            _dbg(f"dispatch job={job} indices={sorted(states)}")
             for task in tasks:
                 self._tasks.put(task)
-            return self._collect(job, len(tasks))
-
-    def _collect(self, job: int, expected: int) -> List[dict]:
-        summaries: List[dict] = []
-        errors: List[dict] = []
-        deadline = time.monotonic() + _BATCH_TIMEOUT
-        while len(summaries) + len(errors) < expected:
             try:
-                result = self._results.get(timeout=_POLL_SECONDS)
-            except queue.Empty:
-                self._check_liveness(deadline)
-                continue
-            deadline = time.monotonic() + _BATCH_TIMEOUT
-            if result.get("job") != job:
-                continue  # stale result from an abandoned batch
-            if "error" in result:
-                errors.append(result)
-            else:
-                summaries.append(result)
-        if errors:
-            errors.sort(key=lambda e: e.get("index") or 0)
-            raise pickle.loads(errors[0]["error"])
-        return summaries
+                summaries = self._collect(
+                    job, states, token, segment_names, straggler_after
+                )
+            except BaseException:
+                self._defer_segments(states)
+                raise
+            # Segments a superseded attempt may still write are deferred
+            # for later sweeps — except the winners, which the caller is
+            # about to read (a nested batch, e.g. the corrupt-result
+            # retry, must not reap them first).
+            self._defer_segments(
+                states,
+                keep={s.get("result_segment") for s in summaries},
+            )
+            return summaries
 
-    def _check_liveness(self, deadline: float) -> None:
+    def _defer_segments(self, states, keep=frozenset()) -> None:
+        for state in states.values():
+            for name in state.retry_segments:
+                if name not in keep:
+                    self._deferred_segments[name] = _DEFERRED_SWEEPS
+
+    def _collect(
+        self,
+        job: int,
+        states: Dict[int, _ShardState],
+        token: Optional["CancellationToken"],
+        segment_names: Optional[List[str]],
+        straggler_after: Optional[float],
+    ) -> List[dict]:
+        summaries: Dict[int, dict] = {}
+        errors: Dict[int, dict] = {}
+        dead_pids: set = set()
+        acked_pids: set = set()
+        orphan_deadline: Optional[float] = None
+        death_time = 0.0
+        start = time.monotonic()
+        silence_deadline = start + self._batch_timeout
+        if straggler_after is None:
+            if token is not None and token.deadline_at is not None:
+                allowance = max(token.deadline_at - start, _POLL_SECONDS)
+            else:
+                allowance = self._batch_timeout
+            straggler_after = self._straggler_fraction * allowance
+        while len(summaries) + len(errors) < len(states):
+            if token is not None:
+                # Governance checkpoint: a deadline or cancellation
+                # surfaces within one poll tick.  The batch is simply
+                # abandoned — workers finish and their now-stale
+                # results are discarded by the job check below.
+                token.check()
+            self._drain_acks(job, states, acked_pids)
+            # SimpleQueue has no get(timeout=); poll the read end of
+            # its pipe directly (single reader: the poll/get pair
+            # cannot race with anyone).
+            if not self._results._reader.poll(_POLL_SECONDS):
+                now = time.monotonic()
+                resolved = summaries.keys() | errors.keys()
+                if self._reap_dead(states, dead_pids):
+                    death_time = now
+                    if orphan_deadline is None:
+                        orphan_deadline = now + _ORPHAN_GRACE
+                # Runs every tick, not just on the tick that observed a
+                # death: the corpse's ack may drain one tick *after*
+                # the reap, and only then does the shard's state.pid
+                # make the ownership visible.
+                self._redispatch_dead_owned(
+                    states, resolved, segment_names, dead_pids
+                )
+                if orphan_deadline is not None and now >= orphan_deadline:
+                    orphan_deadline = None
+                    self._reap_orphans(
+                        states,
+                        resolved,
+                        segment_names,
+                        dead_pids,
+                        acked_pids,
+                        death_time,
+                    )
+                self._speculate(
+                    states, resolved, segment_names, now, straggler_after
+                )
+                if now > silence_deadline:
+                    self._broken = True
+                    raise WorkerPoolError(
+                        "shard batch produced no result for "
+                        f"{self._batch_timeout}s"
+                    )
+                continue
+            result = self._results.get()
+            _dbg(
+                f"result job={result.get('job')} "
+                f"index={result.get('index')} "
+                f"attempt={result.get('attempt')} "
+                f"error={'error' in result}"
+            )
+            if result.get("job") != job:
+                # Stale traffic from an abandoned batch: discard, and
+                # crucially do NOT refresh the liveness deadline — an
+                # abandoned batch's stragglers must not keep a hung
+                # batch looking alive.
+                continue
+            silence_deadline = time.monotonic() + self._batch_timeout
+            index = result.get("index")
+            state = states.get(index)
+            if state is None:
+                continue
+            if index in summaries or index in errors:
+                continue  # duplicate from a speculation loser
+            if "error" in result:
+                # Deterministic shard failure (STRICT violation,
+                # storage fault, governance breach): never retried —
+                # a re-run of an idempotent shard fails identically.
+                errors[index] = result
+            else:
+                summaries[index] = result
+        if errors:
+            lowest = min(errors)
+            raise pickle.loads(errors[lowest]["error"])
+        return [summaries[index] for index in sorted(summaries)]
+
+    # ------------------------------------------------------------------
+    # containment
+    # ------------------------------------------------------------------
+    def _drain_acks(
+        self,
+        job: int,
+        states: Dict[int, _ShardState],
+        acked_pids: set,
+    ) -> None:
+        """Record which worker owns which shard.  Non-blocking: acks
+        arrive on a synchronous pipe, so everything a live-or-dead
+        worker ever acked is readable here."""
+        while not self._acks.empty():
+            ack = self._acks.get()
+            if ack.get("job") != job:
+                _dbg(f"stale ack {ack}")
+                continue
+            _dbg(f"ack {ack}")
+            acked_pids.add(ack.get("pid"))
+            state = states.get(ack.get("index"))
+            if state is not None and ack.get("attempt") == state.attempt:
+                state.pid = ack.get("pid")
+                state.acked_at = time.monotonic()
+
+    def _reap_dead(
+        self,
+        states: Dict[int, _ShardState],
+        dead_pids: set,
+    ) -> bool:
+        """Prune dead workers; returns whether any new deaths were
+        observed.  Re-dispatching the shards a corpse owned is
+        :meth:`_redispatch_dead_owned`'s job — ownership may only
+        become known (via a late-draining ack) ticks after the reap.
+
+        Poisons the pool only on quorum loss: fewer than half the
+        target workers alive means the host is unhealthy and inline
+        execution is the safer degradation.
+        """
         dead = [p for p in self._processes if not p.is_alive()]
-        if dead:
+        if not dead:
+            return False
+        _dbg(f"reap dead pids={[p.pid for p in dead]}")
+        dead_pids.update(p.pid for p in dead)
+        self._processes = [p for p in self._processes if p.is_alive()]
+        self.last_batch_stats["worker_deaths"] = (
+            self.last_batch_stats.get("worker_deaths", 0) + len(dead)
+        )
+        registry = active_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_parallel_worker_deaths_total",
+                "Shard workers that died mid-batch",
+            ).inc(len(dead))
+        quorum = max(1, math.ceil(self._target_size / 2))
+        if len(self._processes) < quorum:
             self._broken = True
             codes = sorted({p.exitcode for p in dead})
             raise WorkerPoolError(
-                f"{len(dead)} shard worker(s) died (exit codes {codes})"
+                f"lost pool quorum: {len(dead)} worker(s) died (exit "
+                f"codes {codes}), {len(self._processes)}/"
+                f"{self._target_size} alive"
             )
-        if time.monotonic() > deadline:
+        return True
+
+    def _redispatch_dead_owned(
+        self,
+        states: Dict[int, _ShardState],
+        resolved,
+        segment_names: Optional[List[str]],
+        dead_pids: set,
+    ) -> None:
+        """Re-dispatch unresolved shards owned by a dead worker.
+
+        Idempotent per death: a re-dispatch clears ``state.pid`` and
+        bumps the attempt, so the shard only matches again if its
+        *new* owner also dies (a later ack for the superseded attempt
+        cannot re-set ``pid`` — :meth:`_drain_acks` checks the attempt
+        number).
+        """
+        if not dead_pids:
+            return
+        for index, state in states.items():
+            if index in resolved:
+                continue
+            if state.pid is not None and state.pid in dead_pids:
+                self._redispatch(
+                    index, state, "worker-death", segment_names
+                )
+
+    def _reap_orphans(
+        self,
+        states: Dict[int, _ShardState],
+        resolved,
+        segment_names: Optional[List[str]],
+        dead_pids: set,
+        acked_pids: set,
+        death_time: float,
+    ) -> None:
+        """Re-dispatch shards still unacked a grace period after an
+        *unattributed* worker death.
+
+        The synchronous ack channel makes attribution reliable for any
+        worker that reached its ack, so this backstop only fires for a
+        corpse that died between taking a task and acking it.  Such a
+        shard is indistinguishable from one merely queued behind busy
+        workers — and re-running a queued shard is safe (idempotent
+        work, fresh segment names, first summary wins), so the
+        conservative re-dispatch costs at most a duplicate, never a
+        hang.
+        """
+        if not (dead_pids - acked_pids):
+            return  # every death is attributed; nothing is orphaned
+        for index, state in states.items():
+            if index in resolved:
+                continue
+            if state.dispatched_at > death_time:
+                continue  # dispatched after the death: not the orphan
+            if state.pid is None or state.pid in dead_pids:
+                self._redispatch(
+                    index, state, "worker-death", segment_names
+                )
+
+    def _speculate(
+        self,
+        states: Dict[int, _ShardState],
+        resolved,
+        segment_names: Optional[List[str]],
+        now: float,
+        straggler_after: float,
+    ) -> None:
+        """Re-dispatch shards silent past the straggler threshold —
+        at most once per shard, first summary wins."""
+        if straggler_after <= 0:
+            return
+        for index, state in states.items():
+            if index in resolved or state.speculated:
+                continue
+            started = (
+                state.acked_at
+                if state.acked_at is not None
+                else state.dispatched_at
+            )
+            if now - started >= straggler_after:
+                state.speculated = True
+                self.last_batch_stats["speculations"] = (
+                    self.last_batch_stats.get("speculations", 0) + 1
+                )
+                self._redispatch(index, state, "straggler", segment_names)
+
+    def _redispatch(
+        self,
+        index: int,
+        state: _ShardState,
+        reason: str,
+        segment_names: Optional[List[str]],
+    ) -> None:
+        """Re-enqueue one shard under a fresh attempt number and (when
+        it writes a result segment) a fresh segment name — two attempts
+        must never race on one ``SharedMemory(create=True)`` name."""
+        if state.retries >= _MAX_SHARD_RETRIES:
             self._broken = True
             raise WorkerPoolError(
-                f"shard batch produced no result for {_BATCH_TIMEOUT}s"
+                f"shard {index} failed {state.retries + 1} dispatch "
+                f"attempts (last reason: {reason})"
             )
+        state.retries += 1
+        state.attempt += 1
+        task = dict(state.task)
+        task["attempt"] = state.attempt
+        if task.get("result_segment") is not None:
+            # Both the superseded name (a straggler may wake and write
+            # it after this batch's sweep) and the fresh one go on the
+            # deferred list; whichever attempt wins is excluded at
+            # batch end.
+            state.retry_segments.append(task["result_segment"])
+            fresh = shm.segment_name(f"res{index}r{state.attempt}")
+            task["result_segment"] = fresh
+            state.retry_segments.append(fresh)
+            if segment_names is not None:
+                segment_names.append(fresh)
+        _dbg(
+            f"redispatch index={index} attempt={state.attempt} "
+            f"reason={reason}"
+        )
+        state.task = task
+        state.pid = None
+        state.acked_at = None
+        state.dispatched_at = time.monotonic()
+        self.last_batch_stats["shard_retries"] = (
+            self.last_batch_stats.get("shard_retries", 0) + 1
+        )
+        registry = active_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_parallel_shard_retries_total",
+                "Shard re-dispatches, by reason",
+            ).inc(reason=reason)
+        self._tasks.put(task)
+
+    def _sweep_deferred(self, final: bool = False) -> None:
+        """Reap segments that speculation losers may have written after
+        their batch's sweep; each name gets a few attempts (the loser
+        may not have written yet) and is then dropped — a worker that
+        never writes leaves nothing to reap."""
+        if not self._deferred_segments:
+            return
+        for name in list(self._deferred_segments):
+            shm.destroy_segment(name)
+            self._deferred_segments[name] -= 1
+            if final or self._deferred_segments[name] <= 0:
+                del self._deferred_segments[name]
 
 
 # ----------------------------------------------------------------------
@@ -218,14 +698,22 @@ _ATEXIT_INSTALLED = False
 def get_pool(workers: int) -> WorkerPool:
     """The shared warm pool, grown to at least ``workers`` processes.
 
-    A poisoned pool (dead worker, hung batch) is torn down and rebuilt
-    here, so one crash costs one inline fallback, not the session.
+    A *poisoned* pool (quorum loss, hung batch) is torn down and
+    rebuilt here — counted in ``repro_parallel_pool_rebuilds_total``.
+    A healthy pool that merely lost a worker to a contained crash is
+    **not** rebuilt: ``grow`` tops it back up to the requested size.
     """
     global _POOL, _ATEXIT_INSTALLED
     with _POOL_GUARD:
         if _POOL is not None and not _POOL.healthy:
             _POOL.shutdown()
             _POOL = None
+            registry = active_registry()
+            if registry is not None:
+                registry.counter(
+                    "repro_parallel_pool_rebuilds_total",
+                    "Worker pools torn down and rebuilt after poisoning",
+                ).inc()
         if _POOL is None:
             _POOL = WorkerPool(max(1, workers))
             if not _ATEXIT_INSTALLED:
@@ -237,7 +725,8 @@ def get_pool(workers: int) -> WorkerPool:
 
 
 def shutdown_pool() -> None:
-    """Stop the shared pool (atexit hook; also used by tests)."""
+    """Stop the shared pool (atexit hook; also used by tests).
+    Idempotent: safe to call manually and again from atexit."""
     global _POOL
     with _POOL_GUARD:
         if _POOL is not None:

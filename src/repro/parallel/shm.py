@@ -29,9 +29,12 @@ from __future__ import annotations
 
 import itertools
 import os
+import zlib
 from array import array
 from multiprocessing import shared_memory
 from typing import List, Optional, Sequence, Tuple
+
+from ..governance.budget import active_token
 
 _ITEM = 8  # bytes per int64 column element
 _COUNTER = itertools.count()
@@ -41,7 +44,17 @@ RESULT_SEMI = 0  # one index column (semijoin / before-semijoin)
 RESULT_PAIRS = 1  # two parallel index columns (join pairs)
 RESULT_SELF = 2  # one owner-filtered global index column (Table 3)
 
-_HEADER_ITEMS = 5  # kind, len(first), len(second), x_base, y_base
+#: kind, len(first), len(second), x_base, y_base, payload crc32
+_HEADER_ITEMS = 6
+
+
+class SegmentIntegrityError(RuntimeError):
+    """A result segment's payload does not match its stored checksum —
+    a worker-side fault (torn write, memory corruption, the chaos
+    harness's corrupt-result fault).  Deliberately *not* a
+    :class:`~repro.errors.ReproError`: the shard is idempotent, so the
+    executor answers with a single re-dispatch, and only a repeat
+    failure degrades the run inline."""
 
 
 def segment_name(tag: str) -> str:
@@ -97,6 +110,12 @@ class ColumnSegment:
         for length in self.lengths:
             self.offsets.append(offset)
             offset += length
+        token = active_token()
+        if token is not None:
+            # Governance checkpoint: operand publication is where a
+            # parallel query claims its shared memory, so the shm-byte
+            # budget is charged before the segment is created.
+            token.charge_shm(offset * _ITEM)
         self.segment = create_segment(offset * _ITEM, tag)
         self.name = self.segment.name
         view = self.segment.buf
@@ -166,10 +185,17 @@ def write_result(
     it after a crash)."""
     second = second if second is not None else array("q")
     size = (_HEADER_ITEMS + len(first) + len(second)) * _ITEM
+    token = active_token()
+    if token is not None:
+        token.charge_shm(size)
     segment = shared_memory.SharedMemory(name=name, create=True, size=size)
     try:
+        crc = 0
+        for column in (first, second):
+            if len(column):
+                crc = zlib.crc32(memoryview(column).cast("B"), crc)
         header = array(
-            "q", [kind, len(first), len(second), x_base, y_base]
+            "q", [kind, len(first), len(second), x_base, y_base, crc]
         )
         view = segment.buf
         view[: _HEADER_ITEMS * _ITEM] = memoryview(header).cast("B")
@@ -187,7 +213,10 @@ def read_result(name: str) -> Tuple[int, array, array, int, int]:
     """Copy a result segment out of shared memory and unlink it.
 
     Returns ``(kind, first, second, x_base, y_base)``; the copies are
-    straight ``frombytes`` memcpys, never element loops.
+    straight ``frombytes`` memcpys, never element loops.  The payload
+    is verified against the header's crc32 — a mismatch raises
+    :class:`SegmentIntegrityError` (after unlinking: a corrupt segment
+    must not linger in ``/dev/shm``).
     """
     segment = shared_memory.SharedMemory(name=name)
     try:
@@ -197,6 +226,7 @@ def read_result(name: str) -> Tuple[int, array, array, int, int]:
             kind = cast[0]
             first_len, second_len = cast[1], cast[2]
             x_base, y_base = cast[3], cast[4]
+            stored_crc = cast[5]
         finally:
             cast.release()
         first, second = array("q"), array("q")
@@ -210,4 +240,34 @@ def read_result(name: str) -> Tuple[int, array, array, int, int]:
         segment.unlink()
     except FileNotFoundError:  # pragma: no cover - unlink race
         pass
+    crc = 0
+    for column in (first, second):
+        if len(column):
+            crc = zlib.crc32(memoryview(column).cast("B"), crc)
+    if crc != stored_crc:
+        raise SegmentIntegrityError(
+            f"result segment {name} failed its checksum "
+            f"(stored {stored_crc:#x}, computed {crc:#x})"
+        )
+    token = active_token()
+    if token is not None:
+        token.charge_shm(
+            (_HEADER_ITEMS + first_len + second_len) * _ITEM
+        )
     return kind, first, second, x_base, y_base
+
+
+def corrupt_result(name: str) -> None:
+    """Chaos hook: deterministically tamper with a result segment's
+    stored checksum so the next :func:`read_result` raises
+    :class:`SegmentIntegrityError` — the simulated torn write the
+    worker-fault plan's ``corrupt-result`` kind injects."""
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        cast = segment.buf.cast("q")
+        try:
+            cast[_HEADER_ITEMS - 1] ^= 0x5A5A5A5A
+        finally:
+            cast.release()
+    finally:
+        segment.close()

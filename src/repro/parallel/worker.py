@@ -32,6 +32,7 @@ from array import array
 from typing import Optional
 
 from ..columnar.relation import IntervalColumns
+from ..governance.budget import QueryBudget, active_token, governed
 from ..model.tuples import TemporalTuple
 from ..resilience.recovery import ExecutionReport, RecoveryPolicy
 from ..streams.registry import RegistryEntry, lookup
@@ -44,6 +45,22 @@ _SHAPE_KINDS = {
 }
 
 
+def _fault_active(task: dict) -> Optional[dict]:
+    """The worker-fault spec for this attempt, or ``None``.
+
+    Faults are gated on the attempt number: a fault with
+    ``attempts=1`` fires on the first dispatch only, so the re-dispatch
+    deterministically heals — the property the containment differential
+    relies on (one crash costs one shard retry, not the batch).
+    """
+    fault = task.get("worker_fault")
+    if fault is None:
+        return None
+    if task.get("attempt", 0) >= fault.get("attempts", 1):
+        return None
+    return fault
+
+
 def run_task(task: dict) -> dict:
     """Execute one shard task; returns the queue-sized summary dict.
 
@@ -52,8 +69,35 @@ def run_task(task: dict) -> dict:
     """
     if task.get("fault_exit"):
         # Deterministic crash hook for the segment-lifecycle chaos
-        # tests: die before any result segment exists.
+        # tests: die before any result segment exists, on *every*
+        # attempt (the persistent poison-pill; the healing crash is the
+        # worker-fault plan's attempt-gated "kill").
         os._exit(task.get("fault_exit_code", 2))
+    fault = _fault_active(task)
+    if fault is not None and fault.get("kind") == "kill":
+        os._exit(fault.get("exit_code", 3))
+    if fault is not None and fault.get("kind") == "stall":
+        time.sleep(fault.get("stall_seconds", 2.0))
+    gov = task.get("governance")
+    if gov is not None:
+        # The parent ships its remaining deadline and workspace cap so
+        # in-worker checkpoints (meter inserts, pass boundaries) fire
+        # too; page/shm spend stays parent-accounted.
+        with governed(
+            QueryBudget(
+                deadline_seconds=gov.get("deadline_seconds"),
+                workspace_tuple_cap=gov.get("workspace_tuple_cap"),
+            )
+        ):
+            summary = _run_shard_body(task)
+    else:
+        summary = _run_shard_body(task)
+    if fault is not None and fault.get("kind") == "corrupt-result":
+        shm.corrupt_result(task["result_segment"])
+    return summary
+
+
+def _run_shard_body(task: dict) -> dict:
     started = time.perf_counter()
     entry = lookup(task["operator"], task["x_order"], task["y_order"])
     with shm.MappedColumns(task["segment"]) as mapped:
@@ -70,6 +114,7 @@ def run_task(task: dict) -> dict:
     summary["wall_seconds"] = time.perf_counter() - started
     summary["job"] = task["job"]
     summary["index"] = task["index"]
+    summary["attempt"] = task.get("attempt", 0)
     summary["result_segment"] = task["result_segment"]
     return summary
 
@@ -129,6 +174,13 @@ def _run_kernel(task, entry, x_ts, x_te, y_ts, y_te) -> dict:
             first = array("q", positions)
             second = None
     output_count = len(first)
+    token = active_token()
+    if token is not None:
+        # The kernel bypassed the metered insert path; report its own
+        # high-water against the governance workspace cap, and take
+        # one deadline checkpoint before the result write.
+        token.charge_workspace(stats.high_water)
+        token.check()
     # Positions stay shard-local; the parent adds the bases during its
     # lazy payload materialisation (one addition fewer per output on
     # the worker's critical path).

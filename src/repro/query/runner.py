@@ -8,9 +8,13 @@ execute), for examples, tests, and interactive use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import TYPE_CHECKING, Mapping, Optional
 
 from ..algebra.logical import LogicalPlan
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..governance.admission import AdmissionController
+    from ..governance.budget import QueryBudget
 from ..algebra.physical import compile_plan
 from ..algebra.rewrite import optimize
 from ..model.relation import TemporalRelation
@@ -39,6 +43,10 @@ class QueryResult:
     #: The :class:`~repro.obs.trace.Tracer` that recorded this run, set
     #: when ``run_query`` was called with ``trace=...``.
     trace: Optional[object] = None
+    #: Governance spend summary (budget caps, elapsed seconds, pages
+    #: read, workspace peak, checkpoints) — set when ``run_query`` ran
+    #: with a ``deadline``/``budget``.
+    governance: Optional[dict] = None
 
     def __iter__(self):
         return iter(self.rows)
@@ -56,6 +64,9 @@ def run_query(
     recovery: Optional[object] = None,
     trace: Optional[object] = None,
     parallelism: Optional[int] = None,
+    deadline: Optional[float] = None,
+    budget: Optional["QueryBudget"] = None,
+    admission: Optional["AdmissionController"] = None,
 ) -> QueryResult:
     """Execute a Quel-like query against ``catalog``.
 
@@ -91,7 +102,55 @@ def run_query(
         Maximum shard count for time-domain-partitioned parallel
         stream joins (only meaningful with ``streams=True``); the cost
         model may still pick fewer shards, or serial execution.
+    deadline:
+        Wall-clock seconds this query may run; past it, the next
+        governance checkpoint raises
+        :class:`~repro.errors.DeadlineExceededError` (detection latency
+        is one checkpoint interval: a page read, a pass boundary, a
+        batch drain, or a shard-collect poll tick).
+    budget:
+        A :class:`~repro.governance.QueryBudget` of resource caps
+        (deadline, workspace tuples, page reads, shared-memory bytes).
+        ``deadline`` merges into it; breaches raise the typed
+        :class:`~repro.errors.GovernanceError` subclasses, which the
+        resilience ladder never retries.  The spend summary is
+        attached as ``result.governance``.
+    admission:
+        An :class:`~repro.governance.AdmissionController`; the query
+        acquires a slot before anything runs (and before the deadline
+        clock starts, so queue time never eats the query's budget) or
+        raises :class:`~repro.errors.AdmissionRejectedError`.
     """
+    if admission is not None:
+        with admission.admit():
+            return run_query(
+                source,
+                catalog,
+                rewrite=rewrite,
+                semantic=semantic,
+                streams=streams,
+                recovery=recovery,
+                trace=trace,
+                parallelism=parallelism,
+                deadline=deadline,
+                budget=budget,
+            )
+    if deadline is not None or budget is not None:
+        from ..governance.budget import governed
+
+        with governed(budget=budget, deadline=deadline) as token:
+            result = run_query(
+                source,
+                catalog,
+                rewrite=rewrite,
+                semantic=semantic,
+                streams=streams,
+                recovery=recovery,
+                trace=trace,
+                parallelism=parallelism,
+            )
+        result.governance = token.as_dict()
+        return result
     if trace:
         from ..obs.trace import Tracer, set_tracer
 

@@ -27,6 +27,8 @@ from .faults import (
     FaultKind,
     FaultPlan,
     ResilientHeapFile,
+    WorkerFaultKind,
+    WorkerFaultPlan,
     wrap_sources,
 )
 from .recovery import (
@@ -49,9 +51,12 @@ __all__ = [
     "ResilientHeapFile",
     "ResilientResult",
     "RetryPolicy",
+    "WorkerFaultKind",
+    "WorkerFaultPlan",
     "chaos_sweep",
     "execute_entry",
     "retry_call",
+    "worker_chaos_sweep",
     "wrap_sources",
 ]
 
@@ -61,6 +66,7 @@ _LAZY = {
     "ResilientResult": ".executor",
     "execute_entry": ".executor",
     "chaos_sweep": ".harness",
+    "worker_chaos_sweep": ".harness",
 }
 
 

@@ -31,6 +31,7 @@ from ..errors import (
     StreamOrderError,
     WorkspaceOverflowError,
 )
+from ..governance.budget import active_token
 from ..model.tuples import TemporalTuple
 from ..obs.trace import get_tracer
 from ..storage.external_sort import external_sort
@@ -205,6 +206,15 @@ def execute_entry(
         processor = entry.build(x_stream, y_stream, backend=backend)
         if workspace_budget is not None:
             _meter_of(processor).limit = workspace_budget
+        token = active_token()
+        if token is not None:
+            # Governance rides the metered insert path.  Its errors are
+            # terminal on every rung: the except clauses below catch
+            # only the two recoverable stream errors, so a deadline,
+            # cancellation, or budget breach propagates out of the
+            # ladder with its original type — never re-sorted, spilled,
+            # or retried.
+            _meter_of(processor).token = token
         try:
             with tracer.span(
                 "attempt",
@@ -357,6 +367,7 @@ def _finish_by_spill(
         inner_spill.extend(inner_records)
 
     meter = WorkspaceMeter(limit=workspace_budget)
+    meter.token = active_token()
     block_space: Workspace = Workspace("spill-block", meter=meter)
     blocks = max(1, math.ceil(len(x_records) / block)) if x_records else 1
     out: list = []

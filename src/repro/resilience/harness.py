@@ -17,6 +17,7 @@ sweep, faults included.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -27,8 +28,13 @@ from ..streams.registry import (
     TemporalOperator,
     supported_entries,
 )
+from ..obs.metrics import (
+    active_registry,
+    install_registry,
+    uninstall_registry,
+)
 from .executor import ResilientResult, execute_entry
-from .faults import FaultKind, FaultPlan
+from .faults import FaultKind, FaultPlan, WorkerFaultKind, WorkerFaultPlan
 from .recovery import ExecutionReport, RecoveryPolicy
 from .retry import RetryPolicy, derived_rng
 
@@ -195,9 +201,220 @@ def chaos_sweep(
     return outcome
 
 
+@dataclass(frozen=True)
+class WorkerChaosCell:
+    """The containment-differential verdict for one registry cell.
+
+    A cell passes when the faulted process-mode run produced the exact
+    output of the fault-free process-mode run (same merge order, so
+    byte-identical), stayed in process mode (no inline fallback),
+    contained the fault within one shard re-dispatch, and never forced
+    a pool rebuild.
+    """
+
+    operator: str
+    x_order: str
+    y_order: Optional[str]
+    backend: str
+    results_match: bool
+    mode: str
+    shard_retries: int
+    worker_deaths: int
+    speculations: int
+    pool_rebuilds: int
+    output_rows: int
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.results_match
+            and self.mode == "process"
+            and self.shard_retries <= 1
+            and self.pool_rebuilds == 0
+        )
+
+
+@dataclass
+class WorkerChaosResult:
+    """Every cell's verdict for one worker-fault kind."""
+
+    seed: int
+    kind: str
+    cells: List[WorkerChaosCell] = field(default_factory=list)
+
+    @property
+    def all_contained(self) -> bool:
+        return all(cell.ok for cell in self.cells)
+
+    @property
+    def failures(self) -> List[WorkerChaosCell]:
+        return [cell for cell in self.cells if not cell.ok]
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "worker_fault": self.kind,
+            "cells": len(self.cells),
+            "all_contained": self.all_contained,
+            "total_shard_retries": sum(
+                cell.shard_retries for cell in self.cells
+            ),
+            "total_worker_deaths": sum(
+                cell.worker_deaths for cell in self.cells
+            ),
+            "total_speculations": sum(
+                cell.speculations for cell in self.cells
+            ),
+            "failures": [
+                {
+                    "operator": cell.operator,
+                    "x_order": cell.x_order,
+                    "y_order": cell.y_order,
+                    "backend": cell.backend,
+                    "results_match": cell.results_match,
+                    "mode": cell.mode,
+                    "shard_retries": cell.shard_retries,
+                    "pool_rebuilds": cell.pool_rebuilds,
+                }
+                for cell in self.failures
+            ],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def summary(self) -> str:
+        return (
+            f"worker chaos seed={self.seed} fault={self.kind}: "
+            f"{len(self.cells)} cells, {len(self.failures)} escapes"
+        )
+
+
+def worker_chaos_sweep(
+    seed: int = 0,
+    kind: WorkerFaultKind = WorkerFaultKind.KILL,
+    backends: Sequence[str] = BACKENDS,
+    relation_size: int = 48,
+    shards: int = 3,
+    stall_seconds: float = 0.8,
+    straggler_after: Optional[float] = None,
+) -> WorkerChaosResult:
+    """Containment differential: worker-level faults must cost at most
+    one shard re-dispatch, never the answer.
+
+    Every supported cell x backend runs twice through the shared-memory
+    process runtime: once clean, once with a seeded
+    :class:`WorkerFaultPlan` that kills, stalls, or corrupts exactly
+    one shard's carrier.  Both runs merge shards in cut order, so the
+    faulted run must reproduce the clean output *byte-identically* —
+    while staying in process mode (no inline fallback), spending at
+    most one shard re-dispatch, and never poisoning the pool into a
+    rebuild.
+    """
+    from ..parallel.executor import execute_parallel
+
+    if straggler_after is None and kind is WorkerFaultKind.STALL:
+        # Speculation must trip well inside the stall, or the faulted
+        # run just waits the stall out and the sweep measures nothing.
+        straggler_after = max(stall_seconds / 4, 0.05)
+    plan = WorkerFaultPlan(
+        seed=seed, kind=kind, stall_seconds=stall_seconds
+    )
+    outcome = WorkerChaosResult(seed=seed, kind=kind.value)
+    base_x = generate_relation(seed, "x", relation_size)
+    base_y = generate_relation(seed, "y", relation_size)
+    registry = active_registry()
+    owns_registry = registry is None
+    if owns_registry:
+        registry = install_registry()
+    rebuilds = registry.counter(
+        "repro_parallel_pool_rebuilds_total",
+        "Worker pools torn down and rebuilt after poisoning",
+    )
+    try:
+        for operator in TemporalOperator:
+            for entry in supported_entries(operator):
+                xs = sort_tuples(base_x, entry.x_order)
+                ys = (
+                    sort_tuples(base_y, entry.y_order)
+                    if entry.y_order is not None
+                    else None
+                )
+                for backend in entry.backends:
+                    if backend not in backends:
+                        continue
+                    clean = execute_parallel(
+                        entry,
+                        xs,
+                        ys,
+                        shards=shards,
+                        backend=backend,
+                        mode="process",
+                    )
+                    rebuilds_before = rebuilds.total
+                    faulted = execute_parallel(
+                        entry,
+                        xs,
+                        ys,
+                        shards=shards,
+                        backend=backend,
+                        mode="process",
+                        worker_fault_plan=plan,
+                        straggler_after=straggler_after,
+                    )
+                    if kind is WorkerFaultKind.STALL:
+                        # Quiesce: the speculation *winner* resolved the
+                        # batch, but the stalled loser is still holding
+                        # its worker.  Without this drain, stalled
+                        # workers pile up across cells, later batches
+                        # queue behind them, and queued-but-healthy
+                        # shards get speculated too — the cells stop
+                        # measuring one fault each.
+                        time.sleep(plan.stall_seconds)
+                    outcome.cells.append(
+                        WorkerChaosCell(
+                            operator=entry.operator.value,
+                            x_order=str(entry.x_order),
+                            y_order=(
+                                str(entry.y_order)
+                                if entry.y_order is not None
+                                else None
+                            ),
+                            backend=backend,
+                            results_match=(
+                                list(clean.results)
+                                == list(faulted.results)
+                            ),
+                            mode=faulted.mode,
+                            shard_retries=faulted.containment.get(
+                                "shard_retries", 0
+                            ),
+                            worker_deaths=faulted.containment.get(
+                                "worker_deaths", 0
+                            ),
+                            speculations=faulted.containment.get(
+                                "speculations", 0
+                            ),
+                            pool_rebuilds=int(
+                                rebuilds.total - rebuilds_before
+                            ),
+                            output_rows=len(faulted.results),
+                        )
+                    )
+    finally:
+        if owns_registry:
+            uninstall_registry()
+    return outcome
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI for the chaos CI job: run one seeded sweep, write the
-    ExecutionReport artifact, exit non-zero on any mismatch."""
+    report artifact, exit non-zero on any mismatch.
+
+    ``--worker-fault`` switches from the storage-fault differential to
+    the worker-containment differential (parallel process runtime under
+    kill/stall/corrupt-result faults).
+    """
     import argparse
 
     parser = argparse.ArgumentParser(
@@ -207,22 +424,49 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--rate", type=float, default=0.15)
     parser.add_argument("--size", type=int, default=48)
     parser.add_argument(
+        "--worker-fault",
+        choices=[kind.value for kind in WorkerFaultKind],
+        default=None,
+        help="run the worker-containment differential with this fault "
+        "kind instead of the storage-fault sweep",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=3,
+        help="shards per cell for the worker-containment differential",
+    )
+    parser.add_argument(
         "--out", default=None, help="write the sweep report JSON here"
     )
     options = parser.parse_args(argv)
-    result = chaos_sweep(
-        seed=options.seed,
-        rate=options.rate,
-        relation_size=options.size,
-    )
+    result: object
+    if options.worker_fault is not None:
+        worker_result = worker_chaos_sweep(
+            seed=options.seed,
+            kind=WorkerFaultKind(options.worker_fault),
+            relation_size=options.size,
+            shards=options.shards,
+        )
+        ok = worker_result.all_contained
+        result = worker_result
+    else:
+        sweep_result = chaos_sweep(
+            seed=options.seed,
+            rate=options.rate,
+            relation_size=options.size,
+        )
+        ok = (
+            sweep_result.all_matched
+            and sweep_result.report.fully_accounted
+        )
+        result = sweep_result
     print(result.summary())
     if options.out:
         with open(options.out, "w", encoding="utf-8") as handle:
             handle.write(result.to_json())
         print(f"report written to {options.out}")
-    if not result.all_matched or not result.report.fully_accounted:
-        return 1
-    return 0
+    return 0 if ok else 1
 
 
 def _diff_cell(

@@ -14,6 +14,7 @@ from collections import OrderedDict
 from typing import Any, Iterator, Optional
 
 from ..errors import BufferPoolError
+from ..governance.budget import active_token
 from ..obs.metrics import active_registry
 from .heap_file import HeapFile
 from .iostats import IOStats
@@ -53,6 +54,12 @@ class BufferPool:
         if frame is not None:
             self.hits += 1
             self._frames.move_to_end(key)
+            token = active_token()
+            if token is not None:
+                # A hit costs no physical read — no page charge — but
+                # remains a governance checkpoint so cache-resident
+                # plans still observe deadlines and cancellation.
+                token.check()
             if registry is not None:
                 registry.counter(
                     "repro_buffer_pool_requests_total",

@@ -12,6 +12,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Iterable, Iterator, Optional
 
+from ..governance.budget import active_token
 from ..obs.metrics import active_registry
 from ..obs.trace import get_tracer
 from .iostats import IOStats
@@ -100,6 +101,12 @@ class HeapFile:
         """Fetch one page, charging a page read and verifying its
         checksum (unless verification is disabled on this file)."""
         (stats or self.stats).record_page_read()
+        token = active_token()
+        if token is not None:
+            # Governance checkpoint: every physical page read charges
+            # the page budget and observes deadline/cancellation, so a
+            # blown deadline surfaces within one page of work.
+            token.charge_pages(1)
         registry = active_registry()
         if registry is not None:
             registry.counter(
@@ -127,8 +134,11 @@ class HeapFile:
                 "Full heap-file scans started",
             ).inc(file=self.name)
         tracer = get_tracer()
+        token = active_token()
         for index, page in enumerate(self._pages):
             accounting.record_page_read()
+            if token is not None:
+                token.charge_pages(1)
             if registry is not None:
                 registry.counter(
                     "repro_storage_page_reads_total",

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Iterator, Optional
 
 from ..errors import ExecutionError, StreamOrderError, StreamStateError
+from ..governance.budget import active_token
 from ..model.interval import is_valid_lifespan
 from ..model.relation import TemporalRelation
 from ..model.sortorder import SortOrder
@@ -278,6 +279,13 @@ class TupleStream:
         self._buffer = None
         self._pass_bases.append(self.tuples_read)
         self.passes += 1
+        token = active_token()
+        if token is not None:
+            # Pass boundaries are governance checkpoints: multi-pass
+            # plans (re-sorts, spills, rewinding nested loops) observe
+            # deadline/cancellation between passes even when the pages
+            # themselves are served from memory.
+            token.check()
         registry = active_registry()
         if registry is not None:
             registry.counter(
@@ -293,6 +301,9 @@ class TupleStream:
         self._pass_bases.append(self.tuples_read)
         self.passes += 1
         self.tuples_read += count
+        token = active_token()
+        if token is not None:
+            token.check()
         registry = active_registry()
         if registry is not None:
             registry.counter(

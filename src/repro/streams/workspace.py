@@ -13,9 +13,20 @@ about the union.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generic, Iterator, List, Optional, TypeVar
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Generic,
+    Iterator,
+    List,
+    Optional,
+    TypeVar,
+)
 
 from ..errors import WorkspaceOverflowError, WorkspaceStateError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from ..governance.budget import CancellationToken
 
 T = TypeVar("T")
 
@@ -44,6 +55,14 @@ class WorkspaceMeter:
     #: workspace-size timeline (e.g. ``Histogram.observe``) without the
     #: meter importing it.  ``None`` keeps the hot path a single check.
     observer: Optional[Callable[[int], None]] = None
+    #: Governance hook: when a query runs under a
+    #: :class:`~repro.governance.CancellationToken`, the executor
+    #: attaches it here and every insert reports the joint state size
+    #: against the budget's ``workspace_tuple_cap``.  Unlike ``limit``
+    #: (the paper's per-operator workspace, whose overflow the ladder
+    #: may absorb by spilling), a governance breach raises the
+    #: non-retryable :class:`~repro.errors.BudgetExceededError`.
+    token: Optional["CancellationToken"] = None
 
     def enable_trace(self) -> None:
         """Start recording the state-size trajectory."""
@@ -59,6 +78,8 @@ class WorkspaceMeter:
             self.trace.append(self.current)
         if self.observer is not None:
             self.observer(self.current)
+        if self.token is not None:
+            self.token.charge_workspace(self.current)
         if self.limit is not None and self.current > self.limit:
             self.overflows += 1
             raise WorkspaceOverflowError(

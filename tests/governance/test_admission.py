@@ -1,0 +1,115 @@
+"""AdmissionController: bounded slots, queue-with-timeout rejection,
+slot release on every exit path, and the counters EXPLAIN/ops read."""
+
+import threading
+
+import pytest
+
+from repro.errors import AdmissionRejectedError, GovernanceError
+from repro.governance import AdmissionController
+from repro.obs.metrics import (
+    MetricsRegistry,
+    install_registry,
+    uninstall_registry,
+)
+
+
+class TestSlots:
+    def test_grants_up_to_max_concurrent(self):
+        controller = AdmissionController(max_concurrent=2)
+        with controller.admit():
+            with controller.admit():
+                assert controller.stats().in_flight == 2
+        assert controller.stats().in_flight == 0
+
+    def test_fail_fast_when_full(self):
+        controller = AdmissionController(max_concurrent=1)
+        with controller.admit():
+            with pytest.raises(AdmissionRejectedError):
+                with controller.admit():
+                    pass  # pragma: no cover - never admitted
+
+    def test_rejection_is_a_governance_error(self):
+        with pytest.raises(GovernanceError):
+            AdmissionController(max_concurrent=0)
+
+    def test_slot_released_on_error(self):
+        controller = AdmissionController(max_concurrent=1)
+        with pytest.raises(RuntimeError):
+            with controller.admit():
+                raise RuntimeError("query blew up")
+        with controller.admit():  # slot must be free again
+            assert controller.stats().in_flight == 1
+
+    def test_queue_timeout_waits_then_rejects(self):
+        controller = AdmissionController(
+            max_concurrent=1, queue_timeout=0.05
+        )
+        with controller.admit():
+            with pytest.raises(AdmissionRejectedError) as info:
+                with controller.admit():
+                    pass  # pragma: no cover - never admitted
+        assert info.value.waited >= 0.05
+
+    def test_queued_query_admitted_when_slot_frees(self):
+        controller = AdmissionController(
+            max_concurrent=1, queue_timeout=5.0
+        )
+        holding = threading.Event()
+        release = threading.Event()
+        outcomes = []
+
+        def holder():
+            with controller.admit():
+                holding.set()
+                release.wait(timeout=5.0)
+
+        def waiter():
+            holding.wait(timeout=5.0)
+            with controller.admit():
+                outcomes.append("admitted")
+
+        threads = [
+            threading.Thread(target=holder),
+            threading.Thread(target=waiter),
+        ]
+        for thread in threads:
+            thread.start()
+        holding.wait(timeout=5.0)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert outcomes == ["admitted"]
+        stats = controller.stats()
+        assert stats.admitted == 2 and stats.rejected == 0
+
+
+class TestStats:
+    def test_counters_accumulate(self):
+        controller = AdmissionController(max_concurrent=1)
+        with controller.admit():
+            with pytest.raises(AdmissionRejectedError):
+                with controller.admit():
+                    pass  # pragma: no cover
+        stats = controller.stats()
+        assert stats.admitted == 1
+        assert stats.rejected == 1
+        assert stats.in_flight == 0
+        assert stats.as_dict()["max_concurrent"] == 1
+
+    def test_registry_counters_emitted(self):
+        install_registry(MetricsRegistry())
+        try:
+            controller = AdmissionController(max_concurrent=1)
+            with controller.admit():
+                with pytest.raises(AdmissionRejectedError):
+                    with controller.admit():
+                        pass  # pragma: no cover
+            from repro.obs.metrics import active_registry
+
+            dump = active_registry().to_prometheus()
+        finally:
+            uninstall_registry()
+        assert "repro_governance_admitted_total" in dump
+        assert "repro_governance_admission_rejected_total" in dump
+        assert "repro_governance_queries_in_flight" in dump

@@ -5,6 +5,7 @@ degradation must be visible (counter + span), never silent."""
 
 import os
 import threading
+import time
 
 import pytest
 
@@ -19,12 +20,21 @@ from repro.obs.metrics import (
 from repro.obs.trace import Tracer, set_tracer
 from repro.parallel import (
     LazyResults,
+    WorkerPool,
+    WorkerPoolError,
     execute_parallel,
     pool_stats,
     shutdown_pool,
 )
 from repro.parallel import executor as executor_mod
-from repro.resilience import FaultPlan, RecoveryPolicy, RetryPolicy
+from repro.parallel import pool as pool_mod
+from repro.resilience import (
+    FaultPlan,
+    RecoveryPolicy,
+    RetryPolicy,
+    WorkerFaultKind,
+    WorkerFaultPlan,
+)
 from repro.streams import TemporalOperator, lookup
 
 from .conftest import canon, make_tuples, serial_run
@@ -207,6 +217,148 @@ class TestWarmPool:
         for thread in threads:
             thread.join(timeout=120)
         assert not failures, failures
+
+
+class TestFaultContainment:
+    """Worker-level faults must be contained at shard granularity: one
+    dead worker costs one shard re-dispatch, never a pool rebuild or an
+    inline fallback."""
+
+    def run_with_fault(self, plan, straggler_after=None, shards=3):
+        entry = contain_entry()
+        xs, ys = inputs()
+        expected = canon(serial_run(entry, xs, ys, "tuple"))
+        install_registry(MetricsRegistry())
+        try:
+            outcome = execute_parallel(
+                entry,
+                xs,
+                ys,
+                shards=shards,
+                workers=2,
+                mode="process",
+                worker_fault_plan=plan,
+                straggler_after=straggler_after,
+            )
+            dump = active_registry().to_prometheus()
+        finally:
+            uninstall_registry()
+        assert outcome.mode == "process"
+        assert canon(outcome.results) == expected
+        return outcome, dump
+
+    def test_kill_heals_with_one_retry_and_no_rebuild(self):
+        outcome, dump = self.run_with_fault(
+            WorkerFaultPlan(seed=3, kind=WorkerFaultKind.KILL)
+        )
+        containment = outcome.containment
+        assert containment["worker_deaths"] == 1
+        assert containment["shard_retries"] == 1
+        assert "repro_parallel_worker_deaths_total" in dump
+        # Contained crash: the pool stays healthy (topped up, not
+        # rebuilt) and the next query runs through it.
+        assert "repro_parallel_pool_rebuilds_total" not in dump
+        assert pool_stats()["alive"]
+
+    def test_stall_triggers_speculation_not_death_handling(self):
+        plan = WorkerFaultPlan(
+            seed=11, kind=WorkerFaultKind.STALL, stall_seconds=1.0
+        )
+        # A replacement worker from an earlier test may still be
+        # importing (one warm worker can absorb a whole clean batch
+        # meanwhile), and a still-importing worker makes its shard look
+        # silent past the threshold.  Warm the pool and give the
+        # replacement time to finish importing before the faulted run.
+        entry = contain_entry()
+        xs, ys = inputs()
+        execute_parallel(entry, xs, ys, shards=2, workers=2, mode="process")
+        time.sleep(1.0)
+        # One shard per worker: a queued-but-healthy shard would also
+        # look silent past the threshold and be speculated.
+        outcome, dump = self.run_with_fault(plan, straggler_after=0.2, shards=2)
+        containment = outcome.containment
+        assert containment["worker_deaths"] == 0
+        assert containment["speculations"] == 1
+        assert 'reason="straggler"' in dump
+        # Quiesce: the abandoned loser still holds its worker for the
+        # stall; don't let the next test's batch queue behind it.
+        time.sleep(plan.stall_seconds)
+
+    def test_corrupt_result_is_reread_from_a_fresh_segment(self):
+        outcome, dump = self.run_with_fault(
+            WorkerFaultPlan(seed=42, kind=WorkerFaultKind.CORRUPT_RESULT)
+        )
+        containment = outcome.containment
+        assert containment["worker_deaths"] == 0
+        assert containment["shard_retries"] == 1
+        assert 'reason="corrupt-result"' in dump
+
+    def test_fault_gated_on_attempt_heals_deterministically(self):
+        """attempts=1 means the re-dispatched attempt runs clean — the
+        property that makes the differential oracle hold."""
+        entry = contain_entry()
+        xs, ys = inputs()
+        expected = canon(serial_run(entry, xs, ys, "tuple"))
+        plan = WorkerFaultPlan(seed=7, kind=WorkerFaultKind.KILL)
+        for _ in range(2):  # replays identically, heals identically
+            outcome = execute_parallel(
+                entry,
+                xs,
+                ys,
+                shards=3,
+                workers=2,
+                mode="process",
+                worker_fault_plan=plan,
+            )
+            assert outcome.mode == "process"
+            assert canon(outcome.results) == expected
+            assert outcome.containment["shard_retries"] == 1
+
+
+class TestPoolLifecycle:
+    def test_worker_pool_double_shutdown_is_idempotent(self):
+        pool = WorkerPool(2)
+        assert pool.healthy
+        pool.shutdown()
+        assert not pool.healthy
+        pool.shutdown()  # second call must be a no-op, not an error
+
+    def test_shutdown_pool_twice_and_after_manual_teardown(self):
+        """The atexit hook may fire after a test (or the CLI) already
+        shut the shared pool down manually; both orders must be safe."""
+        entry = contain_entry()
+        xs, ys = inputs()
+        execute_parallel(entry, xs, ys, shards=2, workers=2, mode="process")
+        assert pool_stats()["alive"]
+        shutdown_pool()
+        assert pool_stats() == {"alive": False, "size": 0, "pids": []}
+        shutdown_pool()  # idempotent
+        assert pool_stats() == {"alive": False, "size": 0, "pids": []}
+
+    def test_get_pool_rebuilds_poisoned_pool_under_old_reference(self):
+        """Code holding a reference to the poisoned pool must not
+        resurrect it: get_pool hands out a fresh pool, the old object
+        stays dead, and a batch on the stale reference fails fast."""
+        old = pool_mod.get_pool(2)
+        old._broken = True  # what quorum loss / a hung batch does
+        install_registry(MetricsRegistry())
+        try:
+            fresh = pool_mod.get_pool(2)
+            dump = active_registry().to_prometheus()
+        finally:
+            uninstall_registry()
+        assert fresh is not old
+        assert fresh.healthy and not old.healthy
+        assert "repro_parallel_pool_rebuilds_total" in dump
+        with pytest.raises(WorkerPoolError):
+            old.run_batch([{"index": 0}])
+        # The fresh pool serves queries normally.
+        entry = contain_entry()
+        xs, ys = inputs()
+        outcome = execute_parallel(
+            entry, xs, ys, shards=2, workers=2, mode="process"
+        )
+        assert outcome.mode == "process"
 
 
 class TestLazyResults:
