@@ -36,7 +36,7 @@ sys.path.insert(
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from common import run_profile  # noqa: E402
-from repro.model import TS_ASC  # noqa: E402
+from repro.model import TS_ASC, sort_tuples  # noqa: E402
 from repro.obs import (  # noqa: E402
     Tracer,
     install_registry,
@@ -45,7 +45,9 @@ from repro.obs import (  # noqa: E402
 )
 from repro.obs.explain import (  # noqa: E402
     operator_summaries,
+    parallel_scan_violations,
     render_span_tree,
+    shard_summaries,
     single_scan_violations,
 )
 from repro.obs.trace import set_tracer  # noqa: E402
@@ -136,6 +138,105 @@ def run_fig8(faculty_count, seed):
     }, tracer
 
 
+def fig5_inputs(size):
+    x = PoissonWorkload(size, 0.5, fixed_duration(40), name="X").generate(1)
+    y = PoissonWorkload(size, 0.5, fixed_duration(10), name="Y").generate(2)
+    return (
+        sort_tuples(x.tuples, TS_ASC),
+        sort_tuples(y.tuples, TS_ASC),
+        lookup(TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC),
+    )
+
+
+def run_fig5_parallel(size, workers, registry):
+    """Figure-5 contain-join through the shared-memory process runtime,
+    traced: worker span forests graft back into the parent trace, so
+    the Chrome artifact shows one timeline track per worker process.
+
+    Also the distributed overhead gate: an untraced process-mode run of
+    the same shards must report zero worker-allocated spans."""
+    from repro.parallel import execute_parallel
+
+    xs, ys, entry = fig5_inputs(size)
+
+    # Untraced half first: the zero-span gate.
+    plain = execute_parallel(
+        entry, xs, ys, shards=workers, workers=workers, mode="process"
+    )
+    if plain.mode != "process":
+        return {
+            "run": f"fig5-parallel-{workers}w",
+            "figure": "fig5",
+            "skipped_reason": (
+                "worker pool unavailable; run fell back to inline"
+            ),
+        }, None
+    untraced_spans = sum(r.worker_spans_created for r in plain.shard_runs)
+
+    tracer, previous = traced(f"fig5-parallel-{workers}w")
+    started = time.perf_counter()
+    try:
+        with tracer.span(
+            "query", figure="fig5", mode="process", workers=workers, n=size
+        ):
+            outcome = execute_parallel(
+                entry, xs, ys, shards=workers, workers=workers,
+                mode="process",
+            )
+    finally:
+        set_tracer(previous)
+    worker_pids = sorted(
+        {s.pid for s in tracer.spans if s.pid is not None}
+    )
+    return {
+        "run": f"fig5-parallel-{workers}w",
+        "figure": "fig5",
+        "backend": outcome.backend,
+        "mode": outcome.mode,
+        "n": size,
+        "workers": workers,
+        "output": len(outcome.results),
+        "worker_pids": worker_pids,
+        "untraced_worker_spans": untraced_spans,
+        "shards": shard_summaries(tracer),
+        "operators": operator_summaries(tracer),
+        "profile": run_profile(started),
+    }, tracer
+
+
+def check_parallel_run(summary, tracer):
+    """Hard gates on the distributed trace; reasons on failure."""
+    problems = []
+    if summary.get("untraced_worker_spans", 0) != 0:
+        problems.append(
+            f"untraced workers allocated "
+            f"{summary['untraced_worker_spans']} spans (expected 0)"
+        )
+    if len(summary.get("worker_pids", [])) < 2:
+        problems.append(
+            f"expected >=2 worker tracks, got {summary.get('worker_pids')}"
+        )
+    doc = to_chrome_trace(tracer)
+    tracks = {
+        e["pid"]
+        for e in doc["traceEvents"]
+        if e.get("ph") == "M"
+        and e.get("name") == "process_name"
+        and e["args"]["name"].startswith("worker:")
+    }
+    if set(summary.get("worker_pids", [])) != tracks:
+        problems.append(
+            f"trace tracks {sorted(tracks)} != shard pids "
+            f"{summary.get('worker_pids')}"
+        )
+    problems.extend(
+        f"shard {v['shard']} reported passes_x={v['passes_x']} "
+        f"passes_y={v['passes_y']}"
+        for v in parallel_scan_violations(tracer)
+    )
+    return problems
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -162,6 +263,14 @@ def main(argv=None):
         "--seed", type=int, default=7, help="workload seed (default 7)"
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="K",
+        help="worker processes for the parallel Fig-5 run (default 4; "
+        "0 skips the parallel stage)",
+    )
+    parser.add_argument(
         "--print-trees",
         action="store_true",
         help="also print the annotated span tree of every run",
@@ -175,12 +284,29 @@ def main(argv=None):
         for backend in BACKENDS:
             runs.append(run_fig5(args.size, backend, registry))
         runs.append(run_fig8(args.faculty, args.seed))
+        if args.workers:
+            runs.append(
+                run_fig5_parallel(args.size, args.workers, registry)
+            )
     finally:
         uninstall_registry()
 
     violations = []
+    parallel_problems = []
     summary_runs = []
     for summary, tracer in runs:
+        if tracer is None:  # parallel stage skipped (no pool)
+            summary_runs.append(summary)
+            print(
+                f"{summary['run']:16s} SKIPPED: "
+                f"{summary['skipped_reason']}"
+            )
+            continue
+        if "mode" in summary and summary["mode"] == "process":
+            parallel_problems.extend(
+                f"{summary['run']}: {problem}"
+                for problem in check_parallel_run(summary, tracer)
+            )
         trace_path = os.path.join(args.out_dir, f"{summary['run']}.trace.json")
         with open(trace_path, "w") as fh:
             json.dump(to_chrome_trace(tracer), fh)
@@ -213,6 +339,7 @@ def main(argv=None):
         "faculty": args.faculty,
         "runs": summary_runs,
         "single_scan_violations": violations,
+        "distributed_trace_problems": parallel_problems,
     }
     summary_path = os.path.join(args.out_dir, "summary.json")
     with open(summary_path, "w") as fh:
@@ -229,6 +356,10 @@ def main(argv=None):
                 f"passes_y={violation['passes_y']}",
                 file=sys.stderr,
             )
+        return 1
+    if parallel_problems:
+        for problem in parallel_problems:
+            print(f"distributed-trace problem: {problem}", file=sys.stderr)
         return 1
     print("single-scan check passed: every operator made one pass")
     return 0

@@ -15,6 +15,11 @@ Subcommands:
 * ``demo`` — the Superstar walkthrough on generated data (no files
   needed).
 
+* ``audit`` — render, tail, or schema-validate a per-query JSONL audit
+  log written by ``run_query(..., audit=...)`` / ``--audit-log``::
+
+      python -m repro audit audit.jsonl --tail 5 --validate
+
 * ``explain-analyze`` — run a query with full tracing + metrics and
   print the annotated execution tree (EXPLAIN ANALYZE).  Defaults to
   the Fig-8 Superstar query on generated Faculty data::
@@ -31,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -88,9 +94,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the conventional Figure-3 rewrites",
     )
     _add_governance_arguments(query)
+    _add_audit_argument(query)
 
     commands.add_parser(
         "demo", help="run the Superstar demonstration on generated data"
+    )
+
+    audit = commands.add_parser(
+        "audit",
+        help="render/tail/validate a per-query JSONL audit log",
+    )
+    audit.add_argument("path", help="the audit JSONL file")
+    audit.add_argument(
+        "--tail",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the last N records",
+    )
+    audit.add_argument(
+        "--validate",
+        action="store_true",
+        help="check every record against the versioned audit schema; "
+        "exit non-zero on any problem",
+    )
+    audit.add_argument(
+        "--json",
+        action="store_true",
+        help="print raw JSON records instead of the rendered summary",
     )
 
     explain = commands.add_parser(
@@ -172,7 +203,18 @@ def build_parser() -> argparse.ArgumentParser:
         "generated Faculty data is used",
     )
     _add_governance_arguments(explain)
+    _add_audit_argument(explain)
     return parser
+
+
+def _add_audit_argument(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--audit-log",
+        metavar="PATH",
+        default=None,
+        help="append one JSONL audit record for this query (query id, "
+        "plan/registry hashes, shard attempt table, governance spend)",
+    )
 
 
 def _add_governance_arguments(command: argparse.ArgumentParser) -> None:
@@ -234,6 +276,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_query_command(args)
         if args.command == "explain-analyze":
             return _run_explain_analyze_command(args)
+        if args.command == "audit":
+            return _run_audit_command(args)
         return _run_demo_command()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -257,6 +301,7 @@ def _run_query_command(args) -> int:
         rewrite=not args.no_rewrite,
         semantic=args.semantic,
         budget=_budget_from_args(args),
+        audit=args.audit_log,
     )
     if args.explain:
         print(result.plan.explain())
@@ -367,9 +412,16 @@ def _run_explain_analyze_command(args) -> int:
                 trace=tracer,
                 parallelism=args.parallelism,
                 budget=budget,
+                audit=args.audit_log,
             )
             plan, row_count = result.plan, len(result.rows)
             governance = result.governance
+        if args.audit_log and args.text is None and not args.parallelism:
+            print(
+                "note: --audit-log applies to run_query-backed paths; "
+                "the Fig-8 walkthrough is not audited",
+                file=sys.stderr,
+            )
     finally:
         uninstall_registry()
 
@@ -446,6 +498,40 @@ def _traced_superstar(tracer, faculty, text):
     finally:
         set_tracer(previous)
     return plan, len(outcome.rows)
+
+
+def _run_audit_command(args) -> int:
+    from .obs.audit import AuditLog, render_record, validate_record
+
+    if not os.path.exists(args.path):
+        print(f"error: no audit log at {args.path}", file=sys.stderr)
+        return 2
+    records = AuditLog(args.path).records()
+    shown = records[-args.tail:] if args.tail is not None else records
+    problems_total = 0
+    for record in shown:
+        if args.json:
+            print(json.dumps(record, sort_keys=True))
+        else:
+            print(render_record(record))
+        if args.validate:
+            for problem in validate_record(record):
+                problems_total += 1
+                print(
+                    f"  INVALID [{record.get('query_id', '?')}]: "
+                    f"{problem}",
+                    file=sys.stderr,
+                )
+    if args.validate:
+        verdict = (
+            "all valid" if not problems_total
+            else f"{problems_total} problem(s)"
+        )
+        print(
+            f"-- validated {len(shown)} record(s): {verdict}",
+            file=sys.stderr,
+        )
+    return 1 if problems_total else 0
 
 
 def _run_demo_command() -> int:

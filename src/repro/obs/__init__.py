@@ -13,15 +13,23 @@ at run time instead of only as post-hoc
   gauges, and histograms fed by instrumentation hooks across the
   streams, columnar, storage, and resilience layers, with a Prometheus
   text-format dump;
+* :mod:`repro.obs.graft` — cross-process trace transport: workers
+  serialize their span forest into the result payload (bounded size)
+  and the parent grafts it under the matching ``shard:<i>`` span with
+  clock-calibrated, monotone timestamps;
 * :mod:`repro.obs.explain` — the EXPLAIN ANALYZE renderer over a
   recorded trace (imported lazily by the query runner and CLI; it sits
-  *above* the engine layers and is therefore not re-exported here).
+  *above* the engine layers and is therefore not re-exported here);
+* :mod:`repro.obs.audit` — per-query append-only JSONL audit records
+  with a versioned schema (also above the engine; imported lazily by
+  the query runner and the ``python -m repro audit`` subcommand).
 
 Everything is zero-dependency and deterministic-friendly: spans use
 ``time.perf_counter_ns`` only for durations, and nothing here ever
 sleeps or touches the network.
 """
 
+from .graft import GraftResult, graft_worker_trace, serialize_tracer
 from .metrics import (
     Counter,
     Gauge,
@@ -46,6 +54,7 @@ from .trace import (
 __all__ = [
     "Counter",
     "Gauge",
+    "GraftResult",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
@@ -54,7 +63,9 @@ __all__ = [
     "Tracer",
     "active_registry",
     "get_tracer",
+    "graft_worker_trace",
     "install_registry",
+    "serialize_tracer",
     "set_tracer",
     "span_creation_count",
     "to_chrome_trace",

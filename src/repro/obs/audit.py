@@ -1,0 +1,385 @@
+"""Per-query audit records: one append-only JSONL line per run.
+
+The always-on-service direction needs a durable, greppable account of
+every query the engine ran — what was asked, what plan shape ran it,
+which workers touched it, what it cost, and what went wrong — separate
+from the (optional, verbose) trace artifacts.  Each ``run_query(...,
+audit=...)`` call appends exactly one self-describing JSON object to
+the audit log, success or failure:
+
+* identity — ``query_id``, wall-clock timestamp, schema version;
+* reproducibility — the normalised query text, a hash of the explained
+  logical plan, and a hash of the operator registry (two runs with
+  equal hashes executed the same plan shape against the same table of
+  algorithms);
+* execution — backend, row count, the stream joins taken, the
+  per-shard attempt table (same numbers as the EXPLAIN ANALYZE shard
+  table), containment counters (retries / worker deaths /
+  speculations), and the governance spend summary when budgeted;
+* telemetry — the merged metrics snapshot and a compact trace summary
+  when the run was observed.
+
+The schema is versioned (:data:`AUDIT_SCHEMA_VERSION`);
+:func:`validate_record` checks a parsed record against it and is wired
+into CI.  ``python -m repro audit`` renders/tails/validates a log.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+AUDIT_SCHEMA_VERSION = 1
+
+#: field -> (required, allowed types).  ``dict``/``list`` fields may be
+#: None when the run had nothing to report; identity fields may not.
+AUDIT_SCHEMA: Dict[str, tuple] = {
+    "schema_version": (True, (int,)),
+    "query_id": (True, (str,)),
+    "ts_unix": (True, (int, float)),
+    "status": (True, (str,)),
+    "query": (True, (str,)),
+    "registry_hash": (True, (str,)),
+    "plan_hash": (False, (str, type(None))),
+    "backend": (False, (str, type(None))),
+    "rows": (False, (int, type(None))),
+    "error": (False, (dict, type(None))),
+    "stream_joins": (False, (list, type(None))),
+    "shards": (False, (list, type(None))),
+    "containment": (False, (dict, type(None))),
+    "governance": (False, (dict, type(None))),
+    "metrics": (False, (dict, type(None))),
+    "trace": (False, (dict, type(None))),
+}
+
+_STATUSES = ("ok", "error")
+
+#: Monotone per-process sequence folded into query ids.
+_SEQUENCE = 0
+
+
+def _next_query_id(source: str) -> str:
+    global _SEQUENCE
+    _SEQUENCE += 1
+    digest = hashlib.sha256(
+        f"{os.getpid()}:{_SEQUENCE}:{time.time_ns()}:{source}".encode()
+    ).hexdigest()[:12]
+    return f"q{_SEQUENCE:04d}-{digest}"
+
+
+def normalize_query(source: str, limit: int = 500) -> str:
+    """Whitespace-collapsed query text, bounded for the log line."""
+    text = " ".join(source.split())
+    return text[:limit]
+
+
+def plan_hash(plan: Optional[object]) -> Optional[str]:
+    """SHA-256 of the explained logical plan (shape identity)."""
+    if plan is None or not hasattr(plan, "explain"):
+        return None
+    return hashlib.sha256(plan.explain().encode()).hexdigest()[:16]
+
+
+def registry_hash() -> str:
+    """SHA-256 over a stable description of the operator registry —
+    every cell's operator/orders/state class/backends.  Changes exactly
+    when the table of available algorithms changes."""
+    from ..streams.registry import TemporalOperator, entries_for
+
+    lines: List[str] = []
+    for operator in sorted(TemporalOperator, key=lambda o: o.value):
+        for entry in entries_for(operator):
+            lines.append(
+                f"{entry.operator.value}|{entry.x_order}|{entry.y_order}"
+                f"|{entry.state_class}|{','.join(entry.backends)}"
+                f"|{entry.mirrored}|{entry.order_free}"
+            )
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# record construction
+# ----------------------------------------------------------------------
+def build_record(
+    source: str,
+    result: Optional[object] = None,
+    error: Optional[BaseException] = None,
+    backend: Optional[str] = None,
+    query_id: Optional[str] = None,
+) -> dict:
+    """One audit record for a finished (or failed) ``run_query`` call.
+
+    ``result`` is the :class:`~repro.query.runner.QueryResult` on
+    success; ``error`` the raised exception on failure.  Everything
+    observable is best-effort: a missing tracer/registry simply leaves
+    its field ``None``.
+    """
+    record: dict = {
+        "schema_version": AUDIT_SCHEMA_VERSION,
+        "query_id": query_id or _next_query_id(source),
+        "ts_unix": round(time.time(), 3),
+        "status": "error" if error is not None else "ok",
+        "query": normalize_query(source),
+        "registry_hash": registry_hash(),
+        "plan_hash": plan_hash(getattr(result, "plan", None)),
+        "backend": backend,
+        "rows": len(result.rows) if result is not None else None,
+        "error": (
+            {"type": type(error).__name__, "message": str(error)[:500]}
+            if error is not None
+            else None
+        ),
+        "stream_joins": _stream_join_entries(result),
+        "shards": _shard_table(result),
+        "containment": _containment_of(result),
+        "governance": getattr(result, "governance", None),
+        "metrics": _metrics_snapshot(),
+        "trace": _trace_summary(getattr(result, "trace", None)),
+    }
+    if record["backend"] is None and record["shards"]:
+        record["backend"] = record["shards"][0].get("backend")
+    return record
+
+
+def _stream_join_entries(result: Optional[object]) -> Optional[list]:
+    joins = getattr(result, "stream_joins", None)
+    if not joins:
+        return None
+    out = []
+    for info in joins:
+        entry = {
+            "operator": info.operator.value,
+            "swapped": info.swapped,
+            "chosen": info.chosen,
+            "output_rows": info.output_rows,
+            "recovery": info.recovery,
+            "wall_seconds": round(info.wall_seconds, 6),
+        }
+        parallel = getattr(info, "parallel", None)
+        if parallel:
+            entry["parallel"] = {
+                k: v for k, v in parallel.items() if k != "shard_runs"
+            }
+        out.append(entry)
+    return out
+
+
+def _shard_table(result: Optional[object]) -> Optional[list]:
+    """The per-shard attempt table — from the trace when the run was
+    traced (the same spans EXPLAIN ANALYZE renders), otherwise from
+    the planner's shard-run details."""
+    trace = getattr(result, "trace", None)
+    if trace is not None and getattr(trace, "spans", None):
+        from .explain import shard_summaries
+
+        shards = shard_summaries(trace)
+        if shards:
+            return shards
+    joins = getattr(result, "stream_joins", None) or []
+    shards = []
+    for info in joins:
+        parallel = getattr(info, "parallel", None) or {}
+        for run in parallel.get("shard_runs") or []:
+            row = dict(run)
+            row["shard"] = row.pop("index", None)
+            shards.append(row)
+    return shards or None
+
+
+def _containment_of(result: Optional[object]) -> Optional[dict]:
+    joins = getattr(result, "stream_joins", None) or []
+    merged: Dict[str, int] = {}
+    for info in joins:
+        parallel = getattr(info, "parallel", None) or {}
+        for key, value in (parallel.get("containment") or {}).items():
+            merged[key] = merged.get(key, 0) + value
+    return merged or None
+
+
+def _metrics_snapshot() -> Optional[dict]:
+    from .metrics import active_registry
+
+    registry = active_registry()
+    if registry is None:
+        return None
+    try:
+        return registry.as_dict()
+    except Exception:  # snapshot is best-effort, never fails the query
+        return None
+
+
+def _trace_summary(trace: Optional[object]) -> Optional[dict]:
+    if trace is None or not getattr(trace, "spans", None):
+        return None
+    from .explain import operator_summaries
+
+    spans = trace.spans
+    roots = [s for s in spans if s.parent_id is None]
+    wall_ns = max((s.end_ns or 0) for s in spans) - min(
+        s.start_ns for s in spans
+    )
+    worker_pids = sorted(
+        {s.pid for s in spans if getattr(s, "pid", None) is not None}
+    )
+    return {
+        "name": getattr(trace, "name", None),
+        "spans": len(spans),
+        "roots": len(roots),
+        "wall_ms": round(wall_ns / 1e6, 3),
+        "worker_pids": worker_pids,
+        "operators": operator_summaries(trace),
+    }
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+def validate_record(record: Any) -> List[str]:
+    """Problems with ``record`` against the versioned schema (empty
+    list = valid)."""
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return [f"record is {type(record).__name__}, expected object"]
+    version = record.get("schema_version")
+    if not isinstance(version, int) or version < 1:
+        problems.append(f"schema_version {version!r} is not a version")
+    elif version > AUDIT_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {version} is newer than this reader "
+            f"({AUDIT_SCHEMA_VERSION})"
+        )
+    for field, (required, types) in AUDIT_SCHEMA.items():
+        if field not in record:
+            if required:
+                problems.append(f"missing required field {field!r}")
+            continue
+        value = record[field]
+        if not isinstance(value, types):
+            problems.append(
+                f"field {field!r} is {type(value).__name__}, expected "
+                f"{'/'.join(t.__name__ for t in types)}"
+            )
+    status = record.get("status")
+    if isinstance(status, str) and status not in _STATUSES:
+        problems.append(f"status {status!r} not in {_STATUSES}")
+    if record.get("status") == "error" and not record.get("error"):
+        problems.append("status=error but no error field")
+    for index, shard in enumerate(record.get("shards") or []):
+        if not isinstance(shard, dict):
+            problems.append(f"shards[{index}] is not an object")
+            continue
+        if not isinstance(shard.get("shard"), int):
+            problems.append(f"shards[{index}] has no integer 'shard'")
+        if not isinstance(shard.get("attempt"), int):
+            problems.append(f"shards[{index}] has no integer 'attempt'")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# the log
+# ----------------------------------------------------------------------
+class AuditLog:
+    """Append-only JSONL audit log at a filesystem path."""
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+
+    def append(self, record: dict) -> None:
+        """Append one record as a single JSON line (atomic enough for
+        a single process: one ``write`` call per record)."""
+        line = json.dumps(record, sort_keys=True, default=repr)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+
+    def records(self) -> List[dict]:
+        """All parsed records (skipping blank lines)."""
+        out: List[dict] = []
+        if not os.path.exists(self.path):
+            return out
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    out.append(json.loads(line))
+        return out
+
+    def tail(self, count: int = 10) -> List[dict]:
+        records = self.records()
+        return records[-count:] if count > 0 else []
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def render_record(record: dict) -> str:
+    """A compact human-readable rendering of one audit record."""
+    lines: List[str] = []
+    status = record.get("status", "?")
+    lines.append(
+        f"[{record.get('query_id', '?')}] {status.upper()}  "
+        f"rows={record.get('rows')}  backend={record.get('backend') or '-'}"
+    )
+    lines.append(f"  query: {record.get('query', '')[:120]}")
+    lines.append(
+        f"  plan={record.get('plan_hash') or '-'}  "
+        f"registry={record.get('registry_hash') or '-'}"
+    )
+    error = record.get("error")
+    if error:
+        lines.append(f"  error: {error.get('type')}: {error.get('message')}")
+    for join in record.get("stream_joins") or []:
+        lines.append(
+            f"  join {join.get('operator')}: {join.get('chosen')} "
+            f"-> {join.get('output_rows')} rows"
+        )
+    shards = record.get("shards") or []
+    if shards:
+        attempts = sum((s.get("attempt") or 0) + 1 for s in shards)
+        lines.append(
+            f"  shards: {len(shards)} ({attempts} dispatch attempt(s))"
+        )
+        for shard in shards:
+            lines.append(
+                f"    shard {shard.get('shard')}: "
+                f"out={shard.get('output_count')} "
+                f"attempt={shard.get('attempt')} "
+                f"wall_ms={shard.get('wall_ms', shard.get('wall_seconds'))}"
+            )
+    containment = record.get("containment")
+    if containment:
+        lines.append(
+            "  containment: "
+            + " ".join(f"{k}={v}" for k, v in sorted(containment.items()))
+        )
+    governance = record.get("governance")
+    if governance:
+        lines.append(
+            f"  governance: elapsed={governance.get('elapsed_seconds')}s "
+            f"pages={governance.get('pages_read')} "
+            f"workspace_peak={governance.get('workspace_peak')} "
+            f"cancelled={governance.get('cancelled')}"
+        )
+    trace = record.get("trace")
+    if trace:
+        lines.append(
+            f"  trace: {trace.get('spans')} spans, "
+            f"{trace.get('wall_ms')}ms, "
+            f"workers={trace.get('worker_pids') or []}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "AUDIT_SCHEMA",
+    "AUDIT_SCHEMA_VERSION",
+    "AuditLog",
+    "build_record",
+    "normalize_query",
+    "plan_hash",
+    "registry_hash",
+    "render_record",
+    "validate_record",
+]

@@ -1,0 +1,194 @@
+"""Cross-process trace transport: serialize a worker's span tree into
+the result payload and graft it into the parent's tracer.
+
+The shared-memory pool runs each shard in a worker process with its own
+:class:`~repro.obs.trace.Tracer`.  Spans die with the worker unless
+they cross the pipe, so the worker serialises its finished span forest
+(:func:`serialize_tracer` — bounded size, DFS-prefix truncation so any
+kept span's ancestors are kept too) and the parent re-materialises it
+under the matching ``shard:<i>`` summary span (:func:`graft_worker_trace`).
+
+Clock calibration: ``perf_counter_ns`` origins are per-process, so raw
+worker timestamps are meaningless in the parent's timeline.  Each ack a
+worker sends carries ``anchor_ns = time.perf_counter_ns()`` sampled in
+the worker; the parent stamps its own ``perf_counter_ns`` when it
+drains the ack and estimates ``offset = parent_now - worker_anchor``.
+Every estimate is inflated by the pipe delay, so the pool keeps the
+*minimum* offset seen per pid (the tightest upper bound).  Grafting
+shifts worker times by that offset and then clamps them monotonically
+into the enclosing window, so the merged timeline is monotone even when
+the residual calibration error exceeds a short span's duration.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .trace import Span, Tracer
+
+#: Serialized worker traces larger than this are truncated (whole spans
+#: dropped, deepest-last first); the payload records how many were cut.
+DEFAULT_MAX_TRACE_BYTES = 256 * 1024
+
+#: Schema version of the worker-trace payload.
+TRACE_PAYLOAD_VERSION = 1
+
+
+def serialize_tracer(
+    tracer: Tracer,
+    *,
+    pid: int,
+    tid: int,
+    max_bytes: int = DEFAULT_MAX_TRACE_BYTES,
+) -> dict:
+    """The worker half: a plain-JSON payload of the finished span
+    forest, in DFS order so any truncated prefix still contains every
+    kept span's ancestors.  Oversized traces are cut, never fatal —
+    ``dropped_spans`` records the damage."""
+    spans: List[dict] = []
+    budget = max_bytes
+    dropped = 0
+    for span, depth in tracer.walk():
+        record = {
+            "name": span.name,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "start_ns": span.start_ns,
+            "end_ns": span.end_ns if span.end_ns is not None else span.start_ns,
+            "attributes": _plain(span.attributes),
+            "events": _plain(span.events),
+        }
+        cost = len(json.dumps(record, default=repr))
+        if cost > budget:
+            dropped += 1
+            continue
+        budget -= cost
+        spans.append(record)
+    return {
+        "version": TRACE_PAYLOAD_VERSION,
+        "origin_ns": tracer.origin_ns,
+        "pid": pid,
+        "tid": tid,
+        "spans": spans,
+        "dropped_spans": dropped,
+    }
+
+
+@dataclass
+class GraftResult:
+    """What :func:`graft_worker_trace` produced, in parent time."""
+
+    #: Grafted spans, in the payload's DFS order.
+    spans: List[Span] = field(default_factory=list)
+    #: Earliest start / latest end over the grafted spans (parent
+    #: tracer-relative ns); None when nothing was grafted.
+    start_ns: Optional[int] = None
+    end_ns: Optional[int] = None
+    #: Spans the worker cut for size before sending.
+    dropped_spans: int = 0
+    #: True when the clamp actually moved a timestamp (calibration
+    #: residual exceeded the window slack).
+    clamped: bool = False
+
+
+def graft_worker_trace(
+    tracer: Tracer,
+    parent_span: Span,
+    payload: Optional[dict],
+    *,
+    offset_ns: Optional[int],
+    window: Optional[Tuple[int, int]] = None,
+    attempt: Optional[int] = None,
+    worker: Optional[str] = None,
+) -> GraftResult:
+    """The parent half: re-materialise a worker's serialized span
+    forest as children of ``parent_span`` in ``tracer``.
+
+    ``offset_ns`` is the pool's calibrated worker->parent clock offset
+    (``None`` falls back to pinning the worker trace at the window
+    start).  ``window`` is a (lo, hi) pair of parent tracer-relative
+    timestamps — normally the enclosing ``parallel:`` span — that the
+    grafted times are clamped into; the clamp is monotone (applied to
+    starts and ends alike) so nesting and ordering survive even when
+    calibration is off by more than a span's length.
+    """
+    result = GraftResult()
+    if not payload or not payload.get("spans"):
+        if payload:
+            result.dropped_spans = payload.get("dropped_spans", 0)
+        return result
+    result.dropped_spans = payload.get("dropped_spans", 0)
+
+    worker_origin = payload.get("origin_ns", 0)
+    pid = payload.get("pid")
+    tid = payload.get("tid")
+    if offset_ns is not None:
+        shift = worker_origin + offset_ns - tracer.origin_ns
+    else:
+        # No calibration handshake recorded (e.g. a reaped worker whose
+        # ack predates the batch): pin the worker's first span at the
+        # window start so the trace stays renderable.
+        first_start = min(s["start_ns"] for s in payload["spans"])
+        base = window[0] if window else 0
+        shift = base - first_start
+
+    lo, hi = window if window else (None, None)
+
+    def clamp(value: int) -> int:
+        if lo is not None and value < lo:
+            result.clamped = True
+            return lo
+        if hi is not None and value > hi:
+            result.clamped = True
+            return hi
+        return value
+
+    id_map: Dict[int, int] = {}
+    for record in payload["spans"]:
+        start = clamp(record["start_ns"] + shift)
+        end = clamp(record["end_ns"] + shift)
+        attributes = dict(record.get("attributes") or {})
+        if worker is not None:
+            attributes.setdefault("worker", worker)
+        if pid is not None:
+            attributes.setdefault("worker_pid", pid)
+        if attempt is not None:
+            attributes.setdefault("attempt", attempt)
+        raw_parent = record.get("parent_id")
+        parent_id = id_map.get(raw_parent, parent_span.span_id)
+        span = Span(
+            tracer,
+            record["name"],
+            tracer._next_id,
+            parent_id,
+            start,
+            attributes,
+        )
+        tracer._next_id += 1
+        span.end_ns = max(end, start)
+        span.pid = pid
+        span.tid = tid
+        for event in record.get("events") or []:
+            span.events.append(
+                {
+                    "name": event.get("name", "event"),
+                    "ts_ns": clamp(event.get("ts_ns", 0) + shift),
+                    "attributes": event.get("attributes") or {},
+                }
+            )
+        tracer.spans.append(span)
+        id_map[record["span_id"]] = span.span_id
+        result.spans.append(span)
+        if result.start_ns is None or start < result.start_ns:
+            result.start_ns = start
+        if result.end_ns is None or span.end_ns > result.end_ns:
+            result.end_ns = span.end_ns
+    return result
+
+
+def _plain(value: Any) -> Any:
+    """Round-trip through JSON (``default=repr``) so the payload always
+    pickles/serialises cleanly across the pipe."""
+    return json.loads(json.dumps(value, default=repr))

@@ -228,6 +228,96 @@ class MetricsRegistry:
                     )
         return "\n".join(lines) + ("\n" if lines else "")
 
+    # ------------------------------------------------------------------
+    # cross-process transport
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A plain-JSON snapshot carrying *complete* metric state —
+        label keys, histogram bucket layouts — so a registry can cross a
+        process boundary (worker -> parent result payload) and be
+        reconstructed by :meth:`merge`.  ``as_dict`` is the lossy
+        report-friendly cousin; this one round-trips."""
+        counters: dict = {}
+        gauges: dict = {}
+        histograms: dict = {}
+        for metric in self:
+            if isinstance(metric, Histogram):
+                histograms[metric.name] = {
+                    "help": metric.help,
+                    "buckets": list(metric.buckets),
+                    "bucket_counts": list(metric.bucket_counts),
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "max": metric.max,
+                }
+            else:
+                family = {
+                    "help": metric.help,
+                    "values": [
+                        [[list(pair) for pair in key], value]
+                        for key, value in metric.samples()
+                    ],
+                }
+                if isinstance(metric, Counter):
+                    counters[metric.name] = family
+                else:
+                    gauges[metric.name] = family
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def merge(
+        self,
+        source: "MetricsRegistry | dict",
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Fold ``source`` (a registry or a :meth:`snapshot` dict) into
+        this registry: counters add, gauges last-write-wins, histograms
+        add bucket-wise (bucket layouts must match).  ``labels`` — e.g.
+        ``{"worker": "1234", "shard": "0"}`` — is appended to every
+        counter/gauge label key so per-worker contributions stay
+        distinguishable in the merged dump."""
+        if isinstance(source, MetricsRegistry):
+            source = source.snapshot()
+        extra = tuple(sorted((k, str(v)) for k, v in (labels or {}).items()))
+        for name, family in source.get("counters", {}).items():
+            counter = self.counter(name, family.get("help", ""))
+            for raw_key, value in family.get("values", []):
+                key: LabelKey = tuple(
+                    sorted([tuple(pair) for pair in raw_key] + list(extra))
+                )
+                counter._values[key] = counter._values.get(key, 0.0) + value
+        for name, family in source.get("gauges", {}).items():
+            gauge = self.gauge(name, family.get("help", ""))
+            for raw_key, value in family.get("values", []):
+                key = tuple(
+                    sorted([tuple(pair) for pair in raw_key] + list(extra))
+                )
+                gauge._values[key] = float(value)
+        for name, family in source.get("histograms", {}).items():
+            histogram = self.histogram(
+                name,
+                family.get("help", ""),
+                tuple(family.get("buckets", DEFAULT_BUCKETS)),
+            )
+            incoming = list(family.get("buckets", DEFAULT_BUCKETS))
+            if list(histogram.buckets) != [float(b) for b in incoming]:
+                raise ValueError(
+                    f"histogram {name!r} bucket layouts differ; "
+                    "bucket-wise merge is undefined"
+                )
+            for index, count in enumerate(family.get("bucket_counts", [])):
+                histogram.bucket_counts[index] += count
+            histogram.count += family.get("count", 0)
+            histogram.sum += family.get("sum", 0.0)
+            other_max = family.get("max")
+            if other_max is not None and (
+                histogram._max is None or other_max > histogram._max
+            ):
+                histogram._max = other_max
+
     def as_dict(self) -> dict:
         """Nested-dict snapshot (used by benchmark JSON reports)."""
         out: dict = {}

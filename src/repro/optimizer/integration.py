@@ -77,6 +77,11 @@ class StreamJoinInfo:
     metrics: Optional[object] = None
     #: Wall-clock seconds spent planning + executing this join.
     wall_seconds: float = 0.0
+    #: Parallel execution details when the planner chose a sharded
+    #: plan: the partition plan, the per-shard attempt table
+    #: (``shard_runs``), and the containment counters — the audit
+    #: record's source when the run was untraced.
+    parallel: Optional[dict] = None
 
 
 @dataclass
@@ -393,12 +398,28 @@ def _stream_join(
             recovery=recovery.value if recovery is not None else None,
             metrics=profile.metrics,
             wall_seconds=time.perf_counter() - started,
+            parallel=_parallel_details(profile.details),
         )
     )
     return [
         left_rows[left_index] + right_rows[right_index]
         for left_index, right_index in pairs
     ]
+
+
+def _parallel_details(details: dict) -> Optional[dict]:
+    """The parallel slice of an execution profile, or ``None`` for a
+    serial plan — carried on :class:`StreamJoinInfo` so the audit layer
+    sees the shard attempt table without re-parsing the trace."""
+    if "parallel" not in details:
+        return None
+    out = {
+        "plan": details["parallel"],
+        "shard_runs": details.get("shard_runs") or [],
+    }
+    if details.get("containment"):
+        out["containment"] = details["containment"]
+    return out
 
 
 def _variable_of_schema(schema: RowSchema) -> str:

@@ -526,6 +526,8 @@ class TemporalJoinPlanner:
         profile.details["shard_runs"] = [
             run.as_dict() for run in outcome.shard_runs
         ]
+        if outcome.containment:
+            profile.details["containment"] = dict(outcome.containment)
         if recovery is not None:
             profile.details["recovery"] = recovery.value
             profile.details["execution_report"] = outcome.report

@@ -50,6 +50,7 @@ from ..columnar.relation import IntervalColumns
 from ..errors import ExecutionError, ReproError
 from ..governance.budget import active_token
 from ..model.tuples import TemporalTuple
+from ..obs.graft import graft_worker_trace
 from ..obs.metrics import active_registry
 from ..obs.trace import get_tracer
 from ..resilience.faults import FaultPlan, WorkerFaultPlan
@@ -103,6 +104,11 @@ class ShardRun:
     #: dispatch, >0 when the shard was re-dispatched after a worker
     #: death, straggling, or a corrupt result segment.
     attempt: int = 0
+    #: Worker process that ran the shard (process mode only).
+    pid: Optional[int] = None
+    #: Real Span objects the shard allocated in the worker — always
+    #: reported, so untraced runs can enforce that it stayed zero.
+    worker_spans_created: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -121,6 +127,8 @@ class ShardRun:
             "quarantined": self.quarantined,
             "residual_filtered": self.residual_filtered,
             "attempt": self.attempt,
+            "pid": self.pid,
+            "worker_spans_created": self.worker_spans_created,
         }
 
 
@@ -517,6 +525,16 @@ def _run_shm(
         if governance is not None:
             for task in tasks:
                 task["governance"] = governance
+        # Ship the parent's observability state as two booleans: the
+        # worker installs a per-task tracer/registry only when asked,
+        # so untraced runs keep the worker-side zero-allocation
+        # guarantee (span_creation_count delta stays 0).
+        observe_trace = bool(get_tracer().enabled)
+        observe_metrics = active_registry() is not None
+        if observe_trace or observe_metrics:
+            for task in tasks:
+                task["observe_trace"] = observe_trace
+                task["observe_metrics"] = observe_metrics
         if worker_fault_plan is not None:
             target = worker_fault_plan.target_shard(
                 f"{entry.operator.value}/{backend}", len(tasks)
@@ -546,6 +564,7 @@ def _run_shm(
             )
             kind, first, second, x_base, y_base = chunk
             shard_range = plan.ranges[summary["index"]]
+            pid = summary.get("pid")
             runs.append(
                 {
                     "index": summary["index"],
@@ -556,6 +575,13 @@ def _run_shm(
                     "output_count": summary["output_count"],
                     "residual_filtered": summary["residual_filtered"],
                     "attempt": summary.get("attempt", 0),
+                    "pid": pid,
+                    "worker_spans_created": summary.get(
+                        "worker_spans_created", 0
+                    ),
+                    "worker_trace": summary.get("worker_trace"),
+                    "worker_metrics": summary.get("worker_metrics"),
+                    "clock_offset_ns": pool.clock_offsets.get(pid),
                     "x_count": (
                         shard_range.context_count
                         if _shape_of(entry.operator) == "self"
@@ -624,7 +650,15 @@ def execute_parallel(
     of the containment machinery; ``straggler_after`` overrides the
     speculation threshold in seconds (default: a fraction of the
     governance deadline, or of the batch timeout when ungoverned).
+
+    The ``REPRO_PARALLEL_MODE`` environment variable, when set to one
+    of the valid modes, overrides ``mode`` — CI uses it to force the
+    process path on single-CPU runners where ``auto`` would stay
+    inline.
     """
+    env_mode = os.environ.get("REPRO_PARALLEL_MODE")
+    if env_mode in EXECUTION_MODES:
+        mode = env_mode
     if mode not in EXECUTION_MODES:
         raise ExecutionError(
             f"unknown parallel mode {mode!r}; choose one of "
@@ -757,7 +791,15 @@ def execute_parallel(
             residual_total += run["residual_filtered"]
             _absorb_metrics(metrics, run["metrics"])
             if effective_mode == "process":
-                _emit_shard_span(tracer, entry, backend, shard_run)
+                _merge_worker_metrics(run)
+                _emit_shard_span(
+                    tracer,
+                    entry,
+                    backend,
+                    shard_run,
+                    run=run,
+                    parallel_span=span,
+                )
         results: Sequence = (
             LazyResults(x_list, y_list, chunks)
             if effective_mode == "process"
@@ -816,13 +858,27 @@ def _span_attributes(run: dict) -> dict:
         "faults": report.faults_injected,
         "quarantined": len(report.quarantined),
         "residual_filtered": run["residual_filtered"],
+        # Inline shards run in-process exactly once; report attempt 0 so
+        # the shard table (and audit records built from it) carry a
+        # dispatch count in every mode.
+        "attempt": run.get("attempt", 0),
     }
 
 
-def _emit_shard_span(tracer, entry, backend, shard_run: ShardRun):
-    """Process-mode shards ran in worker processes with no tracer; give
-    each a summary span in the parent trace so EXPLAIN ANALYZE sees the
-    same shard breakdown either way."""
+def _emit_shard_span(
+    tracer,
+    entry,
+    backend,
+    shard_run: ShardRun,
+    run: Optional[dict] = None,
+    parallel_span=None,
+):
+    """Process-mode shards ran in a worker process; give each a summary
+    span in the parent trace so EXPLAIN ANALYZE sees the same shard
+    breakdown either way, then graft the worker's own span tree (when
+    the run carried one) underneath it with clock-calibrated, monotone
+    timestamps, and backdate the summary span to cover the grafted
+    window."""
     if not tracer.enabled:
         return
     with tracer.span(
@@ -846,6 +902,58 @@ def _emit_shard_span(tracer, entry, backend, shard_run: ShardRun):
             residual_filtered=shard_run.residual_filtered,
             attempt=shard_run.attempt,
         )
+        if shard_run.pid is not None:
+            span.set(
+                pid=shard_run.pid,
+                worker_spans_created=shard_run.worker_spans_created,
+            )
+    payload = run.get("worker_trace") if run else None
+    if payload is None:
+        return
+    window_lo = (
+        parallel_span.start_ns if parallel_span is not None else span.start_ns
+    )
+    graft = graft_worker_trace(
+        tracer,
+        span,
+        payload,
+        offset_ns=run.get("clock_offset_ns"),
+        window=(window_lo, span.end_ns),
+        attempt=shard_run.attempt,
+        worker=f"worker:{shard_run.pid}" if shard_run.pid else None,
+    )
+    if graft.dropped_spans:
+        span.set(trace_dropped_spans=graft.dropped_spans)
+    if graft.clamped:
+        span.set(trace_clock_clamped=True)
+    if graft.start_ns is not None:
+        # The summary span was a zero-length marker created after the
+        # batch; stretch it over the grafted worker window so nesting
+        # is visible on the timeline (still inside the parallel span).
+        span.start_ns = min(span.start_ns, graft.start_ns)
+        span.end_ns = max(span.end_ns, graft.end_ns or span.end_ns)
+
+
+def _merge_worker_metrics(run: dict) -> None:
+    """Fold the worker's metric snapshot into the parent registry with
+    ``worker``/``shard`` labels, so per-worker contributions stay
+    distinguishable in the merged Prometheus dump."""
+    registry = active_registry()
+    snapshot = run.get("worker_metrics")
+    if registry is None or not snapshot:
+        return
+    try:
+        registry.merge(
+            snapshot,
+            labels={
+                "worker": str(run.get("pid")),
+                "shard": str(run["index"]),
+            },
+        )
+    except ValueError:
+        # Mismatched histogram layouts across versions: drop the
+        # worker's contribution, never the query.
+        pass
 
 
 def _shard_run_of(run: dict) -> ShardRun:
@@ -867,6 +975,8 @@ def _shard_run_of(run: dict) -> ShardRun:
         quarantined=len(report.quarantined),
         residual_filtered=run["residual_filtered"],
         attempt=run.get("attempt", 0),
+        pid=run.get("pid"),
+        worker_spans_created=run.get("worker_spans_created", 0),
     )
 
 

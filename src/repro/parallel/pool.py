@@ -64,6 +64,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..errors import ExecutionError
 from ..obs.metrics import active_registry
+from ..obs.trace import get_tracer
 from . import shm
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
@@ -106,6 +107,43 @@ def _dbg(msg: str) -> None:
             file=sys.stderr,
             flush=True,
         )
+
+
+#: Help strings for the structured containment counters; the event
+#: names mirror the counter suffixes (dispatch/ack/reap/redispatch/
+#: straggler) so a Prometheus dump and a trace tell the same story.
+_POOL_COUNTER_HELP = {
+    "repro_pool_dispatch_total": "Shard tasks dispatched to the pool",
+    "repro_pool_ack_total": "Task ownership acks drained from workers",
+    "repro_pool_reap_total": "Dead workers reaped mid-batch",
+    "repro_pool_redispatch_total": "Shard re-dispatches, by reason",
+    "repro_pool_straggler_total": "Shards speculatively re-dispatched",
+}
+
+
+def _pool_event(
+    name: str,
+    counter: Optional[str] = None,
+    amount: float = 1.0,
+    **attrs,
+) -> None:
+    """One containment-ladder event, three sinks: the active tracer
+    (structured event on the enclosing span), the ``repro_pool_*``
+    counters, and — when ``REPRO_POOL_DEBUG`` is set — the legacy
+    stderr line.  The env knob is now purely a verbosity toggle."""
+    _dbg(name + " " + " ".join(f"{k}={v}" for k, v in attrs.items()))
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(f"pool.{name}", **attrs)
+    if counter is not None:
+        registry = active_registry()
+        if registry is not None:
+            labels = (
+                {"reason": str(attrs["reason"])} if "reason" in attrs else {}
+            )
+            registry.counter(counter, _POOL_COUNTER_HELP[counter]).inc(
+                amount, **labels
+            )
 
 
 def _default_batch_timeout() -> float:
@@ -164,6 +202,11 @@ def _worker_main(tasks, results, acks) -> None:
                 "index": task.get("index"),
                 "attempt": task.get("attempt", 0),
                 "pid": os.getpid(),
+                # Clock-calibration anchor: perf_counter_ns origins are
+                # per-process, so the parent pairs this worker-side
+                # sample with its own clock at drain time to estimate
+                # the worker->parent offset (see _drain_acks).
+                "anchor_ns": time.perf_counter_ns(),
             }
         )
         try:
@@ -238,6 +281,12 @@ class WorkerPool:
         #: copies them onto the ``parallel:`` span; batches serialise
         #: on the dispatch lock, so no extra locking is needed).
         self.last_batch_stats: Dict[str, int] = {}
+        #: pid -> calibrated worker->parent ``perf_counter_ns`` offset.
+        #: Each drained ack yields ``parent_now - worker_anchor``; the
+        #: estimate is inflated by the pipe delay, so the minimum seen
+        #: per pid is kept (the tightest upper bound).  Trace grafting
+        #: shifts worker timestamps by this offset.
+        self.clock_offsets: Dict[int, int] = {}
         self.grow(size)
 
     # ------------------------------------------------------------------
@@ -349,7 +398,14 @@ class WorkerPool:
                 states[task["index"]] = _ShardState(
                     task=task, dispatched_at=now
                 )
-            _dbg(f"dispatch job={job} indices={sorted(states)}")
+            _pool_event(
+                "dispatch",
+                counter="repro_pool_dispatch_total",
+                amount=len(tasks),
+                job=job,
+                shards=len(tasks),
+                indices=sorted(states),
+            )
             for task in tasks:
                 self._tasks.put(task)
             try:
@@ -488,14 +544,31 @@ class WorkerPool:
         worker ever acked is readable here."""
         while not self._acks.empty():
             ack = self._acks.get()
+            # Calibrate regardless of job: the pid's clock offset does
+            # not depend on which batch the ack belongs to, and every
+            # extra sample can only tighten the minimum.
+            anchor = ack.get("anchor_ns")
+            pid = ack.get("pid")
+            if anchor is not None and pid is not None:
+                estimate = time.perf_counter_ns() - anchor
+                previous = self.clock_offsets.get(pid)
+                if previous is None or estimate < previous:
+                    self.clock_offsets[pid] = estimate
             if ack.get("job") != job:
                 _dbg(f"stale ack {ack}")
                 continue
-            _dbg(f"ack {ack}")
-            acked_pids.add(ack.get("pid"))
+            _pool_event(
+                "ack",
+                counter="repro_pool_ack_total",
+                job=job,
+                index=ack.get("index"),
+                attempt=ack.get("attempt"),
+                pid=pid,
+            )
+            acked_pids.add(pid)
             state = states.get(ack.get("index"))
             if state is not None and ack.get("attempt") == state.attempt:
-                state.pid = ack.get("pid")
+                state.pid = pid
                 state.acked_at = time.monotonic()
 
     def _reap_dead(
@@ -515,7 +588,13 @@ class WorkerPool:
         dead = [p for p in self._processes if not p.is_alive()]
         if not dead:
             return False
-        _dbg(f"reap dead pids={[p.pid for p in dead]}")
+        _pool_event(
+            "reap",
+            counter="repro_pool_reap_total",
+            amount=len(dead),
+            pids=[p.pid for p in dead],
+            exit_codes=sorted({p.exitcode for p in dead}),
+        )
         dead_pids.update(p.pid for p in dead)
         self._processes = [p for p in self._processes if p.is_alive()]
         self.last_batch_stats["worker_deaths"] = (
@@ -621,6 +700,12 @@ class WorkerPool:
                 self.last_batch_stats["speculations"] = (
                     self.last_batch_stats.get("speculations", 0) + 1
                 )
+                _pool_event(
+                    "straggler",
+                    counter="repro_pool_straggler_total",
+                    index=index,
+                    silent_seconds=round(now - started, 3),
+                )
                 self._redispatch(index, state, "straggler", segment_names)
 
     def _redispatch(
@@ -654,9 +739,12 @@ class WorkerPool:
             state.retry_segments.append(fresh)
             if segment_names is not None:
                 segment_names.append(fresh)
-        _dbg(
-            f"redispatch index={index} attempt={state.attempt} "
-            f"reason={reason}"
+        _pool_event(
+            "redispatch",
+            counter="repro_pool_redispatch_total",
+            index=index,
+            attempt=state.attempt,
+            reason=reason,
         )
         state.task = task
         state.pid = None

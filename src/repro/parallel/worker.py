@@ -27,6 +27,7 @@ encodes without ever pickling a tuple.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from array import array
 from typing import Optional
@@ -34,6 +35,14 @@ from typing import Optional
 from ..columnar.relation import IntervalColumns
 from ..governance.budget import QueryBudget, active_token, governed
 from ..model.tuples import TemporalTuple
+from ..obs.graft import DEFAULT_MAX_TRACE_BYTES, serialize_tracer
+from ..obs.metrics import (
+    MetricsRegistry,
+    active_registry,
+    install_registry,
+    uninstall_registry,
+)
+from ..obs.trace import Tracer, set_tracer, span_creation_count
 from ..resilience.recovery import ExecutionReport, RecoveryPolicy
 from ..streams.registry import RegistryEntry, lookup
 from . import shm
@@ -78,6 +87,49 @@ def run_task(task: dict) -> dict:
         os._exit(fault.get("exit_code", 3))
     if fault is not None and fault.get("kind") == "stall":
         time.sleep(fault.get("stall_seconds", 2.0))
+    spans_before = span_creation_count()
+    observe_trace = bool(task.get("observe_trace"))
+    observe_metrics = bool(task.get("observe_metrics"))
+    worker_tracer = (
+        Tracer(f"worker-{os.getpid()}") if observe_trace else None
+    )
+    worker_registry = MetricsRegistry() if observe_metrics else None
+    # Pool workers are reused across queries, so the worker-local
+    # tracer/registry MUST be restored in the finally — a leaked tracer
+    # would tax (and mis-attribute) every later untraced shard.
+    prev_tracer = set_tracer(worker_tracer) if observe_trace else None
+    prev_registry = active_registry() if observe_metrics else None
+    if observe_metrics:
+        install_registry(worker_registry)
+    try:
+        if worker_tracer is not None:
+            with worker_tracer.span(
+                f"worker:shard:{task['index']}",
+                shard=task["index"],
+                attempt=task.get("attempt", 0),
+                operator=task.get("operator"),
+                backend=task.get("backend"),
+            ):
+                summary = _run_governed(task)
+        else:
+            summary = _run_governed(task)
+    finally:
+        if observe_trace:
+            set_tracer(prev_tracer)
+        if observe_metrics:
+            if prev_registry is not None:
+                install_registry(prev_registry)
+            else:
+                uninstall_registry()
+    _attach_observability(
+        task, summary, worker_tracer, worker_registry, spans_before
+    )
+    if fault is not None and fault.get("kind") == "corrupt-result":
+        shm.corrupt_result(task["result_segment"])
+    return summary
+
+
+def _run_governed(task: dict) -> dict:
     gov = task.get("governance")
     if gov is not None:
         # The parent ships its remaining deadline and workspace cap so
@@ -89,12 +141,44 @@ def run_task(task: dict) -> dict:
                 workspace_tuple_cap=gov.get("workspace_tuple_cap"),
             )
         ):
-            summary = _run_shard_body(task)
-    else:
-        summary = _run_shard_body(task)
-    if fault is not None and fault.get("kind") == "corrupt-result":
-        shm.corrupt_result(task["result_segment"])
-    return summary
+            return _run_shard_body(task)
+    return _run_shard_body(task)
+
+
+def _attach_observability(
+    task: dict,
+    summary: dict,
+    tracer: Optional[Tracer],
+    registry: Optional[MetricsRegistry],
+    spans_before: int,
+) -> None:
+    """Ship the shard's telemetry in the result summary.
+
+    ``worker_spans_created`` is a per-task *delta* (the module counter
+    is process-wide and workers are reused), always reported so the
+    parent can enforce the zero-allocation guarantee of untraced runs.
+    Trace/metrics payloads are best-effort: a serialisation failure
+    drops the telemetry, never the shard result.
+    """
+    summary["pid"] = os.getpid()
+    summary["worker_spans_created"] = span_creation_count() - spans_before
+    if tracer is not None:
+        try:
+            summary["worker_trace"] = serialize_tracer(
+                tracer,
+                pid=os.getpid(),
+                tid=threading.get_native_id(),
+                max_bytes=task.get(
+                    "trace_max_bytes", DEFAULT_MAX_TRACE_BYTES
+                ),
+            )
+        except Exception:
+            summary["worker_trace"] = None
+    if registry is not None:
+        try:
+            summary["worker_metrics"] = registry.snapshot()
+        except Exception:
+            summary["worker_metrics"] = None
 
 
 def _run_shard_body(task: dict) -> dict:

@@ -67,6 +67,7 @@ def run_query(
     deadline: Optional[float] = None,
     budget: Optional["QueryBudget"] = None,
     admission: Optional["AdmissionController"] = None,
+    audit: Optional[object] = None,
 ) -> QueryResult:
     """Execute a Quel-like query against ``catalog``.
 
@@ -120,7 +121,38 @@ def run_query(
         acquires a slot before anything runs (and before the deadline
         clock starts, so queue time never eats the query's budget) or
         raises :class:`~repro.errors.AdmissionRejectedError`.
+    audit:
+        A filesystem path or an :class:`~repro.obs.audit.AuditLog`;
+        exactly one append-only JSONL audit record is written per call
+        — on success (query id, plan/registry hashes, shard attempt
+        table, governance spend, metrics/trace summaries) and on
+        failure (the error, then the exception re-raises).  This is the
+        outermost layer, so admission rejections and governance aborts
+        are audited too.
     """
+    if audit is not None:
+        from ..obs.audit import AuditLog, build_record
+
+        log = audit if isinstance(audit, AuditLog) else AuditLog(audit)
+        try:
+            result = run_query(
+                source,
+                catalog,
+                rewrite=rewrite,
+                semantic=semantic,
+                streams=streams,
+                recovery=recovery,
+                trace=trace,
+                parallelism=parallelism,
+                deadline=deadline,
+                budget=budget,
+                admission=admission,
+            )
+        except Exception as exc:
+            log.append(build_record(source, error=exc))
+            raise
+        log.append(build_record(source, result=result))
+        return result
     if admission is not None:
         with admission.admit():
             return run_query(

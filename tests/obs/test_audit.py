@@ -1,0 +1,279 @@
+"""Per-query audit records: schema, construction, the append-only log,
+the run_query hook (success and failure), and the CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import AdmissionRejectedError
+from repro.obs.audit import (
+    AUDIT_SCHEMA_VERSION,
+    AuditLog,
+    build_record,
+    normalize_query,
+    registry_hash,
+    render_record,
+    validate_record,
+)
+from repro.query import run_query
+from repro.workload import PoissonWorkload, fixed_duration
+
+DURING_QUERY = (
+    "range of a is X range of b is Y "
+    "retrieve (A = a.Seq, B = b.Seq) where a during b"
+)
+
+
+def catalog(n=120):
+    x = PoissonWorkload(n, 0.4, fixed_duration(4), name="X").generate(5)
+    y = PoissonWorkload(n, 0.4, fixed_duration(30), name="Y").generate(6)
+    return {"X": x, "Y": y}
+
+
+class TestRecordConstruction:
+    def test_success_record_is_schema_valid(self):
+        result = run_query(DURING_QUERY, catalog(), streams=True)
+        record = build_record(DURING_QUERY, result=result)
+        assert validate_record(record) == []
+        assert record["status"] == "ok"
+        assert record["rows"] == len(result.rows)
+        assert record["schema_version"] == AUDIT_SCHEMA_VERSION
+        assert record["plan_hash"] and len(record["plan_hash"]) == 16
+        assert record["registry_hash"] == registry_hash()
+        assert record["error"] is None
+        # JSON-serialisable as-is: that is the JSONL contract.
+        json.dumps(record)
+
+    def test_error_record_captures_exception(self):
+        record = build_record("retrieve oops", error=ValueError("boom"))
+        assert validate_record(record) == []
+        assert record["status"] == "error"
+        assert record["error"] == {"type": "ValueError", "message": "boom"}
+        assert record["rows"] is None
+
+    def test_query_ids_are_unique_and_sequenced(self):
+        a = build_record("q", error=ValueError("x"))["query_id"]
+        b = build_record("q", error=ValueError("x"))["query_id"]
+        assert a != b
+        assert a.startswith("q") and "-" in a
+
+    def test_normalize_collapses_whitespace_and_bounds(self):
+        assert normalize_query("  a \n\t b  ") == "a b"
+        assert len(normalize_query("x" * 2000)) == 500
+
+    def test_registry_hash_is_stable(self):
+        assert registry_hash() == registry_hash()
+        assert len(registry_hash()) == 16
+
+    def test_stream_join_entries_recorded(self):
+        result = run_query(DURING_QUERY, catalog(), streams=True)
+        record = build_record(DURING_QUERY, result=result)
+        joins = record["stream_joins"]
+        assert joins and joins[0]["output_rows"] == len(result.rows)
+        assert record["backend"] is None or isinstance(
+            record["backend"], str
+        )
+
+
+class TestValidation:
+    def base(self):
+        result = run_query(DURING_QUERY, catalog(), streams=True)
+        return build_record(DURING_QUERY, result=result)
+
+    def test_missing_required_field_flagged(self):
+        record = self.base()
+        del record["query_id"]
+        assert any("query_id" in p for p in validate_record(record))
+
+    def test_wrong_type_flagged(self):
+        record = self.base()
+        record["rows"] = "many"
+        assert any("rows" in p for p in validate_record(record))
+
+    def test_newer_schema_version_flagged(self):
+        record = self.base()
+        record["schema_version"] = AUDIT_SCHEMA_VERSION + 1
+        assert any("newer" in p for p in validate_record(record))
+
+    def test_error_status_requires_error_payload(self):
+        record = self.base()
+        record["status"] = "error"
+        assert any("error" in p for p in validate_record(record))
+
+    def test_shard_rows_need_shard_and_attempt(self):
+        record = self.base()
+        record["shards"] = [{"output_count": 3}]
+        problems = validate_record(record)
+        assert any("'shard'" in p for p in problems)
+        assert any("'attempt'" in p for p in problems)
+
+    def test_non_dict_record_rejected(self):
+        assert validate_record([1, 2]) != []
+
+
+class TestAuditLog:
+    def test_append_records_tail_round_trip(self, tmp_path):
+        log = AuditLog(tmp_path / "audit.jsonl")
+        for i in range(5):
+            log.append(
+                build_record(f"query {i}", error=ValueError(str(i)))
+            )
+        records = log.records()
+        assert len(records) == 5
+        assert [r["query"] for r in log.tail(2)] == ["query 3", "query 4"]
+        assert all(validate_record(r) == [] for r in records)
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert AuditLog(tmp_path / "nope.jsonl").records() == []
+
+
+class TestRunQueryHook:
+    def test_one_record_per_call(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        cat = catalog()
+        run_query(DURING_QUERY, cat, streams=True, audit=path)
+        run_query(DURING_QUERY, cat, streams=True, audit=str(path))
+        records = AuditLog(path).records()
+        assert len(records) == 2
+        assert all(r["status"] == "ok" for r in records)
+        # Same query, same registry: identical plan/registry hashes.
+        assert records[0]["plan_hash"] == records[1]["plan_hash"]
+        assert records[0]["registry_hash"] == records[1]["registry_hash"]
+
+    def test_traced_run_embeds_trace_summary_and_shards(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        result = run_query(
+            DURING_QUERY,
+            catalog(),
+            streams=True,
+            trace=True,
+            parallelism=2,
+            audit=path,
+        )
+        (record,) = AuditLog(path).records()
+        assert validate_record(record) == []
+        assert record["trace"]["spans"] == len(result.trace.spans)
+        shards = record["shards"] or []
+        from repro.obs.explain import shard_summaries
+
+        expected = shard_summaries(result.trace)
+        assert [s["shard"] for s in shards] == [
+            e["shard"] for e in expected
+        ]
+        assert [s["attempt"] for s in shards] == [
+            e["attempt"] for e in expected
+        ]
+
+    def test_failure_is_audited_then_reraised(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with pytest.raises(Exception):
+            run_query("this is not a query", catalog(), audit=path)
+        (record,) = AuditLog(path).records()
+        assert record["status"] == "error"
+        assert record["error"]["type"]
+
+    def test_admission_rejection_is_audited(self, tmp_path):
+        from repro.governance import AdmissionController
+
+        path = tmp_path / "audit.jsonl"
+        controller = AdmissionController(1, queue_timeout=0.0)
+        with controller.admit():
+            with pytest.raises(AdmissionRejectedError):
+                run_query(
+                    DURING_QUERY,
+                    catalog(),
+                    streams=True,
+                    admission=controller,
+                    audit=path,
+                )
+        (record,) = AuditLog(path).records()
+        assert record["status"] == "error"
+        assert record["error"]["type"] == "AdmissionRejectedError"
+
+
+class TestRendering:
+    def test_render_mentions_the_essentials(self):
+        result = run_query(DURING_QUERY, catalog(), streams=True)
+        text = render_record(build_record(DURING_QUERY, result=result))
+        assert "OK" in text
+        assert f"rows={len(result.rows)}" in text
+        assert "plan=" in text
+
+    def test_render_error_record(self):
+        text = render_record(
+            build_record("bad", error=RuntimeError("kaput"))
+        )
+        assert "ERROR" in text and "kaput" in text
+
+
+class TestCliAudit:
+    def run_cli(self, args, capsys):
+        code = main(args)
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_validate_ok_log(self, tmp_path, capsys):
+        path = tmp_path / "audit.jsonl"
+        run_query(DURING_QUERY, catalog(), streams=True, audit=path)
+        code, out, err = self.run_cli(
+            ["audit", str(path), "--validate"], capsys
+        )
+        assert code == 0
+        assert "all valid" in err
+        assert "OK" in out
+
+    def test_validate_flags_bad_record(self, tmp_path, capsys):
+        path = tmp_path / "audit.jsonl"
+        log = AuditLog(path)
+        record = build_record("q", error=ValueError("x"))
+        del record["query_id"]
+        log.append(record)
+        code, _, err = self.run_cli(
+            ["audit", str(path), "--validate"], capsys
+        )
+        assert code == 1
+        assert "INVALID" in err
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        code, _, err = self.run_cli(
+            ["audit", str(tmp_path / "nope.jsonl")], capsys
+        )
+        assert code == 2
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        path = tmp_path / "audit.jsonl"
+        run_query(DURING_QUERY, catalog(), streams=True, audit=path)
+        code, out, _ = self.run_cli(
+            ["audit", str(path), "--json", "--tail", "1"], capsys
+        )
+        assert code == 0
+        assert json.loads(out.strip())["status"] == "ok"
+
+    def test_explain_analyze_writes_audit_log(self, tmp_path, capsys):
+        path = tmp_path / "audit.jsonl"
+        code = main(
+            [
+                "explain-analyze",
+                "--faculty",
+                "60",
+                "--parallelism",
+                "2",
+                "--audit-log",
+                str(path),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        records = AuditLog(path).records()
+        assert records and records[-1]["status"] == "ok"
+        assert all(validate_record(r) == [] for r in records)
+
+    def test_walkthrough_path_warns_not_audited(self, tmp_path, capsys):
+        path = tmp_path / "audit.jsonl"
+        code = main(
+            ["explain-analyze", "--faculty", "60", "--audit-log", str(path)]
+        )
+        _, err = capsys.readouterr().out, capsys.readouterr().err
+        assert code == 0
+        assert AuditLog(path).records() == []

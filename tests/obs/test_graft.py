@@ -1,0 +1,147 @@
+"""Cross-process trace transport: serialization bounds, clock-offset
+shifting, monotone window clamping, and id remapping."""
+
+import json
+
+from repro.obs import Tracer
+from repro.obs.graft import (
+    DEFAULT_MAX_TRACE_BYTES,
+    TRACE_PAYLOAD_VERSION,
+    graft_worker_trace,
+    serialize_tracer,
+)
+
+
+def worker_tracer():
+    """A worker-shaped trace: root -> attempt -> operator (+ event)."""
+    tracer = Tracer("worker")
+    with tracer.span("worker:shard:0", shard=0):
+        with tracer.span("attempt", number=1):
+            with tracer.span("operator:contain-join"):
+                tracer.event("stream.pass", stream="X", read=10)
+    return tracer
+
+
+def parent_with_shard_span():
+    tracer = Tracer("parent")
+    with tracer.span("parallel:contain-join"):
+        with tracer.span("shard:0"):
+            pass
+    parallel, shard = tracer.spans
+    return tracer, parallel, shard
+
+
+class TestSerialize:
+    def test_payload_shape_and_version(self):
+        payload = serialize_tracer(worker_tracer(), pid=42, tid=43)
+        assert payload["version"] == TRACE_PAYLOAD_VERSION
+        assert payload["pid"] == 42 and payload["tid"] == 43
+        assert payload["dropped_spans"] == 0
+        assert [s["name"] for s in payload["spans"]] == [
+            "worker:shard:0",
+            "attempt",
+            "operator:contain-join",
+        ]
+        # Plain JSON end to end — it must cross the result pipe.
+        json.dumps(payload)
+
+    def test_dfs_prefix_truncation_keeps_ancestors(self):
+        tracer = worker_tracer()
+        full = serialize_tracer(tracer, pid=1, tid=1)
+        one_record = len(
+            json.dumps(full["spans"][0], default=repr)
+        )
+        cut = serialize_tracer(
+            tracer, pid=1, tid=1, max_bytes=one_record + 10
+        )
+        assert cut["dropped_spans"] == 2
+        assert [s["name"] for s in cut["spans"]] == ["worker:shard:0"]
+        kept_ids = {s["span_id"] for s in cut["spans"]}
+        for record in cut["spans"]:
+            assert record["parent_id"] in kept_ids | {None}
+
+    def test_zero_budget_drops_everything_not_fatally(self):
+        cut = serialize_tracer(worker_tracer(), pid=1, tid=1, max_bytes=0)
+        assert cut["spans"] == []
+        assert cut["dropped_spans"] == 3
+
+    def test_default_budget_is_generous(self):
+        assert DEFAULT_MAX_TRACE_BYTES >= 64 * 1024
+
+
+class TestGraft:
+    def graft(self, offset_ns, window=None, payload=None):
+        parent_tracer, parallel, shard = parent_with_shard_span()
+        if payload is None:
+            payload = serialize_tracer(worker_tracer(), pid=42, tid=43)
+        before = len(parent_tracer.spans)
+        result = graft_worker_trace(
+            parent_tracer,
+            shard,
+            payload,
+            offset_ns=offset_ns,
+            window=window,
+            attempt=0,
+            worker="worker:42",
+        )
+        return parent_tracer, parallel, shard, result, before
+
+    def test_spans_rematerialise_under_parent(self):
+        tracer, _, shard, result, before = self.graft(offset_ns=0)
+        assert len(result.spans) == 3
+        assert len(tracer.spans) == before + 3
+        by_id = {s.span_id: s for s in tracer.spans}
+        root = result.spans[0]
+        assert root.parent_id == shard.span_id
+        assert by_id[result.spans[1].parent_id] is root
+        for span in result.spans:
+            assert span.pid == 42 and span.tid == 43
+            assert span.attributes["worker"] == "worker:42"
+            assert span.attributes["worker_pid"] == 42
+            assert span.attributes["attempt"] == 0
+            assert span.end_ns >= span.start_ns
+
+    def test_offset_shifts_into_parent_timebase(self):
+        worker = worker_tracer()
+        payload = serialize_tracer(worker, pid=1, tid=1)
+        tracer, _, shard, result, _ = self.graft(
+            offset_ns=0, payload=payload
+        )
+        shift = worker.origin_ns - tracer.origin_ns
+        assert result.spans[0].start_ns == (
+            payload["spans"][0]["start_ns"] + shift
+        )
+
+    def test_window_clamp_is_monotone(self):
+        window = (100, 200)
+        tracer, _, _, result, _ = self.graft(
+            offset_ns=10**15, window=window
+        )
+        assert result.clamped
+        for span in result.spans:
+            assert window[0] <= span.start_ns <= window[1]
+            assert window[0] <= span.end_ns <= window[1]
+            assert span.end_ns >= span.start_ns
+        for span in result.spans:
+            for event in span.events:
+                assert window[0] <= event["ts_ns"] <= window[1]
+
+    def test_no_offset_pins_at_window_start(self):
+        window = (5000, 9000)
+        _, _, _, result, _ = self.graft(offset_ns=None, window=window)
+        assert result.start_ns == window[0]
+
+    def test_empty_payload_is_a_noop(self):
+        tracer, _, shard, *_ = self.graft(offset_ns=0)
+        count = len(tracer.spans)
+        result = graft_worker_trace(
+            tracer, shard, None, offset_ns=None
+        )
+        assert result.spans == [] and len(tracer.spans) == count
+        result = graft_worker_trace(
+            tracer,
+            shard,
+            {"spans": [], "dropped_spans": 4},
+            offset_ns=None,
+        )
+        assert result.dropped_spans == 4

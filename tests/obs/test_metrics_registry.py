@@ -131,3 +131,65 @@ class TestPrometheusDump:
         assert snap["c"]["values"] == {"op=join": 2.0}
         assert snap["c"]["total"] == 2.0
         assert snap["h"]["count"] == 1 and snap["h"]["max"] == 4
+
+
+class TestSnapshotAndMerge:
+    def worker_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_reads_total", "reads").inc(5, stream="X")
+        registry.counter("repro_reads_total").inc(3, stream="Y")
+        registry.gauge("repro_depth", "depth").set(7)
+        registry.histogram("repro_sizes", buckets=(1.0, 10.0)).observe(4)
+        return registry
+
+    def test_snapshot_round_trips_through_json(self):
+        import json
+
+        snap = self.worker_registry().snapshot()
+        restored = MetricsRegistry()
+        restored.merge(json.loads(json.dumps(snap)))
+        assert restored.counter("repro_reads_total").value(stream="X") == 5
+        assert restored.gauge("repro_depth").value() == 7
+        h = restored.histogram("repro_sizes", buckets=(1.0, 10.0))
+        assert h.count == 1 and h.max == 4
+
+    def test_counters_add_across_merges(self):
+        parent = MetricsRegistry()
+        parent.merge(self.worker_registry())
+        parent.merge(self.worker_registry())
+        assert parent.counter("repro_reads_total").value(stream="X") == 10
+        assert parent.counter("repro_reads_total").total == 16
+
+    def test_gauges_last_write_wins(self):
+        parent = MetricsRegistry()
+        parent.gauge("repro_depth").set(1)
+        parent.merge(self.worker_registry())
+        assert parent.gauge("repro_depth").value() == 7
+
+    def test_histograms_merge_bucket_wise(self):
+        parent = MetricsRegistry()
+        parent.histogram("repro_sizes", buckets=(1.0, 10.0)).observe(0.5)
+        parent.merge(self.worker_registry())
+        h = parent.histogram("repro_sizes", buckets=(1.0, 10.0))
+        assert h.count == 2
+        assert h.sum == 4.5
+        assert h.max == 4
+
+    def test_mismatched_histogram_buckets_raise(self):
+        parent = MetricsRegistry()
+        parent.histogram("repro_sizes", buckets=(2.0, 20.0)).observe(1)
+        with pytest.raises(ValueError):
+            parent.merge(self.worker_registry())
+
+    def test_merge_labels_add_a_dimension(self):
+        parent = MetricsRegistry()
+        parent.merge(
+            self.worker_registry(), labels={"worker": "42", "shard": "0"}
+        )
+        counter = parent.counter("repro_reads_total")
+        assert counter.value(stream="X", worker="42", shard="0") == 5
+        # The bare key stays empty: labelled merges never collide with
+        # the parent's own unlabelled samples.
+        assert counter.value(stream="X") == 0
+        dump = parent.to_prometheus()
+        assert 'worker="42"' in dump and 'shard="0"' in dump

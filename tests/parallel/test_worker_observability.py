@@ -1,0 +1,271 @@
+"""Distributed observability of the process-mode runtime.
+
+Three properties, per the paper's "observability must be free of
+observable effect" discipline extended across the process boundary:
+
+* the traced-vs-untraced differential holds for process-mode parallel
+  execution on every supported registry cell — worker-side tracing
+  never changes the answer;
+* untraced runs allocate ZERO real spans in the workers (the no-op
+  tracer survives the pickle hop), while traced runs ship their span
+  forest back and the parent grafts it under the matching ``shard:<i>``
+  span with monotone, clock-calibrated, window-clamped timestamps and
+  distinct worker pids;
+* the audit record written for a traced parallel query agrees with the
+  EXPLAIN ANALYZE shard table, attempt for attempt.
+"""
+
+import json
+
+import pytest
+
+from repro.model import TS_ASC, sort_tuples
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    install_registry,
+    set_tracer,
+    to_chrome_trace,
+    uninstall_registry,
+)
+from repro.obs.explain import shard_summaries
+from repro.parallel import execute_parallel
+from repro.resilience import (
+    RetryPolicy,
+    WorkerFaultKind,
+    WorkerFaultPlan,
+)
+from repro.streams import TemporalOperator, lookup
+
+from .conftest import (
+    all_supported_cells,
+    canon,
+    cell_id,
+    make_tuples,
+    sorted_inputs,
+)
+
+
+def small_xy():
+    return make_tuples("x", 60, seed=5), make_tuples("y", 70, seed=6)
+
+
+def run_process(entry, xs, ys, traced, shards=2, workers=2, **kwargs):
+    """One process-mode run; returns (outcome, tracer-or-None)."""
+    if not traced:
+        outcome = execute_parallel(
+            entry, xs, ys, shards=shards, workers=workers,
+            mode="process", **kwargs
+        )
+        return outcome, None
+    tracer = Tracer("diff")
+    previous = set_tracer(tracer)
+    install_registry(MetricsRegistry())
+    try:
+        outcome = execute_parallel(
+            entry, xs, ys, shards=shards, workers=workers,
+            mode="process", **kwargs
+        )
+    finally:
+        uninstall_registry()
+        set_tracer(previous)
+    assert tracer.open_spans == 0
+    return outcome, tracer
+
+
+@pytest.mark.parametrize(
+    "entry", all_supported_cells(), ids=cell_id
+)
+def test_traced_process_run_is_byte_identical(entry):
+    x, y = small_xy()
+    xs, ys = sorted_inputs(entry, x, y)
+    plain, _ = run_process(entry, xs, ys, traced=False)
+    traced, tracer = run_process(entry, xs, ys, traced=True)
+    assert canon(traced.results) == canon(plain.results)
+    assert traced.metrics.passes_x == plain.metrics.passes_x
+    assert traced.metrics.passes_y == plain.metrics.passes_y
+    assert traced.metrics.comparisons == plain.metrics.comparisons
+    assert (
+        traced.metrics.workspace_high_water
+        == plain.metrics.workspace_high_water
+    )
+    if plain.mode == "process":
+        # The untraced half is the zero-overhead gate: the no-op tracer
+        # crossed the pipe and no real Span was ever allocated.
+        assert all(
+            run.worker_spans_created == 0 for run in plain.shard_runs
+        )
+    if traced.mode == "process":
+        assert all(
+            run.worker_spans_created > 0 for run in traced.shard_runs
+        )
+
+
+def contain_entry():
+    return lookup(TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC)
+
+
+def traced_contain_run(shards=4, workers=4, **kwargs):
+    entry = contain_entry()
+    x, y = small_xy()
+    xs, ys = sorted_inputs(entry, x, y)
+    outcome, tracer = run_process(
+        entry, xs, ys, traced=True, shards=shards, workers=workers,
+        **kwargs
+    )
+    return outcome, tracer
+
+
+class TestGraftStructure:
+    def test_worker_spans_nest_under_shard_spans(self):
+        outcome, tracer = traced_contain_run()
+        if outcome.mode != "process":
+            pytest.skip("pool unavailable; fell back to inline")
+        shard_spans = {
+            int(s.name.split(":", 1)[1]): s
+            for s in tracer.spans
+            if s.name.startswith("shard:")
+        }
+        worker_roots = [
+            s for s in tracer.spans if s.name.startswith("worker:shard:")
+        ]
+        assert len(worker_roots) == len(outcome.shard_runs)
+        by_id = {s.span_id: s for s in tracer.spans}
+        for root in worker_roots:
+            parent = by_id[root.parent_id]
+            assert parent.name == f"shard:{root.attributes['shard']}"
+            # Monotone, clamped into the parent summary span's window.
+            assert parent.start_ns <= root.start_ns
+            assert root.end_ns <= parent.end_ns
+            assert root.end_ns >= root.start_ns
+            assert root.pid is not None
+            assert root.attributes["worker_pid"] == root.pid
+        # Grafted operator spans came along under the worker roots.
+        grafted_ops = [
+            s
+            for s in tracer.spans
+            if s.name.startswith("operator:") and s.pid is not None
+        ]
+        assert len(grafted_ops) == len(outcome.shard_runs)
+        assert len(shard_spans) == len(outcome.shard_runs)
+
+    def test_worker_pids_agree_between_spans_and_shard_table(self):
+        outcome, tracer = traced_contain_run(shards=4, workers=4)
+        if outcome.mode != "process":
+            pytest.skip("pool unavailable; fell back to inline")
+        pids = {s.pid for s in tracer.spans if s.pid is not None}
+        assert pids
+        assert {r.pid for r in outcome.shard_runs} == pids
+        # On tiny shards one warm worker can legally drain the whole
+        # queue before its siblings wake, so >=2 distinct pids is only
+        # guaranteed at real sizes — bench_trace_artifacts and the CI
+        # multi-track gate enforce it there.
+
+    def test_chrome_trace_has_one_track_per_worker(self):
+        outcome, tracer = traced_contain_run(shards=4, workers=4)
+        if outcome.mode != "process":
+            pytest.skip("pool unavailable; fell back to inline")
+        doc = json.loads(json.dumps(to_chrome_trace(tracer)))
+        events = doc["traceEvents"]
+        worker_pids = {r.pid for r in outcome.shard_runs}
+        named = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        for pid in worker_pids:
+            assert named[pid] == f"worker:{pid}"
+        # Parent track sorts first.
+        own = next(p for p in named if p not in worker_pids)
+        sort_index = {
+            e["pid"]: e["args"]["sort_index"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_sort_index"
+        }
+        assert sort_index[own] < min(sort_index[p] for p in worker_pids)
+
+    def test_clock_offsets_and_shard_attrs(self):
+        outcome, tracer = traced_contain_run()
+        if outcome.mode != "process":
+            pytest.skip("pool unavailable; fell back to inline")
+        summaries = shard_summaries(tracer)
+        assert len(summaries) == len(outcome.shard_runs)
+        for summary, run in zip(summaries, outcome.shard_runs):
+            assert summary["shard"] == run.index
+            assert summary["attempt"] == run.attempt
+            assert summary["output_count"] == run.output_count
+
+
+class TestWorkerMetricsMerge:
+    def test_worker_counters_carry_worker_and_shard_labels(self):
+        entry = contain_entry()
+        x, y = small_xy()
+        xs, ys = sorted_inputs(entry, x, y)
+        registry = MetricsRegistry()
+        install_registry(registry)
+        try:
+            outcome = execute_parallel(
+                entry, xs, ys, shards=2, workers=2, mode="process"
+            )
+        finally:
+            uninstall_registry()
+        if outcome.mode != "process":
+            pytest.skip("pool unavailable; fell back to inline")
+        dump = registry.to_prometheus()
+        for run in outcome.shard_runs:
+            assert f'worker="{run.pid}"' in dump
+            assert f'shard="{run.index}"' in dump
+        # Pool containment counters recorded the dispatch/ack traffic.
+        assert "repro_pool_dispatch_total" in dump
+        assert "repro_pool_ack_total" in dump
+
+
+class TestRedispatchObservability:
+    def test_killed_worker_leaves_attempt_one_trail(self):
+        """A worker killed on first dispatch is re-dispatched; the audit
+        trail — shard attempt, pool counters, grafted span attributes —
+        all agree that the surviving result is attempt 1."""
+        entry = contain_entry()
+        x, y = small_xy()
+        xs, ys = sorted_inputs(entry, x, y)
+        plan = WorkerFaultPlan(seed=3, kind=WorkerFaultKind.KILL)
+        registry = MetricsRegistry()
+        tracer = Tracer("chaos")
+        previous = set_tracer(tracer)
+        install_registry(registry)
+        try:
+            outcome = execute_parallel(
+                entry,
+                xs,
+                ys,
+                shards=2,
+                workers=2,
+                mode="process",
+                worker_fault_plan=plan,
+                retry_policy=RetryPolicy(seed=0, max_attempts=3),
+            )
+        finally:
+            uninstall_registry()
+            set_tracer(previous)
+        if outcome.mode != "process":
+            pytest.skip("pool unavailable; fell back to inline")
+        target = plan.target_shard(
+            f"{entry.operator.value}/tuple", len(outcome.shard_runs)
+        )
+        victim = next(
+            r for r in outcome.shard_runs if r.index == target
+        )
+        assert victim.attempt >= 1
+        assert outcome.containment.get("worker_deaths", 0) >= 1
+        dump = registry.to_prometheus()
+        assert "repro_pool_redispatch_total" in dump
+        assert "repro_pool_reap_total" in dump
+        # The grafted span of the surviving run carries the attempt.
+        roots = [
+            s
+            for s in tracer.spans
+            if s.name == f"worker:shard:{target}" and s.pid is not None
+        ]
+        assert roots
+        assert any(s.attributes.get("attempt") == victim.attempt
+                   for s in roots)
