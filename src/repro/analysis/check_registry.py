@@ -37,7 +37,13 @@ from typing import List, Mapping, Optional, Tuple
 from ..model.sortorder import SortOrder
 from ..streams import registry as registry_module
 from ..streams.registry import RegistryEntry, TemporalOperator
-from .tables import Derivation, derive_cell, expected_cell, full_grid
+from .tables import (
+    Derivation,
+    derive_cell,
+    derive_fused_bound,
+    expected_cell,
+    full_grid,
+)
 
 
 @dataclass(frozen=True)
@@ -56,6 +62,11 @@ class CellReport:
     registry_supported: Optional[bool]
     registry_backends: Tuple[str, ...]
     problems: Tuple[str, ...]
+    #: Slot-store bound the fused backend must honour for this cell
+    #: (from :func:`~repro.analysis.tables.derive_fused_bound`) and the
+    #: bound its processor class actually declares.
+    fused_bound_expected: Optional[str] = None
+    fused_bound_declared: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -74,6 +85,8 @@ class CellReport:
             "registry_class": self.registry_class,
             "registry_supported": self.registry_supported,
             "registry_backends": list(self.registry_backends),
+            "fused_bound_expected": self.fused_bound_expected,
+            "fused_bound_declared": self.fused_bound_declared,
             "problems": list(self.problems),
         }
 
@@ -218,6 +231,23 @@ def _check_cell(
                 f"{list(entry.backends)}; '-' cells must have none"
             )
 
+    # -- fused slot-store bound ------------------------------------------
+    fused_expected = derive_fused_bound(operator, table.state_class)
+    fused_declared: Optional[str] = None
+    if entry is not None and entry.fused_factory is not None:
+        # Mirrored cells wrap the processor class in a closure that
+        # records the upper-half original as ``base_factory``.
+        base = getattr(
+            entry.fused_factory, "base_factory", entry.fused_factory
+        )
+        fused_declared = getattr(base, "slot_bound", None)
+    if fused_declared != fused_expected:
+        problems.append(
+            f"fused slot-store bound: cell class "
+            f"{table.state_class!r} requires {fused_expected!r}, the "
+            f"fused processor declares {fused_declared!r}"
+        )
+
     return CellReport(
         operator=operator.value,
         x_order=str(x_order),
@@ -231,6 +261,8 @@ def _check_cell(
         registry_supported=entry.supported if entry else None,
         registry_backends=entry.backends if entry else (),
         problems=tuple(problems),
+        fused_bound_expected=fused_expected,
+        fused_bound_declared=fused_declared,
     )
 
 

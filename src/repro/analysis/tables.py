@@ -268,6 +268,42 @@ def expected_cell(
     return ExpectedCell("-", source="mixed")
 
 
+#: The fused backend's slot-store high-water vocabulary, coarsest
+#: first.  Each fused processor class declares one of these as its
+#: ``slot_bound``; the plan checker certifies the declaration against
+#: :func:`derive_fused_bound`.
+FUSED_BOUNDS = ("zero", "one", "active-intervals")
+
+
+def derive_fused_bound(
+    operator: TemporalOperator, state_class: str
+) -> Optional[str]:
+    """The slot-store high-water bound a fused cell must declare,
+    derived from the Tables 1-3 state-class aggregates alone:
+
+    * inadmissible cells (``'-'``) have no fused kernel — ``None``;
+    * class (d) keeps buffers only, and the class-(b) *semijoins*
+      retire each candidate at its first witness, so both run with an
+      empty slot store — ``"zero"``;
+    * class (a1) keeps one extremal tuple — ``"one"``;
+    * every other admissible class ((a)/(b) joins, (c), (b1)) is
+      bounded by the open intervals around the sweep point —
+      ``"active-intervals"``.
+    """
+    if state_class == "-":
+        return None
+    if state_class == "d":
+        return "zero"
+    if state_class == "a1":
+        return "one"
+    if (
+        state_class == "b"
+        and OPERATOR_SPECS[operator].kind == "semijoin"
+    ):
+        return "zero"
+    return "active-intervals"
+
+
 def full_grid() -> Iterator[
     Tuple[TemporalOperator, SortOrder, Optional[SortOrder]]
 ]:

@@ -30,7 +30,8 @@ from ..obs.trace import get_tracer
 from ..resilience.recovery import RecoveryPolicy
 from ..streams.processors.base import StreamProcessor
 from ..streams.stream import TupleStream
-from . import kernels
+from . import fused, kernels
+from .fused import LazyPairs
 from .kernels import SweepStats
 from .relation import IntervalColumns
 
@@ -45,6 +46,9 @@ class ColumnarProcessor(StreamProcessor):
     y_orders: Optional[Sequence[so.SortOrder]] = (so.TS_ASC,)
     #: True for the order-free Before-semijoin.
     order_free: bool = False
+    #: Which physical backend this processor family implements; audit
+    #: records and EXPLAIN ANALYZE surface it per operator/shard.
+    backend_name: str = "columnar"
 
     def __init__(self, x: TupleStream, y: Optional[TupleStream] = None) -> None:
         super().__init__(x, y)
@@ -54,6 +58,9 @@ class ColumnarProcessor(StreamProcessor):
                 if y is None:
                     raise TypeError(f"{self.operator} is a binary operator")
                 self._require_order(y, tuple(self.y_orders), "Y")
+        self.metrics.backend = self.backend_name
+        kernel = getattr(type(self), "kernel", None)
+        self.metrics.kernel = getattr(kernel, "__name__", None)
 
     # ------------------------------------------------------------------
     # materialisation
@@ -94,6 +101,7 @@ class ColumnarProcessor(StreamProcessor):
         Kernels count their end-of-sweep residue as discarded, so the
         meter's ``current`` legitimately stays zero."""
         self.metrics.comparisons += stats.comparisons
+        self.metrics.eviction_checks += stats.eviction_checks
         meter = self.meter
         meter.total_inserted += stats.inserted
         meter.total_discarded += stats.discarded
@@ -142,7 +150,9 @@ class ColumnarProcessor(StreamProcessor):
             )
         self._consumed = True
         tracer = get_tracer()
-        with tracer.span(f"operator:{self.operator}", backend="columnar") as span:
+        with tracer.span(
+            f"operator:{self.operator}", backend=self.backend_name
+        ) as span:
             # The batch sweep allocates monotonically (columns, active
             # entries, output rows) and creates no reference cycles, but
             # every allocation burst makes the cyclic collector re-scan
@@ -298,3 +308,139 @@ class ColumnarSelfContainSemijoin(_SelfKernelMixin, ColumnarProcessor):
     x_orders = (so.TS_ASC,)
     y_orders = None
     kernel = staticmethod(kernels.self_contain_semijoin_ts)
+
+
+# ======================================================================
+# Fused endpoint-event sweep backend
+# ======================================================================
+class FusedProcessor(ColumnarProcessor):
+    """Shared plumbing for the fused backend: same drain/absorb/metrics
+    contract as :class:`ColumnarProcessor`, but the kernels come from
+    :mod:`repro.columnar.fused` — one endpoint-event sweep per query
+    over a disposal-keyed slot store — and join output stays lazy.
+
+    ``slot_bound`` names the certified high-water bound of the cell's
+    slot store ("zero", "one", or "active-intervals"); the symbolic
+    plan checker diffs it against the Tables 1-3 derivation."""
+
+    backend_name = "fused"
+    #: Slot-store high-water bound certified by ``repro.analysis``.
+    slot_bound: str = "active-intervals"
+
+
+class _FusedJoinKernelMixin:
+    """Fused joins: the kernel emits :class:`~repro.columnar.fused.
+    JoinRuns` run descriptors; the processor wraps them in
+    :class:`~repro.columnar.fused.LazyPairs` so payload pairs only
+    materialise when the caller actually touches them (``len()``,
+    metrics, and EXPLAIN stay O(1))."""
+
+    kernel = None
+
+    def _kernel(self, x, y):
+        runs, stats = type(self).kernel(
+            x.ts, x.te, y.ts, y.te,
+            limit=self.meter.limit, trace=self.meter.trace,
+        )
+        return LazyPairs(runs, x.payload, y.payload), stats
+
+
+# ----------------------------------------------------------------------
+# Table 1 — Contain
+# ----------------------------------------------------------------------
+class FusedContainJoinTsTs(_FusedJoinKernelMixin, FusedProcessor):
+    operator = "fused-contain-join[TS^,TS^]"
+    x_orders = (so.TS_ASC,)
+    y_orders = (so.TS_ASC,)
+    kernel = staticmethod(fused.contain_join_ts_ts)
+
+
+class FusedContainJoinTsTe(_FusedJoinKernelMixin, FusedProcessor):
+    operator = "fused-contain-join[TS^,TE^]"
+    x_orders = (so.TS_ASC,)
+    y_orders = (so.TE_ASC,)
+    kernel = staticmethod(fused.contain_join_ts_te)
+
+
+class FusedContainSemijoinTsTs(_SemijoinKernelMixin, FusedProcessor):
+    operator = "fused-contain-semijoin[TS^,TS^]"
+    x_orders = (so.TS_ASC,)
+    y_orders = (so.TS_ASC,)
+    kernel = staticmethod(fused.contain_semijoin_ts_ts)
+
+
+class FusedContainSemijoinTsTe(_SemijoinKernelMixin, FusedProcessor):
+    operator = "fused-contain-semijoin[TS^,TE^]"
+    x_orders = (so.TS_ASC,)
+    y_orders = (so.TE_ASC,)
+    kernel = staticmethod(fused.contain_semijoin_ts_te)
+    slot_bound = "zero"
+
+
+class FusedContainedSemijoinTsTs(_SemijoinKernelMixin, FusedProcessor):
+    operator = "fused-contained-semijoin[TS^,TS^]"
+    x_orders = (so.TS_ASC,)
+    y_orders = (so.TS_ASC,)
+    kernel = staticmethod(fused.contained_semijoin_ts_ts)
+
+
+class FusedContainedSemijoinTeTs(_SemijoinKernelMixin, FusedProcessor):
+    operator = "fused-contained-semijoin[TE^,TS^]"
+    x_orders = (so.TE_ASC,)
+    y_orders = (so.TS_ASC,)
+    kernel = staticmethod(fused.contained_semijoin_te_ts)
+    slot_bound = "zero"
+
+
+# ----------------------------------------------------------------------
+# Table 2 — Overlap
+# ----------------------------------------------------------------------
+class FusedOverlapJoin(_FusedJoinKernelMixin, FusedProcessor):
+    operator = "fused-overlap-join[TS^,TS^]"
+    x_orders = (so.TS_ASC,)
+    y_orders = (so.TS_ASC,)
+    kernel = staticmethod(fused.overlap_join_ts_ts)
+
+
+class FusedOverlapSemijoin(_SemijoinKernelMixin, FusedProcessor):
+    operator = "fused-overlap-semijoin[TS^,TS^]"
+    x_orders = (so.TS_ASC,)
+    y_orders = (so.TS_ASC,)
+    kernel = staticmethod(fused.overlap_semijoin_ts_ts)
+    slot_bound = "zero"
+
+
+# ----------------------------------------------------------------------
+# Section 4.2.4 — Before
+# ----------------------------------------------------------------------
+class FusedBeforeSemijoin(_SemijoinKernelMixin, FusedProcessor):
+    operator = "fused-before-semijoin"
+    order_free = True
+    kernel = staticmethod(fused.before_semijoin)
+    slot_bound = "zero"
+
+
+# ----------------------------------------------------------------------
+# Table 3 — self semijoins
+# ----------------------------------------------------------------------
+class FusedSelfContainedSemijoin(_SelfKernelMixin, FusedProcessor):
+    operator = "fused-contained-semijoin[X,X][TS^,TE^]"
+    x_orders = (so.TS_TE_ASC,)
+    y_orders = None
+    kernel = staticmethod(fused.self_contained_semijoin_ts_te)
+    slot_bound = "one"
+
+
+class FusedSelfContainSemijoinDesc(_SelfKernelMixin, FusedProcessor):
+    operator = "fused-contain-semijoin[X,X][TSv,TEv]"
+    x_orders = (so.TS_TE_DESC,)
+    y_orders = None
+    kernel = staticmethod(fused.self_contain_semijoin_ts_te_desc)
+    slot_bound = "one"
+
+
+class FusedSelfContainSemijoin(_SelfKernelMixin, FusedProcessor):
+    operator = "fused-contain-semijoin[X,X][TS^]"
+    x_orders = (so.TS_ASC,)
+    y_orders = None
+    kernel = staticmethod(fused.self_contain_semijoin_ts)

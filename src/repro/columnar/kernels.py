@@ -40,12 +40,30 @@ from ..errors import WorkspaceOverflowError
 
 
 class SweepStats:
-    """Accounting mirrored into the processor's ``WorkspaceMeter``."""
+    """Accounting mirrored into the processor's ``WorkspaceMeter``.
 
-    __slots__ = ("comparisons", "inserted", "discarded", "high_water")
+    ``comparisons`` counts match tests against *live* state — the same
+    work the tuple backend meters — while ``eviction_checks`` counts
+    the liveness tests that lazy eviction spends rediscovering dead
+    entries during probe scans (or, in the fused backend, the binary
+    searches that locate the disposal prefix).  Keeping the two apart
+    is what lets the differential tests assert backend comparison
+    parity instead of ignoring the column: folding dead-entry visits
+    into ``comparisons`` inflated the columnar count ~10% over tuple
+    on identical inputs.
+    """
+
+    __slots__ = (
+        "comparisons",
+        "eviction_checks",
+        "inserted",
+        "discarded",
+        "high_water",
+    )
 
     def __init__(self) -> None:
         self.comparisons = 0
+        self.eviction_checks = 0
         self.inserted = 0
         self.discarded = 0
         self.high_water = 0
@@ -84,7 +102,7 @@ def contain_join_ts_ts(
     out_y: List[int] = []
     emit_x = out_x.append
     emit_y = out_y.append
-    comparisons = inserted = discarded = cur = high = 0
+    comparisons = eviction_checks = inserted = discarded = cur = high = 0
     i = j = 0
     while j < ny:
         yts = y_ts[j]
@@ -104,7 +122,6 @@ def contain_join_ts_ts(
             i += 1
             continue
         yte = y_te[j]
-        comparisons += len(active)  # one liveness test per entry
         w = 0
         for ent in active:
             if ent[0] <= yts:
@@ -115,6 +132,8 @@ def contain_join_ts_ts(
                 emit_x(ent[2])
                 emit_y(j)
         dead = len(active) - w
+        comparisons += w  # match tests against live entries
+        eviction_checks += dead  # liveness tests that found dead ones
         if dead:
             del active[w:]
             discarded += dead
@@ -126,6 +145,7 @@ def contain_join_ts_ts(
     if trace is not None and cur:
         trace.append(0)
     stats.comparisons = comparisons
+    stats.eviction_checks = eviction_checks
     stats.inserted = inserted
     stats.discarded = discarded
     stats.high_water = high
@@ -157,7 +177,7 @@ def contain_join_ts_te(
     out_y: List[int] = []
     emit_x = out_x.append
     emit_y = out_y.append
-    comparisons = inserted = discarded = cur = high = 0
+    comparisons = eviction_checks = inserted = discarded = cur = high = 0
     i = j = 0
     while j < ny:
         yte = y_te[j]
@@ -177,7 +197,6 @@ def contain_join_ts_te(
             i += 1
             continue
         yts = y_ts[j]
-        comparisons += len(active)
         w = 0
         for ent in active:
             if ent[0] <= yte:
@@ -188,6 +207,8 @@ def contain_join_ts_te(
                 emit_x(ent[2])
                 emit_y(j)
         dead = len(active) - w
+        comparisons += w
+        eviction_checks += dead
         if dead:
             del active[w:]
             discarded += dead
@@ -199,6 +220,7 @@ def contain_join_ts_te(
     if trace is not None and cur:
         trace.append(0)
     stats.comparisons = comparisons
+    stats.eviction_checks = eviction_checks
     stats.inserted = inserted
     stats.discarded = discarded
     stats.high_water = high
@@ -283,7 +305,7 @@ def contain_semijoin_ts_ts(
     active: List[Tuple[int, int, int]] = []  # (TE, TS, index)
     out: List[int] = []
     append = out.append
-    comparisons = inserted = discarded = cur = high = 0
+    comparisons = eviction_checks = inserted = discarded = cur = high = 0
     i = j = 0
     while j < ny and (i < nx or active):
         yts = y_ts[j]
@@ -302,7 +324,7 @@ def contain_semijoin_ts_ts(
             i += 1
             continue
         yte = y_te[j]
-        comparisons += len(active)
+        matched = len(out)
         w = 0
         for ent in active:
             if ent[0] <= yts:
@@ -312,7 +334,10 @@ def contain_semijoin_ts_ts(
                 continue
             active[w] = ent
             w += 1
+        matched = len(out) - matched
         dropped = len(active) - w
+        comparisons += w + matched  # live entries: match-tested
+        eviction_checks += dropped - matched  # dead entries
         if dropped:
             del active[w:]
             discarded += dropped
@@ -324,6 +349,7 @@ def contain_semijoin_ts_ts(
     if trace is not None and cur:
         trace.append(0)
     stats.comparisons = comparisons
+    stats.eviction_checks = eviction_checks
     stats.inserted = inserted
     stats.discarded = discarded
     stats.high_water = high
@@ -347,7 +373,7 @@ def contained_semijoin_ts_ts(
     active: List[Tuple[int, int, int]] = []  # (TE, TS, index) of Y
     out: List[int] = []
     append = out.append
-    comparisons = inserted = discarded = cur = high = 0
+    comparisons = eviction_checks = inserted = discarded = cur = high = 0
     i = j = 0
     while i < nx:
         xts = x_ts[i]
@@ -367,7 +393,6 @@ def contained_semijoin_ts_ts(
             continue
         xte = x_te[i]
         emitted = False
-        comparisons += len(active)
         w = 0
         for ent in active:
             if ent[0] <= xts:
@@ -378,6 +403,8 @@ def contained_semijoin_ts_ts(
                 append(i)
                 emitted = True
         dead = len(active) - w
+        comparisons += w
+        eviction_checks += dead
         if dead:
             del active[w:]
             discarded += dead
@@ -389,6 +416,7 @@ def contained_semijoin_ts_ts(
     if trace is not None and cur:
         trace.append(0)
     stats.comparisons = comparisons
+    stats.eviction_checks = eviction_checks
     stats.inserted = inserted
     stats.discarded = discarded
     stats.high_water = high
@@ -423,12 +451,11 @@ def overlap_join_ts_ts(
     out_y: List[int] = []
     emit_x = out_x.append
     emit_y = out_y.append
-    comparisons = inserted = discarded = cur = high = 0
+    comparisons = eviction_checks = inserted = discarded = cur = high = 0
     i = j = 0
     while True:
         if i < nx and (j >= ny or x_ts[i] <= y_ts[j]):
             p = x_ts[i]
-            comparisons += len(y_active)
             w = 0
             for ent in y_active:
                 if ent[0] <= p:
@@ -438,6 +465,8 @@ def overlap_join_ts_ts(
                 emit_x(i)  # alive at p: overlap
                 emit_y(ent[1])
             dead = len(y_active) - w
+            comparisons += w
+            eviction_checks += dead
             if dead:
                 del y_active[w:]
                 discarded += dead
@@ -457,7 +486,6 @@ def overlap_join_ts_ts(
             i += 1
         elif j < ny:
             p = y_ts[j]
-            comparisons += len(x_active)
             w = 0
             for ent in x_active:
                 if ent[0] <= p:
@@ -467,6 +495,8 @@ def overlap_join_ts_ts(
                 emit_x(ent[1])
                 emit_y(j)
             dead = len(x_active) - w
+            comparisons += w
+            eviction_checks += dead
             if dead:
                 del x_active[w:]
                 discarded += dead
@@ -490,6 +520,7 @@ def overlap_join_ts_ts(
     if trace is not None and cur:
         trace.append(0)
     stats.comparisons = comparisons
+    stats.eviction_checks = eviction_checks
     stats.inserted = inserted
     stats.discarded = discarded
     stats.high_water = high
@@ -644,11 +675,11 @@ def self_contain_semijoin_ts(
     active: List[Tuple[int, int, int]] = []  # (TE, TS, index)
     out: List[int] = []
     append = out.append
-    comparisons = inserted = discarded = cur = high = 0
+    comparisons = eviction_checks = inserted = discarded = cur = high = 0
     for i in range(nx):
         ts = x_ts[i]
         te = x_te[i]
-        comparisons += len(active)
+        matched = len(out)
         w = 0
         for ent in active:
             if ent[0] <= ts:
@@ -658,7 +689,10 @@ def self_contain_semijoin_ts(
                 continue
             active[w] = ent
             w += 1
+        matched = len(out) - matched
         dropped = len(active) - w
+        comparisons += w + matched
+        eviction_checks += dropped - matched
         if dropped:
             del active[w:]
             discarded += dropped
@@ -678,6 +712,7 @@ def self_contain_semijoin_ts(
     if trace is not None and cur:
         trace.append(0)
     stats.comparisons = comparisons
+    stats.eviction_checks = eviction_checks
     stats.inserted = inserted
     stats.discarded = discarded
     stats.high_water = high

@@ -45,6 +45,14 @@ def _operator_line(span: Span) -> str:
         parts.append(f"out={a['output_count']}")
     if "comparisons" in a:
         parts.append(f"cmp={a['comparisons']}")
+    if a.get("eviction_checks"):
+        parts.append(f"evict={a['eviction_checks']}")
+    if a.get("backend") and a["backend"] != "tuple":
+        kernel = a.get("kernel")
+        parts.append(
+            f"via={a['backend']}:{kernel}" if kernel
+            else f"via={a['backend']}"
+        )
     workspace = a.get("workspace") or {}
     if workspace:
         parts.append(f"state-hw={workspace.get('high_water')}")
@@ -193,6 +201,9 @@ def operator_summaries(tracer: Tracer) -> List[dict]:
                 "pass_reads_x": a.get("pass_reads_x"),
                 "pass_reads_y": a.get("pass_reads_y"),
                 "comparisons": a.get("comparisons"),
+                "eviction_checks": a.get("eviction_checks"),
+                "backend": a.get("backend"),
+                "kernel": a.get("kernel"),
                 "output_count": a.get("output_count"),
                 "workspace_high_water": (a.get("workspace") or {}).get(
                     "high_water"
@@ -217,6 +228,8 @@ def shard_summaries(tracer: Tracer) -> List[dict]:
                 "shard": int(span.name[len("shard:"):]),
                 "operator": a.get("operator"),
                 "backend": a.get("backend"),
+                "kernel": a.get("kernel"),
+                "eviction_checks": a.get("eviction_checks"),
                 "x_tuples": a.get("x_tuples"),
                 "y_tuples": a.get("y_tuples"),
                 "owned_lo": a.get("owned_lo"),

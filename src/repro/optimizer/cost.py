@@ -49,6 +49,14 @@ class CostModel:
     parallel_tuple_ship: float = 0.0002
     #: Largest shard count the cost model will consider.
     max_parallel_workers: int = 8
+    #: Per-tuple CPU discount of the columnar batch-sweep backend
+    #: relative to tuple-at-a-time (measured ~0.17x on the Fig-5
+    #: contain-join @100k; 0.25 is the conservative planning value).
+    columnar_cpu_factor: float = 0.25
+    #: Per-tuple CPU discount of the fused endpoint-event sweep backend
+    #: (measured ~0.08x on the same configuration; one merged sweep,
+    #: binary-search probes, lazy join materialisation).
+    fused_cpu_factor: float = 0.1
 
     # ------------------------------------------------------------------
     # building blocks
@@ -90,17 +98,29 @@ class CostModel:
             + outer * inner * self.tuple_cpu
         )
 
+    def backend_cpu_factor(self, backend: str = "tuple") -> float:
+        """Relative per-tuple CPU price of one execution backend
+        (page I/O is backend-independent)."""
+        if backend == "columnar":
+            return self.columnar_cpu_factor
+        if backend == "fused":
+            return self.fused_cpu_factor
+        return 1.0
+
     def stream_pass_cost(
         self,
         x_tuples: int,
         y_tuples: int,
         expected_workspace: float,
+        backend: str = "tuple",
     ) -> float:
         """One synchronized pass of both streams with the given
-        expected state size."""
+        expected state size, on the given physical backend."""
+        factor = self.backend_cpu_factor(backend)
         return (
-            self.scan_cost(x_tuples)
-            + self.scan_cost(y_tuples)
+            self.pages(x_tuples) * self.page_read
+            + self.pages(y_tuples) * self.page_read
+            + (x_tuples + y_tuples) * self.tuple_cpu * factor
             + expected_workspace * self.workspace_tuple
         )
 

@@ -84,6 +84,8 @@ class Alternative:
     cost_breakdown: dict
     #: Shard count for "parallel-stream" alternatives (1 otherwise).
     workers: int = 1
+    #: Physical backend this alternative executes on.
+    backend: str = "tuple"
 
     def describe(self) -> str:
         if self.kind == "nested-loop":
@@ -101,6 +103,8 @@ class Alternative:
         label = "stream"
         if self.kind == "parallel-stream":
             label = f"parallel[{self.workers}]-stream"
+        if self.backend != "tuple":
+            label = f"{label}({self.backend})"
         return (
             f"{label}[{self.entry.x_order} / {self.entry.y_order}] "
             f"state ({self.entry.state_class}) — {prefix}"
@@ -140,16 +144,19 @@ class TemporalJoinPlanner:
         available_cpus: Optional[int] = None,
         budget: Optional["QueryBudget"] = None,
     ) -> None:
-        if backend not in BACKENDS:
+        if backend != "auto" and backend not in BACKENDS:
             raise UnsupportedBackendError(
                 f"unknown execution backend {backend!r}; "
-                f"choose one of {BACKENDS}"
+                f"choose one of {BACKENDS + ('auto',)}"
             )
         self.cost_model = cost_model or CostModel()
         self.use_histograms = use_histograms
         self.histogram_buckets = histogram_buckets
-        #: Physical backend stream plans execute on ("tuple" or
-        #: "columnar").  Cells lacking the backend are not enumerated.
+        #: Physical backend stream plans execute on ("tuple",
+        #: "columnar", or "fused").  Cells lacking the backend are not
+        #: enumerated.  "auto" enumerates a costed alternative per
+        #: available backend and lets the cost model pick — the
+        #: backend-choice row of the plan.
         self.backend = backend
         #: Maximum shard count for time-domain-partitioned plans; the
         #: cost model may pick fewer (or fall back to serial) per
@@ -198,99 +205,115 @@ class TemporalJoinPlanner:
                 build_histogram(y_relation, self.histogram_buckets),
             )
         out: list[Alternative] = []
-        seen_order_free = False
+        planner_backends = (
+            BACKENDS if self.backend == "auto" else (self.backend,)
+        )
+        order_free_seen: set[str] = set()
         for entry in supported_entries(operator):
-            if self.backend not in entry.backends:
-                continue
-            if entry.order_free:
-                # One alternative suffices: the algorithm ignores sort
-                # orders entirely.
-                if seen_order_free:
+            for backend in planner_backends:
+                if backend not in entry.backends:
                     continue
-                seen_order_free = True
-                sort_x = sort_y = False
-            else:
-                sort_x = not order_satisfies(x_relation.order, entry.x_order)
-                sort_y = entry.y_order is not None and not order_satisfies(
-                    y_relation.order, entry.y_order
-                )
-            sort_cost = 0.0
-            if sort_x:
-                sort_cost += model.sort_cost(x_stats.cardinality)
-            if sort_y:
-                sort_cost += model.sort_cost(y_stats.cardinality)
-            workspace = expected_workspace_for(
-                entry.state_class, x_stats, y_stats
-            )
-            if histogram_peak is not None and entry.state_class in (
-                "a",
-                "b",
-                "c",
-            ):
-                workspace = histogram_peak
-                if entry.state_class == "c":
-                    workspace /= 2.0
-            pass_cost = model.stream_pass_cost(
-                x_stats.cardinality, y_stats.cardinality, workspace
-            )
-            out.append(
-                Alternative(
-                    kind="stream",
-                    entry=entry,
-                    sort_x=sort_x,
-                    sort_y=sort_y,
-                    estimated_cost=sort_cost + pass_cost,
-                    cost_breakdown={
-                        "sort": sort_cost,
-                        "pass": pass_cost,
-                        "expected_workspace": workspace,
-                    },
-                )
-            )
-            if self.parallelism and self.parallelism > 1:
-                from .cost import (
-                    choose_shard_count,
-                    expected_replication_per_cut,
-                )
-
-                workers = choose_shard_count(
-                    model,
-                    x_stats,
-                    y_stats,
-                    workspace,
-                    self.parallelism,
-                    available_cpus=self.available_cpus,
-                )
-                if workers > 1:
-                    per_cut = expected_replication_per_cut(
-                        x_stats, y_stats
+                if entry.order_free:
+                    # One alternative per backend suffices: the
+                    # algorithm ignores sort orders entirely.
+                    if backend in order_free_seen:
+                        continue
+                    order_free_seen.add(backend)
+                    sort_x = sort_y = False
+                else:
+                    sort_x = not order_satisfies(
+                        x_relation.order, entry.x_order
                     )
-                    parallel_pass = model.parallel_stream_cost(
-                        x_stats.cardinality,
-                        y_stats.cardinality,
-                        workspace,
-                        workers,
-                        replicated=(workers - 1) * per_cut,
-                    )
-                    out.append(
-                        Alternative(
-                            kind="parallel-stream",
-                            entry=entry,
-                            sort_x=sort_x,
-                            sort_y=sort_y,
-                            estimated_cost=sort_cost + parallel_pass,
-                            cost_breakdown={
-                                "sort": sort_cost,
-                                "pass": parallel_pass,
-                                "expected_workspace": workspace,
-                                "workers": workers,
-                                "expected_replication": (
-                                    (workers - 1) * per_cut
-                                ),
-                            },
-                            workers=workers,
+                    sort_y = (
+                        entry.y_order is not None
+                        and not order_satisfies(
+                            y_relation.order, entry.y_order
                         )
                     )
+                sort_cost = 0.0
+                if sort_x:
+                    sort_cost += model.sort_cost(x_stats.cardinality)
+                if sort_y:
+                    sort_cost += model.sort_cost(y_stats.cardinality)
+                workspace = expected_workspace_for(
+                    entry.state_class, x_stats, y_stats
+                )
+                if histogram_peak is not None and entry.state_class in (
+                    "a",
+                    "b",
+                    "c",
+                ):
+                    workspace = histogram_peak
+                    if entry.state_class == "c":
+                        workspace /= 2.0
+                pass_cost = model.stream_pass_cost(
+                    x_stats.cardinality,
+                    y_stats.cardinality,
+                    workspace,
+                    backend=backend,
+                )
+                out.append(
+                    Alternative(
+                        kind="stream",
+                        entry=entry,
+                        sort_x=sort_x,
+                        sort_y=sort_y,
+                        estimated_cost=sort_cost + pass_cost,
+                        cost_breakdown={
+                            "sort": sort_cost,
+                            "pass": pass_cost,
+                            "expected_workspace": workspace,
+                            "backend": backend,
+                        },
+                        backend=backend,
+                    )
+                )
+                if self.parallelism and self.parallelism > 1:
+                    from .cost import (
+                        choose_shard_count,
+                        expected_replication_per_cut,
+                    )
+
+                    workers = choose_shard_count(
+                        model,
+                        x_stats,
+                        y_stats,
+                        workspace,
+                        self.parallelism,
+                        available_cpus=self.available_cpus,
+                    )
+                    if workers > 1:
+                        per_cut = expected_replication_per_cut(
+                            x_stats, y_stats
+                        )
+                        parallel_pass = model.parallel_stream_cost(
+                            x_stats.cardinality,
+                            y_stats.cardinality,
+                            workspace,
+                            workers,
+                            replicated=(workers - 1) * per_cut,
+                        )
+                        out.append(
+                            Alternative(
+                                kind="parallel-stream",
+                                entry=entry,
+                                sort_x=sort_x,
+                                sort_y=sort_y,
+                                estimated_cost=sort_cost + parallel_pass,
+                                cost_breakdown={
+                                    "sort": sort_cost,
+                                    "pass": parallel_pass,
+                                    "expected_workspace": workspace,
+                                    "workers": workers,
+                                    "expected_replication": (
+                                        (workers - 1) * per_cut
+                                    ),
+                                    "backend": backend,
+                                },
+                                workers=workers,
+                                backend=backend,
+                            )
+                        )
         nested = model.nested_loop_cost(
             x_stats.cardinality, y_stats.cardinality
         )
@@ -471,7 +494,7 @@ class TemporalJoinPlanner:
             entry,
             x_relation.tuples,
             y_relation.tuples,
-            backend=self.backend,
+            backend=alternative.backend,
             policy=recovery,
             workspace_budget=workspace_budget,
             report=report,
@@ -513,7 +536,7 @@ class TemporalJoinPlanner:
             y_relation.tuples if entry.y_order is not None else None,
             shards=alternative.workers,
             workers=alternative.workers,
-            backend=self.backend,
+            backend=alternative.backend,
             policy=recovery or RecoveryPolicy.STRICT,
             workspace_budget=workspace_budget,
             report=report,
@@ -556,7 +579,7 @@ class TemporalJoinPlanner:
         processor = entry.build(
             TupleStream.from_relation(x_relation, name="X"),
             TupleStream.from_relation(y_relation, name="Y"),
-            backend=self.backend,
+            backend=alternative.backend,
         )
         if workspace_budget is not None and hasattr(processor, "meter"):
             processor.meter.limit = workspace_budget

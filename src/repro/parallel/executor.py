@@ -852,6 +852,8 @@ def _span_attributes(run: dict) -> dict:
         "wall_ms": round(run["wall_seconds"] * 1e3, 3),
         "passes_x": metrics.get("passes_x"),
         "passes_y": metrics.get("passes_y"),
+        "kernel": metrics.get("kernel"),
+        "eviction_checks": metrics.get("eviction_checks"),
         "output_count": run["output_count"],
         "degraded": bool(report.fallbacks),
         "fallbacks": len(report.fallbacks),
@@ -1018,6 +1020,13 @@ def _absorb_metrics(target: ProcessorMetrics, shard: dict) -> None:
     target.passes_y = max(target.passes_y, shard.get("passes_y", 0))
     target.buffers += shard.get("buffers", 0)
     target.comparisons += shard.get("comparisons", 0)
+    target.eviction_checks += shard.get("eviction_checks", 0)
+    # Backend/kernel identify *what ran*; shards of one run share them,
+    # so the merged record carries the (last) shard's values — the
+    # audit-record key distinguishing columnar from fused executions.
+    target.backend = shard.get("backend", target.backend)
+    if shard.get("kernel") is not None:
+        target.kernel = shard["kernel"]
     workspace = shard.get("workspace") or {}
     target.workspace = WorkspaceReport(
         max(

@@ -204,21 +204,30 @@ def _run_shard_body(task: dict) -> dict:
 
 
 def _fast_path_eligible(task: dict, entry: RegistryEntry) -> bool:
+    if task["backend"] not in ("columnar", "fused"):
+        return False
     return (
-        task["backend"] == "columnar"
-        and task["policy"] is RecoveryPolicy.STRICT
+        task["policy"] is RecoveryPolicy.STRICT
         and task["fault_plan"] is None
         and task["workspace_budget"] is None
         and not entry.mirrored
-        and isinstance(entry.columnar_factory, type)
+        and isinstance(_fast_path_factory(task, entry), type)
     )
+
+
+def _fast_path_factory(task: dict, entry: RegistryEntry):
+    """The kernel-bearing processor class for the task's backend."""
+    if task["backend"] == "fused":
+        return entry.fused_factory
+    return entry.columnar_factory
 
 
 # ----------------------------------------------------------------------
 # kernel fast path
 # ----------------------------------------------------------------------
 def _run_kernel(task, entry, x_ts, x_te, y_ts, y_te) -> dict:
-    kernel = entry.columnar_factory.kernel
+    factory = _fast_path_factory(task, entry)
+    kernel = factory.kernel
     shape, x_base = task["shape"], task["x_base"]
     x_cols = IntervalColumns.from_views(
         x_ts, x_te, entry.x_order, name="X[shm]"
@@ -246,11 +255,17 @@ def _run_kernel(task, entry, x_ts, x_te, y_ts, y_te) -> dict:
         y_read = len(y_cols)
         y_base = task["y_base"]
         if shape == "join":
-            (xi, yj), stats = kernel(
+            result, stats = kernel(
                 x_cols.ts, x_cols.te, y_cols.ts, y_cols.te
             )
-            first = array("q", xi)
-            second = array("q", yj)
+            if hasattr(result, "index_columns"):
+                # Fused kernels emit lazy JoinRuns; the shard boundary
+                # is the consumption point, so expand here.
+                first, second = result.index_columns()
+            else:
+                xi, yj = result
+                first = array("q", xi)
+                second = array("q", yj)
         else:
             positions, stats = kernel(
                 x_cols.ts, x_cols.te, y_cols.ts, y_cols.te
@@ -279,14 +294,28 @@ def _run_kernel(task, entry, x_ts, x_te, y_ts, y_te) -> dict:
     return {
         "report": ExecutionReport(),
         "metrics": _kernel_metrics(
-            len(x_cols), y_read, shape, output_count, stats
+            len(x_cols),
+            y_read,
+            shape,
+            output_count,
+            stats,
+            backend=task["backend"],
+            kernel_name=getattr(kernel, "__name__", None),
         ),
         "output_count": output_count,
         "residual_filtered": residual_filtered,
     }
 
 
-def _kernel_metrics(x_read, y_read, shape, output_count, stats) -> dict:
+def _kernel_metrics(
+    x_read,
+    y_read,
+    shape,
+    output_count,
+    stats,
+    backend="columnar",
+    kernel_name=None,
+) -> dict:
     binary = shape != "self"
     return {
         "tuples_read_x": x_read,
@@ -298,6 +327,9 @@ def _kernel_metrics(x_read, y_read, shape, output_count, stats) -> dict:
         "buffers": 2,
         "output_count": output_count,
         "comparisons": stats.comparisons,
+        "eviction_checks": stats.eviction_checks,
+        "backend": backend,
+        "kernel": kernel_name,
         "workspace": {
             "high_water": stats.high_water,
             "total_inserted": stats.inserted,

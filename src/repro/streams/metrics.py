@@ -38,6 +38,17 @@ class ProcessorMetrics:
     #: Join-condition (or state-maintenance) comparisons performed — a
     #: CPU-side cost proxy for comparing against nested-loop baselines.
     comparisons: int = 0
+    #: Liveness tests spent rediscovering dead state entries (the lazy
+    #: eviction overhead of the batch backends); kept out of
+    #: ``comparisons`` so the column stays comparable across backends.
+    eviction_checks: int = 0
+    #: Which physical backend executed the operator ("tuple",
+    #: "columnar", or "fused") — audit records distinguish executions
+    #: per shard by this.
+    backend: str = "tuple"
+    #: Name of the batch kernel that ran, if any (``None`` on the
+    #: tuple-at-a-time backend).
+    kernel: Optional[str] = None
     #: Joint workspace accounting across the operator's state spaces.
     workspace: WorkspaceReport = field(
         default_factory=lambda: WorkspaceReport(0, 0, 0, 0)

@@ -100,8 +100,11 @@ STATE_CLASS_DESCRIPTIONS = {
 #: The physical execution backends a table cell may offer.  "tuple" is
 #: the paper-faithful one-buffer stream processor; "columnar" is the
 #: batch-sweep backend of :mod:`repro.columnar` (same semantics and
-#: workspace accounting, different physical execution).
-BACKENDS = ("tuple", "columnar")
+#: workspace accounting, different physical execution); "fused" is the
+#: endpoint-event sweep backend of :mod:`repro.columnar.fused` (one
+#: merged sweep per query, disposal-keyed slot store, lazy join
+#: materialisation).
+BACKENDS = ("tuple", "columnar", "fused")
 
 
 @dataclass(frozen=True)
@@ -118,9 +121,11 @@ class RegistryEntry:
     #: (Before-semijoin); the planner then charges no sorts.
     order_free: bool = False
     #: The columnar batch-sweep alternative for this cell, when one is
-    #: implemented ('-' cells have neither backend: no sort order makes
-    #: them streamable, and batching does not change that).
+    #: implemented ('-' cells have no alternative backend: no sort
+    #: order makes them streamable, and batching does not change that).
     columnar_factory: Optional[Callable] = None
+    #: The fused endpoint-event sweep alternative for this cell.
+    fused_factory: Optional[Callable] = None
 
     @property
     def supported(self) -> bool:
@@ -134,6 +139,8 @@ class RegistryEntry:
             names.append("tuple")
         if self.columnar_factory is not None:
             names.append("columnar")
+        if self.fused_factory is not None:
+            names.append("fused")
         return tuple(names)
 
     @property
@@ -155,12 +162,17 @@ class RegistryEntry:
             )
         if backend == "tuple":
             return self.factory
-        if self.columnar_factory is None:
+        chosen = (
+            self.fused_factory
+            if backend == "fused"
+            else self.columnar_factory
+        )
+        if chosen is None:
             raise UnsupportedBackendError(
                 f"{self.operator.value} on orders ([{self.x_order}], "
                 f"[{self.y_order}]) has no {backend!r} implementation"
             )
-        return self.columnar_factory
+        return chosen
 
     def build(self, x_stream, y_stream=None, backend: str = "tuple"):
         """Instantiate the processor on concrete streams."""
@@ -171,10 +183,18 @@ class RegistryEntry:
 
 
 def _mirror_factory(factory: Callable, unary: bool = False) -> Callable:
-    """Lift an upper-half factory to its time-reversal mirror."""
+    """Lift an upper-half factory to its time-reversal mirror.
+
+    The wrapper carries the wrapped factory as ``base_factory`` so
+    introspection (the plan checker certifying fused slot-store bounds,
+    EXPLAIN surfacing kernel names) can reach the concrete processor
+    class behind a mirrored cell."""
     if unary:
-        return lambda x: MirroredProcessor(factory, x)
-    return lambda x, y: MirroredProcessor(factory, x, y)
+        wrapper = lambda x: MirroredProcessor(factory, x)  # noqa: E731
+    else:
+        wrapper = lambda x, y: MirroredProcessor(factory, x, y)  # noqa: E731
+    wrapper.base_factory = factory
+    return wrapper
 
 
 def _upper_half_binary() -> list[RegistryEntry]:
@@ -189,45 +209,57 @@ def _upper_half_binary() -> list[RegistryEntry]:
         ColumnarContainSemijoinTsTs,
         ColumnarOverlapJoin,
         ColumnarOverlapSemijoin,
+        FusedBeforeSemijoin,
+        FusedContainedSemijoinTeTs,
+        FusedContainedSemijoinTsTs,
+        FusedContainJoinTsTe,
+        FusedContainJoinTsTs,
+        FusedContainSemijoinTsTe,
+        FusedContainSemijoinTsTs,
+        FusedOverlapJoin,
+        FusedOverlapSemijoin,
     )
 
     T = TemporalOperator
     rows: list[RegistryEntry] = []
 
-    def add(op, xo, yo, cls, factory, columnar=None):
+    def add(op, xo, yo, cls, factory, columnar=None, fused=None):
         rows.append(
-            RegistryEntry(op, xo, yo, cls, factory, columnar_factory=columnar)
+            RegistryEntry(
+                op, xo, yo, cls, factory,
+                columnar_factory=columnar, fused_factory=fused,
+            )
         )
 
     # --- Table 1, Contain-join -------------------------------------
     add(T.CONTAIN_JOIN, TS_ASC, TS_ASC, "a", ContainJoinTsTs,
-        ColumnarContainJoinTsTs)
+        ColumnarContainJoinTsTs, FusedContainJoinTsTs)
     add(T.CONTAIN_JOIN, TS_ASC, TE_ASC, "b", ContainJoinTsTe,
-        ColumnarContainJoinTsTe)
+        ColumnarContainJoinTsTe, FusedContainJoinTsTe)
     add(T.CONTAIN_JOIN, TE_ASC, TS_ASC, "-", None)
     add(T.CONTAIN_JOIN, TE_ASC, TE_ASC, "-", None)
     # --- Table 1, Contain-semijoin ----------------------------------
     add(T.CONTAIN_SEMIJOIN, TS_ASC, TS_ASC, "c", ContainSemijoinTsTs,
-        ColumnarContainSemijoinTsTs)
+        ColumnarContainSemijoinTsTs, FusedContainSemijoinTsTs)
     add(T.CONTAIN_SEMIJOIN, TS_ASC, TE_ASC, "d", ContainSemijoinTsTe,
-        ColumnarContainSemijoinTsTe)
+        ColumnarContainSemijoinTsTe, FusedContainSemijoinTsTe)
     add(T.CONTAIN_SEMIJOIN, TE_ASC, TS_ASC, "-", None)
     add(T.CONTAIN_SEMIJOIN, TE_ASC, TE_ASC, "-", None)
     # --- Table 1, Contained-semijoin --------------------------------
     add(T.CONTAINED_SEMIJOIN, TS_ASC, TS_ASC, "c", ContainedSemijoinTsTs,
-        ColumnarContainedSemijoinTsTs)
+        ColumnarContainedSemijoinTsTs, FusedContainedSemijoinTsTs)
     add(T.CONTAINED_SEMIJOIN, TS_ASC, TE_ASC, "-", None)
     add(T.CONTAINED_SEMIJOIN, TE_ASC, TS_ASC, "d", ContainedSemijoinTeTs,
-        ColumnarContainedSemijoinTeTs)
+        ColumnarContainedSemijoinTeTs, FusedContainedSemijoinTeTs)
     add(T.CONTAINED_SEMIJOIN, TE_ASC, TE_ASC, "-", None)
     # --- Table 2, Overlap -------------------------------------------
     add(T.OVERLAP_JOIN, TS_ASC, TS_ASC, "a", OverlapJoin,
-        ColumnarOverlapJoin)
+        ColumnarOverlapJoin, FusedOverlapJoin)
     add(T.OVERLAP_JOIN, TS_ASC, TE_ASC, "-", None)
     add(T.OVERLAP_JOIN, TE_ASC, TS_ASC, "-", None)
     add(T.OVERLAP_JOIN, TE_ASC, TE_ASC, "-", None)
     add(T.OVERLAP_SEMIJOIN, TS_ASC, TS_ASC, "b", OverlapSemijoin,
-        ColumnarOverlapSemijoin)
+        ColumnarOverlapSemijoin, FusedOverlapSemijoin)
     add(T.OVERLAP_SEMIJOIN, TS_ASC, TE_ASC, "-", None)
     add(T.OVERLAP_SEMIJOIN, TE_ASC, TS_ASC, "-", None)
     add(T.OVERLAP_SEMIJOIN, TE_ASC, TE_ASC, "-", None)
@@ -246,6 +278,7 @@ def _upper_half_binary() -> list[RegistryEntry]:
                     T.BEFORE_SEMIJOIN, xo, yo, "d", BeforeSemijoin,
                     order_free=True,
                     columnar_factory=ColumnarBeforeSemijoin,
+                    fused_factory=FusedBeforeSemijoin,
                 )
             )
     return rows
@@ -257,6 +290,10 @@ def _build_registry() -> dict:
         ColumnarSelfContainedSemijoin,
         ColumnarSelfContainSemijoin,
         ColumnarSelfContainSemijoinDesc,
+        FusedBeforeSemijoin,
+        FusedSelfContainedSemijoin,
+        FusedSelfContainSemijoin,
+        FusedSelfContainSemijoinDesc,
     )
 
     registry: dict = {}
@@ -286,6 +323,11 @@ def _build_registry() -> dict:
             columnar_factory=(
                 _mirror_factory(entry.columnar_factory)
                 if entry.columnar_factory
+                else None
+            ),
+            fused_factory=(
+                _mirror_factory(entry.fused_factory)
+                if entry.fused_factory
                 else None
             ),
         )
@@ -325,6 +367,7 @@ def _build_registry() -> dict:
                     BeforeSemijoin,
                     order_free=True,
                     columnar_factory=ColumnarBeforeSemijoin,
+                    fused_factory=FusedBeforeSemijoin,
                 ),
             )
 
@@ -338,6 +381,7 @@ def _build_registry() -> dict:
             "a1",
             SelfContainedSemijoin,
             columnar_factory=ColumnarSelfContainedSemijoin,
+            fused_factory=FusedSelfContainedSemijoin,
         ),
         RegistryEntry(
             T.SELF_CONTAIN_SEMIJOIN,
@@ -346,6 +390,7 @@ def _build_registry() -> dict:
             "b1",
             SelfContainSemijoin,
             columnar_factory=ColumnarSelfContainSemijoin,
+            fused_factory=FusedSelfContainSemijoin,
         ),
         RegistryEntry(
             T.SELF_CONTAINED_SEMIJOIN,
@@ -361,6 +406,7 @@ def _build_registry() -> dict:
             "a1",
             SelfContainSemijoinDesc,
             columnar_factory=ColumnarSelfContainSemijoinDesc,
+            fused_factory=FusedSelfContainSemijoinDesc,
         ),
     ]
     for entry in self_rows:
@@ -375,6 +421,9 @@ def _build_registry() -> dict:
                 mirrored=True,
                 columnar_factory=_mirror_factory(
                     entry.columnar_factory, unary=True
+                ),
+                fused_factory=_mirror_factory(
+                    entry.fused_factory, unary=True
                 ),
             )
             registry.setdefault(

@@ -41,11 +41,11 @@ def stream(tuples, order, name):
 
 class TestRegistrySelection:
     def test_backends_constant(self):
-        assert BACKENDS == ("tuple", "columnar")
+        assert BACKENDS == ("tuple", "columnar", "fused")
 
-    def test_supported_cells_offer_both_backends(self):
+    def test_supported_cells_offer_all_backends(self):
         entry = lookup(TemporalOperator.CONTAIN_JOIN, TS_ASC, TS_ASC)
-        assert entry.backends == ("tuple", "columnar")
+        assert entry.backends == ("tuple", "columnar", "fused")
 
     def test_unsupported_cells_offer_neither(self):
         entry = lookup(TemporalOperator.CONTAIN_JOIN, TE_ASC, TE_ASC)

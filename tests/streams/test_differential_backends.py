@@ -200,10 +200,93 @@ def test_self_cell_differential(entry, predicate, backend, seed):
 
 
 def test_every_cell_runs_on_every_advertised_backend():
-    """Meta-check: each supported cell advertises the tuple backend and
-    (for this release) the columnar backend as well."""
+    """Meta-check: each supported cell advertises all three physical
+    backends."""
     for operators in (BINARY_OPERATORS, SELF_OPERATORS):
         for operator in operators:
             for entry in supported_entries(operator):
                 assert "tuple" in entry.backends
                 assert "columnar" in entry.backends
+                assert "fused" in entry.backends
+
+
+def three_way_cases():
+    for operators in (BINARY_OPERATORS, SELF_OPERATORS):
+        for operator in operators:
+            for entry in supported_entries(operator):
+                for seed in SEEDS:
+                    yield pytest.param(
+                        entry,
+                        seed,
+                        id=(
+                            f"{operator.value}"
+                            f"[{entry.x_order}/{entry.y_order}]"
+                            f"-seed{seed}"
+                        ),
+                    )
+
+
+def _run_on(entry, backend, xs, ys):
+    if ys is None:
+        processor = entry.build(
+            make_stream(xs, entry.x_order, "X"), backend=backend
+        )
+    else:
+        processor = entry.build(
+            make_stream(xs, entry.x_order, "X"),
+            make_stream(ys, entry.y_order, "Y"),
+            backend=backend,
+        )
+    return list(processor.run()), processor.metrics
+
+
+@pytest.mark.parametrize("entry, seed", three_way_cases())
+def test_three_way_backends_byte_identical(entry, seed):
+    """tuple vs columnar vs fused on every registry cell: identical
+    output *sequences* (values and emission order), equal slot-store
+    high-water marks between the two batch backends, and comparison
+    accounting within the stated drift bound.
+
+    The comparison-parity law (the accounting-drift fix): the tuple
+    backend GCs its state before probing, so its ``comparisons`` count
+    only live-entry match tests; the batch backends additionally pay
+    one merge-advance test per consumed input element, so
+
+        0 <= columnar - tuple <= nx + ny,
+
+    with dead-entry rediscovery split into ``eviction_checks``.  The
+    one exception is the contained-semijoin class-(c) cells, where the
+    tuple processor breaks at the first witness while the batch sweep
+    probes a snapshot — there the law is one-sided (tuple <= columnar).
+    The fused backend replaces probe scans by binary searches, charging
+    ``bit_length(store)`` per search, so its count is bounded by the
+    columnar count plus one extra unit per consumed element.
+    """
+    rng = random.Random(seed)
+    xs = tie_heavy_workload(rng, rng.randrange(5, 40))
+    ys = (
+        tie_heavy_workload(rng, rng.randrange(5, 40))
+        if entry.y_order is not None
+        else None
+    )
+    nx, ny = len(xs), len(ys or [])
+    t_out, t_m = _run_on(entry, "tuple", xs, ys)
+    c_out, c_m = _run_on(entry, "columnar", xs, ys)
+    f_out, f_m = _run_on(entry, "fused", xs, ys)
+    assert c_out == t_out
+    assert f_out == c_out
+    # The two batch backends account state identically: lazy disposal
+    # at the same sweep positions, so the same high-water mark.
+    assert f_m.workspace.high_water == c_m.workspace.high_water
+    # Comparison parity within the stated bound.
+    if entry.operator is TemporalOperator.CONTAINED_SEMIJOIN:
+        assert t_m.comparisons <= c_m.comparisons
+    else:
+        assert 0 <= c_m.comparisons - t_m.comparisons <= nx + ny
+    assert f_m.comparisons <= c_m.comparisons + nx + ny
+    # The eager backend never rediscovers dead entries.
+    assert t_m.eviction_checks == 0
+    # Audit-record provenance: each run names its backend and kernel.
+    assert t_m.backend == "tuple" and t_m.kernel is None
+    assert c_m.backend == "columnar" and c_m.kernel
+    assert f_m.backend == "fused" and f_m.kernel
