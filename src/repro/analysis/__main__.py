@@ -2,8 +2,10 @@
 
 Exit codes (CI contract):
 
-* 0 — clean (no findings; with ``--check-plan``, all cells agree)
-* 1 — findings / plan mismatches
+* 0 — clean (no findings; with ``--check-plan``/``--check-protocol``,
+  all invariants hold; with ``--strict-noqa``, no unused suppressions)
+* 1 — findings / plan mismatches / protocol violations / unused
+  suppressions under ``--strict-noqa``
 * 2 — usage or internal error
 
 Examples::
@@ -13,6 +15,8 @@ Examples::
     python -m repro.analysis --select REP001,REP006 src/
     python -m repro.analysis --list-rules
     python -m repro.analysis --check-plan        # Tables 1-3 theorem check
+    python -m repro.analysis --check-protocol    # pool containment protocol
+    python -m repro.analysis src/ --strict-noqa  # fail on dead noqa comments
 """
 
 from __future__ import annotations
@@ -35,7 +39,9 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "Paper-invariant static analysis: AST lint rules "
-            "(REP001-REP006) and the symbolic Tables 1-3 plan checker."
+            "(REP001-REP010, including the CFG-based lifecycle rules), "
+            "the symbolic Tables 1-3 plan checker, and the pool "
+            "containment-protocol checker."
         ),
     )
     parser.add_argument(
@@ -67,6 +73,23 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--check-protocol",
+        action="store_true",
+        help=(
+            "extract the pool dispatch/ack/reap/redispatch protocol "
+            "from parallel/pool.py and verify its containment "
+            "invariants"
+        ),
+    )
+    parser.add_argument(
+        "--strict-noqa",
+        action="store_true",
+        help=(
+            "exit 1 when a '# repro: noqa' comment no longer "
+            "suppresses any finding (requires the full rule set)"
+        ),
+    )
+    parser.add_argument(
         "--root",
         metavar="DIR",
         default=".",
@@ -92,6 +115,16 @@ def _run_plan_check(json_target: Optional[str], out) -> int:
     return 0 if report.ok else 1
 
 
+def _run_protocol_check(json_target: Optional[str], out) -> int:
+    from .check_protocol import check_protocol
+
+    report = check_protocol()
+    print(report.render_human(), file=out)
+    if json_target:
+        _emit_json(report.to_json(), json_target, out)
+    return 0 if report.ok else 1
+
+
 def _emit_json(payload: str, target: str, out) -> None:
     if target == "-":
         print(payload, file=out)
@@ -103,12 +136,28 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     args = _build_parser().parse_args(argv)
     if args.list_rules:
         return _list_rules(out)
-    if args.check_plan:
-        status = _run_plan_check(args.json if not args.paths else None, out)
-        if not args.paths:
-            return status
-        if status != 0:
-            return status
+    if args.strict_noqa and args.select:
+        print(
+            "error: --strict-noqa needs the full rule set; it cannot "
+            "be combined with --select (a suppression is only "
+            "provably unused when every rule ran)",
+            file=sys.stderr,
+        )
+        return 2
+    lints = bool(args.paths) or not (args.check_plan or args.check_protocol)
+    check_statuses: List[int] = []
+    for enabled, runner in (
+        (args.check_plan, _run_plan_check),
+        (args.check_protocol, _run_protocol_check),
+    ):
+        if enabled:
+            check_statuses.append(
+                runner(args.json if not lints else None, out)
+            )
+    if check_statuses and max(check_statuses) != 0:
+        return max(check_statuses)
+    if not lints:
+        return 0
     paths = [Path(p) for p in (args.paths or ["src"])]
     missing = [p for p in paths if not p.exists()]
     if missing:
@@ -132,7 +181,11 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         _emit_json(report.to_json(), args.json, out)
     if report.parse_errors:
         return 2
-    return 0 if not report.findings else 1
+    if report.findings:
+        return 1
+    if args.strict_noqa and report.unused_suppressions:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,723 @@
+"""Extract and verify the pool containment protocol as data.
+
+PR 7's shard-level fault containment rests on a small distributed
+protocol between ``WorkerPool`` and its workers::
+
+    dispatch -> ack -> run -> reply
+                 |       `-- worker death --> reap --> redispatch
+                 `-- (attempt-stamped ownership)
+
+The protocol's safety argument is stated in prose in
+``parallel/pool.py``: *ack precedes run* (no unattributable
+execution), *replies are synchronous* (a corpse owns at most one
+unresolved shard), *redispatch is attempt-gated* (a late ack from a
+superseded attempt cannot steal ownership back), and *every message
+kind sent has a handler*.  This module makes that argument
+machine-checked, in two stages:
+
+1. :func:`extract_protocol` parses ``pool.py``/``worker.py`` (AST
+   only — nothing is imported or executed) and lifts the protocol
+   into a :class:`ProtocolModel`: the worker loop's event sequence,
+   the channel kinds, the guard predicates present in the collector,
+   and the message kinds sent/handled.  Each extracted fact carries
+   its source location so drift is attributable.
+
+2. :func:`verify_protocol` checks the invariants against the model —
+   structurally where a guard's presence is the whole story, and by
+   *bounded exhaustive simulation* where the invariant is about
+   interleavings: every death point of a worker processing a short
+   task trace is enumerated (deterministically — no randomness, no
+   clocks) and the unresolved-ownership bound is measured under the
+   extracted channel semantics.  A model corrupted in any single
+   transition (ack moved after run, a buffered reply channel, a
+   dropped stale-ack guard) fails with a named violation and a
+   witness interleaving.
+
+Exit contract via ``python -m repro.analysis --check-protocol``:
+0 all invariants hold, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ProtocolModel",
+    "ProtocolProblem",
+    "ProtocolReport",
+    "extract_protocol",
+    "verify_protocol",
+    "check_protocol",
+]
+
+PROTOCOL_SCHEMA_VERSION = 1
+
+#: Worker-loop events, in required order.
+_EVENT_ORDER = ("recv", "sentinel", "ack", "run", "reply")
+
+
+# ----------------------------------------------------------------------
+# the model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProtocolModel:
+    """The containment protocol, lifted out of the source as data."""
+
+    #: Worker-loop event sequence in source order, e.g.
+    #: ``("recv", "sentinel", "ack", "run", "reply")``.
+    worker_sequence: Tuple[str, ...]
+    #: Keys of the ack message dict.
+    ack_fields: FrozenSet[str]
+    #: Channel name -> "simple" (synchronous pipe write) or
+    #: "buffered" (feeder-thread Queue).
+    channels: Dict[str, str]
+    #: Guard predicate name -> present in the collector.
+    guards: Dict[str, bool]
+    #: Message kinds workers send on the results channel.
+    result_kinds_sent: FrozenSet[str]
+    #: Message kinds the collector handles.
+    result_kinds_handled: FrozenSet[str]
+    #: Extracted fact -> "path:line" provenance.
+    provenance: Dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "worker_sequence": list(self.worker_sequence),
+            "ack_fields": sorted(self.ack_fields),
+            "channels": dict(sorted(self.channels.items())),
+            "guards": dict(sorted(self.guards.items())),
+            "result_kinds_sent": sorted(self.result_kinds_sent),
+            "result_kinds_handled": sorted(self.result_kinds_handled),
+            "provenance": dict(sorted(self.provenance.items())),
+        }
+
+
+@dataclass(frozen=True)
+class ProtocolProblem:
+    """One violated invariant, with a witness where simulation found
+    one."""
+
+    invariant: str
+    detail: str
+    witness: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "witness": self.witness,
+        }
+
+    def render(self) -> str:
+        lines = [f"VIOLATION {self.invariant}", f"  {self.detail}"]
+        if self.witness:
+            lines.append(f"  witness: {self.witness}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ProtocolReport:
+    model: ProtocolModel
+    problems: List[ProtocolProblem] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": PROTOCOL_SCHEMA_VERSION,
+            "model": self.model.to_dict(),
+            "problems": [p.to_dict() for p in self.problems],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render_human(self) -> str:
+        out = [p.render() for p in self.problems]
+        verdict = "OK" if self.ok else "FAIL"
+        out.append(
+            f"protocol check {verdict}: "
+            f"sequence={'->'.join(self.model.worker_sequence)}, "
+            f"{sum(1 for v in self.model.guards.values() if v)}/"
+            f"{len(self.model.guards)} guards present, "
+            f"{len(self.problems)} violations"
+        )
+        return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# extraction
+# ----------------------------------------------------------------------
+def _default_sources() -> Tuple[Path, Path]:
+    parallel = Path(__file__).resolve().parent.parent / "parallel"
+    return parallel / "pool.py", parallel / "worker.py"
+
+
+def _iter_stmts(stmts: Sequence[ast.stmt]) -> Iterator[ast.stmt]:
+    """Statements in source order, descending into compound bodies
+    (try bodies before handlers, matching execution order)."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, ast.Try):
+            yield from _iter_stmts(stmt.body)
+            for handler in stmt.handlers:
+                yield from _iter_stmts(handler.body)
+            yield from _iter_stmts(stmt.orelse)
+            yield from _iter_stmts(stmt.finalbody)
+        elif isinstance(stmt, (ast.If, ast.For, ast.While, ast.With)):
+            yield from _iter_stmts(stmt.body)
+            yield from _iter_stmts(getattr(stmt, "orelse", []))
+
+
+def _method_call(node: ast.AST, receiver: str, method: str) -> bool:
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr == method
+            and isinstance(child.func.value, ast.Name)
+            and child.func.value.id == receiver
+        ):
+            return True
+    return False
+
+
+def _calls_name(node: ast.AST, name: str) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            func = child.func
+            if (isinstance(func, ast.Name) and func.id == name) or (
+                isinstance(func, ast.Attribute) and func.attr == name
+            ):
+                return True
+    return False
+
+
+def _find_function(
+    tree: ast.AST, name: str
+) -> Optional[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _dict_string_keys(node: ast.AST) -> FrozenSet[str]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Dict):
+            return frozenset(
+                key.value
+                for key in child.keys
+                if isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+            )
+    return frozenset()
+
+
+def _extract_worker_loop(
+    tree: ast.AST, path: str, provenance: Dict[str, str]
+) -> Tuple[Tuple[str, ...], FrozenSet[str], FrozenSet[str]]:
+    """Worker event sequence, ack fields, and result kinds sent."""
+    func = _find_function(tree, "_worker_main")
+    if func is None:
+        return (), frozenset(), frozenset()
+    loop = next(
+        (s for s in func.body if isinstance(s, (ast.While, ast.For))), None
+    )
+    if loop is None:
+        return (), frozenset(), frozenset()
+    events: List[str] = []
+    ack_fields: FrozenSet[str] = frozenset()
+    kinds: set = set()
+
+    def _note(event: str, node: ast.stmt) -> None:
+        if event not in events:
+            provenance[f"worker.{event}"] = f"{path}:{node.lineno}"
+        events.append(event)
+
+    for stmt in _iter_stmts(loop.body):
+        here: List[str] = []
+        if isinstance(stmt, ast.Assign) and _method_call(
+            stmt, "tasks", "get"
+        ):
+            here.append("recv")
+        if isinstance(stmt, ast.If):
+            test = stmt.test
+            if (
+                isinstance(test, ast.Compare)
+                and any(isinstance(op, ast.Is) for op in test.ops)
+                and any(
+                    isinstance(c, ast.Constant) and c.value is None
+                    for c in test.comparators
+                )
+                and any(
+                    isinstance(s, ast.Break) for s in ast.walk(stmt)
+                )
+            ):
+                here.append("sentinel")
+        if _method_call(stmt, "acks", "put") and not isinstance(
+            stmt, (ast.Try, ast.If, ast.While, ast.For)
+        ):
+            here.append("ack")
+            ack_fields = ack_fields | _dict_string_keys(stmt)
+        if not isinstance(stmt, (ast.Try, ast.If, ast.While, ast.For)):
+            if _calls_name(stmt, "run_task"):
+                here.append("run")
+            if _method_call(stmt, "results", "put"):
+                here.append("reply")
+                if "error" in _dict_string_keys(stmt):
+                    kinds.add("error")
+                else:
+                    kinds.add("summary")
+        # Within one statement, arguments evaluate before the call:
+        # results.put(run_task(task)) is run then reply.
+        for event in _EVENT_ORDER:
+            if event in here:
+                _note(event, stmt)
+    # Deduplicate while keeping first-occurrence order: the error
+    # branch's second "reply" is the same protocol step.
+    ordered: List[str] = []
+    for event in events:
+        if event not in ordered:
+            ordered.append(event)
+    return tuple(ordered), ack_fields, frozenset(kinds)
+
+
+def _extract_channels(
+    tree: ast.AST, path: str, provenance: Dict[str, str]
+) -> Dict[str, str]:
+    channels: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Attribute)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+        ):
+            continue
+        ctor = node.value.func.attr
+        if ctor not in ("SimpleQueue", "Queue", "JoinableQueue"):
+            continue
+        name = node.targets[0].attr.lstrip("_")
+        channels[name] = "simple" if ctor == "SimpleQueue" else "buffered"
+        provenance[f"channel.{name}"] = f"{path}:{node.lineno}"
+    return channels
+
+
+def _extract_guards(
+    tree: ast.AST, path: str, provenance: Dict[str, str]
+) -> Dict[str, bool]:
+    guards = {
+        "stale_job_ack_rejected": False,
+        "stale_attempt_ack_rejected": False,
+        "stale_job_result_rejected": False,
+        "duplicate_summary_rejected": False,
+        "redispatch_bumps_attempt": False,
+        "redispatch_retry_capped": False,
+        "redispatch_fresh_segment": False,
+    }
+
+    def _found(name: str, node: ast.AST) -> None:
+        guards[name] = True
+        provenance[f"guard.{name}"] = f"{path}:{getattr(node, 'lineno', 0)}"
+
+    def _compares_get(node: ast.expr, receiver: str, key: str) -> bool:
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr == "get"
+                and isinstance(child.func.value, ast.Name)
+                and child.func.value.id == receiver
+                and child.args
+                and isinstance(child.args[0], ast.Constant)
+                and child.args[0].value == key
+            ):
+                return True
+        return False
+
+    drain = _find_function(tree, "_drain_acks")
+    if drain is not None:
+        for node in ast.walk(drain):
+            if not isinstance(node, ast.If):
+                continue
+            if _compares_get(node.test, "ack", "job") and any(
+                isinstance(s, ast.Continue) for s in node.body
+            ):
+                _found("stale_job_ack_rejected", node)
+            if _compares_get(node.test, "ack", "attempt") and any(
+                isinstance(t, ast.Attribute) and t.attr == "attempt"
+                for t in ast.walk(node.test)
+            ):
+                # Ownership assignment must be inside the guarded arm.
+                assigns_pid = any(
+                    isinstance(s, ast.Assign)
+                    and any(
+                        isinstance(t, ast.Attribute) and t.attr == "pid"
+                        for t in s.targets
+                    )
+                    for s in ast.walk(node)
+                    if isinstance(s, ast.Assign)
+                )
+                if assigns_pid:
+                    _found("stale_attempt_ack_rejected", node)
+
+    collect = _find_function(tree, "_collect")
+    if collect is not None:
+        for node in ast.walk(collect):
+            if not isinstance(node, ast.If):
+                continue
+            if _compares_get(node.test, "result", "job") and any(
+                isinstance(s, ast.Continue) for s in node.body
+            ):
+                _found("stale_job_result_rejected", node)
+            membership = [
+                c
+                for c in ast.walk(node.test)
+                if isinstance(c, ast.Compare)
+                and any(isinstance(op, ast.In) for op in c.ops)
+            ]
+            named = {
+                n.id
+                for c in membership
+                for n in ast.walk(c)
+                if isinstance(n, ast.Name)
+            }
+            if (
+                {"summaries", "errors"} <= named
+                and any(isinstance(s, ast.Continue) for s in node.body)
+            ):
+                _found("duplicate_summary_rejected", node)
+
+    redispatch = _find_function(tree, "_redispatch")
+    if redispatch is not None:
+        for node in ast.walk(redispatch):
+            if (
+                isinstance(node, ast.AugAssign)
+                and isinstance(node.op, ast.Add)
+                and isinstance(node.target, ast.Attribute)
+                and node.target.attr == "attempt"
+            ):
+                _found("redispatch_bumps_attempt", node)
+            if isinstance(node, ast.If) and any(
+                isinstance(n, ast.Name) and "RETRIES" in n.id
+                for n in ast.walk(node.test)
+            ):
+                if any(isinstance(s, ast.Raise) for s in ast.walk(node)):
+                    _found("redispatch_retry_capped", node)
+        if _calls_name(redispatch, "segment_name"):
+            _found("redispatch_fresh_segment", redispatch)
+    return guards
+
+
+def _extract_handled_kinds(
+    tree: ast.AST, path: str, provenance: Dict[str, str]
+) -> FrozenSet[str]:
+    handled: set = set()
+    collect = _find_function(tree, "_collect")
+    if collect is None:
+        return frozenset()
+    for node in ast.walk(collect):
+        if (
+            isinstance(node, ast.Compare)
+            and isinstance(node.left, ast.Constant)
+            and node.left.value == "error"
+            and any(isinstance(op, ast.In) for op in node.ops)
+        ):
+            handled.add("error")
+            provenance.setdefault("handled.error", f"{path}:{node.lineno}")
+        if (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Subscript)
+                and isinstance(t.value, ast.Name)
+                and t.value.id == "summaries"
+                for t in node.targets
+            )
+        ):
+            handled.add("summary")
+            provenance.setdefault(
+                "handled.summary", f"{path}:{node.lineno}"
+            )
+    return frozenset(handled)
+
+
+def extract_protocol(
+    pool_path: Optional[Path] = None,
+    worker_path: Optional[Path] = None,
+    pool_source: Optional[str] = None,
+    worker_source: Optional[str] = None,
+) -> ProtocolModel:
+    """Lift the protocol out of the pool/worker sources.
+
+    Tests pass ``pool_source`` directly to extract from doctored
+    twins; the CLI reads the real files.  Nothing is imported.
+    """
+    default_pool, default_worker = _default_sources()
+    pool_path = pool_path or default_pool
+    worker_path = worker_path or default_worker
+    if pool_source is None:
+        pool_source = pool_path.read_text(encoding="utf-8")
+    if worker_source is None:
+        worker_source = (
+            worker_path.read_text(encoding="utf-8")
+            if worker_path.exists()
+            else ""
+        )
+    pool_tree = ast.parse(pool_source)
+    worker_tree = ast.parse(worker_source) if worker_source else ast.parse("")
+
+    provenance: Dict[str, str] = {}
+    pool_name = pool_path.name
+    sequence, ack_fields, kinds_sent = _extract_worker_loop(
+        pool_tree, pool_name, provenance
+    )
+    if not sequence:  # the loop may live in worker.py in other layouts
+        sequence, ack_fields, kinds_sent = _extract_worker_loop(
+            worker_tree, worker_path.name, provenance
+        )
+    channels = _extract_channels(pool_tree, pool_name, provenance)
+    guards = _extract_guards(pool_tree, pool_name, provenance)
+    handled = _extract_handled_kinds(pool_tree, pool_name, provenance)
+    if "sentinel" in sequence:
+        handled = handled | frozenset({"sentinel"})
+        kinds_sent = kinds_sent | frozenset({"sentinel"})
+    return ProtocolModel(
+        worker_sequence=sequence,
+        ack_fields=ack_fields,
+        channels=channels,
+        guards=guards,
+        result_kinds_sent=kinds_sent,
+        result_kinds_handled=handled,
+        provenance=provenance,
+    )
+
+
+# ----------------------------------------------------------------------
+# verification
+# ----------------------------------------------------------------------
+def _simulate_corpse_ownership(
+    model: ProtocolModel, tasks: int = 3
+) -> Tuple[int, Optional[str], Optional[str]]:
+    """Enumerate every death point of one worker processing ``tasks``
+    shards under the extracted event order and channel semantics.
+
+    Returns ``(max_unresolved_owned, witness, unattributed_witness)``:
+    the worst-case number of shards a corpse owns (acked) with no
+    reply visible to the parent, plus a witness trace for each bad
+    case found.  With ack-before-run and synchronous replies the
+    bound is 1; a buffered reply channel or a reordered loop breaks
+    it.
+    """
+    per_task = [e for e in model.worker_sequence if e not in ("sentinel",)]
+    trace: List[Tuple[int, str]] = [
+        (t, e) for t in range(tasks) for e in per_task
+    ]
+    reply_synchronous = model.channels.get("results", "simple") == "simple"
+    max_owned = 0
+    witness: Optional[str] = None
+    unattributed: Optional[str] = None
+    for death in range(len(trace) + 1):
+        executed = trace[:death]
+        acked = {t for t, e in executed if e == "ack"}
+        replied_steps = [t for t, e in executed if e == "reply"]
+        if reply_synchronous:
+            visible = set(replied_steps)
+        else:
+            # Feeder-thread semantics: the last buffered reply may die
+            # with the process before the pipe write happens.
+            visible = set(replied_steps[:-1])
+        ran = {t for t, e in executed if e == "run"}
+        owned_unresolved = acked - visible
+        if len(owned_unresolved) > max_owned:
+            max_owned = len(owned_unresolved)
+            witness = (
+                f"death after step {death} "
+                f"({' '.join(f'{e}{t}' for t, e in executed[-4:])}): "
+                f"shards {sorted(owned_unresolved)} acked but no "
+                "reply visible"
+            )
+        ran_unacked = ran - acked
+        if ran_unacked and unattributed is None:
+            unattributed = (
+                f"death after step {death}: shard "
+                f"{sorted(ran_unacked)} executed without a prior ack "
+                "— the parent cannot attribute the corpse's work"
+            )
+    return max_owned, witness, unattributed
+
+
+def _simulate_stale_ack(model: ProtocolModel) -> Optional[str]:
+    """Replay the worker-death/redispatch race: W1 acks attempt 0 and
+    dies; the shard is redispatched; W1's ack is then re-delivered
+    late.  Ownership must end with the live attempt."""
+    attempt = 0
+    owner = "pid1"  # W1 acks attempt 0
+    # W1 dies; redispatch:
+    if model.guards.get("redispatch_bumps_attempt"):
+        attempt += 1
+    owner = "pid2"  # W2 acks the current attempt
+    # Late replay of W1's (attempt 0) ack:
+    stale_attempt = 0
+    accepts_stale = not (
+        model.guards.get("stale_attempt_ack_rejected")
+        and stale_attempt != attempt
+    )
+    if accepts_stale:
+        owner = "pid1"
+    if owner != "pid2":
+        return (
+            "ack(shard=0, attempt=0, pid=pid1) re-delivered after "
+            "redispatch reassigned the shard: ownership reverted to "
+            "the dead pid1, so the next reap re-redispatches a shard "
+            "that is already running"
+        )
+    return None
+
+
+def verify_protocol(model: ProtocolModel) -> ProtocolReport:
+    """Check every stated containment invariant against the model."""
+    report = ProtocolReport(model=model)
+    problems = report.problems
+    seq = model.worker_sequence
+
+    # -- worker loop shape ---------------------------------------------
+    missing = [e for e in _EVENT_ORDER if e not in seq]
+    if missing:
+        problems.append(
+            ProtocolProblem(
+                "worker-loop-complete",
+                f"worker loop lacks event(s) {missing}: expected "
+                f"{'->'.join(_EVENT_ORDER)}, extracted "
+                f"{'->'.join(seq) or '(nothing)'}",
+            )
+        )
+    else:
+        for earlier, later in zip(_EVENT_ORDER, _EVENT_ORDER[1:]):
+            if seq.index(earlier) > seq.index(later):
+                problems.append(
+                    ProtocolProblem(
+                        "ack-precedes-run"
+                        if {earlier, later} & {"ack", "run"}
+                        else "worker-loop-order",
+                        f"{earlier!r} must precede {later!r} in the "
+                        f"worker loop; extracted {'->'.join(seq)}",
+                    )
+                )
+
+    # -- channel synchrony ---------------------------------------------
+    for channel in ("results", "acks"):
+        kind = model.channels.get(channel)
+        if kind != "simple":
+            problems.append(
+                ProtocolProblem(
+                    "synchronous-" + channel,
+                    f"{channel} channel is {kind!r}, not a "
+                    "SimpleQueue: a feeder thread can die holding the "
+                    "message, losing it with the worker",
+                )
+            )
+
+    # -- corpse ownership bound (simulation) ---------------------------
+    if seq:
+        max_owned, witness, unattributed = _simulate_corpse_ownership(
+            model
+        )
+        if max_owned > 1:
+            problems.append(
+                ProtocolProblem(
+                    "corpse-owns-at-most-one",
+                    f"a dead worker can own {max_owned} unresolved "
+                    "shards; containment's <=1-redispatch accounting "
+                    "assumes at most 1",
+                    witness=witness,
+                )
+            )
+        if unattributed is not None:
+            problems.append(
+                ProtocolProblem(
+                    "no-unattributed-execution",
+                    "the loop can execute a shard before acking it",
+                    witness=unattributed,
+                )
+            )
+
+    # -- redispatch gating (simulation + guards) ------------------------
+    stale_witness = _simulate_stale_ack(model)
+    if stale_witness is not None:
+        problems.append(
+            ProtocolProblem(
+                "redispatch-attempt-gated",
+                "a stale ack from a superseded attempt can reclaim "
+                "ownership"
+                + (
+                    ""
+                    if model.guards.get("redispatch_bumps_attempt")
+                    else " (redispatch does not bump the attempt)"
+                ),
+                witness=stale_witness,
+            )
+        )
+    for guard, invariant in (
+        ("stale_job_ack_rejected", "stale-batch-ack-rejected"),
+        ("stale_job_result_rejected", "stale-batch-result-rejected"),
+        ("duplicate_summary_rejected", "duplicate-summary-rejected"),
+        ("redispatch_retry_capped", "redispatch-retry-capped"),
+        ("redispatch_fresh_segment", "fresh-segment-per-attempt"),
+    ):
+        if not model.guards.get(guard):
+            problems.append(
+                ProtocolProblem(
+                    invariant,
+                    f"collector guard {guard!r} not found in the "
+                    "source: the corresponding protocol invariant is "
+                    "unenforced",
+                )
+            )
+
+    # -- message kinds ---------------------------------------------------
+    unhandled = model.result_kinds_sent - model.result_kinds_handled
+    if unhandled:
+        problems.append(
+            ProtocolProblem(
+                "every-kind-handled",
+                f"worker sends message kind(s) {sorted(unhandled)} "
+                "that the collector never handles",
+            )
+        )
+
+    # -- ack attribution fields -----------------------------------------
+    needed = {"job", "index", "attempt", "pid"}
+    if model.ack_fields and not needed <= model.ack_fields:
+        problems.append(
+            ProtocolProblem(
+                "ack-attributes-ownership",
+                f"ack message lacks field(s) "
+                f"{sorted(needed - model.ack_fields)}: death cannot "
+                "be mapped back to (shard, attempt)",
+            )
+        )
+    return report
+
+
+def check_protocol(
+    pool_path: Optional[Path] = None,
+    worker_path: Optional[Path] = None,
+) -> ProtocolReport:
+    """Extract from the real tree (or the given paths) and verify."""
+    return verify_protocol(
+        extract_protocol(pool_path=pool_path, worker_path=worker_path)
+    )
+
+
+# re-exported for tests that corrupt one transition at a time
+def corrupted(model: ProtocolModel, **changes: object) -> ProtocolModel:
+    """A copy of ``model`` with single fields replaced (test helper)."""
+    return replace(model, **changes)  # type: ignore[arg-type]

@@ -16,7 +16,15 @@ the two cannot collide)::
 
 A bare ``noqa`` suppresses every rule on that line; the parenthesised
 form suppresses only the listed rule ids.  Suppressions are counted in
-the report so a CI job can surface how many exemptions exist.
+the report so a CI job can surface how many exemptions exist, and
+suppressions that no longer suppress anything are reported as *unused*
+(``--strict-noqa`` turns them into a failure) so the exemption list
+ratchets down instead of accreting.
+
+The JSON report is schema-versioned (``schema_version``, currently
+:data:`REPORT_SCHEMA_VERSION`), mirroring ``repro.obs.audit``:
+:func:`validate_report` checks a parsed report against the schema so
+CI artifact consumers can rely on its shape.
 """
 
 from __future__ import annotations
@@ -156,6 +164,7 @@ def register_rule(rule_cls: Type[Rule]) -> Type[Rule]:
 def all_rules() -> List[Rule]:
     """Instantiate every registered rule, in id order."""
     from . import rules as _builtin  # noqa: F401  (registers on import)
+    from . import flow_rules as _flow  # noqa: F401  (REP007-REP010)
 
     return [
         _RULE_REGISTRY[rule_id]() for rule_id in sorted(_RULE_REGISTRY)
@@ -228,6 +237,36 @@ def is_suppressed(
 # ----------------------------------------------------------------------
 # the analysis driver
 # ----------------------------------------------------------------------
+#: Version of the JSON report schema (``AnalysisReport.to_dict``).
+#: Bump on any key addition/removal/retyping, mirroring
+#: ``repro.obs.audit.AUDIT_SCHEMA_VERSION``.
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class UnusedSuppression:
+    """A ``# repro: noqa`` comment that suppressed no finding."""
+
+    path: str
+    line: int
+    #: The listed rule ids; empty for a blanket ``noqa``.
+    codes: tuple
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "codes": list(self.codes),
+        }
+
+    def render(self) -> str:
+        spelled = f"({', '.join(self.codes)})" if self.codes else ""
+        return (
+            f"{self.path}:{self.line}: unused suppression "
+            f"'# repro: noqa{spelled}' — no finding is suppressed here"
+        )
+
+
 @dataclass
 class AnalysisReport:
     """Aggregate result of one analysis run."""
@@ -236,6 +275,9 @@ class AnalysisReport:
     files_scanned: int = 0
     suppressed: int = 0
     parse_errors: List[str] = field(default_factory=list)
+    unused_suppressions: List[UnusedSuppression] = field(
+        default_factory=list
+    )
 
     @property
     def clean(self) -> bool:
@@ -243,11 +285,14 @@ class AnalysisReport:
 
     def to_dict(self) -> dict:
         return {
-            "version": 1,
+            "schema_version": REPORT_SCHEMA_VERSION,
             "files_scanned": self.files_scanned,
             "suppressed": self.suppressed,
             "parse_errors": list(self.parse_errors),
             "findings": [finding.to_dict() for finding in self.findings],
+            "unused_suppressions": [
+                unused.to_dict() for unused in self.unused_suppressions
+            ],
         }
 
     def to_json(self) -> str:
@@ -256,12 +301,81 @@ class AnalysisReport:
     def render_human(self) -> str:
         out = [finding.render() for finding in self.findings]
         out.extend(f"PARSE ERROR: {error}" for error in self.parse_errors)
+        out.extend(
+            unused.render() for unused in self.unused_suppressions
+        )
         noun = "finding" if len(self.findings) == 1 else "findings"
         out.append(
             f"{len(self.findings)} {noun} in {self.files_scanned} files "
             f"({self.suppressed} suppressed)"
         )
         return "\n".join(out)
+
+
+_REPORT_SCHEMA = {
+    "schema_version": int,
+    "files_scanned": int,
+    "suppressed": int,
+    "parse_errors": list,
+    "findings": list,
+    "unused_suppressions": list,
+}
+_FINDING_SCHEMA = {
+    "rule": str,
+    "message": str,
+    "path": str,
+    "line": int,
+    "col": int,
+}
+
+
+def validate_report(record: dict) -> List[str]:
+    """Validate a parsed ``--json`` report against schema v1.
+
+    Returns a list of problems (empty = valid), mirroring
+    ``repro.obs.audit.validate_record`` so CI artifact consumers have
+    one validation idiom for both.
+    """
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return [f"report must be an object, got {type(record).__name__}"]
+    for key, expected in _REPORT_SCHEMA.items():
+        if key not in record:
+            problems.append(f"missing key {key!r}")
+        elif not isinstance(record[key], expected):
+            problems.append(
+                f"key {key!r} must be {expected.__name__}, got "
+                f"{type(record[key]).__name__}"
+            )
+    extra = sorted(set(record) - set(_REPORT_SCHEMA))
+    if extra:
+        problems.append(f"unknown key(s): {', '.join(extra)}")
+    if record.get("schema_version") != REPORT_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {record.get('schema_version')!r} != "
+            f"{REPORT_SCHEMA_VERSION}"
+        )
+    for index, finding in enumerate(record.get("findings") or []):
+        if not isinstance(finding, dict):
+            problems.append(f"findings[{index}] must be an object")
+            continue
+        for key, expected in _FINDING_SCHEMA.items():
+            if not isinstance(finding.get(key), expected):
+                problems.append(
+                    f"findings[{index}].{key} must be "
+                    f"{expected.__name__}"
+                )
+    for index, unused in enumerate(record.get("unused_suppressions") or []):
+        if not isinstance(unused, dict) or not {
+            "path",
+            "line",
+            "codes",
+        } <= set(unused):
+            problems.append(
+                f"unused_suppressions[{index}] must have "
+                "path/line/codes"
+            )
+    return problems
 
 
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -302,6 +416,7 @@ def analyze_paths(
     """Run ``rules`` (default: all registered) over every Python file
     reachable from ``paths``."""
     active = list(rules) if rules is not None else all_rules()
+    active_ids = {rule.id for rule in active}
     report = AnalysisReport()
     for path in iter_python_files(paths):
         try:
@@ -311,11 +426,28 @@ def analyze_paths(
             continue
         report.files_scanned += 1
         suppressed = suppressions_for(module.text)
+        used_lines: set = set()
         for rule in active:
             for finding in rule.check(module):
                 if is_suppressed(finding, suppressed):
                     report.suppressed += 1
+                    used_lines.add(finding.line)
                 else:
                     report.findings.append(finding)
+        for line, codes in sorted(suppressed.items()):
+            if line in used_lines:
+                continue
+            # Under --select only a subset of rules ran: a suppression
+            # naming rules that did not run is not provably unused.
+            if codes is not None and not codes & active_ids:
+                continue
+            report.unused_suppressions.append(
+                UnusedSuppression(
+                    path=module.display_path,
+                    line=line,
+                    codes=tuple(sorted(codes)) if codes else (),
+                )
+            )
     report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    report.unused_suppressions.sort(key=lambda u: (u.path, u.line))
     return report

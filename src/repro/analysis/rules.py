@@ -158,17 +158,20 @@ class BufferPoolDiscipline(Rule):
 @register_rule
 class SeededWorkerRandomness(Rule):
     """REP003: no wall-clock time or unseeded randomness in
-    ``parallel/`` or ``resilience/`` worker paths."""
+    ``parallel/``, ``resilience/``, ``governance/`` or ``obs/``
+    paths."""
 
     id = "REP003"
     title = "wall-clock time / unseeded randomness in worker paths"
     rationale = (
         "Parallel range-partitioned execution (and the chaos harness) "
         "must be replayable: identical inputs + seed must produce "
-        "identical merges and identical fault schedules.  time.time() "
-        "and module-level random.* smuggle ambient state into workers; "
-        "only injected random.Random(seed) instances and monotonic "
-        "perf counters are allowed."
+        "identical merges and identical fault schedules, and "
+        "governance deadlines/budgets must survive wall-clock steps "
+        "(NTP slew).  time.time() and module-level random.* smuggle "
+        "ambient state in; only injected random.Random(seed) "
+        "instances and monotonic/perf counters are allowed "
+        "(audit-record timestamps are the one exemption, via noqa)."
     )
 
     #: module -> banned attribute set (None = everything banned except
@@ -183,7 +186,12 @@ class SeededWorkerRandomness(Rule):
     _RANDOM_ALLOWED = {"Random"}
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
-        if not (module.in_dir("parallel") or module.in_dir("resilience")):
+        if not (
+            module.in_dir("parallel")
+            or module.in_dir("resilience")
+            or module.in_dir("governance")
+            or module.in_dir("obs")
+        ):
             return
         aliases = self._module_aliases(module)
         for node in ast.walk(module.tree):

@@ -65,7 +65,10 @@ def _next_query_id(source: str) -> str:
     global _SEQUENCE
     _SEQUENCE += 1
     digest = hashlib.sha256(
-        f"{os.getpid()}:{_SEQUENCE}:{time.time_ns()}:{source}".encode()
+        # Audit ids are the sanctioned wall-clock exemption: they must
+        # be globally unique across restarts, which monotonic time
+        # (process-relative) cannot provide.
+        f"{os.getpid()}:{_SEQUENCE}:{time.time_ns()}:{source}".encode()  # repro: noqa(REP003)
     ).hexdigest()[:12]
     return f"q{_SEQUENCE:04d}-{digest}"
 
@@ -120,7 +123,10 @@ def build_record(
     record: dict = {
         "schema_version": AUDIT_SCHEMA_VERSION,
         "query_id": query_id or _next_query_id(source),
-        "ts_unix": round(time.time(), 3),
+        # Audit-record timestamps are *meant* to be wall-clock (they
+        # anchor the record to operator time for forensics), the one
+        # sanctioned exemption to the monotonic-only rule.
+        "ts_unix": round(time.time(), 3),  # repro: noqa(REP003)
         "status": "error" if error is not None else "ok",
         "query": normalize_query(source),
         "registry_hash": registry_hash(),

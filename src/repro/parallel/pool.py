@@ -169,7 +169,10 @@ def _encode_error(exc: BaseException) -> bytes:
     carrying the repr when the instance itself cannot travel."""
     try:
         return pickle.dumps(exc)
-    except Exception:
+    # Pickling fallback, not a swallow: whatever payload survives is
+    # re-raised in the parent, so a governance error still surfaces
+    # (worst case as ExecutionError naming the original).
+    except Exception:  # repro: noqa(REP009)
         return pickle.dumps(
             ExecutionError(f"shard failed with unpicklable {exc!r}")
         )
@@ -211,7 +214,10 @@ def _worker_main(tasks, results, acks) -> None:
         )
         try:
             results.put(run_task(task))
-        except BaseException as exc:  # noqa: BLE001 - shipped to parent
+        # Not a swallow: the exception (governance errors included) is
+        # shipped to the parent as an error message and re-raised by
+        # the collector — the worker loop must outlive any one shard.
+        except BaseException as exc:  # noqa: BLE001  # repro: noqa(REP009)
             results.put(
                 {
                     "job": task.get("job"),

@@ -1,0 +1,7 @@
+"""REP003 clean twin: governance clocks are monotonic only."""
+
+import time
+
+
+def deadline_from_monotonic(seconds):
+    return time.monotonic() + seconds

@@ -1,0 +1,7 @@
+"""REP003 violating twin: wall-clock time in governance paths."""
+
+import time
+
+
+def deadline_from_wall_clock(seconds):
+    return time.time() + seconds

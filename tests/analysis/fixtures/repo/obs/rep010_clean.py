@@ -1,0 +1,6 @@
+"""REP010 clean twin: with-scoped spans, labelled merges."""
+
+
+def traced_merge(tracer, registry, snapshot):
+    with tracer.span("merge-worker"):
+        registry.merge(snapshot, labels={"worker": "w1"})

@@ -1,0 +1,36 @@
+"""REP007 clean twin: the canonical create/attach lifecycles."""
+
+from multiprocessing import shared_memory
+
+
+def create_fill_release(size, fill):
+    segment = shared_memory.SharedMemory(name="seg", create=True, size=size)
+    try:
+        fill(segment.buf)
+    finally:
+        segment.close()
+    segment.unlink()
+
+
+def create_and_hand_over(size):
+    segment = shared_memory.SharedMemory(name="seg", create=True, size=size)
+    return segment
+
+
+def attach_read_close(name):
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(segment.buf)
+    finally:
+        segment.close()
+
+
+class OwnedSegment:
+    def __init__(self, size):
+        self.segment = shared_memory.SharedMemory(
+            name="seg", create=True, size=size
+        )
+
+    def close(self):
+        self.segment.close()
+        self.segment.unlink()

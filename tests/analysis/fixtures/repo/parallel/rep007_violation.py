@@ -1,0 +1,41 @@
+"""REP007 violating twin: one segment-lifecycle break per function."""
+
+from multiprocessing import shared_memory
+
+
+def leak_on_exception(size, fill):
+    segment = shared_memory.SharedMemory(name="seg", create=True, size=size)
+    fill(segment.buf)
+    segment.close()
+    segment.unlink()
+
+
+def never_unlinked(size, fill):
+    segment = shared_memory.SharedMemory(name="seg", create=True, size=size)
+    try:
+        fill(segment.buf)
+    finally:
+        segment.close()
+
+
+def attach_side_unlink(name):
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(segment.buf)
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def dropped_segment(size):
+    shared_memory.SharedMemory(name="seg", create=True, size=size)
+
+
+class LeakyOwner:
+    def __init__(self, size):
+        self.segment = shared_memory.SharedMemory(
+            name="seg", create=True, size=size
+        )
+
+    def release(self):
+        self.segment.close()

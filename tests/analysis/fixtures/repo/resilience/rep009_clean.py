@@ -1,0 +1,29 @@
+"""REP009 clean twin: the three sanctioned broad-except shapes."""
+
+
+class GovernanceError(Exception):
+    pass
+
+
+def filtered_ladder(op):
+    try:
+        return op()
+    except GovernanceError:
+        raise
+    except Exception:
+        return None
+
+
+def reraising_ladder(op, log):
+    try:
+        return op()
+    except Exception:
+        log()
+        raise
+
+
+def shutdown(pool):
+    try:
+        pool.stop()
+    except Exception:
+        pass

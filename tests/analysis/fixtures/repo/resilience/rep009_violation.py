@@ -1,0 +1,18 @@
+"""REP009 violating twin: broad excepts that can swallow governance
+errors in retry/ladder paths."""
+
+
+def retry_ladder(op):
+    for _ in range(3):
+        try:
+            return op()
+        except Exception:
+            continue
+    return None
+
+
+def convert_and_swallow(op):
+    try:
+        return op()
+    except Exception as exc:
+        return {"error": repr(exc)}

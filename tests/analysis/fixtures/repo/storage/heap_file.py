@@ -1,0 +1,15 @@
+"""REP008 violating twin of ``storage/heap_file.py``: the governed
+function ``page()`` lost its checkpoint, ``scan()`` was deleted, and a
+raw ``_pages`` loop bypasses the charging primitives."""
+
+
+class HeapFile:
+    def __init__(self, pages):
+        self._pages = pages
+
+    def page(self, index):
+        return self._pages[index]
+
+    def drain_all(self, out):
+        for raw in self._pages:
+            out.extend(raw.records)

@@ -1,0 +1,15 @@
+"""REP008 clean twin: raw-internals loops carry a checkpoint, and
+loops built on charging primitives need none."""
+
+
+def governed_sweep(heap, token):
+    total = 0
+    for raw in heap._pages:
+        token.charge_pages(1)
+        total += len(raw)
+    return total
+
+
+def primitive_loop(stream):
+    while stream.advance():
+        pass

@@ -13,6 +13,7 @@ import json
 from pathlib import Path
 
 from repro.analysis.__main__ import main
+from repro.analysis.framework import validate_report
 
 FIXTURES = Path(__file__).parent / "fixtures" / "repo"
 REPO_SRC = Path(__file__).parent.parent.parent / "src"
@@ -33,7 +34,7 @@ def test_exit_zero_on_clean_tree():
 def test_exit_one_on_fixture_corpus():
     code, output = _run(str(FIXTURES), "--root", str(FIXTURES))
     assert code == 1
-    assert "21 findings" in output and "(2 suppressed)" in output
+    assert "36 findings" in output and "(2 suppressed)" in output
 
 
 def test_exit_two_on_missing_path():
@@ -60,8 +61,8 @@ def test_json_report_to_stdout():
     )
     assert code == 1
     payload = json.loads(output[output.index("{"):])
-    assert payload["version"] == 1
-    assert len(payload["findings"]) == 21
+    assert payload["schema_version"] == 1
+    assert len(payload["findings"]) == 36
 
 
 def test_json_report_to_file(tmp_path):
@@ -72,15 +73,17 @@ def test_json_report_to_file(tmp_path):
     assert code == 1
     payload = json.loads(target.read_text(encoding="utf-8"))
     assert {f["rule"] for f in payload["findings"]} == {
-        "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"
+        "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+        "REP007", "REP008", "REP009", "REP010",
     }
+    assert validate_report(payload) == []
 
 
 def test_list_rules_catalogue():
     code, output = _run("--list-rules")
     assert code == 0
     for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005",
-                    "REP006"):
+                    "REP006", "REP007", "REP008", "REP009", "REP010"):
         assert rule_id in output
 
 
@@ -102,3 +105,50 @@ def test_parse_error_exits_two(tmp_path):
     code, output = _run(str(bad))
     assert code == 2
     assert "PARSE ERROR" in output
+
+
+def test_check_protocol_alone_exits_zero():
+    code, output = _run("--check-protocol")
+    assert code == 0
+    assert "protocol check OK" in output
+    assert "7/7 guards present" in output
+
+
+def test_check_protocol_combined_with_lint():
+    code, output = _run("--check-protocol", str(REPO_SRC))
+    assert code == 0
+    assert "protocol check OK" in output and "0 findings" in output
+
+
+def test_both_checks_run_when_combined():
+    # Regression: with two --check-* flags and no lint paths, both
+    # checks must execute (neither short-circuits the other).
+    code, output = _run("--check-plan", "--check-protocol")
+    assert code == 0
+    assert "plan check OK" in output and "protocol check OK" in output
+
+
+def test_strict_noqa_fails_on_dead_suppression(tmp_path):
+    stale = tmp_path / "stale.py"
+    stale.write_text(
+        "import time\n\nx = 1  # repro: noqa(REP003)\n", encoding="utf-8"
+    )
+    code, output = _run(str(stale))
+    assert code == 0  # without the flag the dead noqa is tolerated
+    code, output = _run(str(stale), "--strict-noqa")
+    assert code == 1
+    assert "unused suppression" in output
+
+
+def test_strict_noqa_rejects_select():
+    code, _ = _run(str(FIXTURES), "--strict-noqa", "--select", "REP001")
+    assert code == 2
+
+
+def test_real_tree_survives_strict_noqa():
+    # Every noqa in src/ must be load-bearing.
+    code, output = _run(
+        str(REPO_SRC), "--root", str(REPO_SRC), "--strict-noqa"
+    )
+    assert code == 0
+    assert "unused suppression" not in output

@@ -9,16 +9,19 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.framework import (
+    REPORT_SCHEMA_VERSION,
     AnalysisFrameworkError,
     AnalysisReport,
     Finding,
     Rule,
     SourceModule,
+    UnusedSuppression,
     analyze_paths,
     is_suppressed,
     register_rule,
     select_rules,
     suppressions_for,
+    validate_report,
 )
 
 
@@ -97,13 +100,32 @@ def test_report_json_shape():
         suppressed=1,
     )
     payload = json.loads(report.to_json())
-    assert payload["version"] == 1
+    assert payload["schema_version"] == REPORT_SCHEMA_VERSION == 1
     assert payload["files_scanned"] == 2
     assert payload["suppressed"] == 1
+    assert payload["unused_suppressions"] == []
     assert payload["findings"] == [
         {"rule": "REP001", "message": "msg", "path": "a.py", "line": 3,
          "col": 7}
     ]
+    assert validate_report(payload) == []
+
+
+def test_validate_report_names_every_defect():
+    payload = json.loads(AnalysisReport(files_scanned=1).to_json())
+    payload["schema_version"] = 99
+    payload["findings"] = [{"rule": "REP001", "path": "a.py"}]
+    payload["extra_key"] = True
+    del payload["suppressed"]
+    problems = "\n".join(validate_report(payload))
+    assert "schema_version" in problems
+    assert "extra_key" in problems
+    assert "suppressed" in problems
+    assert "message" in problems  # missing finding key
+
+
+def test_validate_report_rejects_non_dict():
+    assert validate_report([]) != []
 
 
 def test_report_human_rendering_and_clean_flag():
@@ -115,6 +137,31 @@ def test_report_human_rendering_and_clean_flag():
     report.findings.append(Finding("REP006", "bare assert", "b.py", 9, 5))
     assert not report.clean
     assert "b.py:9:5: REP006 bare assert" in report.render_human()
+
+
+def test_unused_suppressions_collected_and_rendered(tmp_path):
+    mod = tmp_path / "quiet.py"
+    mod.write_text("x = 1  # repro: noqa\n", encoding="utf-8")
+    report = analyze_paths([mod], root=tmp_path)
+    assert report.clean  # a dead noqa alone does not dirty the report
+    assert [
+        (u.path, u.line, u.codes) for u in report.unused_suppressions
+    ] == [("quiet.py", 1, ())]
+    unused = report.unused_suppressions[0]
+    assert isinstance(unused, UnusedSuppression)
+    assert "unused suppression" in unused.render()
+    assert "unused suppression" in report.render_human()
+
+
+def test_selection_ignores_out_of_scope_suppressions(tmp_path):
+    # Under --select, a noqa for a rule that is not running is neither
+    # used nor dead — it must not be flagged.
+    mod = tmp_path / "quiet.py"
+    mod.write_text("x = 1  # repro: noqa(REP001)\n", encoding="utf-8")
+    report = analyze_paths(
+        [mod], rules=select_rules(["REP006"]), root=tmp_path
+    )
+    assert report.unused_suppressions == []
 
 
 def test_parse_errors_mark_report_dirty(tmp_path):

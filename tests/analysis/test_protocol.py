@@ -1,0 +1,186 @@
+"""The pool-protocol checker: extraction facts and corruption drills.
+
+Two layers of confidence: (a) the model extracted from the *real*
+``parallel/pool.py`` matches the protocol stated in its prose and
+verifies clean; (b) corrupting any single transition — in a doctored
+source twin or directly in the model — is caught by a *named*
+invariant, several with a simulation witness.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.check_protocol import (
+    PROTOCOL_SCHEMA_VERSION,
+    check_protocol,
+    corrupted,
+    extract_protocol,
+    verify_protocol,
+)
+
+FIXTURE = (
+    Path(__file__).parent / "fixtures" / "protocol" / "pool_ack_after_run.py"
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return extract_protocol()
+
+
+def _invariants(report):
+    return {p.invariant for p in report.problems}
+
+
+# ----------------------------------------------------------------------
+# the real tree
+# ----------------------------------------------------------------------
+def test_real_tree_extraction_facts(model):
+    assert model.worker_sequence == (
+        "recv", "sentinel", "ack", "run", "reply",
+    )
+    assert {"job", "index", "attempt", "pid"} <= model.ack_fields
+    assert model.channels["results"] == "simple"
+    assert model.channels["acks"] == "simple"
+    assert len(model.guards) == 7 and all(model.guards.values())
+    assert model.result_kinds_sent == {"summary", "error", "sentinel"}
+    assert model.result_kinds_sent <= model.result_kinds_handled
+
+
+def test_extraction_carries_provenance(model):
+    # Every extracted fact must be attributable to a source line.
+    assert model.provenance
+    assert all(
+        ":" in where and where.rsplit(":", 1)[1].isdigit()
+        for where in model.provenance.values()
+    )
+    assert any(key.startswith("guard.") for key in model.provenance)
+    assert "worker.ack" in model.provenance
+
+
+def test_real_tree_protocol_verifies(model):
+    report = verify_protocol(model)
+    assert report.ok, report.render_human()
+    assert "protocol check OK" in report.render_human()
+    assert check_protocol().ok  # the CLI path end to end
+
+
+def test_report_is_schema_versioned(model):
+    payload = json.loads(verify_protocol(model).to_json())
+    assert payload["schema_version"] == PROTOCOL_SCHEMA_VERSION == 1
+    assert payload["problems"] == []
+    assert payload["model"]["worker_sequence"] == [
+        "recv", "sentinel", "ack", "run", "reply",
+    ]
+
+
+# ----------------------------------------------------------------------
+# source-level corruption: the doctored twin
+# ----------------------------------------------------------------------
+def test_ack_after_run_twin_caught_by_name():
+    twin = extract_protocol(
+        pool_path=FIXTURE,
+        pool_source=FIXTURE.read_text(encoding="utf-8"),
+    )
+    # Exactly one transition is out of order in the twin...
+    assert twin.worker_sequence == (
+        "recv", "sentinel", "run", "ack", "reply",
+    )
+    assert len(twin.guards) == 7 and all(twin.guards.values())
+    # ...and the checker names it, with a simulation witness.
+    report = verify_protocol(twin)
+    assert _invariants(report) == {
+        "ack-precedes-run", "no-unattributed-execution",
+    }
+    unattributed = next(
+        p for p in report.problems
+        if p.invariant == "no-unattributed-execution"
+    )
+    assert unattributed.witness
+    assert "without a prior ack" in unattributed.witness
+
+
+# ----------------------------------------------------------------------
+# model-level corruption: one field at a time
+# ----------------------------------------------------------------------
+def test_buffered_reply_channel_breaks_corpse_bound(model):
+    bad = corrupted(
+        model, channels={**model.channels, "results": "buffered"}
+    )
+    report = verify_protocol(bad)
+    inv = _invariants(report)
+    assert "synchronous-results" in inv
+    # A feeder thread dying with the message makes a corpse own two
+    # unresolved shards; the simulation must find the interleaving.
+    assert "corpse-owns-at-most-one" in inv
+    owned = next(
+        p for p in report.problems
+        if p.invariant == "corpse-owns-at-most-one"
+    )
+    assert owned.witness and "acked but no" in owned.witness
+
+
+def test_unbumped_attempt_breaks_redispatch_gating(model):
+    bad = corrupted(
+        model,
+        guards={**model.guards, "redispatch_bumps_attempt": False},
+    )
+    problems = {p.invariant: p for p in verify_protocol(bad).problems}
+    assert "redispatch-attempt-gated" in problems
+    assert (
+        "does not bump the attempt"
+        in problems["redispatch-attempt-gated"].detail
+    )
+
+
+def test_missing_stale_ack_guard_loses_ownership(model):
+    bad = corrupted(
+        model,
+        guards={**model.guards, "stale_attempt_ack_rejected": False},
+    )
+    report = verify_protocol(bad)
+    assert "redispatch-attempt-gated" in _invariants(report)
+    witness = next(
+        p.witness for p in report.problems
+        if p.invariant == "redispatch-attempt-gated"
+    )
+    assert witness and "re-delivered" in witness
+
+
+def test_every_dropped_guard_is_named(model):
+    for guard, invariant in (
+        ("stale_job_ack_rejected", "stale-batch-ack-rejected"),
+        ("stale_job_result_rejected", "stale-batch-result-rejected"),
+        ("duplicate_summary_rejected", "duplicate-summary-rejected"),
+        ("redispatch_retry_capped", "redispatch-retry-capped"),
+        ("redispatch_fresh_segment", "fresh-segment-per-attempt"),
+    ):
+        bad = corrupted(model, guards={**model.guards, guard: False})
+        assert invariant in _invariants(verify_protocol(bad)), guard
+
+
+def test_unhandled_message_kind_caught(model):
+    bad = corrupted(
+        model,
+        result_kinds_handled=model.result_kinds_handled - {"error"},
+    )
+    assert "every-kind-handled" in _invariants(verify_protocol(bad))
+
+
+def test_ack_without_pid_cannot_attribute_death(model):
+    bad = corrupted(model, ack_fields=model.ack_fields - {"pid"})
+    assert "ack-attributes-ownership" in _invariants(verify_protocol(bad))
+
+
+def test_incomplete_worker_loop_caught(model):
+    bad = corrupted(
+        model,
+        worker_sequence=tuple(
+            e for e in model.worker_sequence if e != "reply"
+        ),
+    )
+    assert "worker-loop-complete" in _invariants(verify_protocol(bad))

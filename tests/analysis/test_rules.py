@@ -36,11 +36,26 @@ EXPECTED = {
     ("REP003", "parallel/rep003_violation.py", 16),
     ("REP003", "parallel/rep003_violation.py", 16),
     ("REP003", "parallel/rep003_violation.py", 20),
+    ("REP003", "governance/rep003_violation.py", 7),
     ("REP004", "columnar/kernels.py", 4),
     ("REP004", "streams/rep004_violation.py", 5),
     ("REP005", "obs/rep005_violation.py", 5),
     ("REP005", "obs/rep005_violation.py", 11),
     ("REP006", "streams/rep006_violation.py", 5),
+    ("REP007", "parallel/rep007_violation.py", 7),
+    ("REP007", "parallel/rep007_violation.py", 14),
+    ("REP007", "parallel/rep007_violation.py", 27),
+    ("REP007", "parallel/rep007_violation.py", 31),
+    ("REP007", "parallel/rep007_violation.py", 36),
+    ("REP008", "storage/heap_file.py", 1),
+    ("REP008", "storage/heap_file.py", 10),
+    ("REP008", "storage/heap_file.py", 14),
+    ("REP009", "resilience/rep009_violation.py", 9),
+    ("REP009", "resilience/rep009_violation.py", 17),
+    ("REP010", "obs/graft.py", 8),
+    ("REP010", "obs/graft.py", 15),
+    ("REP010", "obs/rep010_violation.py", 6),
+    ("REP010", "obs/rep010_violation.py", 12),
 }
 
 #: Fixture files that must produce no findings at all.
@@ -50,9 +65,14 @@ CLEAN_FIXTURES = [
     "streams/rep001_clean.py",
     "storage/rep002_clean.py",
     "parallel/rep003_clean.py",
+    "governance/rep003_clean.py",
     "streams/rep004_clean.py",
     "obs/rep005_clean.py",
     "streams/rep006_clean.py",
+    "parallel/rep007_clean.py",
+    "streams/rep008_clean.py",
+    "resilience/rep009_clean.py",
+    "obs/rep010_clean.py",
 ]
 
 
@@ -66,7 +86,7 @@ def test_corpus_produces_exactly_the_expected_findings(corpus_report):
     # The two REP003 findings on line 16 collapse in a set; compare
     # multiset cardinality separately.
     assert got == EXPECTED
-    assert len(corpus_report.findings) == 21
+    assert len(corpus_report.findings) == 36
     assert not corpus_report.parse_errors
 
 
@@ -85,6 +105,15 @@ def test_mismatched_noqa_code_does_not_suppress(corpus_report):
     assert ("REP001", "streams/rep_suppressed.py", 14) in {
         (f.rule, f.path, f.line) for f in corpus_report.findings
     }
+
+
+def test_mismatched_noqa_is_reported_unused(corpus_report):
+    # ...and the same stale noqa(REP002) is surfaced as unused, so
+    # --strict-noqa keeps the exemption list honest.
+    assert [
+        (u.path, u.line, u.codes)
+        for u in corpus_report.unused_suppressions
+    ] == [("streams/rep_suppressed.py", 14, ("REP002",))]
 
 
 @pytest.mark.parametrize("relative", CLEAN_FIXTURES)
@@ -108,6 +137,25 @@ def test_real_tree_is_clean():
         f.render() for f in report.findings
     )
     assert report.files_scanned > 100
+
+
+def test_shm_noqa_suppressions_are_load_bearing(tmp_path):
+    """Stripping the justified REP007 noqas from the real shm.py must
+    re-fire the rule — the exemptions are suppressing live findings,
+    not decorating dead lines."""
+    text = (REPO_SRC / "parallel" / "shm.py").read_text(encoding="utf-8")
+    assert text.count("# repro: noqa(REP007)") == 3
+    target_dir = tmp_path / "parallel"
+    target_dir.mkdir()
+    doctored = target_dir / "shm.py"
+    doctored.write_text(
+        text.replace("  # repro: noqa(REP007)", ""), encoding="utf-8"
+    )
+    report = analyze_paths([doctored], root=tmp_path)
+    assert report.findings and {f.rule for f in report.findings} == {
+        "REP007"
+    }
+    assert len(report.findings) == 3
 
 
 def test_chained_comparison_yields_one_finding(corpus_report):
